@@ -1,0 +1,62 @@
+"""A1 — ablation: rack count 1/2/3 and the conclusion approximations.
+
+The paper's capstone guidance: "one rack or three racks, but not two", and
+the closed rules of thumb ``A ~= alpha^2 (3 - 2 alpha) A_R`` (1-2 racks,
+alpha = A_C A_V A_H) and ``A ~= alpha^2 (3 - 2 alpha)`` (3 racks,
+alpha = A_C A_V A_H A_R).  This bench sweeps rack availability to show the
+crossover structure is robust, not a coincidence of the defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.hw_approx import hw_approx_large, hw_approx_small
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.params.hardware import HardwareParams
+from repro.reporting.tables import format_table
+
+
+def rack_sweep(hardware, points=9):
+    rows = []
+    for a_rack in np.linspace(0.999, 0.999999, points):
+        params = HardwareParams(
+            a_role=hardware.a_role,
+            a_vm=hardware.a_vm,
+            a_host=hardware.a_host,
+            a_rack=float(a_rack),
+        )
+        rows.append(
+            (
+                float(a_rack),
+                hw_small(params),
+                hw_medium(params),
+                hw_large(params),
+            )
+        )
+    return rows
+
+
+def test_rack_ablation(benchmark, hardware):
+    rows = benchmark(rack_sweep, hardware)
+    print(
+        "\n"
+        + format_table(
+            ("A_R", "Small (1 rack)", "Medium (2 racks)", "Large (3 racks)"),
+            [tuple(f"{v:.8f}" for v in row) for row in rows],
+            title="Ablation A1: rack count vs rack availability",
+        )
+    )
+    for _, s, m, l in rows:
+        # "One rack or three, not two" at every rack availability.
+        assert m <= s <= l
+
+    # The conclusion's closed approximations track the exact models.
+    approx_small = hw_approx_small(hardware)
+    approx_large = hw_approx_large(hardware)
+    assert 1 - approx_small == pytest.approx(1 - hw_small(hardware), rel=0.02)
+    assert 1 - approx_large == pytest.approx(1 - hw_large(hardware), rel=0.05)
+
+    # The Large advantage shrinks as racks approach perfection.
+    first_gap = rows[0][3] - rows[0][1]
+    last_gap = rows[-1][3] - rows[-1][1]
+    assert last_gap < first_gap

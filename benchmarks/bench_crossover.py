@@ -1,0 +1,54 @@
+"""A8 — crossover analysis: where the design guidance flips.
+
+Fig. 4's curves imply a crossover the paper does not call out explicitly:
+below a certain process maturity, the one-rack supervisor-independent
+option (1S) yields a *better* control plane than the three-rack
+supervisor-dependent option (2L) — rack money cannot buy back supervisor
+downtime.  This bench locates the flip point precisely.
+"""
+
+import pytest
+
+from repro.analysis.crossover import option_crossover_orders
+from repro.reporting.tables import format_table
+from repro.units import scale_downtime
+
+
+def find_crossovers(spec, hardware, software):
+    pairs = (("1S", "2L"), ("1S", "2S"), ("1L", "2L"), ("1S", "1L"))
+    rows = []
+    for a, b in pairs:
+        crossing = option_crossover_orders(spec, hardware, software, a, b)
+        rows.append((a, b, crossing))
+    return rows
+
+
+def test_crossover(benchmark, spec, hardware, software):
+    rows = benchmark(find_crossovers, spec, hardware, software)
+    print(
+        "\n"
+        + format_table(
+            ("Option A", "Option B", "CP crossover (orders)", "A at crossover"),
+            [
+                (
+                    a,
+                    b,
+                    "none (dominated)" if x is None else f"{x:+.3f}",
+                    ""
+                    if x is None
+                    else f"{scale_downtime(software.a_process, x):.6f}",
+                )
+                for a, b, x in rows
+            ],
+            title="Ablation A8: design-guidance crossovers on the CP",
+        )
+    )
+    crossings = {(a, b): x for a, b, x in rows}
+    # The headline flip: 1S vs 2L crosses between -0.6 and -0.4 orders,
+    # i.e. around process availability A ~ 0.99993.
+    assert crossings[("1S", "2L")] == pytest.approx(-0.5, abs=0.1)
+    # Same-topology scenario pairs and same-scenario topology pairs are
+    # dominated throughout: no crossover.
+    assert crossings[("1S", "2S")] is None
+    assert crossings[("1L", "2L")] is None
+    assert crossings[("1S", "1L")] is None

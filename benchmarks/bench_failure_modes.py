@@ -1,0 +1,85 @@
+"""E10 — section VI-G: dominant failure-mode identification.
+
+Mechanically derives the failure modes the paper names:
+
+* 1S CP: "two failures of the same Database process in different nodes";
+* 2S CP: "one Database supervisor failure and any Database process failure
+  in another node";
+* 1* DP: "failure of either vRouter process";
+* 2* DP: "failure of any supervisor" (the local vRouter supervisor).
+"""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.models.failure_modes import dominant_failure_modes
+from repro.params.software import RestartScenario
+from repro.reporting.tables import format_table
+from repro.topology.reference import large_topology, small_topology
+
+
+def compute_modes(spec, hardware, software):
+    large = large_topology(spec)
+    small = small_topology(spec)
+    return {
+        "1L-CP": dominant_failure_modes(
+            spec, large, hardware, software,
+            RestartScenario.NOT_REQUIRED, Plane.CP, top=40,
+        ),
+        "2L-CP": dominant_failure_modes(
+            spec, large, hardware, software,
+            RestartScenario.REQUIRED, Plane.CP, top=60,
+        ),
+        "1S-DP": dominant_failure_modes(
+            spec, small, hardware, software,
+            RestartScenario.NOT_REQUIRED, Plane.DP, top=10,
+        ),
+        "2S-DP": dominant_failure_modes(
+            spec, small, hardware, software,
+            RestartScenario.REQUIRED, Plane.DP, top=10,
+        ),
+    }
+
+
+def software_only(modes):
+    return [
+        m
+        for m in modes
+        if all(c.startswith(("proc:", "sup:", "local:")) for c in m.components)
+    ]
+
+
+def test_failure_modes(benchmark, spec, hardware, software):
+    all_modes = benchmark(compute_modes, spec, hardware, software)
+    for label, modes in all_modes.items():
+        print(
+            "\n"
+            + format_table(
+                ("Rank", "Probability", "Cut set"),
+                [
+                    (i + 1, f"{m.probability:.3e}", " + ".join(sorted(m.components)))
+                    for i, m in enumerate(modes[:6])
+                ],
+                title=f"Dominant failure modes, {label}",
+            )
+        )
+
+    top_1l = software_only(all_modes["1L-CP"])[0]
+    assert all(c.startswith("proc:Database/") for c in top_1l.components)
+    same_process = {
+        c.split("/")[1].rsplit("-", 1)[0] for c in top_1l.components
+    }
+    assert len(same_process) == 1
+
+    modes_2l = software_only(all_modes["2L-CP"])
+    assert any(
+        any(c.startswith("sup:Database-") for c in m.components)
+        for m in modes_2l[:20]
+    )
+
+    top_1s_dp = software_only(all_modes["1S-DP"])[0]
+    assert top_1s_dp.order == 1
+    assert next(iter(top_1s_dp.components)).startswith("local:vrouter")
+
+    top_2s_dp = software_only(all_modes["2S-DP"])[0]
+    assert top_2s_dp.components == frozenset({"local:supervisor"})

@@ -1,0 +1,46 @@
+"""E4 — regenerate Fig. 3: HW-centric cluster availability vs A_C.
+
+Paper reference: Fig. 3 (section V-D).  Series for the Small, Medium, and
+Large topologies over A_C in [0.999, 1.0] with A_V = 0.99995,
+A_H = 0.99990, A_R = 0.99999.
+
+Shape assertions (paper-vs-measured detail in EXPERIMENTS.md):
+* Large dominates Small dominates Medium at every grid point;
+* at A_C = 0.9995 the values are ~0.999989 (S, M) and ~0.999999 (L);
+* all three curves are monotone non-decreasing in A_C.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig3_series
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_table
+
+
+def test_fig3(benchmark, hardware, results_dir):
+    result = benchmark(fig3_series, hardware, 41)
+
+    headers = ("A_C", *result.labels)
+    rows = result.rows()
+    print(
+        "\n"
+        + format_table(
+            headers,
+            [tuple(f"{v:.8f}" for v in row) for row in rows],
+            title="Figure 3: OpenContrail cluster availability (HW-centric)",
+        )
+    )
+    write_csv(results_dir / "fig3.csv", headers, rows)
+
+    small = result.series["Small"]
+    medium = result.series["Medium"]
+    large = result.series["Large"]
+    for s, m, l in zip(small, medium, large):
+        assert l > s >= m
+    for series in (small, medium, large):
+        assert all(a <= b + 1e-15 for a, b in zip(series, series[1:]))
+    center = result.grid.index(
+        min(result.grid, key=lambda x: abs(x - 0.9995))
+    )
+    assert small[center] == pytest.approx(0.999989, abs=2e-6)
+    assert large[center] == pytest.approx(0.999999, abs=5e-7)

@@ -1,0 +1,50 @@
+"""E5 — regenerate Fig. 4: SW-centric SDN CP availability A_CP.
+
+Paper reference: Fig. 4 (section VI-G).  Four curves (1S, 2S, 1L, 2L) over
+process availability swept +/-1 order of magnitude of downtime around
+A = 0.99998 (A_S in lock-step).
+
+Shape assertions:
+* curve ordering at the center: 1L > 2L > 1S > 2S;
+* the quoted downtimes at x = 0 (5.9 / 6.6 / 0.7 / 1.4 min/yr);
+* Small and Large converge (relatively) on the left, supervisor impact
+  vanishes on the right.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_series
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_table
+from repro.units import downtime_minutes_per_year
+
+
+def test_fig4(benchmark, spec, hardware, software, results_dir):
+    result = benchmark(fig4_series, spec, hardware, software, 21)
+
+    headers = ("orders", *result.labels)
+    rows = result.rows()
+    print(
+        "\n"
+        + format_table(
+            headers,
+            [tuple(f"{v:.8f}" for v in row) for row in rows],
+            title="Figure 4: OpenContrail SDN CP availability A_CP (SW-centric)",
+        )
+    )
+    write_csv(results_dir / "fig4.csv", headers, rows)
+
+    center = result.grid.index(min(result.grid, key=abs))
+    values = {label: result.series[label][center] for label in result.labels}
+    assert values["1L"] > values["2L"] > values["1S"] > values["2S"]
+    assert downtime_minutes_per_year(values["1S"]) == pytest.approx(5.9, abs=0.15)
+    assert downtime_minutes_per_year(values["2S"]) == pytest.approx(6.6, abs=0.15)
+    assert downtime_minutes_per_year(values["1L"]) == pytest.approx(0.7, abs=0.1)
+    assert downtime_minutes_per_year(values["2L"]) == pytest.approx(1.4, abs=0.1)
+
+    # Left edge: topologies converge relative to total unavailability.
+    left = {label: result.series[label][0] for label in result.labels}
+    assert (left["1L"] - left["1S"]) / (1 - left["1S"]) < 0.2
+    # Right edge: supervisor requirement becomes irrelevant.
+    right = {label: result.series[label][-1] for label in result.labels}
+    assert (right["1S"] - right["2S"]) < 0.1 * (1 - right["2S"])

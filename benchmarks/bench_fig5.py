@@ -1,0 +1,52 @@
+"""E6 — regenerate Fig. 5: per-host data-plane availability A_DP.
+
+Paper reference: Fig. 5 (section VI-G).  Four curves (1S, 2S, 1L, 2L); the
+supervisor requirement dominates (the vRouter supervisor is a per-host
+single point of failure), topology is secondary.
+
+Shape assertions:
+* supervisor-scenario separation: {1S, 1L} >> {2S, 2L} at the center;
+* quoted downtimes at x = 0 (26 / 131 / 21 / 126 min/yr);
+* convergence values at the sweep edges (0.9976 / 0.9996 left).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig5_series
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_table
+from repro.units import downtime_minutes_per_year
+
+
+def test_fig5(benchmark, spec, hardware, software, results_dir):
+    result = benchmark(fig5_series, spec, hardware, software, 21)
+
+    headers = ("orders", *result.labels)
+    rows = result.rows()
+    print(
+        "\n"
+        + format_table(
+            headers,
+            [tuple(f"{v:.8f}" for v in row) for row in rows],
+            title="Figure 5: OpenContrail DP availability A_DP (SW-centric)",
+        )
+    )
+    write_csv(results_dir / "fig5.csv", headers, rows)
+
+    center = result.grid.index(min(result.grid, key=abs))
+    values = {label: result.series[label][center] for label in result.labels}
+    minutes = {
+        label: downtime_minutes_per_year(value)
+        for label, value in values.items()
+    }
+    assert minutes["1S"] == pytest.approx(26.0, abs=1.0)
+    assert minutes["2S"] == pytest.approx(131.0, abs=1.5)
+    assert minutes["1L"] == pytest.approx(21.0, abs=1.0)
+    assert minutes["2L"] == pytest.approx(126.0, abs=1.5)
+    # Scenario dominates topology.
+    assert min(values["1S"], values["1L"]) > max(values["2S"], values["2L"])
+
+    left = {label: result.series[label][0] for label in result.labels}
+    assert left["2S"] == pytest.approx(0.9976, abs=3e-4)
+    assert left["2L"] == pytest.approx(0.9976, abs=3e-4)
+    assert left["1S"] == pytest.approx(0.9996, abs=1e-4)

@@ -1,0 +1,56 @@
+"""E7 — section V-D text claims: topology comparison and rack economics.
+
+Regenerates the HW-centric comparison table behind the paper's narrative:
+"one rack or three, but not two", the ~5 min/yr third-rack saving, and the
+S/M/L availability anchors, including the closed-form-vs-exact-engine
+agreement.
+"""
+
+import pytest
+
+from repro.models.hw_closed import hw_availability
+from repro.models.hw_exact import hw_availability_exact
+from repro.reporting.tables import format_table
+from repro.topology.reference import reference_topology
+from repro.units import downtime_minutes_per_year
+
+
+def evaluate_all(hardware, spec):
+    rows = []
+    for name in ("small", "medium", "large"):
+        closed = hw_availability(name, hardware)
+        exact = hw_availability_exact(
+            reference_topology(name, spec), hardware
+        )
+        rows.append((name, closed, exact))
+    return rows
+
+
+def test_hw_claims(benchmark, spec, hardware):
+    rows = benchmark(evaluate_all, hardware, spec)
+    print(
+        "\n"
+        + format_table(
+            ("Topology", "Closed form", "Exact engine", "Downtime m/y"),
+            [
+                (
+                    name,
+                    f"{closed:.8f}",
+                    f"{exact:.8f}",
+                    f"{downtime_minutes_per_year(closed):.2f}",
+                )
+                for name, closed, exact in rows
+            ],
+            title="Section V-D: HW-centric topology comparison",
+        )
+    )
+    values = {name: closed for name, closed, _ in rows}
+    for name, closed, exact in rows:
+        assert closed == pytest.approx(exact, rel=1e-10), name
+    # One rack or three, not two.
+    assert values["medium"] < values["small"] < values["large"]
+    # Third rack saves ~5 min/yr.
+    saving = downtime_minutes_per_year(
+        values["medium"]
+    ) - downtime_minutes_per_year(values["large"])
+    assert saving == pytest.approx(5.2, abs=0.5)

@@ -1,0 +1,71 @@
+"""A5 — outage frequency/duration decomposition (the §V-D / §VII warning).
+
+Quantifies the paper's qualitative claim that the Small topology's
+availability hides rare-but-long rack outages ("no rack downtime for many
+years followed by a highly-publicized extended outage"), while the Large
+topology converts them into short process-level events — and the fleet
+arithmetic ("for a ... provider with 500 edge sites, a yearly outage may
+be unacceptable").
+"""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.models.outage import fleet_outages_per_year, plane_outage_profile
+from repro.params.software import RestartScenario
+from repro.reporting.tables import format_table
+from repro.topology.reference import large_topology, small_topology
+
+
+def outage_table(spec, hardware, software):
+    rows = []
+    for name, topology in (
+        ("small", small_topology(spec)),
+        ("large", large_topology(spec)),
+    ):
+        profile = plane_outage_profile(
+            spec, topology, hardware, software,
+            RestartScenario.NOT_REQUIRED, Plane.CP,
+        )
+        rows.append((name, profile))
+    return rows
+
+
+def test_outage_profile(benchmark, spec, hardware, software):
+    rows = benchmark(outage_table, spec, hardware, software)
+    print(
+        "\n"
+        + format_table(
+            (
+                "Topology",
+                "CP downtime m/y",
+                "Outages/yr (site)",
+                "Mean outage (h)",
+                "Outages/yr (500 sites)",
+            ),
+            [
+                (
+                    name,
+                    f"{p.downtime_minutes_per_year:.2f}",
+                    f"{p.outages_per_year:.4f}",
+                    f"{p.mean_outage_hours:.2f}",
+                    f"{fleet_outages_per_year(p, 500):.1f}",
+                )
+                for name, p in rows
+            ],
+            title="Ablation A5: outage frequency vs duration (option 1*, CP)",
+        )
+    )
+    small_profile = dict(rows)["small"]
+    large_profile = dict(rows)["large"]
+    # Small's outages are much longer (rack-dominated, ~48 h events in the
+    # mixture); Large's are process-restart length.
+    assert small_profile.mean_outage_hours > 5 * large_profile.mean_outage_hours
+    # The fleet arithmetic: hundreds of sites make outages routine either
+    # way — the differentiator is severity.
+    assert fleet_outages_per_year(small_profile, 500) > 1.0
+    # And the downtime identity U = w x d holds.
+    for _, profile in rows:
+        assert profile.unavailability == pytest.approx(
+            profile.frequency_per_hour * profile.mean_outage_hours
+        )

@@ -1,0 +1,65 @@
+"""A3 — validation: Monte-Carlo simulation vs the analytic models.
+
+The paper's stated future work ("simulating the topologies to validate the
+conclusions").  Runs at stressed parameters (availabilities ~0.95-0.999) so
+failures occur within a tractable horizon; both routes see identical
+parameters, so the unavailability ratios validate the model structure.
+"""
+
+import pytest
+
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.reporting.tables import format_table
+from repro.sim.controller_sim import SimulationConfig
+from repro.sim.validate import validate_against_analytic
+from repro.topology.reference import small_topology
+
+HW = HardwareParams(a_role=1.0, a_vm=0.998, a_host=0.998, a_rack=0.999)
+SW = SoftwareParams.from_availabilities(0.995, 0.95, mtbf_hours=100.0)
+CONFIG = SimulationConfig(
+    seed=29,
+    horizon_hours=20_000.0,
+    batches=8,
+    rack_mtbf_hours=2000.0,
+    host_mtbf_hours=1000.0,
+    vm_mtbf_hours=500.0,
+)
+
+
+def run_validation(spec):
+    topology = small_topology(spec)
+    return validate_against_analytic(
+        spec, topology, "small", HW, SW, RestartScenario.REQUIRED, CONFIG
+    )
+
+
+def test_sim_validation(benchmark, spec):
+    report = benchmark.pedantic(run_validation, args=(spec,), rounds=1, iterations=1)
+    rows = []
+    for plane, sim_value, analytic in (
+        ("cp", report.simulated.cp, report.analytic_cp),
+        ("sdp", report.simulated.shared_dp, report.analytic_sdp),
+        ("ldp", report.simulated.local_dp, report.analytic_ldp),
+        ("dp", report.simulated.dp, report.analytic_dp),
+    ):
+        rows.append(
+            (
+                plane.upper(),
+                f"{sim_value:.6f}",
+                f"{analytic:.6f}",
+                f"{report.unavailability_ratio(plane):.3f}",
+            )
+        )
+    print(
+        "\n"
+        + format_table(
+            ("Plane", "Simulated", "Analytic", "Unavailability ratio"),
+            rows,
+            title="Ablation A3: Monte-Carlo vs analytic (option 2S, stressed)",
+        )
+    )
+    # Scenario 2 has no window approximation: tight agreement expected.
+    assert report.unavailability_ratio("ldp") == pytest.approx(1.0, abs=0.25)
+    assert report.unavailability_ratio("dp") == pytest.approx(1.0, abs=0.25)
+    assert 0.5 < report.unavailability_ratio("cp") < 1.5

@@ -1,0 +1,40 @@
+"""E8 — section VI.A: supervisor scenario effective availability.
+
+Regenerates the (F*, R*, A*) walkthrough: scenario 1 leaves process
+availability unmeasurably changed (R* = 0.102 h, A* ~= 0.99998); scenario 2
+makes every process inherit the supervisor availability (F* = 2500 h,
+R* = 0.55 h, A* ~= 0.9998).
+"""
+
+import pytest
+
+from repro.models.supervisor import compare_scenarios
+from repro.params.software import RestartScenario
+from repro.reporting.tables import format_table
+
+
+def test_supervisor_scenarios(benchmark, software):
+    results = benchmark(compare_scenarios, software)
+    print(
+        "\n"
+        + format_table(
+            ("Scenario", "F* (h)", "R* (h)", "A*"),
+            [
+                (
+                    analysis.scenario.name,
+                    f"{analysis.effective_mtbf_hours:.0f}",
+                    f"{analysis.effective_restart_hours:.3f}",
+                    f"{analysis.effective_availability:.6f}",
+                )
+                for analysis in results.values()
+            ],
+            title="Section VI.A: supervisor restart scenarios",
+        )
+    )
+    s1 = results[RestartScenario.NOT_REQUIRED]
+    s2 = results[RestartScenario.REQUIRED]
+    assert s1.effective_restart_hours == pytest.approx(0.102, abs=1e-3)
+    assert s1.effective_availability == pytest.approx(0.99998, abs=1e-6)
+    assert s2.effective_mtbf_hours == pytest.approx(2500.0)
+    assert s2.effective_restart_hours == pytest.approx(0.55)
+    assert s2.effective_availability == pytest.approx(0.9998, abs=3e-5)

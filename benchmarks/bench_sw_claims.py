@@ -1,0 +1,49 @@
+"""E9 — section VI-G text claims: the CP/DP downtime table.
+
+Regenerates the quoted downtime figures for all four options:
+CP 5.9 / 6.6 / 0.7 / 1.4 min/yr and DP 26 / 131 / 21 / 126 min/yr, plus
+the supervisor multipliers ("increases downtime by 5x ... by 6x").
+"""
+
+import pytest
+
+from repro.models.sw_options import PAPER_OPTIONS, evaluate_all_options
+from repro.reporting.tables import format_table
+
+PAPER_CP_MINUTES = {"1S": 5.9, "2S": 6.6, "1L": 0.7, "2L": 1.4}
+PAPER_DP_MINUTES = {"1S": 26.0, "2S": 131.0, "1L": 21.0, "2L": 126.0}
+
+
+def test_sw_claims(benchmark, spec, hardware, software):
+    results = benchmark(evaluate_all_options, spec, hardware, software)
+    print(
+        "\n"
+        + format_table(
+            ("Option", "A_CP", "CP m/y (paper)", "A_DP", "DP m/y (paper)"),
+            [
+                (
+                    option,
+                    f"{r.cp:.7f}",
+                    f"{r.cp_downtime_minutes:.2f} ({PAPER_CP_MINUTES[option]})",
+                    f"{r.dp:.6f}",
+                    f"{r.dp_downtime_minutes:.1f} ({PAPER_DP_MINUTES[option]})",
+                )
+                for option, r in results.items()
+            ],
+            title="Section VI-G: SW-centric downtime, paper vs measured",
+        )
+    )
+    for option in PAPER_OPTIONS:
+        result = results[option]
+        assert result.cp_downtime_minutes == pytest.approx(
+            PAPER_CP_MINUTES[option], abs=0.15
+        ), option
+        assert result.dp_downtime_minutes == pytest.approx(
+            PAPER_DP_MINUTES[option], abs=1.5
+        ), option
+    assert results["2S"].dp_downtime_minutes / results[
+        "1S"
+    ].dp_downtime_minutes == pytest.approx(5.0, abs=0.5)
+    assert results["2L"].dp_downtime_minutes / results[
+        "1L"
+    ].dp_downtime_minutes == pytest.approx(6.0, abs=0.5)

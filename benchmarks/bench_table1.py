@@ -1,0 +1,31 @@
+"""E1 — regenerate Table I: node processes and failure modes.
+
+Paper reference: Table I (section III).  The regenerated table must list
+all 20 regular processes with the paper's CP/DP quorum entries.
+"""
+
+from repro.controller.tables import render_table1
+
+EXPECTED_ROWS = {
+    ("Config", "config-api"): ("1 of 3", "0 of 3"),
+    ("Config", "discovery"): ("1 of 3", "1 of 3"),
+    ("Control", "control"): ("1 of 3", "1 of 3"),
+    ("Control", "dns"): ("0 of 3", "1 of 3"),
+    ("Control", "named"): ("0 of 3", "1 of 3"),
+    ("Analytics", "redis"): ("1 of 3", "0 of 3"),
+    ("Database", "cassandra-config"): ("2 of 3", "0 of 3"),
+    ("Database", "zookeeper"): ("2 of 3", "0 of 3"),
+    ("vRouter", "vrouter-agent"): ("0 of 1", "1 of 1"),
+    ("vRouter", "vrouter-dpdk"): ("0 of 1", "1 of 1"),
+}
+
+
+def test_table1(benchmark, spec):
+    text = benchmark(render_table1, spec)
+    print("\n" + text)
+    rows = {
+        (role, name): (cp, dp) for role, name, cp, dp in spec.process_rows()
+    }
+    assert len(rows) == 20
+    for key, expected in EXPECTED_ROWS.items():
+        assert rows[key] == expected, key

@@ -1,0 +1,16 @@
+"""E2 — regenerate Table II: counts of processes by restart mode by role."""
+
+from repro.controller.tables import render_table2
+
+PAPER_TABLE2 = {
+    "Config": (6, 0),
+    "Control": (3, 0),
+    "Analytics": (4, 1),
+    "Database": (0, 4),
+}
+
+
+def test_table2(benchmark, spec):
+    text = benchmark(render_table2, spec)
+    print("\n" + text)
+    assert spec.restart_mode_table() == PAPER_TABLE2

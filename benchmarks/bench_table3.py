@@ -1,0 +1,26 @@
+"""E3 — regenerate Table III: counts of processes by quorum type by role."""
+
+from repro.controller.spec import Plane
+from repro.controller.tables import render_table3
+
+PAPER_CP = {
+    "Config": (0, 6),
+    "Control": (0, 1),
+    "Analytics": (0, 5),
+    "Database": (4, 0),
+}
+PAPER_DP = {
+    "Config": (0, 1),
+    "Control": (0, 1),
+    "Analytics": (0, 0),
+    "Database": (0, 0),
+}
+
+
+def test_table3(benchmark, spec):
+    text = benchmark(render_table3, spec)
+    print("\n" + text)
+    assert spec.quorum_table(Plane.CP) == PAPER_CP
+    assert spec.quorum_table(Plane.DP) == PAPER_DP
+    assert spec.quorum_sums(Plane.CP) == (4, 12)
+    assert spec.quorum_sums(Plane.DP) == (0, 2)

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and the results directory."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.controller.opencontrail import opencontrail_3x
+from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return opencontrail_3x()
+
+
+@pytest.fixture(scope="session")
+def hardware():
+    return PAPER_HARDWARE
+
+
+@pytest.fixture(scope="session")
+def software():
+    return PAPER_SOFTWARE
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,99 @@
+"""Modeling a different SDN controller — the framework-extensibility claim.
+
+The paper: "other implementations can be analyzed simply by populating
+these two tables appropriately."  This example builds a RAFT-based
+single-role controller from scratch (never seen by the library), derives
+its Tables II/III automatically, and compares it with OpenContrail on the
+same hardware.
+
+Run with::
+
+    python examples/custom_controller.py
+"""
+
+from repro import (
+    PAPER_HARDWARE,
+    PAPER_SOFTWARE,
+    ControllerSpec,
+    ProcessSpec,
+    RestartMode,
+    RoleKind,
+    RoleSpec,
+    evaluate_option,
+    opencontrail_3x,
+)
+from repro.controller.process import nodemgr, supervisor
+from repro.controller.tables import render_table2, render_table3
+from repro.units import downtime_minutes_per_year
+
+
+def raft_controller(cluster_size: int = 3) -> ControllerSpec:
+    """A compact RAFT-replicated controller: one role, embedded store.
+
+    Design choices that differ from OpenContrail:
+    * a single homogeneous role (no Config/Control/Analytics split);
+    * the consensus store is auto-restarted (systemd-style supervision);
+    * DNS is delegated to the fabric, so the DP block is just the flow
+      pusher (alpha = A rather than OpenContrail's A^3 block).
+    """
+    majority = cluster_size // 2 + 1
+    controller = RoleSpec(
+        "Controller",
+        (
+            ProcessSpec("api-server", RestartMode.AUTO, cp_quorum=1),
+            ProcessSpec(
+                "flow-pusher", RestartMode.AUTO, cp_quorum=1, dp_quorum=1
+            ),
+            ProcessSpec(
+                "raft-store", RestartMode.AUTO, cp_quorum=majority
+            ),
+            ProcessSpec("telemetry", RestartMode.AUTO, cp_quorum=1),
+            supervisor(),
+            nodemgr(),
+        ),
+    )
+    agent = RoleSpec(
+        "Agent",
+        (
+            ProcessSpec("datapath-agent", RestartMode.AUTO, dp_quorum=1),
+            supervisor(),
+        ),
+        kind=RoleKind.HOST,
+    )
+    return ControllerSpec(
+        "RAFT controller", (controller, agent), cluster_size=cluster_size
+    )
+
+
+def main() -> None:
+    raft = raft_controller()
+    contrail = opencontrail_3x()
+
+    print("Derived encapsulation tables for the custom controller:\n")
+    print(render_table2(raft), end="\n\n")
+    print(render_table3(raft), end="\n\n")
+
+    print("Side-by-side on identical hardware and process parameters:\n")
+    print(f"{'option':8} {'controller':22} {'A_CP':>11} {'CP m/y':>8} "
+          f"{'A_DP':>10} {'DP m/y':>8}")
+    for option in ("1S", "2S", "1L", "2L"):
+        for spec in (contrail, raft):
+            result = evaluate_option(
+                spec, option, PAPER_HARDWARE, PAPER_SOFTWARE
+            )
+            print(
+                f"{option:8} {spec.name:22} {result.cp:>11.7f} "
+                f"{result.cp_downtime_minutes:>8.2f} {result.dp:>10.6f} "
+                f"{result.dp_downtime_minutes:>8.1f}"
+            )
+    print()
+    print(
+        "The RAFT design wins on the control plane (fewer critical-path\n"
+        "processes, auto-restarted store) and on the data plane (a single\n"
+        "per-host agent instead of OpenContrail's two vRouter processes);\n"
+        "the weak link in both designs remains host-local software."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Mechanized cost:resiliency design search.
+
+The paper's models exist to evaluate "the cost:resiliency tradeoff before
+capital investment occurs".  This example automates that evaluation: it
+sweeps the layout design space (combined vs separated node VMs x racks
+used), prices each layout, and prints the Pareto frontier and the cheapest
+design for several availability targets — rediscovering the paper's "one
+rack or three, but not two" and "separation buys nothing" laws as search
+results rather than analysis.
+
+Run with::
+
+    python examples/design_search.py
+"""
+
+from repro import (
+    PAPER_HARDWARE,
+    PAPER_SOFTWARE,
+    RestartScenario,
+    opencontrail_3x,
+)
+from repro.models.design import (
+    CostModel,
+    cheapest_meeting,
+    enumerate_designs,
+    pareto_frontier,
+)
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    cost_model = CostModel(rack_cost=10.0, host_cost=1.0)
+    points = enumerate_designs(
+        spec,
+        PAPER_HARDWARE,
+        PAPER_SOFTWARE,
+        RestartScenario.REQUIRED,
+        cost_model=cost_model,
+    )
+
+    print("Design space (option 2*, CP availability, exact engine):\n")
+    print(f"  {'layout':14} {'racks':>5} {'hosts':>5} {'cost':>5} "
+          f"{'A_CP':>11} {'m/y':>7}")
+    frontier_names = {p.name for p in pareto_frontier(points)}
+    for p in points:
+        marker = "  <- Pareto" if p.name in frontier_names else ""
+        print(
+            f"  {p.name:14} {len(p.topology.racks):>5} "
+            f"{len(p.topology.hosts):>5} {p.cost:>5.0f} "
+            f"{p.availability:>11.8f} {p.downtime_minutes:>7.2f}{marker}"
+        )
+
+    print("\nCheapest design per availability target:\n")
+    for target, label in (
+        (0.9999, "four nines"),
+        (0.99998, "~10 m/y"),
+        (0.999995, "~2.6 m/y"),
+        (0.99999999, "eight nines"),
+    ):
+        winner = cheapest_meeting(points, target)
+        name = winner.name if winner else "infeasible with this controller"
+        print(f"  {label:12} (A >= {target}): {name}")
+
+    print(
+        "\nFindings (all three are the paper's conclusions, here produced\n"
+        "by search rather than analysis):\n"
+        "* two racks never appear on the frontier — one rack or three;\n"
+        "* separated role VMs/hosts cost more and buy nothing;\n"
+        "* the jump worth paying for is the third rack (~5 m/y saved)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Section III as executable scenarios.
+
+The paper's failure-mode analysis is a narrative ("If control-1 fails ...
+If control-2 then fails ..."); this example replays those narratives
+against the deterministic scenario engine and the vRouter connection
+model, printing what each plane does at every step.
+
+Run with::
+
+    python examples/failure_walkthrough.py
+"""
+
+from repro import RestartScenario, opencontrail_3x
+from repro.sim.scenario import Injection, ScenarioRunner
+from repro.sim.vrouter_connections import ControlEvent, VRouterConnectionModel
+from repro.topology.reference import small_topology
+
+
+def show(trace, times):
+    print(f"  {'t':>5} {'CP':>5} {'SDP':>5} {'LDP':>5} {'DP':>5}")
+    for t in times:
+        states = [
+            "up" if trace.state_at(plane, t) else "DOWN"
+            for plane in ("cp", "sdp", "ldp", "dp")
+        ]
+        print(f"  {t:>5.1f} {states[0]:>5} {states[1]:>5} {states[2]:>5} {states[3]:>5}")
+    print()
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    topology = small_topology(spec)
+
+    print("Scenario A: creeping Database quorum loss (supervisor required)\n")
+    runner = ScenarioRunner.for_controller(
+        spec, topology, scenario=RestartScenario.REQUIRED
+    )
+    trace = runner.run(
+        [
+            Injection(1.0, "sup:Database-1", "fail"),
+            Injection(2.0, "proc:Database/kafka-2", "fail"),
+            Injection(4.0, "sup:Database-1", "repair"),
+        ],
+        horizon=6.0,
+    )
+    print("  t=1 Database-1 supervisor dies (node-role killed)")
+    print("  t=2 kafka-2 dies in another node -> 2-of-3 quorum lost")
+    print("  t=4 supervisor manually restarted -> node-role auto-restarts\n")
+    show(trace, (0.5, 1.5, 3.0, 5.0))
+
+    print("Scenario B: losing all three control processes\n")
+    runner = ScenarioRunner.for_controller(
+        spec, topology, scenario=RestartScenario.REQUIRED
+    )
+    trace = runner.run(
+        [
+            Injection(1.0, "proc:Control/control-1", "fail"),
+            Injection(2.0, "proc:Control/control-2", "fail"),
+            Injection(3.0, "proc:Control/control-3", "fail"),
+            Injection(4.0, "proc:Control/control-1", "repair"),
+        ],
+        horizon=6.0,
+    )
+    print("  one control left keeps every host DP alive; the third loss")
+    print("  flushes BGP forwarding tables on every host\n")
+    show(trace, (2.5, 3.5, 5.0))
+
+    print("Scenario C: vRouter agent connection churn (1000 hosts)\n")
+    model = VRouterConnectionModel(
+        ("control-1", "control-2", "control-3"), hosts=1000
+    )
+    cases = {
+        "control-1 fails alone": [ControlEvent(1.0, "control-1", False)],
+        "control-1, then -2 an hour later": [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(2.0, "control-2", False),
+        ],
+        "control-1 and -2 simultaneously": [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0, "control-2", False),
+        ],
+        "all three fail": [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.5, "control-2", False),
+            ControlEvent(2.0, "control-3", False),
+        ],
+    }
+    for label, events in cases.items():
+        fraction = model.impacted_fraction(events, horizon=10.0)
+        unavailability = model.dp_unavailability(events, horizon=8766.0)
+        print(
+            f"  {label:36} impacted hosts: {fraction:6.1%}   "
+            f"DP unavailability over a year: {unavailability:.2e}"
+        )
+    print(
+        "\nThe simultaneous-failure case touches exactly one-third of the\n"
+        "hosts for about a minute — confirming the paper's decision to\n"
+        "treat its availability impact as negligible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Outage frequency vs duration — beyond the availability average.
+
+The paper warns that identical availabilities hide different operational
+realities: "A_R = 0.99999 could consist of a rack failure every 500 years,
+lasting two days ... for a provider with 500 edge sites, a yearly outage
+may be unacceptable."  This example decomposes each topology's control-
+plane unavailability into outage *frequency* and *duration*, per site and
+across a 500-site fleet, and estimates the wait until the first outage.
+
+Run with::
+
+    python examples/outage_frequency.py
+"""
+
+from repro import PAPER_HARDWARE, PAPER_SOFTWARE, RestartScenario, opencontrail_3x
+from repro.controller.spec import Plane
+from repro.markov.kofn_markov import kofn_chain
+from repro.markov.transient import survival_probability
+from repro.models.outage import fleet_outages_per_year, plane_outage_profile
+from repro.topology.reference import large_topology, small_topology
+from repro.units import HOURS_PER_YEAR
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    print("Control-plane outage character (option 1*, paper defaults):\n")
+    print(
+        f"  {'topology':9} {'downtime':>10} {'outage every':>13} "
+        f"{'mean length':>12} {'500-site fleet':>15}"
+    )
+    profiles = {}
+    for name, topology in (
+        ("Small", small_topology(spec)),
+        ("Large", large_topology(spec)),
+    ):
+        profile = plane_outage_profile(
+            spec, topology, PAPER_HARDWARE, PAPER_SOFTWARE,
+            RestartScenario.NOT_REQUIRED, Plane.CP,
+        )
+        profiles[name] = profile
+        print(
+            f"  {name:9} {profile.downtime_minutes_per_year:>7.2f} m/y "
+            f"{profile.mean_years_between_outages:>11.0f} y "
+            f"{profile.mean_outage_hours:>10.2f} h "
+            f"{fleet_outages_per_year(profile, 500):>13.1f} /y"
+        )
+
+    print(
+        "\nSame ballpark frequency — but a Small-site outage averages "
+        f"{profiles['Small'].mean_outage_hours / profiles['Large'].mean_outage_hours:.0f}x"
+        " longer,\nbecause the single rack contributes 48-hour events."
+        "\nAcross 500 sites, both designs see outages yearly; the Large"
+        "\ntopology makes them minor instead of headline-grade."
+    )
+
+    # The rack's decade-scale quiet period (transient analysis).
+    rack = kofn_chain(1, 1 / (500 * HOURS_PER_YEAR), 1 / 48.0)
+    print("\nP(single rack survives without any outage):")
+    for years in (1, 5, 10, 50):
+        survival = survival_probability(
+            rack, lambda failed: failed == 0, years * HOURS_PER_YEAR, start=0
+        )
+        print(f"  {years:>3} years: {survival:.4f}")
+    print(
+        "\nA 500-year-MTBF rack is quiet for decades — exactly the\n"
+        "'no downtime for many years, then a highly-publicized extended\n"
+        "outage' profile the paper warns about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Process maturity sweep: how software quality moves the availability needle.
+
+The paper sweeps process availability "+/- 1 order of magnitude of
+downtime ... to reflect differing degrees of SW process maturity and
+auto-recovery capabilities."  This example reads the sweep as an
+engineering roadmap: given the current process MTBF, what do (a) faster
+auto-restart, (b) supervisor hardening, and (c) fewer crashes each buy?
+
+Run with::
+
+    python examples/process_maturity.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    PAPER_HARDWARE,
+    PAPER_SOFTWARE,
+    evaluate_option,
+    opencontrail_3x,
+)
+from repro.units import downtime_minutes_per_year
+
+
+def report(label, spec, software):
+    result_cp = evaluate_option(spec, "2L", PAPER_HARDWARE, software)
+    result_dp = evaluate_option(spec, "2S", PAPER_HARDWARE, software)
+    print(
+        f"  {label:34} CP(2L) {result_cp.cp_downtime_minutes:6.2f} m/y"
+        f"   DP(2S) {result_dp.dp_downtime_minutes:7.1f} m/y"
+    )
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    base = PAPER_SOFTWARE
+
+    print("Improvement levers, realistic (supervisor-required) options:\n")
+    report("baseline (F=5000h, R=0.1h, R_S=1h)", spec, base)
+    report(
+        "2x faster auto-restart (R=0.05h)",
+        spec,
+        replace(base, auto_restart_hours=0.05),
+    )
+    report(
+        "2x faster manual restart (R_S=0.5h)",
+        spec,
+        replace(base, manual_restart_hours=0.5),
+    )
+    report(
+        "2x fewer crashes (F=10000h)",
+        spec,
+        replace(base, mtbf_hours=10000.0),
+    )
+    report(
+        "automated supervisor recovery (R_S=R)",
+        spec,
+        replace(base, manual_restart_hours=base.auto_restart_hours),
+    )
+
+    print(
+        "\nReading: auto-restart speed barely matters (it is already fast);\n"
+        "the big wins are crash-rate reduction and — above all — automating\n"
+        "the manual restarts (supervisor, redis, Database).  That is the\n"
+        "paper's closing recommendation: 'develop automation to reduce\n"
+        "downtime and improve vRouter availability'."
+    )
+
+    print("\nFull maturity sweep (A and A_S in lock-step):\n")
+    print(f"  {'orders':>7} {'A':>10} {'CP 2L m/y':>10} {'DP 2S m/y':>10}")
+    for orders in (-1.0, -0.5, 0.0, 0.5, 1.0):
+        scaled = base.scaled(orders)
+        cp = evaluate_option(spec, "2L", PAPER_HARDWARE, scaled)
+        dp = evaluate_option(spec, "2S", PAPER_HARDWARE, scaled)
+        print(
+            f"  {orders:>+7.1f} {scaled.a_process:>10.6f} "
+            f"{cp.cp_downtime_minutes:>10.2f} {dp.dp_downtime_minutes:>10.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

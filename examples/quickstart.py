@@ -1,0 +1,67 @@
+"""Quickstart: evaluate OpenContrail 3.x availability with paper defaults.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full public API surface: the controller specification (Tables
+I-III), the HW-centric topology models (Fig. 3 anchors), and the
+SW-centric options 1S/2S/1L/2L with control-plane and data-plane downtime
+(the numbers behind Figs. 4-5).
+"""
+
+from repro import (
+    PAPER_HARDWARE,
+    PAPER_SOFTWARE,
+    evaluate_option,
+    hw_large,
+    hw_medium,
+    hw_small,
+    opencontrail_3x,
+)
+from repro.controller.tables import render_table1, render_table2, render_table3
+from repro.units import downtime_minutes_per_year
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    print(f"Controller: {spec.name} ({spec.cluster_size}-node cluster)\n")
+
+    # The encapsulation tables: everything the models need to know about
+    # the software.
+    print(render_table1(spec), end="\n\n")
+    print(render_table2(spec), end="\n\n")
+    print(render_table3(spec), end="\n\n")
+
+    # HW-centric view (section V): nodes as atomic elements.
+    print("HW-centric controller availability (A_C = 0.9995):")
+    for label, model in (
+        ("Small ", hw_small),
+        ("Medium", hw_medium),
+        ("Large ", hw_large),
+    ):
+        availability = model(PAPER_HARDWARE)
+        minutes = downtime_minutes_per_year(availability)
+        print(f"  {label}: {availability:.8f}  ({minutes:5.2f} min/yr)")
+    print()
+
+    # SW-centric view (section VI): process-level quorums and supervisor
+    # restart scenarios.
+    print("SW-centric results (A = 0.99998, A_S = 0.9998):")
+    print("  option   A_CP        CP m/y   A_DP       DP m/y")
+    for option in ("1S", "2S", "1L", "2L"):
+        result = evaluate_option(spec, option, PAPER_HARDWARE, PAPER_SOFTWARE)
+        print(
+            f"  {option}       {result.cp:.7f}  {result.cp_downtime_minutes:5.2f}"
+            f"    {result.dp:.6f}  {result.dp_downtime_minutes:6.1f}"
+        )
+    print()
+    print(
+        "Reading: the distributed control plane reaches ~six nines on three\n"
+        "racks, while the per-host data plane is capped around 0.9998 by the\n"
+        "vRouter single points of failure — the paper's headline conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

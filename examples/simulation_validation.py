@@ -1,0 +1,70 @@
+"""Monte-Carlo validation of the analytic models — the paper's future work.
+
+"Future work includes simulating the topologies to validate the
+conclusions."  This example runs the discrete-event simulator on the Small
+topology under both supervisor scenarios at stressed parameters (so
+failures actually occur in a short run) and compares the measured CP/DP
+availabilities with the closed-form predictions from identical parameters.
+
+Run with::
+
+    python examples/simulation_validation.py
+"""
+
+from repro import HardwareParams, RestartScenario, opencontrail_3x
+from repro.params.software import SoftwareParams
+from repro.sim.controller_sim import SimulationConfig
+from repro.sim.validate import validate_against_analytic
+from repro.topology.reference import small_topology
+
+# Stressed parameters: ~100x the paper's failure rates, same structure.
+HARDWARE = HardwareParams(a_role=1.0, a_vm=0.998, a_host=0.998, a_rack=0.999)
+SOFTWARE = SoftwareParams.from_availabilities(0.995, 0.95, mtbf_hours=100.0)
+CONFIG = SimulationConfig(
+    seed=11,
+    horizon_hours=60_000.0,
+    batches=10,
+    rack_mtbf_hours=2000.0,
+    host_mtbf_hours=1000.0,
+    vm_mtbf_hours=500.0,
+)
+
+
+def main() -> None:
+    spec = opencontrail_3x()
+    topology = small_topology(spec)
+    print(
+        f"Simulating {spec.name} on the {topology.name} topology for "
+        f"{CONFIG.horizon_hours:,.0f} hours\n(stressed parameters: "
+        f"A={SOFTWARE.a_process:.3f}, A_S={SOFTWARE.a_unsupervised:.3f})\n"
+    )
+    for scenario in (RestartScenario.NOT_REQUIRED, RestartScenario.REQUIRED):
+        report = validate_against_analytic(
+            spec, topology, "small", HARDWARE, SOFTWARE, scenario, CONFIG
+        )
+        print(f"Scenario: supervisor {scenario.name}")
+        print(f"  {'plane':5} {'simulated':>10} {'analytic':>10} "
+              f"{'U ratio':>8} {'analytic in 95% CI':>20}")
+        for plane, sim_value, analytic in (
+            ("cp", report.simulated.cp, report.analytic_cp),
+            ("sdp", report.simulated.shared_dp, report.analytic_sdp),
+            ("ldp", report.simulated.local_dp, report.analytic_ldp),
+            ("dp", report.simulated.dp, report.analytic_dp),
+        ):
+            print(
+                f"  {plane:5} {sim_value:>10.5f} {analytic:>10.5f} "
+                f"{report.unavailability_ratio(plane):>8.3f} "
+                f"{str(report.analytic_within_interval(plane)):>20}"
+            )
+        print()
+    print(
+        "Unavailability ratios near 1.0 validate the analytic structure.\n"
+        "Residual deviation in scenario 1 reflects the paper's own A*\n"
+        "approximation (supervisor outage window), amplified here by the\n"
+        "stressed parameters; at the paper's availabilities the effect is\n"
+        "below measurement precision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Cost : resiliency trade-off across deployment topologies.
+
+The paper motivates the HW-centric models as a way to "quickly and easily
+perform relative sensitivity analyses on various possible HW deployment
+topologies, thus facilitating evaluation of the cost:resiliency tradeoff
+before capital investment occurs."  This example performs that evaluation:
+
+* downtime per topology (1, 2, 3 racks) under three maintenance contracts
+  (Same Day / Next Day / Next Business Day host MTTR);
+* a naive capital model (racks and hosts as cost units) to expose the
+  knee of the curve;
+* the tornado ranking showing *which* hardware parameter to spend on.
+
+Run with::
+
+    python examples/topology_tradeoff.py
+"""
+
+from repro import PAPER_HARDWARE, MaintenanceLevel
+from repro.analysis.sensitivity import hardware_tornado
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.units import downtime_minutes_per_year
+
+#: (racks, hosts) consumed by each reference topology — the cost drivers.
+FOOTPRINT = {"Small": (1, 3), "Medium": (2, 3), "Large": (3, 12)}
+MODELS = {"Small": hw_small, "Medium": hw_medium, "Large": hw_large}
+
+
+def main() -> None:
+    print("Downtime (min/yr) by topology and host maintenance contract:\n")
+    print(f"{'topology':10} {'racks':>5} {'hosts':>5} "
+          f"{'SD (4h)':>9} {'ND (24h)':>9} {'NBD (48h)':>10}")
+    for name, model in MODELS.items():
+        racks, hosts = FOOTPRINT[name]
+        row = [f"{name:10} {racks:>5} {hosts:>5}"]
+        for level in (
+            MaintenanceLevel.SAME_DAY,
+            MaintenanceLevel.NEXT_DAY,
+            MaintenanceLevel.NEXT_BUSINESS_DAY,
+        ):
+            params = PAPER_HARDWARE.with_maintenance(level, mtbf_years=5.0)
+            minutes = downtime_minutes_per_year(model(params))
+            row.append(f"{minutes:>9.2f}")
+        print(" ".join(row))
+
+    print(
+        "\nObservations (matching section V-D):\n"
+        "* the second rack buys nothing — Medium is never better than Small;\n"
+        "* the third rack buys ~5 min/yr at 4x the host count;\n"
+        "* a better maintenance contract helps the spread-out Large\n"
+        "  topology most, because hosts join its redundancy chain."
+    )
+
+    print("\nWhere to spend: added downtime if a parameter degrades 10x\n")
+    for name, model in MODELS.items():
+        impacts = hardware_tornado(model, PAPER_HARDWARE)
+        ranked = sorted(impacts.items(), key=lambda kv: -kv[1])
+        pretty = ", ".join(f"{k}={v:.1f} m/y" for k, v in ranked)
+        print(f"  {name:7}: {pretty}")
+    print(
+        "\nThe single rack dominates the Small/Medium risk budget; once the\n"
+        "quorum spans three racks, role software becomes the lever."
+    )
+
+
+if __name__ == "__main__":
+    main()

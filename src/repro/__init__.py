@@ -1,0 +1,123 @@
+"""repro — failure-mode and availability analysis of distributed SDN controllers.
+
+A reproduction of *"Distributed Software Defined Networking Controller
+Failure Mode and Availability Analysis"* (ISPASS 2019): parametric
+HW-centric and SW-centric availability models for distributed SDN
+controllers, with OpenContrail 3.x as the reference implementation, plus a
+Monte-Carlo simulation substrate, CTMC cross-validation, and a benchmark
+harness regenerating every table and figure in the paper.
+
+Quickstart::
+
+    from repro import (
+        opencontrail_3x, PAPER_HARDWARE, PAPER_SOFTWARE, evaluate_option
+    )
+
+    spec = opencontrail_3x()
+    result = evaluate_option(spec, "2L", PAPER_HARDWARE, PAPER_SOFTWARE)
+    print(result.cp, result.cp_downtime_minutes)
+"""
+
+from repro.controller import (
+    ControllerSpec,
+    Plane,
+    ProcessKind,
+    ProcessSpec,
+    RestartMode,
+    RoleKind,
+    RoleSpec,
+    opencontrail_3x,
+)
+from repro.models import (
+    OptionResult,
+    cp_availability,
+    dp_availability,
+    evaluate_option,
+    hw_availability,
+    hw_availability_exact,
+    hw_approximation,
+    hw_large,
+    hw_medium,
+    hw_small,
+    local_dp_availability,
+    shared_dp_availability,
+)
+from repro.params import (
+    PAPER_HARDWARE,
+    PAPER_SOFTWARE,
+    HardwareParams,
+    MaintenanceLevel,
+    RestartScenario,
+    SoftwareParams,
+)
+from repro.topology import (
+    DeploymentTopology,
+    large_topology,
+    medium_topology,
+    small_topology,
+)
+from repro.analysis.report import generate_report, render_report
+from repro.models.design import (
+    CostModel,
+    cheapest_meeting,
+    enumerate_designs,
+    pareto_frontier,
+)
+from repro.units import (
+    availability_from_mtbf,
+    downtime_minutes_per_year,
+    nines,
+    scale_downtime,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # controller
+    "ControllerSpec",
+    "Plane",
+    "ProcessKind",
+    "ProcessSpec",
+    "RestartMode",
+    "RoleKind",
+    "RoleSpec",
+    "opencontrail_3x",
+    # params
+    "HardwareParams",
+    "MaintenanceLevel",
+    "SoftwareParams",
+    "RestartScenario",
+    "PAPER_HARDWARE",
+    "PAPER_SOFTWARE",
+    # topology
+    "DeploymentTopology",
+    "small_topology",
+    "medium_topology",
+    "large_topology",
+    # models
+    "hw_small",
+    "hw_medium",
+    "hw_large",
+    "hw_availability",
+    "hw_availability_exact",
+    "hw_approximation",
+    "cp_availability",
+    "shared_dp_availability",
+    "local_dp_availability",
+    "dp_availability",
+    "OptionResult",
+    "evaluate_option",
+    # analysis & design
+    "generate_report",
+    "render_report",
+    "CostModel",
+    "enumerate_designs",
+    "pareto_frontier",
+    "cheapest_meeting",
+    # units
+    "availability_from_mtbf",
+    "downtime_minutes_per_year",
+    "nines",
+    "scale_downtime",
+]

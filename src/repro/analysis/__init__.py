@@ -1,0 +1,53 @@
+"""Parameter sweeps, sensitivity analysis, and figure-series generation."""
+
+from repro.analysis.figures import fig3_series, fig4_series, fig5_series
+from repro.analysis.frequency import (
+    ComponentDynamics,
+    OutageProfile,
+    cut_set_frequency,
+    system_outage_profile,
+)
+from repro.analysis.sweep import sweep
+from repro.analysis.sensitivity import (
+    hardware_tornado,
+    local_sensitivity,
+    unavailability_elasticity,
+)
+from repro.analysis.crossover import (
+    option_crossover_orders,
+    refine_crossing,
+    sweep_crossings,
+)
+from repro.analysis.sla import (
+    annual_downtime_samples,
+    exceedance_probability,
+    zero_downtime_probability,
+)
+from repro.analysis.uncertainty import (
+    corner_bounds,
+    monte_carlo,
+    ordering_confidence,
+)
+
+__all__ = [
+    "fig3_series",
+    "fig4_series",
+    "fig5_series",
+    "sweep",
+    "local_sensitivity",
+    "unavailability_elasticity",
+    "hardware_tornado",
+    "ComponentDynamics",
+    "OutageProfile",
+    "cut_set_frequency",
+    "system_outage_profile",
+    "monte_carlo",
+    "ordering_confidence",
+    "corner_bounds",
+    "sweep_crossings",
+    "refine_crossing",
+    "option_crossover_orders",
+    "annual_downtime_samples",
+    "exceedance_probability",
+    "zero_downtime_probability",
+]

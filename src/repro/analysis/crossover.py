@@ -1,0 +1,116 @@
+"""Crossover detection in availability sweeps.
+
+The paper's design guidance changes with process maturity ("as individual
+process availability decreases ... the impact of rack separation becomes
+less relevant, and the impact of the supervisor process becomes more
+pronounced").  Taken together, those trends imply *crossovers*: e.g. below
+a certain process maturity, the single-rack supervisor-independent option
+1S outperforms the three-rack supervisor-dependent option 2L.  This module
+locates such crossing points precisely:
+
+* :func:`sweep_crossings` — bracketing scan over an existing sweep;
+* :func:`refine_crossing` — bisection on a difference function to locate a
+  crossing to tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.sweep import SweepResult
+from repro.errors import ParameterError
+
+
+def sweep_crossings(
+    result: SweepResult, label_a: str, label_b: str
+) -> list[tuple[float, float]]:
+    """Grid intervals where two sweep series cross.
+
+    Returns ``(x_left, x_right)`` brackets for every sign change of
+    ``series_a - series_b``; exact ties at grid points count as crossings
+    bracketed by their neighbours.
+    """
+    for label in (label_a, label_b):
+        if label not in result.series:
+            raise ParameterError(f"no series labelled {label!r}")
+    a = result.series[label_a]
+    b = result.series[label_b]
+    brackets = []
+    for i in range(len(result.grid) - 1):
+        d0 = a[i] - b[i]
+        d1 = a[i + 1] - b[i + 1]
+        if d0 == 0.0 or (d0 < 0.0) != (d1 < 0.0):
+            brackets.append((result.grid[i], result.grid[i + 1]))
+    return brackets
+
+
+def refine_crossing(
+    difference: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tolerance: float = 1e-6,
+    max_iterations: int = 200,
+) -> float:
+    """Bisect ``difference`` to find its root in ``[lo, hi]``.
+
+    ``difference(lo)`` and ``difference(hi)`` must have opposite signs
+    (or one of them be zero).
+    """
+    if not hi > lo:
+        raise ParameterError(f"need hi > lo, got [{lo}, {hi}]")
+    d_lo = difference(lo)
+    d_hi = difference(hi)
+    if d_lo == 0.0:
+        return lo
+    if d_hi == 0.0:
+        return hi
+    if (d_lo < 0.0) == (d_hi < 0.0):
+        raise ParameterError(
+            "difference has the same sign at both ends; no bracketed root"
+        )
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        d_mid = difference(mid)
+        if d_mid == 0.0 or hi - lo < tolerance:
+            return mid
+        if (d_mid < 0.0) == (d_lo < 0.0):
+            lo, d_lo = mid, d_mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def option_crossover_orders(
+    spec,
+    hardware,
+    software,
+    option_a: str,
+    option_b: str,
+    lo: float = -1.0,
+    hi: float = 1.0,
+    plane: str = "cp",
+    tolerance: float = 1e-4,
+) -> float | None:
+    """The sweep position where two options' plane availabilities cross.
+
+    Returns the orders-of-magnitude x-coordinate (the Figs. 4-5 axis), or
+    None when one option dominates throughout ``[lo, hi]``.
+    """
+    from repro.models.dataplane import dp_availability
+    from repro.models.sw import cp_availability
+    from repro.models.sw_options import parse_option
+
+    def value(option: str, x: float) -> float:
+        scenario, topology = parse_option(option)
+        scaled = software.scaled(x)
+        if plane == "cp":
+            return cp_availability(spec, topology, hardware, scaled, scenario)
+        return dp_availability(spec, topology, hardware, scaled, scenario)
+
+    def difference(x: float) -> float:
+        return value(option_a, x) - value(option_b, x)
+
+    d_lo, d_hi = difference(lo), difference(hi)
+    if d_lo != 0.0 and d_hi != 0.0 and (d_lo < 0.0) == (d_hi < 0.0):
+        return None
+    return refine_crossing(difference, lo, hi, tolerance=tolerance)

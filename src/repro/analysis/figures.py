@@ -1,0 +1,106 @@
+"""Series generators for the paper's figures.
+
+Each function returns the exact data series behind one figure:
+
+* :func:`fig3_series` — Fig. 3: HW-centric controller availability versus
+  role availability ``A_C in [0.999, 1.0]`` for the Small, Medium, and
+  Large topologies.
+* :func:`fig4_series` — Fig. 4: SW-centric SDN control-plane availability
+  ``A_CP`` versus process availability for options 1S/2S/1L/2L.
+* :func:`fig5_series` — Fig. 5: per-host data-plane availability ``A_DP``
+  for the same options.
+
+The Figs. 4-5 x-axis follows the paper: orders of magnitude of downtime
+around the defaults (``x = 0`` is ``A = 0.99998``/``A_S = 0.9998``;
+``x = -1`` is 10x more downtime; ``x = +1`` is 10x less), with ``A`` and
+``A_S`` varied in lock-step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import SweepResult, grid, sweep
+from repro.controller.spec import ControllerSpec
+from repro.models.dataplane import dp_availability
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.models.sw import cp_availability
+from repro.models.sw_options import PAPER_OPTIONS, parse_option
+from repro.params.defaults import FIG3_ROLE_AVAILABILITY_RANGE
+from repro.params.hardware import HardwareParams
+from repro.params.software import SoftwareParams
+
+
+def fig3_series(
+    hardware: HardwareParams,
+    points: int = 41,
+    role_range: tuple[float, float] = FIG3_ROLE_AVAILABILITY_RANGE,
+) -> SweepResult:
+    """Fig. 3: cluster availability vs role availability, three topologies."""
+    values = grid(role_range[0], role_range[1], points)
+    return sweep(
+        "A_C",
+        values,
+        {
+            "Small": lambda a: hw_small(hardware.with_role_availability(a)),
+            "Medium": lambda a: hw_medium(hardware.with_role_availability(a)),
+            "Large": lambda a: hw_large(hardware.with_role_availability(a)),
+        },
+    )
+
+
+def _option_series(
+    spec: ControllerSpec,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    points: int,
+    orders_range: tuple[float, float],
+    plane: str,
+    options: tuple[str, ...],
+) -> SweepResult:
+    values = grid(orders_range[0], orders_range[1], points)
+
+    def make(option: str):
+        scenario, topology = parse_option(option)
+
+        def evaluate(x: float) -> float:
+            scaled = software.scaled(x)
+            if plane == "cp":
+                return cp_availability(
+                    spec, topology, hardware, scaled, scenario
+                )
+            return dp_availability(spec, topology, hardware, scaled, scenario)
+
+        return evaluate
+
+    return sweep(
+        "orders_of_magnitude",
+        values,
+        {option: make(option) for option in options},
+    )
+
+
+def fig4_series(
+    spec: ControllerSpec,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    points: int = 21,
+    orders_range: tuple[float, float] = (-1.0, 1.0),
+    options: tuple[str, ...] = PAPER_OPTIONS,
+) -> SweepResult:
+    """Fig. 4: SDN CP availability vs process availability, four options."""
+    return _option_series(
+        spec, hardware, software, points, orders_range, "cp", options
+    )
+
+
+def fig5_series(
+    spec: ControllerSpec,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    points: int = 21,
+    orders_range: tuple[float, float] = (-1.0, 1.0),
+    options: tuple[str, ...] = PAPER_OPTIONS,
+) -> SweepResult:
+    """Fig. 5: per-host DP availability vs process availability, four options."""
+    return _option_series(
+        spec, hardware, software, points, orders_range, "dp", options
+    )

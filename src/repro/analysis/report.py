@@ -1,0 +1,146 @@
+"""Composite availability reports.
+
+One call that assembles everything an operator would ask of the framework
+for a given controller, topology, and scenario: plane availabilities and
+downtime, dominant failure modes, weak-link ranking, and the outage
+frequency/duration profile — rendered as text by :func:`render_report`.
+Backs the ``repro-avail report`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.spec import ControllerSpec, Plane
+from repro.core.cutsets import RankedCutSet
+from repro.analysis.frequency import OutageProfile
+from repro.models.dataplane import local_dp_availability
+from repro.models.failure_modes import dominant_failure_modes
+from repro.models.outage import plane_outage_profile
+from repro.models.sw import plane_availability_exact
+from repro.models.weak_links import WeakLink, rank_weak_links
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.reporting.tables import format_table
+from repro.topology.deployment import DeploymentTopology
+from repro.units import downtime_minutes_per_year
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Everything the framework knows about one deployment configuration."""
+
+    controller: str
+    topology: str
+    scenario: RestartScenario
+    cp: float
+    shared_dp: float
+    local_dp: float
+    dp: float
+    cp_modes: list[RankedCutSet]
+    cp_weak_links: list[WeakLink]
+    cp_outages: OutageProfile
+    dp_weak_links: list[WeakLink]
+
+
+def generate_report(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    top: int = 5,
+) -> AvailabilityReport:
+    """Evaluate one configuration end to end (exact engine throughout)."""
+    cp = plane_availability_exact(
+        spec, Plane.CP, topology, hardware, software, scenario
+    )
+    shared = plane_availability_exact(
+        spec, Plane.DP, topology, hardware, software, scenario
+    )
+    local = local_dp_availability(spec, software, scenario)
+    return AvailabilityReport(
+        controller=spec.name,
+        topology=topology.name,
+        scenario=scenario,
+        cp=cp,
+        shared_dp=shared,
+        local_dp=local,
+        dp=shared * local,
+        cp_modes=dominant_failure_modes(
+            spec, topology, hardware, software, scenario, Plane.CP, top=top
+        ),
+        cp_weak_links=rank_weak_links(
+            spec, topology, hardware, software, scenario, Plane.CP, top=top
+        ),
+        cp_outages=plane_outage_profile(
+            spec, topology, hardware, software, scenario, Plane.CP
+        ),
+        dp_weak_links=rank_weak_links(
+            spec, topology, hardware, software, scenario, Plane.DP, top=top
+        ),
+    )
+
+
+def render_report(report: AvailabilityReport) -> str:
+    """Human-readable text rendering of a report."""
+    sections = [
+        f"Availability report: {report.controller} on {report.topology} "
+        f"(supervisor {report.scenario.name})",
+        "",
+        format_table(
+            ("Plane", "Availability", "Downtime (min/yr)"),
+            [
+                (
+                    label,
+                    f"{value:.8f}",
+                    f"{downtime_minutes_per_year(value):.2f}",
+                )
+                for label, value in (
+                    ("SDN control plane", report.cp),
+                    ("Shared data plane", report.shared_dp),
+                    ("Local data plane", report.local_dp),
+                    ("Per-host data plane", report.dp),
+                )
+            ],
+        ),
+        "",
+        format_table(
+            ("Rank", "Probability", "Dominant CP failure mode"),
+            [
+                (i + 1, f"{m.probability:.3e}", " + ".join(sorted(m.components)))
+                for i, m in enumerate(report.cp_modes)
+            ],
+        ),
+        "",
+        format_table(
+            ("CP weak link", "FV share", "Automation benefit (min/yr)"),
+            [
+                (
+                    link.component,
+                    f"{link.fussell_vesely:.1%}",
+                    f"{link.automation_benefit_minutes:.2f}",
+                )
+                for link in report.cp_weak_links
+            ],
+        ),
+        "",
+        format_table(
+            ("DP weak link", "FV share", "Automation benefit (min/yr)"),
+            [
+                (
+                    link.component,
+                    f"{link.fussell_vesely:.1%}",
+                    f"{link.automation_benefit_minutes:.2f}",
+                )
+                for link in report.dp_weak_links
+            ],
+        ),
+        "",
+        (
+            f"CP outage profile: one outage every "
+            f"{report.cp_outages.mean_years_between_outages:.0f} years, "
+            f"mean duration {report.cp_outages.mean_outage_hours:.2f} h"
+        ),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,103 @@
+"""Local sensitivity analysis.
+
+The paper's sensitivity studies are visual (sweep figures); this module adds
+the quantitative counterparts used by the ablation benchmarks and examples:
+
+* :func:`local_sensitivity` — central-difference derivative of a model
+  output with respect to one parameter,
+* :func:`unavailability_elasticity` — percent change of system
+  *unavailability* per percent change of a component's unavailability (the
+  scale-free measure appropriate in the many-nines regime),
+* :func:`hardware_tornado` — one-at-a-time ranking of the four hardware
+  parameters by their downtime impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Mapping
+
+from repro.errors import ParameterError
+from repro.params.hardware import HardwareParams
+from repro.units import downtime_minutes_per_year
+
+
+def local_sensitivity(
+    fn: Callable[[float], float], at: float, step: float = 1e-6
+) -> float:
+    """Central-difference derivative ``d fn / d x`` at ``at``.
+
+    The step is clipped so both evaluation points stay inside ``[0, 1]``
+    when ``at`` is a probability near the boundary.
+    """
+    if step <= 0:
+        raise ParameterError(f"step must be > 0, got {step}")
+    lo = max(0.0, at - step)
+    hi = min(1.0, at + step)
+    if hi == lo:
+        raise ParameterError("degenerate differentiation interval")
+    return (fn(hi) - fn(lo)) / (hi - lo)
+
+
+def unavailability_elasticity(
+    fn: Callable[[float], float], at: float, factor: float = 2.0
+) -> float:
+    """Elasticity of system unavailability to a component's unavailability.
+
+    Evaluates the model at component availability ``at`` and at the
+    availability whose downtime is ``factor``x larger, and returns::
+
+        log(U_sys(worse) / U_sys(base)) / log(factor)
+
+    An elasticity of 1 means the component contributes linearly (a series
+    element); 2 means it only matters in pairs (a redundant element); 0
+    means it is masked entirely.
+    """
+    if not 0.0 < at < 1.0:
+        raise ParameterError("component availability must be in (0, 1)")
+    if factor <= 1.0:
+        raise ParameterError(f"factor must exceed 1, got {factor}")
+    import math
+
+    worse = 1.0 - (1.0 - at) * factor
+    if worse <= 0.0:
+        raise ParameterError("factor pushes component availability below 0")
+    u_base = 1.0 - fn(at)
+    u_worse = 1.0 - fn(worse)
+    if u_base <= 0.0 or u_worse <= 0.0:
+        raise ParameterError(
+            "system unavailability must be positive to compute elasticity"
+        )
+    return math.log(u_worse / u_base) / math.log(factor)
+
+
+def hardware_tornado(
+    model: Callable[[HardwareParams], float],
+    params: HardwareParams,
+    downtime_factor: float = 10.0,
+) -> dict[str, float]:
+    """Added downtime (minutes/year) from degrading each HW parameter alone.
+
+    Each of ``a_role``, ``a_vm``, ``a_host``, ``a_rack`` is degraded to
+    ``downtime_factor`` times its downtime, one at a time; the result maps
+    the parameter name to the increase in annual system downtime.  Sorting
+    the items descending yields the tornado chart ordering.
+    """
+    if downtime_factor <= 1.0:
+        raise ParameterError(
+            f"downtime_factor must exceed 1, got {downtime_factor}"
+        )
+    base_downtime = downtime_minutes_per_year(model(params))
+    impacts: dict[str, float] = {}
+    for name in ("a_role", "a_vm", "a_host", "a_rack"):
+        value = getattr(params, name)
+        degraded_value = 1.0 - (1.0 - value) * downtime_factor
+        if degraded_value < 0.0:
+            raise ParameterError(
+                f"downtime_factor {downtime_factor} pushes {name} below 0"
+            )
+        degraded = replace(params, **{name: degraded_value})
+        impacts[name] = (
+            downtime_minutes_per_year(model(degraded)) - base_downtime
+        )
+    return impacts

@@ -1,0 +1,80 @@
+"""SLA risk: the distribution of *annual* downtime, not just its mean.
+
+The paper's downtime numbers are means; an operator signing an SLA cares
+about the distribution — "what is the chance this year exceeds X minutes?"
+With outages arriving (approximately) as a Poisson process at the cut-set
+frequency and lasting exponential-mixture durations, annual downtime is a
+compound Poisson sum.  This module provides:
+
+* :func:`annual_downtime_samples` — Monte-Carlo samples of one year's
+  downtime from an :class:`~repro.analysis.frequency.OutageProfile`
+  (Poisson outage count, exponential durations with the profile's mean);
+* :func:`exceedance_probability` — ``P(annual downtime > threshold)``;
+* :func:`zero_downtime_probability` — ``P(no outage at all this year)``,
+  the closed-form ``exp(-w * T)`` behind the paper's "no downtime for many
+  years" remark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.frequency import OutageProfile
+from repro.errors import ParameterError
+from repro.units import HOURS_PER_YEAR
+
+
+def zero_downtime_probability(
+    profile: OutageProfile, years: float = 1.0
+) -> float:
+    """``P(no outage in `years`)`` for Poisson outage arrivals."""
+    if years < 0:
+        raise ParameterError(f"years must be >= 0, got {years}")
+    return math.exp(-profile.frequency_per_hour * HOURS_PER_YEAR * years)
+
+
+def annual_downtime_samples(
+    profile: OutageProfile,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Monte-Carlo samples of one year's total downtime, in minutes.
+
+    Outage counts are Poisson with the profile's annual frequency;
+    durations are exponential with the profile's mean outage duration (a
+    single-scale approximation of the true mixture — conservative for the
+    tail when short outages dominate the count).
+    """
+    if samples < 1:
+        raise ParameterError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    rate = profile.frequency_per_hour * HOURS_PER_YEAR
+    mean_minutes = profile.mean_outage_hours * 60.0
+    counts = rng.poisson(rate, size=samples)
+    totals = np.zeros(samples)
+    busy = counts > 0
+    if mean_minutes > 0:
+        totals[busy] = np.array(
+            [
+                rng.exponential(mean_minutes, size=count).sum()
+                for count in counts[busy]
+            ]
+        )
+    return totals
+
+
+def exceedance_probability(
+    profile: OutageProfile,
+    threshold_minutes: float,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """``P(annual downtime > threshold)`` by compound-Poisson Monte Carlo."""
+    if threshold_minutes < 0:
+        raise ParameterError(
+            f"threshold must be >= 0, got {threshold_minutes}"
+        )
+    downtime = annual_downtime_samples(profile, samples=samples, seed=seed)
+    return float(np.mean(downtime > threshold_minutes))

@@ -1,0 +1,68 @@
+"""Generic one-dimensional parameter sweeps.
+
+The paper's figures are sweeps of a single parameter (role availability in
+Fig. 3, process availability in Figs. 4-5) against one or more model
+outputs.  :func:`sweep` captures that pattern: a grid, a family of labelled
+evaluators, a list of rows back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labelled sweep: grid values plus one output series per label."""
+
+    parameter: str
+    grid: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def rows(self) -> list[tuple[float, ...]]:
+        """Rows of ``(grid_value, series_1, series_2, ...)`` in label order."""
+        labels = list(self.series)
+        return [
+            (x, *(self.series[label][i] for label in labels))
+            for i, x in enumerate(self.grid)
+        ]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self.series)
+
+
+def grid(start: float, stop: float, points: int) -> tuple[float, ...]:
+    """An inclusive linear grid with ``points`` samples."""
+    if points < 2:
+        raise ParameterError(f"need at least 2 grid points, got {points}")
+    if not stop > start:
+        raise ParameterError(f"stop ({stop}) must exceed start ({start})")
+    return tuple(float(x) for x in np.linspace(start, stop, points))
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[float],
+    evaluators: Mapping[str, Callable[[float], float]],
+) -> SweepResult:
+    """Evaluate each labelled function over the grid.
+
+    Args:
+        parameter: name of the swept parameter (for reporting).
+        values: grid of parameter values.
+        evaluators: label -> function of the parameter value.
+    """
+    if not evaluators:
+        raise ParameterError("need at least one evaluator")
+    grid_values = tuple(float(v) for v in values)
+    series = {
+        label: tuple(fn(v) for v in grid_values)
+        for label, fn in evaluators.items()
+    }
+    return SweepResult(parameter=parameter, grid=grid_values, series=series)

@@ -1,0 +1,411 @@
+"""Command-line interface: ``repro-avail`` / ``python -m repro``.
+
+Subcommands mirror the paper's artifacts:
+
+* ``tables`` — print Tables I-III for the OpenContrail 3.x profile.
+* ``hw`` — HW-centric availabilities (Fig. 3 anchors) for S/M/L.
+* ``sw`` — SW-centric option results (1S/2S/1L/2L) with downtime.
+* ``fig3`` / ``fig4`` / ``fig5`` — dump the figure series (optionally CSV).
+* ``modes`` — dominant failure modes of a plane/option.
+* ``simulate`` — run the Monte-Carlo validation at stressed parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import fig3_series, fig4_series, fig5_series
+from repro.analysis.report import generate_report, render_report
+from repro.analysis.sweep import SweepResult
+from repro.controller.opencontrail import opencontrail_3x
+from repro.controller.spec import Plane
+from repro.controller.tables import render_table1, render_table2, render_table3
+from repro.models.failure_modes import dominant_failure_modes
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.models.design import CostModel, enumerate_designs, pareto_frontier
+from repro.models.outage import fleet_outages_per_year, plane_outage_profile
+from repro.models.sw_options import PAPER_OPTIONS, evaluate_option, parse_option
+from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+from repro.params.hardware import HardwareParams
+from repro.params.software import SoftwareParams
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_table
+from repro.sim.controller_sim import SimulationConfig
+from repro.sim.validate import validate_against_analytic
+from repro.topology.reference import reference_topology
+from repro.units import downtime_minutes_per_year
+
+
+def _add_hardware_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--a-role", type=float, default=PAPER_HARDWARE.a_role)
+    parser.add_argument("--a-vm", type=float, default=PAPER_HARDWARE.a_vm)
+    parser.add_argument("--a-host", type=float, default=PAPER_HARDWARE.a_host)
+    parser.add_argument("--a-rack", type=float, default=PAPER_HARDWARE.a_rack)
+
+
+def _hardware(args: argparse.Namespace) -> HardwareParams:
+    return HardwareParams(
+        a_role=args.a_role,
+        a_vm=args.a_vm,
+        a_host=args.a_host,
+        a_rack=args.a_rack,
+    )
+
+
+def _print_sweep(result: SweepResult, csv_path: str | None) -> None:
+    headers = (result.parameter, *result.labels)
+    rows = [
+        tuple(f"{value:.8f}" for value in row) for row in result.rows()
+    ]
+    print(format_table(headers, rows))
+    if csv_path:
+        write_csv(csv_path, headers, result.rows())
+        print(f"\nwrote {csv_path}")
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    print(render_table1(spec))
+    print()
+    print(render_table2(spec))
+    print()
+    print(render_table3(spec))
+    return 0
+
+
+def _cmd_hw(args: argparse.Namespace) -> int:
+    hardware = _hardware(args)
+    rows = []
+    for label, model in (
+        ("Small", hw_small),
+        ("Medium", hw_medium),
+        ("Large", hw_large),
+    ):
+        availability = model(hardware)
+        rows.append(
+            (
+                label,
+                f"{availability:.8f}",
+                f"{downtime_minutes_per_year(availability):.2f}",
+            )
+        )
+    print(
+        format_table(
+            ("Topology", "Availability", "Downtime (min/yr)"),
+            rows,
+            title="HW-centric controller availability (section V)",
+        )
+    )
+    return 0
+
+
+def _cmd_sw(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    hardware = _hardware(args)
+    software = PAPER_SOFTWARE
+    rows = []
+    for option in PAPER_OPTIONS:
+        result = evaluate_option(spec, option, hardware, software)
+        rows.append(
+            (
+                option,
+                f"{result.cp:.7f}",
+                f"{result.cp_downtime_minutes:.2f}",
+                f"{result.dp:.6f}",
+                f"{result.dp_downtime_minutes:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("Option", "A_CP", "CP m/y", "A_DP", "DP m/y"),
+            rows,
+            title="SW-centric availability (section VI)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    hardware = _hardware(args)
+    if args.figure == "fig3":
+        result = fig3_series(hardware, points=args.points)
+    elif args.figure == "fig4":
+        result = fig4_series(spec, hardware, PAPER_SOFTWARE, points=args.points)
+    else:
+        result = fig5_series(spec, hardware, PAPER_SOFTWARE, points=args.points)
+    _print_sweep(result, args.csv)
+    return 0
+
+
+def _cmd_modes(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    scenario, topology_name = parse_option(args.option)
+    topology = reference_topology(topology_name, spec)
+    plane = Plane.CP if args.plane == "cp" else Plane.DP
+    ranked = dominant_failure_modes(
+        spec,
+        topology,
+        _hardware(args),
+        PAPER_SOFTWARE,
+        scenario,
+        plane,
+        max_order=args.max_order,
+        top=args.top,
+    )
+    rows = [
+        (
+            i + 1,
+            f"{mode.probability:.3e}",
+            " + ".join(sorted(mode.components)),
+        )
+        for i, mode in enumerate(ranked)
+    ]
+    print(
+        format_table(
+            ("Rank", "Probability", "Minimal cut set"),
+            rows,
+            title=(
+                f"Dominant {args.plane.upper()} failure modes, option "
+                f"{args.option.upper()}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    scenario = (
+        parse_option(f"{args.scenario}S")[0]
+    )
+    points = enumerate_designs(
+        spec,
+        _hardware(args),
+        PAPER_SOFTWARE,
+        scenario,
+        cost_model=CostModel(
+            rack_cost=args.rack_cost, host_cost=args.host_cost
+        ),
+    )
+    frontier = {p.name for p in pareto_frontier(points)}
+    rows = [
+        (
+            p.name,
+            len(p.topology.racks),
+            len(p.topology.hosts),
+            f"{p.cost:.0f}",
+            f"{p.availability:.8f}",
+            f"{p.downtime_minutes:.2f}",
+            "yes" if p.name in frontier else "",
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            (
+                "Layout",
+                "Racks",
+                "Hosts",
+                "Cost",
+                "A_CP",
+                "Downtime m/y",
+                "Pareto",
+            ),
+            rows,
+            title="Deployment design search (exact engine)",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    scenario, topology_name = parse_option(args.option)
+    topology = reference_topology(topology_name, spec)
+    report = generate_report(
+        spec, topology, _hardware(args), PAPER_SOFTWARE, scenario,
+        top=args.top,
+    )
+    print(render_report(report))
+    return 0
+
+
+def _cmd_outage(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    scenario, _ = parse_option(args.option)
+    plane = Plane.CP if args.plane == "cp" else Plane.DP
+    hardware = _hardware(args)
+    rows = []
+    for name in ("small", "large"):
+        topology = reference_topology(name, spec)
+        profile = plane_outage_profile(
+            spec, topology, hardware, PAPER_SOFTWARE, scenario, plane
+        )
+        rows.append(
+            (
+                name,
+                f"{profile.downtime_minutes_per_year:.2f}",
+                f"{profile.outages_per_year:.4f}",
+                f"{profile.mean_outage_hours:.2f}",
+                f"{fleet_outages_per_year(profile, args.sites):.1f}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "Topology",
+                "Downtime m/y",
+                "Outages/yr",
+                "Mean outage (h)",
+                f"Outages/yr ({args.sites} sites)",
+            ),
+            rows,
+            title=(
+                f"Outage profile, {args.plane.upper()} plane, option "
+                f"{args.option.upper()[0]}*"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = opencontrail_3x()
+    scenario, topology_name = parse_option(args.option)
+    topology = reference_topology(topology_name, spec)
+    hardware = HardwareParams(
+        a_role=1.0, a_vm=args.a_vm, a_host=args.a_host, a_rack=args.a_rack
+    )
+    software = SoftwareParams.from_availabilities(
+        args.a_process, args.a_unsupervised, mtbf_hours=args.mtbf
+    )
+    config = SimulationConfig(
+        seed=args.seed,
+        horizon_hours=args.horizon,
+        batches=args.batches,
+        rack_mtbf_hours=args.mtbf * 20,
+        host_mtbf_hours=args.mtbf * 10,
+        vm_mtbf_hours=args.mtbf * 5,
+    )
+    report = validate_against_analytic(
+        spec, topology, topology_name, hardware, software, scenario, config
+    )
+    rows = []
+    for plane, sim_value, analytic in (
+        ("CP", report.simulated.cp, report.analytic_cp),
+        ("SDP", report.simulated.shared_dp, report.analytic_sdp),
+        ("LDP", report.simulated.local_dp, report.analytic_ldp),
+        ("DP", report.simulated.dp, report.analytic_dp),
+    ):
+        rows.append(
+            (
+                plane,
+                f"{sim_value:.6f}",
+                f"{analytic:.6f}",
+                f"{report.unavailability_ratio(plane.lower()):.3f}",
+            )
+        )
+    print(
+        format_table(
+            ("Plane", "Simulated", "Analytic", "Unavail ratio"),
+            rows,
+            title=(
+                f"Monte-Carlo validation, option {args.option.upper()}, "
+                f"{args.horizon:.0f} simulated hours"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-avail",
+        description=(
+            "Distributed SDN controller failure-mode and availability "
+            "analysis (ISPASS 2019 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("tables", help="print Tables I-III")
+    sub.set_defaults(handler=_cmd_tables)
+
+    sub = subparsers.add_parser("hw", help="HW-centric availabilities")
+    _add_hardware_arguments(sub)
+    sub.set_defaults(handler=_cmd_hw)
+
+    sub = subparsers.add_parser("sw", help="SW-centric option results")
+    _add_hardware_arguments(sub)
+    sub.set_defaults(handler=_cmd_sw)
+
+    for figure in ("fig3", "fig4", "fig5"):
+        sub = subparsers.add_parser(figure, help=f"regenerate {figure} series")
+        _add_hardware_arguments(sub)
+        sub.add_argument("--points", type=int, default=11)
+        sub.add_argument("--csv", default=None, help="also write CSV here")
+        sub.set_defaults(handler=_cmd_fig, figure=figure)
+
+    sub = subparsers.add_parser("modes", help="dominant failure modes")
+    _add_hardware_arguments(sub)
+    sub.add_argument("--option", default="2S", help="1S/2S/1L/2L")
+    sub.add_argument("--plane", choices=("cp", "dp"), default="cp")
+    sub.add_argument("--max-order", type=int, default=2)
+    sub.add_argument("--top", type=int, default=10)
+    sub.set_defaults(handler=_cmd_modes)
+
+    sub = subparsers.add_parser(
+        "design", help="cost:resiliency design search"
+    )
+    _add_hardware_arguments(sub)
+    sub.add_argument("--scenario", choices=("1", "2"), default="2")
+    sub.add_argument("--rack-cost", type=float, default=10.0)
+    sub.add_argument("--host-cost", type=float, default=1.0)
+    sub.set_defaults(handler=_cmd_design)
+
+    sub = subparsers.add_parser(
+        "report", help="full availability report for one option"
+    )
+    _add_hardware_arguments(sub)
+    sub.add_argument("--option", default="2S", help="1S/2S/1L/2L")
+    sub.add_argument("--top", type=int, default=5)
+    sub.set_defaults(handler=_cmd_report)
+
+    sub = subparsers.add_parser(
+        "outage", help="outage frequency/duration profiles"
+    )
+    _add_hardware_arguments(sub)
+    sub.add_argument("--option", default="1S", help="1S/2S/1L/2L")
+    sub.add_argument("--plane", choices=("cp", "dp"), default="cp")
+    sub.add_argument("--sites", type=int, default=500)
+    sub.set_defaults(handler=_cmd_outage)
+
+    sub = subparsers.add_parser(
+        "simulate", help="Monte-Carlo validation (stressed parameters)"
+    )
+    sub.add_argument("--option", default="1S")
+    sub.add_argument("--a-process", type=float, default=0.995)
+    sub.add_argument("--a-unsupervised", type=float, default=0.95)
+    sub.add_argument("--a-vm", type=float, default=0.998)
+    sub.add_argument("--a-host", type=float, default=0.998)
+    sub.add_argument("--a-rack", type=float, default=0.999)
+    sub.add_argument("--mtbf", type=float, default=100.0)
+    sub.add_argument("--horizon", type=float, default=50_000.0)
+    sub.add_argument("--batches", type=int, default=10)
+    sub.add_argument("--seed", type=int, default=1)
+    sub.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

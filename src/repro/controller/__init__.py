@@ -1,0 +1,37 @@
+"""Controller software specification.
+
+The paper encapsulates the entire OpenContrail 3.x implementation in two
+tables — Table II (process counts by restart mode by role) and Table III
+(process counts by quorum type by role) — "so that other implementations can
+be analyzed simply by populating these two tables appropriately".
+
+This package is the executable form of that encapsulation:
+
+* :class:`~repro.controller.process.ProcessSpec` — one process: name,
+  restart mode, CP/DP quorum requirements, data-plane co-location group.
+* :class:`~repro.controller.role.RoleSpec` — one role (node type).
+* :class:`~repro.controller.spec.ControllerSpec` — the whole controller;
+  Tables II and III are *derived views* (:meth:`restart_mode_table`,
+  :meth:`quorum_table`).
+* :mod:`~repro.controller.opencontrail` — the OpenContrail 3.x reference
+  profile (the paper's Table I).
+* :mod:`~repro.controller.library` — alternative controller profiles
+  demonstrating the framework's extensibility.
+"""
+
+from repro.controller.process import ProcessKind, ProcessSpec, RestartMode
+from repro.controller.role import QuorumUnit, RoleKind, RoleSpec
+from repro.controller.spec import ControllerSpec, Plane
+from repro.controller.opencontrail import opencontrail_3x
+
+__all__ = [
+    "ProcessKind",
+    "ProcessSpec",
+    "RestartMode",
+    "QuorumUnit",
+    "RoleKind",
+    "RoleSpec",
+    "ControllerSpec",
+    "Plane",
+    "opencontrail_3x",
+]

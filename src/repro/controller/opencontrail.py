@@ -1,0 +1,168 @@
+"""OpenContrail 3.x reference profile — the paper's Table I as data.
+
+Role/process inventory, restart modes, and quorum requirements transcribed
+from section III and Tables I-III:
+
+* All Config, Control, and vRouter processes are auto-restarted by their
+  supervisor; all Analytics processes except *redis* are auto-restarted;
+  all Database processes require manual restart.
+* CP quorums: the four Database processes are "2 of 3"; *dns*, *named*,
+  *supervisor*, and *nodemgr* are "0 of 3"; everything else is "1 of 3".
+* DP quorums: *discovery* is "1 of 3"; ``{control+dns+named}`` is a single
+  co-located "1 of 3" block (Table III footnote); both vRouter processes are
+  "1 of 1"; everything else is "0 of n".
+"""
+
+from __future__ import annotations
+
+from repro.controller.process import ProcessSpec, RestartMode, nodemgr, supervisor
+from repro.controller.role import RoleKind, RoleSpec
+from repro.controller.spec import ControllerSpec
+
+_AUTO = RestartMode.AUTO
+_MANUAL = RestartMode.MANUAL
+
+
+def config_role() -> RoleSpec:
+    """The Config node type (northbound API and schema transformation)."""
+    return RoleSpec(
+        "Config",
+        (
+            ProcessSpec("config-api", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("discovery", _AUTO, cp_quorum=1, dp_quorum=1),
+            ProcessSpec("schema", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("svc-monitor", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("ifmap", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("device-manager", _AUTO, cp_quorum=1, dp_quorum=0),
+            supervisor(),
+            nodemgr(),
+        ),
+    )
+
+
+def control_role() -> RoleSpec:
+    """The Control node type (BGP route distribution to vRouter agents).
+
+    *control*, *dns*, and *named* form the co-located ``{control+dns+named}``
+    "1 of 3" data-plane block: a host's vRouter agent needs all three on at
+    least one common Control node.
+    """
+    return RoleSpec(
+        "Control",
+        (
+            ProcessSpec(
+                "control", _AUTO, cp_quorum=1, dp_quorum=1, dp_group="ctl"
+            ),
+            ProcessSpec("dns", _AUTO, cp_quorum=0, dp_quorum=1, dp_group="ctl"),
+            ProcessSpec(
+                "named", _AUTO, cp_quorum=0, dp_quorum=1, dp_group="ctl"
+            ),
+            supervisor(),
+            nodemgr(),
+        ),
+    )
+
+
+def analytics_role() -> RoleSpec:
+    """The Analytics node type (operational data collection and query)."""
+    return RoleSpec(
+        "Analytics",
+        (
+            ProcessSpec("analytics-api", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("alarm-gen", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("collector", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("query-engine", _AUTO, cp_quorum=1, dp_quorum=0),
+            ProcessSpec("redis", _MANUAL, cp_quorum=1, dp_quorum=0),
+            supervisor(),
+            nodemgr(),
+        ),
+    )
+
+
+def database_role() -> RoleSpec:
+    """The Database node type — the only "2 of 3" quorum processes.
+
+    Separate Cassandra clusters persist the Config and Analytics data;
+    Zookeeper guarantees ID uniqueness for Config; Kafka streams Analytics
+    events.  All four are clustered 2N+1 and require a "2 of 3" quorum for
+    control-plane availability; all require manual restart.
+    """
+    return RoleSpec(
+        "Database",
+        (
+            ProcessSpec("cassandra-config", _MANUAL, cp_quorum=2, dp_quorum=0),
+            ProcessSpec(
+                "cassandra-analytics", _MANUAL, cp_quorum=2, dp_quorum=0
+            ),
+            ProcessSpec("kafka", _MANUAL, cp_quorum=2, dp_quorum=0),
+            ProcessSpec("zookeeper", _MANUAL, cp_quorum=2, dp_quorum=0),
+            supervisor(),
+            nodemgr(),
+        ),
+    )
+
+
+def vrouter_role() -> RoleSpec:
+    """The per-host vRouter role — the data plane's single points of failure.
+
+    Both *vrouter-agent* and *vrouter-dpdk* are "1 of 1" for the host data
+    plane: failure of either takes down forwarding for the entire host
+    (section III).  Neither is required for the SDN control plane.
+    """
+    return RoleSpec(
+        "vRouter",
+        (
+            ProcessSpec("vrouter-agent", _AUTO, cp_quorum=0, dp_quorum=1),
+            ProcessSpec("vrouter-dpdk", _AUTO, cp_quorum=0, dp_quorum=1),
+            supervisor(),
+            nodemgr(),
+        ),
+        kind=RoleKind.HOST,
+    )
+
+
+def opencontrail_3x(cluster_size: int = 3) -> ControllerSpec:
+    """The complete OpenContrail 3.x specification (paper Table I).
+
+    Args:
+        cluster_size: controller nodes in the 2N+1 cluster; the paper
+            analyses the minimum deployment of 3 ("generalization to N>1 is
+            straightforward" — pass 5, 7, ... to do so; "2 of 3" Database
+            quorums are interpreted as majority quorums and scale to
+            ``cluster_size // 2 + 1``).
+    """
+    roles = (
+        config_role(),
+        control_role(),
+        analytics_role(),
+        database_role(),
+        vrouter_role(),
+    )
+    if cluster_size != 3:
+        if cluster_size < 3 or cluster_size % 2 == 0:
+            raise ValueError(
+                "cluster_size must be an odd number >= 3 (the 2N+1 rule)"
+            )
+        majority = cluster_size // 2 + 1
+        roles = tuple(
+            _rescale_quorums(role, majority) if role.kind is RoleKind.CLUSTER
+            else role
+            for role in roles
+        )
+    return ControllerSpec("OpenContrail 3.x", roles, cluster_size=cluster_size)
+
+
+def _rescale_quorums(role: RoleSpec, majority: int) -> RoleSpec:
+    """Map the 3-node quorums onto a larger cluster: 2-of-3 becomes majority."""
+    processes = tuple(
+        ProcessSpec(
+            p.name,
+            p.restart,
+            cp_quorum=majority if p.cp_quorum == 2 else p.cp_quorum,
+            dp_quorum=majority if p.dp_quorum == 2 else p.dp_quorum,
+            dp_group=p.dp_group,
+            kind=p.kind,
+        )
+        for p in role.processes
+    )
+    return RoleSpec(role.name, processes, kind=role.kind)

@@ -1,0 +1,107 @@
+"""Process-level specification — one row of the paper's Table I.
+
+Each controller process is described by its restart mode (who restarts it
+after a failure) and its quorum requirements for the SDN control plane (CP)
+and the host data plane (DP).  A quorum requirement of ``m`` means "at least
+``m`` of the role's instances of this process must be up" — the paper's
+"m of 3" entries, with ``0`` meaning the process is never required for that
+plane (e.g. *supervisor* and *nodemgr* are "0 of 3" for both planes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+
+class RestartMode(enum.Enum):
+    """How a failed process instance is restored.
+
+    AUTO
+        Restarted by the node-role's *supervisor* process; restores in the
+        fast auto-restart time ``R`` and so carries availability ``A``.
+    MANUAL
+        Not under supervisor control (e.g. *redis*, the Database processes,
+        and the *supervisor* itself); restores in the manual restart time
+        ``R_S`` and so carries availability ``A_S``.
+    """
+
+    AUTO = "auto"
+    MANUAL = "manual"
+
+
+class ProcessKind(enum.Enum):
+    """Distinguishes the paper's "common" processes from regular ones.
+
+    The *supervisor* and *nodemgr* processes exist in every role but are
+    excluded from the Table II restart-mode counts and carry "0 of n" quorum
+    requirements; the supervisor additionally drives the scenario-2
+    ("supervisor required") conditioning of section VI.
+    """
+
+    REGULAR = "regular"
+    SUPERVISOR = "supervisor"
+    NODEMGR = "nodemgr"
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One process within a role.
+
+    Attributes:
+        name: process name, unique within its role (e.g. ``"config-api"``).
+        restart: who restarts the process after failure.
+        cp_quorum: minimum instances (out of the role's replica count)
+            required for SDN control-plane availability; 0 = not required.
+        dp_quorum: minimum instances required for host data-plane
+            availability; 0 = not required.
+        dp_group: optional co-location group label.  Processes of a role
+            sharing a ``dp_group`` must be up *on the same node* to satisfy
+            the data plane — the paper's ``{control+dns+named}`` "1 of 3"
+            block, "modeled as a single process with availability A^3"
+            (Table III footnote).  Grouped processes must declare identical
+            ``dp_quorum`` values.
+        kind: regular process, supervisor, or nodemgr.
+    """
+
+    name: str
+    restart: RestartMode
+    cp_quorum: int = 0
+    dp_quorum: int = 0
+    dp_group: str | None = None
+    kind: ProcessKind = ProcessKind.REGULAR
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("process name must be non-empty")
+        if self.cp_quorum < 0 or self.dp_quorum < 0:
+            raise SpecError(
+                f"quorum requirements must be >= 0 for process {self.name!r}"
+            )
+        if self.dp_group is not None and self.dp_quorum == 0:
+            raise SpecError(
+                f"process {self.name!r} declares dp_group {self.dp_group!r} "
+                "but no dp_quorum; grouped processes must be DP-required"
+            )
+        if self.kind is not ProcessKind.REGULAR and (
+            self.cp_quorum or self.dp_quorum
+        ):
+            raise SpecError(
+                f"{self.kind.value} process {self.name!r} must be '0 of n' "
+                "for both planes (the paper models supervisor/nodemgr impact "
+                "via restart scenarios, not quorums)"
+            )
+
+
+def supervisor() -> ProcessSpec:
+    """The per-node-role *supervisor* process (manual restart, 0-of-n)."""
+    return ProcessSpec(
+        "supervisor", RestartMode.MANUAL, kind=ProcessKind.SUPERVISOR
+    )
+
+
+def nodemgr() -> ProcessSpec:
+    """The per-node-role *nodemgr* process (auto restart, 0-of-n)."""
+    return ProcessSpec("nodemgr", RestartMode.AUTO, kind=ProcessKind.NODEMGR)

@@ -1,0 +1,179 @@
+"""Role-level specification and quorum-unit derivation.
+
+A *role* (the paper's "node type") is a set of processes replicated across
+the controller cluster (cluster roles: Config, Control, Analytics, Database)
+or present on every compute host (the host role: vRouter).
+
+For availability evaluation each plane's requirements are reduced to
+*quorum units*: independent m-of-x blocks, where a unit is either a single
+process or a co-located group of processes (the paper's
+``{control+dns+named}`` block whose per-instance availability is the product
+of its members' availabilities).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.controller.process import ProcessKind, ProcessSpec, RestartMode
+from repro.errors import SpecError
+
+
+class RoleKind(enum.Enum):
+    """Where instances of the role live."""
+
+    CLUSTER = "cluster"  # replicated 2N+1 across controller nodes
+    HOST = "host"  # one instance per compute host (vRouter)
+
+
+@dataclass(frozen=True)
+class QuorumUnit:
+    """An independent m-of-x availability block for one plane.
+
+    Attributes:
+        label: unit name — the process name, or ``{a+b+c}`` for a group.
+        quorum: minimum instances required (the ``m`` in ``m of x``).
+        members: the processes forming the unit; a single-process unit has
+            one member.  The unit's per-instance availability is the product
+            of its members' availabilities (co-location).
+    """
+
+    label: str
+    quorum: int
+    members: tuple[ProcessSpec, ...]
+
+    def alpha(self, availability: Mapping[RestartMode, float]) -> float:
+        """Per-instance availability of the unit.
+
+        ``availability`` maps each restart mode to the corresponding process
+        availability (``A`` for AUTO, ``A_S`` for MANUAL, in the paper's
+        notation).
+        """
+        value = 1.0
+        for member in self.members:
+            value *= availability[member.restart]
+        return value
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """One controller role and its processes.
+
+    Attributes:
+        name: role name (e.g. ``"Config"``).
+        processes: the role's processes; names must be unique.  Supervisor
+            and nodemgr processes are added by most profiles but are not
+            mandatory (a controller without per-role supervisors sets
+            no SUPERVISOR-kind process and uses scenario 1 semantics).
+        kind: cluster-replicated or per-host.
+    """
+
+    name: str
+    processes: tuple[ProcessSpec, ...]
+    kind: RoleKind = RoleKind.CLUSTER
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("role name must be non-empty")
+        object.__setattr__(self, "processes", tuple(self.processes))
+        names = [p.name for p in self.processes]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate process names in role {self.name!r}")
+        supervisors = [
+            p for p in self.processes if p.kind is ProcessKind.SUPERVISOR
+        ]
+        if len(supervisors) > 1:
+            raise SpecError(f"role {self.name!r} has multiple supervisors")
+        self._validate_groups()
+
+    def _validate_groups(self) -> None:
+        groups: dict[str, list[ProcessSpec]] = {}
+        for process in self.processes:
+            if process.dp_group is not None:
+                groups.setdefault(process.dp_group, []).append(process)
+        for label, members in groups.items():
+            quorums = {p.dp_quorum for p in members}
+            if len(quorums) != 1:
+                raise SpecError(
+                    f"dp_group {label!r} in role {self.name!r} mixes quorum "
+                    f"requirements {sorted(quorums)}"
+                )
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def supervisor(self) -> ProcessSpec | None:
+        """The role's supervisor process, if it has one."""
+        for process in self.processes:
+            if process.kind is ProcessKind.SUPERVISOR:
+                return process
+        return None
+
+    @property
+    def regular_processes(self) -> tuple[ProcessSpec, ...]:
+        """Processes counted in the paper's Table II (excludes supervisor/nodemgr)."""
+        return tuple(
+            p for p in self.processes if p.kind is ProcessKind.REGULAR
+        )
+
+    def process(self, name: str) -> ProcessSpec:
+        """Look up a process by name."""
+        for candidate in self.processes:
+            if candidate.name == name:
+                return candidate
+        raise SpecError(f"role {self.name!r} has no process {name!r}")
+
+    # -- quorum units ---------------------------------------------------------
+
+    def quorum_units(self, plane: str) -> tuple[QuorumUnit, ...]:
+        """The role's m-of-x availability blocks for ``plane`` ('cp' or 'dp').
+
+        Processes with a zero requirement for the plane contribute no unit
+        (a "0 of n" block has availability 1).  DP co-location groups are
+        merged into a single unit whose per-instance availability multiplies
+        its members' availabilities.
+        """
+        if plane not in ("cp", "dp"):
+            raise SpecError(f"plane must be 'cp' or 'dp', got {plane!r}")
+        units: list[QuorumUnit] = []
+        grouped: dict[str, list[ProcessSpec]] = {}
+        for process in self.processes:
+            quorum = process.cp_quorum if plane == "cp" else process.dp_quorum
+            if quorum == 0:
+                continue
+            if plane == "dp" and process.dp_group is not None:
+                grouped.setdefault(process.dp_group, []).append(process)
+                continue
+            units.append(QuorumUnit(process.name, quorum, (process,)))
+        for label in sorted(grouped):
+            members = tuple(grouped[label])
+            joined = "{" + "+".join(p.name for p in members) + "}"
+            units.append(QuorumUnit(joined, members[0].dp_quorum, members))
+        return tuple(units)
+
+    def quorum_counts(self, plane: str) -> tuple[int, int]:
+        """Table III entry for this role: ``(M, N)``.
+
+        ``M`` = number of quorum units requiring "2 of n" or more, ``N`` =
+        number requiring "1 of n" — the paper's ``M_R`` and ``N_R`` columns.
+        """
+        units = self.quorum_units(plane)
+        m = sum(1 for unit in units if unit.quorum >= 2)
+        n = sum(1 for unit in units if unit.quorum == 1)
+        return m, n
+
+    def restart_counts(self) -> tuple[int, int]:
+        """Table II entry for this role: ``(auto, manual)`` regular-process counts."""
+        auto = sum(
+            1
+            for p in self.regular_processes
+            if p.restart is RestartMode.AUTO
+        )
+        manual = sum(
+            1
+            for p in self.regular_processes
+            if p.restart is RestartMode.MANUAL
+        )
+        return auto, manual

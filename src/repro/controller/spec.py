@@ -1,0 +1,167 @@
+"""Whole-controller specification and the derived Tables II / III.
+
+:class:`ControllerSpec` aggregates the cluster roles (replicated 2N+1 across
+controller nodes) and the optional per-host role (vRouter).  The paper's
+encapsulation tables are derived views:
+
+* :meth:`ControllerSpec.restart_mode_table` — Table II,
+* :meth:`ControllerSpec.quorum_table` — Table III,
+
+so "populating the tables for another controller" is simply constructing a
+different :class:`ControllerSpec`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.controller.process import ProcessKind
+from repro.controller.role import RoleKind, RoleSpec
+from repro.errors import SpecError
+
+
+class Plane(enum.Enum):
+    """Which service plane a model evaluates."""
+
+    CP = "cp"  #: the SDN control plane
+    DP = "dp"  #: the per-host vRouter data plane
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """A distributed SDN controller implementation.
+
+    Attributes:
+        name: implementation name (e.g. ``"OpenContrail 3.x"``).
+        roles: all roles.  Cluster roles are replicated ``cluster_size``
+            times; at most one HOST-kind role is allowed (the forwarding
+            element on each compute host).
+        cluster_size: number of controller nodes, the paper's ``2N+1``
+            (default 3, i.e. ``N = 1``).
+    """
+
+    name: str
+    roles: tuple[RoleSpec, ...]
+    cluster_size: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("controller name must be non-empty")
+        object.__setattr__(self, "roles", tuple(self.roles))
+        if not self.roles:
+            raise SpecError("a controller needs at least one role")
+        names = [role.name for role in self.roles]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate role names in controller {self.name!r}")
+        if self.cluster_size < 1:
+            raise SpecError(f"cluster_size must be >= 1, got {self.cluster_size}")
+        host_roles = [r for r in self.roles if r.kind is RoleKind.HOST]
+        if len(host_roles) > 1:
+            raise SpecError("at most one per-host role is supported")
+        self._validate_quorums()
+
+    def _validate_quorums(self) -> None:
+        for role in self.cluster_roles:
+            for process in role.processes:
+                for plane, quorum in (
+                    ("cp", process.cp_quorum),
+                    ("dp", process.dp_quorum),
+                ):
+                    if quorum > self.cluster_size:
+                        raise SpecError(
+                            f"process {process.name!r} in role {role.name!r} "
+                            f"requires {quorum} of {self.cluster_size} "
+                            f"instances for the {plane}"
+                        )
+        host = self.host_role
+        if host is not None:
+            for process in host.processes:
+                if process.cp_quorum > 1 or process.dp_quorum > 1:
+                    raise SpecError(
+                        f"per-host process {process.name!r} has a single "
+                        "instance; quorum requirements must be 0 or 1"
+                    )
+
+    # -- role access ----------------------------------------------------------
+
+    @property
+    def cluster_roles(self) -> tuple[RoleSpec, ...]:
+        """Roles replicated across the controller cluster."""
+        return tuple(r for r in self.roles if r.kind is RoleKind.CLUSTER)
+
+    @property
+    def host_role(self) -> RoleSpec | None:
+        """The per-compute-host role (vRouter), if defined."""
+        for role in self.roles:
+            if role.kind is RoleKind.HOST:
+                return role
+        return None
+
+    def role(self, name: str) -> RoleSpec:
+        """Look up a role by name."""
+        for candidate in self.roles:
+            if candidate.name == name:
+                return candidate
+        raise SpecError(f"controller {self.name!r} has no role {name!r}")
+
+    @property
+    def supervisors_per_cluster(self) -> int:
+        """Total supervisor processes across the cluster roles (paper: 12)."""
+        return self.cluster_size * sum(
+            1 for role in self.cluster_roles if role.supervisor is not None
+        )
+
+    # -- derived tables -------------------------------------------------------
+
+    def restart_mode_table(self) -> dict[str, tuple[int, int]]:
+        """Table II: ``{role: (auto_count, manual_count)}`` for cluster roles.
+
+        Counts regular processes only — the paper's Table II excludes the
+        common *supervisor* and *nodemgr* processes, whose effect is modeled
+        through the restart scenarios instead.
+        """
+        return {
+            role.name: role.restart_counts() for role in self.cluster_roles
+        }
+
+    def quorum_table(self, plane: Plane) -> dict[str, tuple[int, int]]:
+        """Table III for one plane: ``{role: (M, N)}`` for cluster roles.
+
+        ``M`` counts "2 of n" quorum units, ``N`` counts "1 of n" units;
+        DP co-location groups count as a single unit (the footnoted
+        ``{control+dns+named}`` block).
+        """
+        return {
+            role.name: role.quorum_counts(plane.value)
+            for role in self.cluster_roles
+        }
+
+    def quorum_sums(self, plane: Plane) -> tuple[int, int]:
+        """The Table III "Sums" row: ``(sum M_R, sum N_R)``."""
+        table = self.quorum_table(plane)
+        return (
+            sum(m for m, _ in table.values()),
+            sum(n for _, n in table.values()),
+        )
+
+    def process_rows(self) -> list[tuple[str, str, str, str]]:
+        """Table I rows: ``(role, process, 'm of n' CP, 'm of n' DP)``.
+
+        Includes per-host role processes, whose instance count is 1.
+        """
+        rows: list[tuple[str, str, str, str]] = []
+        for role in self.roles:
+            n = self.cluster_size if role.kind is RoleKind.CLUSTER else 1
+            for process in role.processes:
+                if process.kind is not ProcessKind.REGULAR:
+                    continue
+                rows.append(
+                    (
+                        role.name,
+                        process.name,
+                        f"{process.cp_quorum} of {n}",
+                        f"{process.dp_quorum} of {n}",
+                    )
+                )
+        return rows

@@ -1,0 +1,236 @@
+"""Reliability block diagram (RBD) algebra.
+
+A :class:`Block` is an immutable expression tree describing how component
+availabilities combine.  Leaves are :class:`Basic` components (a name plus a
+probability of being up); internal nodes are :class:`Series`, :class:`Parallel`,
+or :class:`KOfN` combinators.
+
+Evaluation assumes statistically independent components, the standing
+assumption of the paper.  Components that appear more than once in the tree
+(shared components) are handled exactly by conditioning — see
+:meth:`Block.availability`, which factors repeated leaves out via the
+Shannon decomposition rather than multiplying their probabilities twice.
+
+The RBD layer is used by the failure-mode analysis (minimal cut sets, §VI-G
+"dominant failure mode" claims) and as an independent cross-check of the
+closed-form topology models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.kofn import a_m_of_n
+from repro.errors import ModelError, ParameterError
+from repro.units import check_probability
+
+
+@dataclass(frozen=True)
+class Block:
+    """Abstract base of the RBD expression tree."""
+
+    def leaves(self) -> Iterator["Basic"]:
+        """Yield every :class:`Basic` leaf, including repeats."""
+        raise NotImplementedError
+
+    def names(self) -> set[str]:
+        """Set of distinct component names appearing in the tree."""
+        return {leaf.name for leaf in self.leaves()}
+
+    def _evaluate(self, up: Mapping[str, float]) -> float:
+        """Availability given per-name up-probabilities, assuming no leaf
+        name repeats (repeats are handled by :meth:`availability`)."""
+        raise NotImplementedError
+
+    def availability(self, overrides: Mapping[str, float] | None = None) -> float:
+        """Exact availability of the block.
+
+        Args:
+            overrides: optional map from component name to availability,
+                overriding the probability stored on the leaf.  Every
+                distinct name is assigned a single consistent probability.
+
+        Components whose name appears multiple times in the tree are
+        treated as the *same* physical component: the evaluation conditions
+        on each repeated component being up or down (Shannon expansion),
+        which is exact.
+        """
+        probabilities = self._probabilities(overrides)
+        repeated = sorted(self._repeated_names())
+        return self._conditioned(probabilities, repeated)
+
+    def _probabilities(
+        self, overrides: Mapping[str, float] | None
+    ) -> dict[str, float]:
+        probabilities: dict[str, float] = {}
+        for leaf in self.leaves():
+            p = leaf.probability
+            if overrides and leaf.name in overrides:
+                p = check_probability(overrides[leaf.name], leaf.name)
+            existing = probabilities.get(leaf.name)
+            if existing is not None and existing != p:
+                raise ModelError(
+                    f"component {leaf.name!r} appears with conflicting "
+                    f"probabilities {existing} and {p}"
+                )
+            probabilities[leaf.name] = p
+        return probabilities
+
+    def _repeated_names(self) -> set[str]:
+        seen: set[str] = set()
+        repeated: set[str] = set()
+        for leaf in self.leaves():
+            if leaf.name in seen:
+                repeated.add(leaf.name)
+            seen.add(leaf.name)
+        return repeated
+
+    def _conditioned(self, probabilities: dict[str, float], repeated: list[str]) -> float:
+        if not repeated:
+            return self._evaluate(probabilities)
+        name, rest = repeated[0], repeated[1:]
+        p = probabilities[name]
+        up = dict(probabilities)
+        up[name] = 1.0
+        down = dict(probabilities)
+        down[name] = 0.0
+        return p * self._conditioned(up, rest) + (1.0 - p) * self._conditioned(
+            down, rest
+        )
+
+    def structure(self, state: Mapping[str, bool]) -> bool:
+        """Evaluate the boolean structure function for a component state map.
+
+        ``state[name]`` is True when the component is up.  Missing names
+        default to up.
+        """
+        up = {name: (1.0 if state.get(name, True) else 0.0) for name in self.names()}
+        return self._evaluate(up) > 0.5
+
+    # -- combinator sugar ---------------------------------------------------
+
+    def __and__(self, other: "Block") -> "Series":
+        """``a & b`` is the series composition (both required)."""
+        return Series((self, other))
+
+    def __or__(self, other: "Block") -> "Parallel":
+        """``a | b`` is the parallel composition (either suffices)."""
+        return Parallel((self, other))
+
+
+@dataclass(frozen=True)
+class Basic(Block):
+    """A leaf component with a name and an up-probability."""
+
+    name: str
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("component name must be non-empty")
+        check_probability(self.probability, f"probability of {self.name!r}")
+
+    def leaves(self) -> Iterator["Basic"]:
+        yield self
+
+    def _evaluate(self, up: Mapping[str, float]) -> float:
+        return up[self.name]
+
+
+def _as_tuple(children) -> tuple[Block, ...]:
+    children = tuple(children)
+    if not children:
+        raise ModelError("a combinator needs at least one child block")
+    for child in children:
+        if not isinstance(child, Block):
+            raise ModelError(f"child {child!r} is not a Block")
+    return children
+
+
+@dataclass(frozen=True)
+class Series(Block):
+    """All children must be up (availabilities multiply)."""
+
+    children: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", _as_tuple(self.children))
+
+    def leaves(self) -> Iterator[Basic]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def _evaluate(self, up: Mapping[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child._evaluate(up)
+        return result
+
+
+@dataclass(frozen=True)
+class Parallel(Block):
+    """At least one child must be up (unavailabilities multiply)."""
+
+    children: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", _as_tuple(self.children))
+
+    def leaves(self) -> Iterator[Basic]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def _evaluate(self, up: Mapping[str, float]) -> float:
+        down = 1.0
+        for child in self.children:
+            down *= 1.0 - child._evaluate(up)
+        return 1.0 - down
+
+
+@dataclass(frozen=True)
+class KOfN(Block):
+    """At least ``k`` of the children must be up.
+
+    When the children are all leaves with the same probability, this is
+    exactly the paper's Eq. (1).  Heterogeneous children are handled by the
+    exact dynamic-programming convolution of their up-probabilities.
+    """
+
+    k: int
+    children: tuple[Block, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", _as_tuple(self.children))
+        if self.k < 0:
+            raise ModelError(f"k must be >= 0, got {self.k}")
+
+    def leaves(self) -> Iterator[Basic]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def _evaluate(self, up: Mapping[str, float]) -> float:
+        if self.k == 0:
+            return 1.0
+        if self.k > len(self.children):
+            return 0.0
+        probabilities = [child._evaluate(up) for child in self.children]
+        first = probabilities[0]
+        if all(p == first for p in probabilities):
+            return a_m_of_n(self.k, len(probabilities), first)
+        # Exact distribution of the number of up children via convolution.
+        counts = [1.0]  # counts[j] = P(j children up so far)
+        for p in probabilities:
+            nxt = [0.0] * (len(counts) + 1)
+            for j, w in enumerate(counts):
+                nxt[j] += w * (1.0 - p)
+                nxt[j + 1] += w * p
+            counts = nxt
+        return sum(counts[self.k :])
+
+
+def identical_kofn(k: int, n: int, name: str, probability: float) -> KOfN:
+    """Build a k-of-n block of ``n`` identical components named ``name-i``."""
+    if n <= 0:
+        raise ModelError(f"n must be >= 1, got {n}")
+    return KOfN(k, tuple(Basic(f"{name}-{i + 1}", probability) for i in range(n)))

@@ -1,0 +1,98 @@
+"""Weighted state enumeration — the paper's conditioning engine.
+
+Every model in the paper follows the same pattern: *condition* on how many
+copies of some infrastructure layer are up (hosts in Eq. 2, racks in Eqs. 4
+and 7, supervisor instances in Eqs. 12-14), weight each case by its binomial
+probability, and multiply by the conditional availability of the layer
+below.  This module provides that pattern once, exactly:
+
+* :func:`enumerate_up_down` — all up/down assignments of a set of named
+  elements with independent up-probabilities, with their joint probability.
+* :func:`weighted_condition` — expectation of a conditional-availability
+  function over the binomial count of identical elements.
+* :func:`weighted_condition_multi` — expectation over a *vector* of counts
+  (one per role), the exact form of the paper's Eqs. (12)-(14).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.core.kofn import binomial_pmf
+from repro.units import check_probability
+
+
+def enumerate_up_down(
+    probabilities: Mapping[str, float],
+) -> Iterator[tuple[dict[str, bool], float]]:
+    """Yield every up/down state of the named elements with its probability.
+
+    Elements are independent; ``probabilities[name]`` is the probability that
+    ``name`` is up.  The 2**n states are yielded in a deterministic order and
+    their probabilities sum to 1.  Intended for exact (small-n) enumeration —
+    the reference topologies have at most a dozen conditioning elements.
+    """
+    names = list(probabilities)
+    for name in names:
+        check_probability(probabilities[name], name)
+    for assignment in itertools.product((True, False), repeat=len(names)):
+        state = dict(zip(names, assignment))
+        weight = 1.0
+        for name, up in state.items():
+            p = probabilities[name]
+            weight *= p if up else (1.0 - p)
+        if weight > 0.0:
+            yield state, weight
+
+
+def weighted_condition(
+    n: int,
+    p: float,
+    conditional: Callable[[int], float],
+) -> float:
+    """Expectation of ``conditional(x)`` where ``x ~ Binomial(n, p)``.
+
+    This is the paper's single-layer conditioning step, e.g. Eq. (7)::
+
+        A = sum_x P(x racks up) * (A | x racks up)
+    """
+    check_probability(p, "p")
+    total = 0.0
+    for x in range(n + 1):
+        weight = binomial_pmf(x, n, p)
+        if weight > 0.0:
+            total += weight * conditional(x)
+    return total
+
+
+def weighted_condition_multi(
+    counts: Sequence[int],
+    p: float,
+    conditional: Callable[[tuple[int, ...]], float],
+) -> float:
+    """Expectation of ``conditional((x_1, ..., x_k))`` over independent binomials.
+
+    Each ``x_i ~ Binomial(counts[i], p)`` independently.  This is exactly the
+    paper's Eqs. (12)+(14): the availability conditioned on ``(g, c, a, d)``
+    supervisor instances (or {VM+host} blocks) up, weighted by the product of
+    binomial probabilities.
+
+    The summation ranges over *all* counts ``0..n_i`` rather than the paper's
+    printed ``1..x`` lower limit; terms where the conditional availability is
+    zero contribute nothing, so including the zero-count cases is both exact
+    and more general (a "0 of n" process block stays available when every
+    instance is down).
+    """
+    check_probability(p, "p")
+    ranges = [range(n + 1) for n in counts]
+    total = 0.0
+    for combo in itertools.product(*ranges):
+        weight = 1.0
+        for x, n in zip(combo, counts):
+            weight *= binomial_pmf(x, n, p)
+            if weight == 0.0:
+                break
+        if weight > 0.0:
+            total += weight * conditional(tuple(combo))
+    return total

@@ -1,0 +1,89 @@
+"""Coherent structure functions.
+
+A *structure function* maps a component up/down state vector to the system
+up/down state.  This module provides a thin, explicit representation used to
+bridge the RBD layer (:mod:`repro.core.blocks`) with the cut-set machinery
+(:mod:`repro.core.cutsets`): any monotone boolean function over named
+components, evaluated by exhaustive enumeration for exactness.
+
+The sizes involved in the paper (a handful of racks/hosts/processes per
+conditioning layer) keep exhaustive enumeration cheap; the analytic models
+in :mod:`repro.models` never enumerate the full joint process space — they
+factor it per the paper's equations — so this module is a *verification*
+tool, not the production path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Sequence
+
+from repro.core.blocks import Block
+from repro.errors import ModelError
+from repro.units import check_probability
+
+StateMap = Mapping[str, bool]
+
+
+class StructureFunction:
+    """A named-component boolean system function with exact evaluation."""
+
+    def __init__(self, names: Sequence[str], fn: Callable[[StateMap], bool]):
+        if len(set(names)) != len(names):
+            raise ModelError("component names must be distinct")
+        self._names = tuple(names)
+        self._fn = fn
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @classmethod
+    def from_block(cls, block: Block) -> "StructureFunction":
+        """Wrap an RBD block's structure function."""
+        names = tuple(sorted(block.names()))
+        return cls(names, block.structure)
+
+    def __call__(self, state: StateMap) -> bool:
+        return bool(self._fn(state))
+
+    def is_coherent(self) -> bool:
+        """Check monotonicity and relevance by exhaustive enumeration.
+
+        A structure function is *coherent* when it is non-decreasing in every
+        component (repairing a component never takes the system down) and
+        every component is relevant (changes the outcome in at least one
+        state).  All of the paper's models are coherent.
+        """
+        names = self._names
+        relevant = {name: False for name in names}
+        for bits in itertools.product((False, True), repeat=len(names)):
+            state = dict(zip(names, bits))
+            value = self(state)
+            for name in names:
+                if not state[name]:
+                    flipped = dict(state)
+                    flipped[name] = True
+                    value_up = self(flipped)
+                    if value and not value_up:
+                        return False  # repairing `name` broke the system
+                    if value_up != value:
+                        relevant[name] = True
+        return all(relevant.values())
+
+    def availability(self, probabilities: Mapping[str, float]) -> float:
+        """Exact system availability by enumeration over all 2**n states."""
+        for name in self._names:
+            if name not in probabilities:
+                raise ModelError(f"missing probability for component {name!r}")
+            check_probability(probabilities[name], name)
+        total = 0.0
+        for bits in itertools.product((False, True), repeat=len(self._names)):
+            state = dict(zip(self._names, bits))
+            weight = 1.0
+            for name, up in state.items():
+                p = probabilities[name]
+                weight *= p if up else (1.0 - p)
+            if weight > 0.0 and self(state):
+                total += weight
+        return total

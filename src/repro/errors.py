@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An availability, rate, or time parameter is outside its valid domain.
+
+    Raised, for example, when an availability is not in ``[0, 1]`` or a
+    mean-time-between-failures is not strictly positive.
+    """
+
+
+class SpecError(ReproError, ValueError):
+    """A controller specification is malformed or internally inconsistent.
+
+    Raised, for example, when a role declares a quorum requirement larger
+    than its replica count, or when two processes in a role share a name.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A deployment topology is malformed or violates placement rules.
+
+    Raised, for example, when a VM is placed on an unknown host or a role
+    instance is mapped to more than one VM.
+    """
+
+
+class ModelError(ReproError, ValueError):
+    """An availability model was invoked with an unsupported configuration.
+
+    Raised, for example, when a closed-form evaluator is asked to handle a
+    topology it has no closed form for.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator entered an invalid state.
+
+    This indicates a bug or an impossible schedule (for instance, an event
+    scheduled in the past), never a statistically unlucky run.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical routine (CTMC solve, fixed point) failed to converge."""

@@ -1,0 +1,39 @@
+"""Continuous-time Markov chain availability models.
+
+An independent validation route for the paper's combinatorial formulas:
+an m-of-n block of repairable components with exponential failure/repair is
+a CTMC whose steady-state up-probability equals Eq. (1) when every
+component has its own repair crew — and *differs* when repair capacity is
+shared, an assumption the RBD algebra cannot express.  The k-of-n builders
+here are cross-checked against :mod:`repro.core.kofn` in the tests and used
+by the ablation benchmark on repair-capacity sensitivity.
+"""
+
+from repro.markov.ctmc import Ctmc, steady_state
+from repro.markov.birth_death import birth_death_steady_state
+from repro.markov.kofn_markov import (
+    kofn_availability_markov,
+    kofn_chain,
+)
+from repro.markov.supervisor_markov import (
+    effective_availability_markov,
+    supervisor_process_chain,
+)
+from repro.markov.transient import (
+    expected_first_outage_hours,
+    survival_probability,
+    transient_availability,
+)
+
+__all__ = [
+    "Ctmc",
+    "steady_state",
+    "birth_death_steady_state",
+    "kofn_chain",
+    "kofn_availability_markov",
+    "supervisor_process_chain",
+    "effective_availability_markov",
+    "transient_availability",
+    "survival_probability",
+    "expected_first_outage_hours",
+]

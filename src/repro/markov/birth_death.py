@@ -1,0 +1,39 @@
+"""Closed-form birth-death chain steady states.
+
+The k-of-n repairable block with identical components is a birth-death
+chain on the number of failed components; its steady state has the classic
+product form, used as an analytic oracle for the generic CTMC solver.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def birth_death_steady_state(
+    up_rates: Sequence[float], down_rates: Sequence[float]
+) -> np.ndarray:
+    """Steady state of a birth-death chain with given transition rates.
+
+    ``up_rates[i]`` is the rate from state ``i`` to ``i+1`` and
+    ``down_rates[i]`` the rate from ``i+1`` to ``i``; there are
+    ``len(up_rates) + 1`` states.  The product-form solution is
+    ``pi_k = pi_0 * prod_{i<k} up_rates[i]/down_rates[i]``, normalized.
+    """
+    if len(up_rates) != len(down_rates):
+        raise ParameterError(
+            "up_rates and down_rates must have the same length"
+        )
+    for rates, name in ((up_rates, "up_rates"), (down_rates, "down_rates")):
+        for rate in rates:
+            if rate <= 0:
+                raise ParameterError(f"{name} must be strictly positive")
+    weights = [1.0]
+    for up, down in zip(up_rates, down_rates):
+        weights.append(weights[-1] * up / down)
+    pi = np.asarray(weights, dtype=float)
+    return pi / pi.sum()

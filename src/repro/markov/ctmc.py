@@ -1,0 +1,105 @@
+"""Generic finite CTMC construction and steady-state solution.
+
+States are arbitrary hashable labels; transitions carry exponential rates.
+The steady state solves ``pi Q = 0`` with ``sum(pi) = 1`` via a dense
+least-squares-free linear solve (one balance equation replaced by the
+normalization row), which is robust for the modest state spaces used here
+(k-of-n chains, supervisor interaction models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelError, ParameterError
+
+State = Hashable
+
+
+@dataclass
+class Ctmc:
+    """A finite continuous-time Markov chain under construction."""
+
+    _states: list[State] = field(default_factory=list)
+    _index: dict[State, int] = field(default_factory=dict)
+    _rates: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def add_state(self, state: State) -> int:
+        """Register a state (idempotent); returns its index."""
+        if state not in self._index:
+            self._index[state] = len(self._states)
+            self._states.append(state)
+        return self._index[state]
+
+    def add_transition(self, source: State, target: State, rate: float) -> None:
+        """Add an exponential transition; parallel rates accumulate."""
+        if rate < 0:
+            raise ParameterError(f"rate must be >= 0, got {rate}")
+        if source == target:
+            raise ModelError("self-transitions are meaningless in a CTMC")
+        if rate == 0:
+            return
+        i = self.add_state(source)
+        j = self.add_state(target)
+        self._rates[(i, j)] = self._rates.get((i, j), 0.0) + rate
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return tuple(self._states)
+
+    def generator(self) -> np.ndarray:
+        """The generator matrix Q (rows sum to zero)."""
+        n = len(self._states)
+        if n == 0:
+            raise ModelError("CTMC has no states")
+        q = np.zeros((n, n))
+        for (i, j), rate in self._rates.items():
+            q[i, j] += rate
+            q[i, i] -= rate
+        return q
+
+    def steady_state(self) -> dict[State, float]:
+        """Steady-state distribution as a state -> probability map."""
+        pi = steady_state(self.generator())
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def probability(self, predicate) -> float:
+        """Total steady-state probability of states satisfying ``predicate``."""
+        distribution = self.steady_state()
+        return sum(p for state, p in distribution.items() if predicate(state))
+
+
+def steady_state(q: np.ndarray) -> np.ndarray:
+    """Solve ``pi Q = 0``, ``sum(pi) = 1`` for an irreducible generator.
+
+    Replaces the last balance column with the normalization constraint and
+    solves the square system.  Raises :class:`ConvergenceError` when the
+    chain is reducible (singular system) or produces an invalid
+    distribution.
+    """
+    q = np.asarray(q, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ModelError(f"generator must be square, got shape {q.shape}")
+    n = q.shape[0]
+    if not np.allclose(q.sum(axis=1), 0.0, atol=1e-9 * max(1.0, np.abs(q).max())):
+        raise ModelError("generator rows must sum to zero")
+    a = q.T.copy()
+    a[-1, :] = 1.0
+    b = np.zeros(n)
+    b[-1] = 1.0
+    try:
+        pi = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise ConvergenceError(
+            "singular steady-state system (reducible chain?)"
+        ) from exc
+    if np.any(pi < -1e-9):
+        raise ConvergenceError("steady state has negative probabilities")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ConvergenceError("steady state failed to normalize")
+    return pi / total

@@ -1,0 +1,74 @@
+"""k-of-n repairable blocks as CTMCs.
+
+With per-component exponential failure rate ``lam`` and repair rate ``mu``,
+the number of *failed* components is a birth-death CTMC.  Two repair
+policies are modeled:
+
+* **independent repair** (one crew per component) — repair rate from ``i``
+  failed is ``i * mu``.  The steady-state up-probability of the block then
+  equals the paper's Eq. (1) with ``alpha = mu / (lam + mu)``, because the
+  components are independent in steady state.  This is the cross-validation
+  used by the tests.
+* **shared repair** (a single crew) — repair rate is ``mu`` regardless of
+  the backlog.  The resulting availability is strictly lower for n > 1;
+  the combinatorial Eq. (1) cannot express this, which is exactly why the
+  Markov substrate earns its place (ablation A4).
+"""
+
+from __future__ import annotations
+
+from repro.core.kofn import a_m_of_n
+from repro.errors import ParameterError
+from repro.markov.ctmc import Ctmc
+from repro.units import check_positive
+
+
+def kofn_chain(
+    n: int, lam: float, mu: float, shared_repair: bool = False
+) -> Ctmc:
+    """The birth-death CTMC on the number of failed components (0..n)."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    check_positive(lam, "failure rate lam")
+    check_positive(mu, "repair rate mu")
+    chain = Ctmc()
+    for failed in range(n + 1):
+        chain.add_state(failed)
+    for failed in range(n):
+        chain.add_transition(failed, failed + 1, (n - failed) * lam)
+    for failed in range(1, n + 1):
+        rate = mu if shared_repair else failed * mu
+        chain.add_transition(failed, failed - 1, rate)
+    return chain
+
+
+def kofn_availability_markov(
+    m: int, n: int, lam: float, mu: float, shared_repair: bool = False
+) -> float:
+    """Steady-state probability that at least ``m`` of ``n`` components are up."""
+    if m <= 0:
+        return 1.0
+    if m > n:
+        return 0.0
+    chain = kofn_chain(n, lam, mu, shared_repair=shared_repair)
+    max_failed = n - m
+    return chain.probability(lambda failed: failed <= max_failed)
+
+
+def kofn_availability_rbd(m: int, n: int, lam: float, mu: float) -> float:
+    """Eq. (1) with ``alpha = mu/(lam+mu)`` — the independent-repair oracle."""
+    check_positive(lam, "failure rate lam")
+    check_positive(mu, "repair rate mu")
+    return a_m_of_n(m, n, mu / (lam + mu))
+
+
+def shared_repair_penalty(m: int, n: int, lam: float, mu: float) -> float:
+    """Extra unavailability caused by sharing a single repair crew.
+
+    ``U_shared - U_independent`` — non-negative, and growing with the load
+    ``n * lam / mu``.  Quantifies how optimistic the paper's independence
+    assumption is when field repairs queue behind one operations team.
+    """
+    independent = kofn_availability_markov(m, n, lam, mu, shared_repair=False)
+    shared = kofn_availability_markov(m, n, lam, mu, shared_repair=True)
+    return independent - shared

@@ -1,0 +1,54 @@
+"""Availability models.
+
+Three independent evaluation routes for controller availability:
+
+* **Paper closed forms** — the printed equations (Eqs. 3/6/8 for the
+  HW-centric section V; Eqs. 9-15 for the SW-centric section VI), in
+  :mod:`~repro.models.hw_closed` and :mod:`~repro.models.sw`.
+* **Exact engine** — :mod:`~repro.models.engine` enumerates the shared
+  infrastructure elements of *any* topology and conditions per the paper's
+  methodology, generalizing the printed formulas; used through
+  :mod:`~repro.models.hw_exact` and :mod:`~repro.models.sw`.
+* **Approximations** — the paper's ``A ~= A_{2/3}(alpha) A_R`` rules of
+  thumb in :mod:`~repro.models.hw_approx`.
+
+Plus the section VI.A supervisor-scenario analysis
+(:mod:`~repro.models.supervisor`), the data-plane composition
+(:mod:`~repro.models.dataplane`), and dominant-failure-mode identification
+(:mod:`~repro.models.failure_modes`).
+"""
+
+from repro.models.engine import (
+    RoleRequirement,
+    UnitRequirement,
+    evaluate_topology,
+)
+from repro.models.hw_closed import (
+    hw_availability,
+    hw_large,
+    hw_medium,
+    hw_small,
+)
+from repro.models.hw_exact import hw_availability_exact
+from repro.models.hw_approx import hw_approximation
+from repro.models.sw import cp_availability, shared_dp_availability
+from repro.models.dataplane import dp_availability, local_dp_availability
+from repro.models.sw_options import OptionResult, evaluate_option
+
+__all__ = [
+    "UnitRequirement",
+    "RoleRequirement",
+    "evaluate_topology",
+    "hw_small",
+    "hw_medium",
+    "hw_large",
+    "hw_availability",
+    "hw_availability_exact",
+    "hw_approximation",
+    "cp_availability",
+    "shared_dp_availability",
+    "local_dp_availability",
+    "dp_availability",
+    "OptionResult",
+    "evaluate_option",
+]

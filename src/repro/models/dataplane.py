@@ -1,0 +1,64 @@
+"""Host data-plane composition: ``A_DP = A_SDP × A_LDP``.
+
+The per-host data plane has two independent contributions (section VI.C):
+
+* the **shared** contribution ``A_SDP`` from controller-side roles (a
+  Control/Config outage takes down *every* host's DP) — computed by
+  :func:`repro.models.sw.shared_dp_availability`;
+* the **local** contribution ``A_LDP`` from the host's own vRouter
+  processes: ``A^K`` when the vRouter supervisor is not required, and
+  ``A^K · A_S`` when it is (K = 2 in OpenContrail: *vrouter-agent* and
+  *vrouter-dpdk*).
+"""
+
+from __future__ import annotations
+
+from repro.controller.spec import ControllerSpec, Plane
+from repro.errors import ModelError
+from repro.models.sw import shared_dp_availability
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+
+
+def local_dp_availability(
+    spec: ControllerSpec,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+) -> float:
+    """``A_LDP`` — the host-local vRouter contribution to the DP.
+
+    The product of the host role's DP-required process availabilities (each
+    "1 of 1"), times the vRouter supervisor availability when the supervisor
+    is required.  Controllers without a per-host role (hardware forwarding
+    planes) return 1.
+    """
+    role = spec.host_role
+    if role is None:
+        return 1.0
+    amap = software.availability_map()
+    value = 1.0
+    for unit in role.quorum_units(Plane.DP.value):
+        if unit.quorum != 1:
+            raise ModelError(
+                f"per-host unit {unit.label!r} must be '1 of 1', got "
+                f"quorum {unit.quorum}"
+            )
+        value *= unit.alpha(amap)
+    if scenario is RestartScenario.REQUIRED and role.supervisor is not None:
+        value *= software.a_unsupervised
+    return value
+
+
+def dp_availability(
+    spec: ControllerSpec,
+    topology_name: str,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+) -> float:
+    """Per-host data-plane availability ``A_DP = A_SDP · A_LDP``."""
+    shared = shared_dp_availability(
+        spec, topology_name, hardware, software, scenario
+    )
+    local = local_dp_availability(spec, software, scenario)
+    return shared * local

@@ -1,0 +1,119 @@
+"""Deployment design search: cost versus resiliency, mechanized.
+
+The paper frames its HW-centric models as a tool for "evaluation of the
+cost:resiliency tradeoff before capital investment occurs".  This module
+performs that evaluation: enumerate the layout design space (combined vs
+separated nodes x racks used), price each layout with a simple capital
+model, evaluate CP availability with the exact engine, and return the
+Pareto frontier / the cheapest design meeting an availability target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.controller.spec import ControllerSpec, Plane
+from repro.errors import ModelError
+from repro.models.sw import plane_availability_exact
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.generate import combined_nodes_topology, separated_topology
+from repro.units import downtime_minutes_per_year, nines
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative capital cost of a layout (arbitrary units)."""
+
+    rack_cost: float = 10.0
+    host_cost: float = 1.0
+
+    def cost(self, topology: DeploymentTopology) -> float:
+        return (
+            self.rack_cost * len(topology.racks)
+            + self.host_cost * len(topology.hosts)
+        )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated layout."""
+
+    topology: DeploymentTopology
+    availability: float
+    cost: float
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+    @property
+    def downtime_minutes(self) -> float:
+        return downtime_minutes_per_year(self.availability)
+
+    @property
+    def nines(self) -> float:
+        return nines(self.availability)
+
+
+def enumerate_designs(
+    spec: ControllerSpec,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    cost_model: CostModel | None = None,
+    plane: Plane = Plane.CP,
+) -> list[DesignPoint]:
+    """Evaluate the combined/separated x racks-used design space."""
+    cost_model = cost_model or CostModel()
+    n = spec.cluster_size
+    candidates: list[DeploymentTopology] = []
+    for racks_used in range(1, n + 1):
+        candidates.append(combined_nodes_topology(spec, racks_used))
+        candidates.append(separated_topology(spec, racks_used))
+    points = []
+    for topology in candidates:
+        availability = plane_availability_exact(
+            spec, plane, topology, hardware, software, scenario
+        )
+        points.append(
+            DesignPoint(
+                topology=topology,
+                availability=availability,
+                cost=cost_model.cost(topology),
+            )
+        )
+    points.sort(key=lambda p: (p.cost, -p.availability))
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated designs: no other point is cheaper AND more available.
+
+    Returned in increasing cost order; ties in cost keep only the most
+    available point.
+    """
+    if not points:
+        raise ModelError("need at least one design point")
+    ordered = sorted(points, key=lambda p: (p.cost, -p.availability))
+    frontier: list[DesignPoint] = []
+    best = -1.0
+    for point in ordered:
+        if frontier and point.cost == frontier[-1].cost:
+            continue  # same cost, lower or equal availability
+        if point.availability > best:
+            frontier.append(point)
+            best = point.availability
+    return frontier
+
+
+def cheapest_meeting(
+    points: Sequence[DesignPoint], target_availability: float
+) -> DesignPoint | None:
+    """The cheapest design reaching the availability target, if any."""
+    feasible = [p for p in points if p.availability >= target_availability]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: (p.cost, -p.availability))

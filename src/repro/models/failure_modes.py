@@ -1,0 +1,157 @@
+"""Dominant failure-mode identification — the section VI-G claims.
+
+The paper names the dominant SW failure modes qualitatively ("one Database
+supervisor failure and any Database process failure in another node ...");
+this module derives them mechanically: build the process-level structure
+function of a plane on a topology, enumerate minimal cut sets up to a given
+order, and rank them by occurrence probability.
+
+Component naming convention (stable, used by tests and benchmarks):
+
+* ``rack:R1`` / ``host:H2`` / ``vm:GCAD1`` — infrastructure elements,
+* ``sup:<Role>-<i>`` — a role's supervisor instance (scenario 2 only),
+* ``proc:<Role>/<process>-<i>`` — a regular process instance,
+* ``local:<process>`` and ``local:supervisor`` — the representative host's
+  vRouter processes (data plane only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.controller.spec import ControllerSpec, Plane
+from repro.core.cutsets import RankedCutSet, minimal_cut_sets, rank_cut_sets
+from repro.core.structure import StructureFunction
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.topology.deployment import DeploymentTopology
+
+
+@dataclass(frozen=True)
+class PlaneStructure:
+    """A plane's structure function plus per-component unavailabilities."""
+
+    structure: StructureFunction
+    unavailability: dict[str, float]
+
+
+def build_plane_structure(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    plane: Plane,
+    include_local: bool = True,
+) -> PlaneStructure:
+    """Process-level structure function of one plane on one topology.
+
+    The system is up when every cluster role's every quorum unit has at
+    least its quorum of instances whose full support chain is up — the
+    infrastructure chain, the supervisor (scenario 2), and every member
+    process — and, for the data plane with ``include_local``, when the
+    representative host's vRouter processes are up.
+    """
+    amap = software.availability_map()
+    unavailability: dict[str, float] = {}
+    # Infrastructure components.
+    for rack in topology.racks:
+        unavailability[f"rack:{rack.name}"] = 1.0 - hardware.a_rack
+    for host in topology.hosts:
+        unavailability[f"host:{host.name}"] = 1.0 - hardware.a_host
+    for vm in topology.vms:
+        unavailability[f"vm:{vm.name}"] = 1.0 - hardware.a_vm
+
+    # Per-role requirements: (unit label, quorum, member procs), instances.
+    role_requirements: list[tuple[str, list[tuple[str, int, list[str]]]]] = []
+    for role in spec.cluster_roles:
+        units = role.quorum_units(plane.value)
+        if not units:
+            continue
+        instances = topology.instances_of(role.name)
+        unit_rows = []
+        for unit in units:
+            member_names = [p.name for p in unit.members]
+            unit_rows.append((unit.label, unit.quorum, member_names))
+            for instance in instances:
+                for member in unit.members:
+                    key = f"proc:{role.name}/{member.name}-{instance.index}"
+                    unavailability[key] = 1.0 - amap[member.restart]
+        if scenario is RestartScenario.REQUIRED and role.supervisor is not None:
+            for instance in instances:
+                unavailability[f"sup:{role.name}-{instance.index}"] = (
+                    1.0 - software.a_unsupervised
+                )
+        role_requirements.append((role.name, unit_rows))
+
+    host_role = spec.host_role
+    local_components: list[str] = []
+    if plane is Plane.DP and include_local and host_role is not None:
+        for unit in host_role.quorum_units(Plane.DP.value):
+            for member in unit.members:
+                key = f"local:{member.name}"
+                unavailability[key] = 1.0 - amap[member.restart]
+                local_components.append(key)
+        if scenario is RestartScenario.REQUIRED and host_role.supervisor is not None:
+            unavailability["local:supervisor"] = 1.0 - software.a_unsupervised
+            local_components.append("local:supervisor")
+
+    chains = {
+        (i.role, i.index): topology.support_chain(i) for i in topology.instances
+    }
+
+    def plane_up(state: Mapping[str, bool]) -> bool:
+        def up(key: str) -> bool:
+            return state.get(key, True)
+
+        def infra_up(role: str, index: int) -> bool:
+            rack, host, vm = chains[(role, index)]
+            return up(f"rack:{rack}") and up(f"host:{host}") and up(f"vm:{vm}")
+
+        for role_name, unit_rows in role_requirements:
+            instances = topology.instances_of(role_name)
+            for _, quorum, member_names in unit_rows:
+                satisfied = 0
+                for instance in instances:
+                    if not infra_up(role_name, instance.index):
+                        continue
+                    if scenario is RestartScenario.REQUIRED and not up(
+                        f"sup:{role_name}-{instance.index}"
+                    ):
+                        continue
+                    if all(
+                        up(f"proc:{role_name}/{name}-{instance.index}")
+                        for name in member_names
+                    ):
+                        satisfied += 1
+                if satisfied < quorum:
+                    return False
+        return all(up(component) for component in local_components)
+
+    names = tuple(sorted(unavailability))
+    return PlaneStructure(StructureFunction(names, plane_up), unavailability)
+
+
+def dominant_failure_modes(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    plane: Plane,
+    max_order: int = 2,
+    top: int = 10,
+) -> list[RankedCutSet]:
+    """The ``top`` most probable minimal cut sets up to ``max_order``.
+
+    With the paper's defaults this mechanically reproduces the section VI-G
+    narratives (Database double-process cuts for 1S, supervisor+process cuts
+    for 2S, vRouter single-process cuts for the DP).
+    """
+    built = build_plane_structure(
+        spec, topology, hardware, software, scenario, plane
+    )
+    cut_sets = minimal_cut_sets(built.structure, max_order=max_order)
+    ranked = rank_cut_sets(cut_sets, built.unavailability)
+    return ranked[:top]

@@ -1,0 +1,65 @@
+"""The paper's HW-centric approximations.
+
+Section V (and the conclusion) derives intuitive rules of thumb:
+
+* Small/Medium (quorum exposed to one rack):
+  ``A ~= A_{2/3}(alpha) A_R`` with ``alpha = A_C A_V A_H`` — a 2-of-3 block
+  of ``{role+VM+host}`` elements in series with the quorum rack.
+* Large (quorum spread over three racks):
+  ``A ~= A_{2/3}(alpha)`` with ``alpha = A_C A_V A_H A_R`` — the rack joins
+  the per-node series chain.
+
+The conclusion restates these as ``A ~= alpha²(3-2alpha) A_R`` and
+``A ~= alpha²(3-2alpha)`` (the expanded 2-of-3 polynomial).
+"""
+
+from __future__ import annotations
+
+from repro.core.kofn import a_m_of_n
+from repro.errors import ModelError
+from repro.params.hardware import HardwareParams
+
+
+def hw_approx_small(params: HardwareParams) -> float:
+    """``A_S ~= A_{2/3}(A_C A_V A_H) A_R``."""
+    alpha = params.a_role * params.a_vm * params.a_host
+    return a_m_of_n(2, 3, alpha) * params.a_rack
+
+
+def hw_approx_medium(params: HardwareParams) -> float:
+    """``A_M ~= A_{2/3}(A_C A_V A_H) A_R`` — same approximation as Small.
+
+    The paper: "it can be shown that A_M ~= A_{2/3} A_R ~= A_S"; the other
+    1-of-3 {role+VM} elements have only second-order effects.
+    """
+    return hw_approx_small(params)
+
+
+def hw_approx_large(params: HardwareParams) -> float:
+    """``A_L ~= A_{2/3}(A_C A_V A_H A_R)``."""
+    alpha = params.a_role * params.a_vm * params.a_host * params.a_rack
+    return a_m_of_n(2, 3, alpha)
+
+
+def two_of_three_polynomial(alpha: float) -> float:
+    """The conclusion's expanded form: ``alpha²(3 - 2 alpha) = A_{2/3}(alpha)``."""
+    return alpha * alpha * (3.0 - 2.0 * alpha)
+
+
+_DISPATCH = {
+    "small": hw_approx_small,
+    "medium": hw_approx_medium,
+    "large": hw_approx_large,
+}
+
+
+def hw_approximation(topology_name: str, params: HardwareParams) -> float:
+    """The paper's rule-of-thumb availability by reference topology name."""
+    try:
+        approx = _DISPATCH[topology_name.lower()]
+    except KeyError:
+        raise ModelError(
+            f"no approximation for topology {topology_name!r}; expected one "
+            f"of {sorted(_DISPATCH)}"
+        ) from None
+    return approx(params)

@@ -1,0 +1,159 @@
+"""HW-centric closed-form availability models — section V, Eqs. (2)-(8).
+
+Each controller node is treated as an atomic element: one availability
+``A_C`` per role instance, with role-level quorums (1-of-3 for Config,
+Control, Analytics; 2-of-3 for Database in the reference configuration).
+
+Functions are generalized over the cluster size ``n`` and the role quorum
+vector, with the paper's values as defaults, and all follow the paper's
+conditioning methodology exactly:
+
+* :func:`hw_small` — condition on the ``{VM+host}`` blocks (Eq. 2); the
+  printed Eq. (3) is algebraically identical.
+* :func:`hw_medium` — condition on racks then hosts (Eqs. 4-5).  The
+  *printed* Eq. (6) simplifies a second-order term (it replaces an ``A_R²``
+  by ``A_R`` inside the three-hosts-up term); :func:`hw_medium_paper` is the
+  verbatim printed form, :func:`hw_medium` the exact conditioning.  They
+  agree to O((1-A)²) — tested.
+* :func:`hw_large` — condition on racks (Eq. 7); the printed Eq. (8) is
+  identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.kofn import a_m_of_n, binomial_pmf
+from repro.errors import ModelError
+from repro.params.hardware import HardwareParams
+
+#: The paper's role quorum vector: 1-of-n for Config/Control/Analytics,
+#: 2-of-n (majority) for Database.
+PAPER_ROLE_QUORUMS: tuple[int, ...] = (1, 1, 1, 2)
+
+
+def _conditional(x: int, alpha: float, quorums: Sequence[int]) -> float:
+    """``(A | x blocks up)`` = product over roles of ``A_{m/x}(alpha)``."""
+    value = 1.0
+    for m in quorums:
+        value *= a_m_of_n(m, x, alpha)
+        if value == 0.0:
+            return 0.0
+    return value
+
+
+def hw_small(
+    params: HardwareParams,
+    quorums: Sequence[int] = PAPER_ROLE_QUORUMS,
+    n: int = 3,
+) -> float:
+    """Small-topology controller availability (Eqs. 2-3).
+
+    All roles of node ``i`` share one VM on one host; all hosts share one
+    rack.  Condition on the number of ``{VM+host}`` blocks up, then require
+    each role's quorum among surviving nodes with ``alpha = A_C``.
+    """
+    block = params.a_vm * params.a_host
+    total = 0.0
+    for x in range(n + 1):
+        weight = binomial_pmf(x, n, block)
+        if weight > 0.0:
+            total += weight * _conditional(x, params.a_role, quorums)
+    return total * params.a_rack
+
+
+def hw_medium(
+    params: HardwareParams,
+    quorums: Sequence[int] = PAPER_ROLE_QUORUMS,
+    n: int = 3,
+) -> float:
+    """Medium-topology controller availability, exact conditioning (Eqs. 4-5).
+
+    Roles in separate VMs (``alpha = A_C A_V``); node ``i``'s VMs on host
+    ``Hi``; hosts ``H1..H(n-1)`` in rack R1, ``Hn`` in rack R2.  Condition on
+    the rack pair, then on hosts within up racks.
+    """
+    if n < 2:
+        raise ModelError("the Medium topology needs at least 2 nodes")
+    alpha = params.a_role * params.a_vm
+    a_h, a_r = params.a_host, params.a_rack
+
+    def hosts_term(k: int) -> float:
+        """Expected conditional availability with ``k`` candidate hosts."""
+        return sum(
+            binomial_pmf(x, k, a_h) * _conditional(x, alpha, quorums)
+            for x in range(k + 1)
+        )
+
+    both_up = a_r * a_r * hosts_term(n)
+    r1_only = a_r * (1.0 - a_r) * hosts_term(n - 1)
+    r2_only = (1.0 - a_r) * a_r * hosts_term(1)
+    return both_up + r1_only + r2_only
+
+
+def hw_medium_paper(params: HardwareParams, as_printed: bool = False) -> float:
+    """The paper's Medium closed form, Eq. (6), 3-node configuration.
+
+    ``A_M = [A_{1/3}^3 A_{2/3} A_H A_R + A_{1/2}^3 A_{2/2} (4 - 3A_H - A_R)]
+    A_H^2 A_R`` with ``alpha = A_C A_V``.  This is the paper's first-order
+    simplification of :func:`hw_medium` (the exact three-hosts-up term has
+    coefficient ``1 + 2A_R - 3 A_H A_R`` where Eq. 6 writes ``4 - 3A_H -
+    A_R``; they agree to O((1-A)²)).
+
+    The equation *as printed* in the paper omits the ``A_R`` factor from the
+    first bracket term, which contradicts the paper's own Fig. 3 (it would
+    make Medium ~1e-5 *more* available than Small, while the text stresses
+    that "adding a second rack actually slightly reduces availability" and
+    Fig. 3 shows Small = Medium = 0.999989 at the defaults).  The default
+    here restores the evidently intended ``A_R``; pass ``as_printed=True``
+    for the verbatim transcription.  See EXPERIMENTS.md, discrepancy D1.
+    """
+    alpha = params.a_role * params.a_vm
+    a13 = a_m_of_n(1, 3, alpha)
+    a23 = a_m_of_n(2, 3, alpha)
+    a12 = a_m_of_n(1, 2, alpha)
+    a22 = a_m_of_n(2, 2, alpha)
+    a_h, a_r = params.a_host, params.a_rack
+    first = a13**3 * a23 * a_h * (1.0 if as_printed else a_r)
+    second = a12**3 * a22 * (4.0 - 3.0 * a_h - a_r)
+    return (first + second) * a_h**2 * a_r
+
+
+def hw_large(
+    params: HardwareParams,
+    quorums: Sequence[int] = PAPER_ROLE_QUORUMS,
+    n: int = 3,
+) -> float:
+    """Large-topology controller availability (Eqs. 7-8).
+
+    Every role copy on its own host; node ``i`` in its own rack.  Condition
+    on the number of racks up; surviving nodes are ``{role+VM+host}`` blocks
+    with ``alpha = A_C A_V A_H``.
+    """
+    alpha = params.a_role * params.a_vm * params.a_host
+    total = 0.0
+    for r in range(n + 1):
+        weight = binomial_pmf(r, n, params.a_rack)
+        if weight > 0.0:
+            total += weight * _conditional(r, alpha, quorums)
+    return total
+
+
+_DISPATCH = {"small": hw_small, "medium": hw_medium, "large": hw_large}
+
+
+def hw_availability(
+    topology_name: str,
+    params: HardwareParams,
+    quorums: Sequence[int] = PAPER_ROLE_QUORUMS,
+    n: int = 3,
+) -> float:
+    """Closed-form controller availability by reference topology name."""
+    try:
+        model = _DISPATCH[topology_name.lower()]
+    except KeyError:
+        raise ModelError(
+            f"no closed form for topology {topology_name!r}; expected one "
+            f"of {sorted(_DISPATCH)}"
+        ) from None
+    return model(params, quorums=quorums, n=n)

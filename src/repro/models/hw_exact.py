@@ -1,0 +1,89 @@
+"""HW-centric availability via the exact topology engine.
+
+Same quantity as :mod:`repro.models.hw_closed`, computed by the generic
+enumeration engine over an explicit :class:`DeploymentTopology` — the
+independent cross-check of the closed forms, and the evaluator for layouts
+the paper has no closed form for (custom rack/host arrangements).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import ModelError
+from repro.models.engine import (
+    RoleRequirement,
+    UnitRequirement,
+    evaluate_topology,
+)
+from repro.params.hardware import HardwareParams
+from repro.topology.deployment import DeploymentTopology
+
+
+def hw_role_requirements(
+    roles_and_quorums: Mapping[str, int] | Sequence[tuple[str, int]],
+    a_role: float,
+) -> tuple[RoleRequirement, ...]:
+    """Atomic-role requirements: one m-of-n unit per role, alpha = A_C."""
+    items = (
+        roles_and_quorums.items()
+        if isinstance(roles_and_quorums, Mapping)
+        else roles_and_quorums
+    )
+    return tuple(
+        RoleRequirement(role, (UnitRequirement(role, quorum, a_role),))
+        for role, quorum in items
+    )
+
+
+def hw_availability_exact(
+    topology: DeploymentTopology,
+    params: HardwareParams,
+    quorums: Mapping[str, int] | None = None,
+) -> float:
+    """Exact HW-centric controller availability on an explicit topology.
+
+    Args:
+        topology: any deployment (the reference Small/Medium/Large builders
+            or a custom layout).
+        params: the four hardware availabilities.
+        quorums: role-name -> required instances.  Defaults to the paper's
+            rule: every placed role needs 1 instance except a role named
+            ``"Database"``, which needs a majority.
+    """
+    if quorums is None:
+        quorums = {}
+        for role in topology.role_names():
+            count = topology.replica_count(role)
+            quorums[role] = count // 2 + 1 if role == "Database" else 1
+    for role in quorums:
+        if role not in topology.role_names():
+            raise ModelError(f"role {role!r} is not placed in {topology.name}")
+    requirements = hw_role_requirements(quorums, params.a_role)
+    availability = {
+        "rack": params.a_rack,
+        "host": params.a_host,
+        "vm": params.a_vm,
+    }
+    return evaluate_topology(topology, requirements, availability)
+
+
+def hw_availability_exact_for_spec(
+    topology: DeploymentTopology,
+    spec: ControllerSpec,
+    params: HardwareParams,
+) -> float:
+    """HW-centric availability with quorums derived from a controller spec.
+
+    The role-level quorum is the maximum CP quorum of any process in the
+    role — the paper's abstraction that "at least 2 out of 3 nodes of the
+    Database role must be available" because its processes need 2-of-3.
+    """
+    quorums: dict[str, int] = {}
+    for role in spec.cluster_roles:
+        quorums[role.name] = max(
+            (p.cp_quorum for p in role.processes), default=0
+        )
+    quorums = {role: q for role, q in quorums.items() if q > 0}
+    return hw_availability_exact(topology, params, quorums)

@@ -1,0 +1,97 @@
+"""The paper's four SW-centric options: 1S, 2S, 1L, 2L.
+
+Option naming (section VI): the digit is the supervisor scenario (1 = not
+required, the optimistic upper bound; 2 = required, the realistic lower
+bound) and the letter is the reference topology (S = Small, L = Large).
+:func:`evaluate_option` returns every plane quantity the paper reports —
+``A_CP``, ``A_SDP``, ``A_LDP``, ``A_DP`` — plus downtime conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import ModelError
+from repro.models.dataplane import dp_availability, local_dp_availability
+from repro.models.sw import cp_availability, shared_dp_availability
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.units import downtime_minutes_per_year
+
+#: The four options analysed in the paper, in figure-legend order.
+PAPER_OPTIONS: tuple[str, ...] = ("1S", "2S", "1L", "2L")
+
+
+def parse_option(option: str) -> tuple[RestartScenario, str]:
+    """``"2L"`` -> ``(RestartScenario.REQUIRED, "large")`` etc."""
+    normalized = option.strip().upper()
+    if len(normalized) != 2 or normalized[0] not in "12":
+        raise ModelError(
+            f"option must look like '1S', '2S', '1L', '2L', got {option!r}"
+        )
+    scenario = (
+        RestartScenario.NOT_REQUIRED
+        if normalized[0] == "1"
+        else RestartScenario.REQUIRED
+    )
+    topologies = {"S": "small", "M": "medium", "L": "large"}
+    if normalized[1] not in topologies:
+        raise ModelError(
+            f"option topology must be S, M, or L, got {option!r}"
+        )
+    return scenario, topologies[normalized[1]]
+
+
+@dataclass(frozen=True)
+class OptionResult:
+    """All plane availabilities for one option."""
+
+    option: str
+    cp: float
+    shared_dp: float
+    local_dp: float
+    dp: float
+
+    @property
+    def cp_downtime_minutes(self) -> float:
+        """Annual SDN control-plane downtime in minutes."""
+        return downtime_minutes_per_year(self.cp)
+
+    @property
+    def dp_downtime_minutes(self) -> float:
+        """Annual per-host data-plane downtime in minutes."""
+        return downtime_minutes_per_year(self.dp)
+
+
+def evaluate_option(
+    spec: ControllerSpec,
+    option: str,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+) -> OptionResult:
+    """Evaluate one of the paper's options end to end."""
+    scenario, topology = parse_option(option)
+    cp = cp_availability(spec, topology, hardware, software, scenario)
+    shared = shared_dp_availability(spec, topology, hardware, software, scenario)
+    local = local_dp_availability(spec, software, scenario)
+    return OptionResult(
+        option=option.strip().upper(),
+        cp=cp,
+        shared_dp=shared,
+        local_dp=local,
+        dp=shared * local,
+    )
+
+
+def evaluate_all_options(
+    spec: ControllerSpec,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    options: tuple[str, ...] = PAPER_OPTIONS,
+) -> dict[str, OptionResult]:
+    """Evaluate every option; the rows behind Figs. 4-5 at one sweep point."""
+    return {
+        option: evaluate_option(spec, option, hardware, software)
+        for option in options
+    }

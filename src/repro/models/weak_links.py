@@ -1,0 +1,115 @@
+"""Process weak-link identification.
+
+The paper's conclusion: "Identifying these process weak links allows
+service provider operations to develop automation to reduce downtime and
+improve vRouter availability, and provides the Open Source community with
+focus areas for code improvements."
+
+This module ranks individual processes (and supervisors, and
+infrastructure elements) by their contribution to plane downtime, using
+the cut-set calculus:
+
+* **Fussell-Vesely share** — the fraction of plane unavailability whose
+  cut sets involve the component;
+* **automation benefit** — downtime removed if the component's restart
+  were perfect (its unavailability driven to the auto-restart level), the
+  quantitative version of "develop automation to reduce downtime".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.spec import ControllerSpec, Plane
+from repro.core.cutsets import minimal_cut_sets
+from repro.core.importance import fussell_vesely
+from repro.models.failure_modes import build_plane_structure
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.topology.deployment import DeploymentTopology
+from repro.units import MINUTES_PER_YEAR
+
+
+@dataclass(frozen=True)
+class WeakLink:
+    """One component's contribution to plane downtime."""
+
+    component: str
+    fussell_vesely: float
+    automation_benefit_minutes: float
+
+
+def _grouped(name: str) -> str:
+    """Collapse per-instance components to their class.
+
+    ``proc:Database/kafka-2`` -> ``proc:Database/kafka``;
+    ``sup:Database-1`` -> ``sup:Database``; infrastructure keeps its name.
+    """
+    if name.startswith(("proc:", "sup:")):
+        return name.rsplit("-", 1)[0]
+    return name
+
+
+def rank_weak_links(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    plane: Plane,
+    max_order: int = 2,
+    top: int = 10,
+) -> list[WeakLink]:
+    """Rank component classes by Fussell-Vesely share of plane downtime.
+
+    Per-instance components are grouped by class (``kafka-1..3`` count as
+    one ``kafka`` weak link), since automation fixes the process, not one
+    replica.  The automation benefit replaces the class's unavailability
+    with the auto-restarted process unavailability ``1 - A`` (for
+    infrastructure, zero) and reports the union-bound downtime delta.
+    """
+    built = build_plane_structure(
+        spec, topology, hardware, software, scenario, plane
+    )
+    cuts = minimal_cut_sets(built.structure, max_order=max_order)
+    if not cuts:
+        return []
+    shares = fussell_vesely(cuts, built.unavailability)
+
+    def union_bound(unavailability: dict[str, float]) -> float:
+        total = 0.0
+        for cut in cuts:
+            probability = 1.0
+            for name in cut:
+                probability *= unavailability[name]
+            total += probability
+        return total
+
+    base = union_bound(built.unavailability)
+    auto_u = 1.0 - software.a_process
+
+    grouped_shares: dict[str, float] = {}
+    members: dict[str, list[str]] = {}
+    for name, share in shares.items():
+        key = _grouped(name)
+        grouped_shares[key] = grouped_shares.get(key, 0.0) + share
+        members.setdefault(key, []).append(name)
+
+    links = []
+    for key, share in grouped_shares.items():
+        improved = dict(built.unavailability)
+        for name in members[key]:
+            if name.startswith(("proc:", "sup:", "local:")):
+                improved[name] = min(improved[name], auto_u)
+            else:
+                improved[name] = 0.0
+        benefit = (base - union_bound(improved)) * MINUTES_PER_YEAR
+        links.append(
+            WeakLink(
+                component=key,
+                fussell_vesely=share,
+                automation_benefit_minutes=max(0.0, benefit),
+            )
+        )
+    links.sort(key=lambda link: (-link.fussell_vesely, link.component))
+    return links[:top]

@@ -1,0 +1,34 @@
+"""Model parameters: hardware and software availabilities.
+
+The paper's models are driven by a handful of availability parameters
+("intended to represent ballpark parameters ... for relative, qualitative
+comparisons"):
+
+* hardware: role/VM/host/rack availabilities (:class:`HardwareParams`),
+* software: process failure/restart times and the derived supervised and
+  unsupervised availabilities (:class:`SoftwareParams`).
+
+:mod:`repro.params.defaults` carries the exact values printed in the paper.
+"""
+
+from repro.params.hardware import HardwareParams, MaintenanceLevel
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.params.defaults import (
+    PAPER_HARDWARE,
+    PAPER_HARDWARE_FIG3,
+    PAPER_SOFTWARE,
+    paper_hardware,
+    paper_software,
+)
+
+__all__ = [
+    "HardwareParams",
+    "MaintenanceLevel",
+    "SoftwareParams",
+    "RestartScenario",
+    "PAPER_HARDWARE",
+    "PAPER_HARDWARE_FIG3",
+    "PAPER_SOFTWARE",
+    "paper_hardware",
+    "paper_software",
+]

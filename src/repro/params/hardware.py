@@ -1,0 +1,92 @@
+"""Hardware availability parameters.
+
+The HW-centric models (section V) are parameterized by four availabilities:
+
+* ``a_role`` (the paper's ``A_C``) — one instance of any controller role,
+* ``a_vm`` (``A_V``) — a VM including its guest OS,
+* ``a_host`` (``A_H``) — a host including host OS and hypervisor,
+* ``a_rack`` (``A_R``) — a rack.
+
+Section V-D also derives host availability from MTBF and the maintenance
+contract: Same Day (4 h MTTR), Next Day (24 h), Next Business Day (48 h);
+:meth:`HardwareParams.with_maintenance` reproduces that calculation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.units import (
+    HOURS_PER_YEAR,
+    availability_from_mtbf,
+    check_positive,
+    check_probability,
+)
+
+
+class MaintenanceLevel(enum.Enum):
+    """Maintenance contract and its typical mean time to restore (hours).
+
+    The paper's section V-D: Same Day (hardened Telco site, spare HW and
+    24x7 staffing) -> 4 h; Next Day -> 24 h after intra-day incident timing;
+    Next Business Day -> 48 h after intra-week timing.
+    """
+
+    SAME_DAY = 4.0
+    NEXT_DAY = 24.0
+    NEXT_BUSINESS_DAY = 48.0
+
+    @property
+    def mttr_hours(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """The four hardware-level availabilities of the HW-centric models."""
+
+    a_role: float
+    a_vm: float
+    a_host: float
+    a_rack: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.a_role, "a_role (A_C)")
+        check_probability(self.a_vm, "a_vm (A_V)")
+        check_probability(self.a_host, "a_host (A_H)")
+        check_probability(self.a_rack, "a_rack (A_R)")
+
+    def with_role_availability(self, a_role: float) -> "HardwareParams":
+        """Copy with a different role availability — the Fig. 3 sweep axis."""
+        return replace(self, a_role=a_role)
+
+    def with_maintenance(
+        self, level: MaintenanceLevel, mtbf_years: float = 5.0
+    ) -> "HardwareParams":
+        """Copy with host availability derived from MTBF and a maintenance level.
+
+        The paper: "enterprise-grade servers may have a MTBF in the 5-year
+        range", giving ``A_H`` from 0.9990 (NBD) through 0.9995 (ND) to
+        0.9999 (SD).
+        """
+        check_positive(mtbf_years, "mtbf_years")
+        mtbf_hours = mtbf_years * HOURS_PER_YEAR
+        return replace(
+            self, a_host=availability_from_mtbf(mtbf_hours, level.mttr_hours)
+        )
+
+    @property
+    def node_block(self) -> float:
+        """Combined {role+VM+host} availability — the Small/Large alpha."""
+        return self.a_role * self.a_vm * self.a_host
+
+    @property
+    def vm_block(self) -> float:
+        """Combined {role+VM} availability — the Medium alpha."""
+        return self.a_role * self.a_vm
+
+    @property
+    def vm_host_block(self) -> float:
+        """Combined {VM+host} availability — the SW-centric block weight."""
+        return self.a_vm * self.a_host

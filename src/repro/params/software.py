@@ -1,0 +1,184 @@
+"""Software (process-level) availability parameters — section VI.A.
+
+The SW-centric models distinguish two process availabilities:
+
+* ``A = F/(F+R)`` — a process under supervisor control (auto-restarted in
+  the fast restart time ``R``),
+* ``A_S = F/(F+R_S)`` — an unsupervised process requiring manual restart in
+  time ``R_S`` (the *supervisor* itself, *redis*, the Database processes).
+
+and two *restart scenarios* for the supervisor:
+
+* :attr:`RestartScenario.NOT_REQUIRED` (option 1, optimistic upper bound) —
+  a dead supervisor leaves its node-role running; the node-role is restarted
+  hitlessly at the next maintenance window.
+* :attr:`RestartScenario.REQUIRED` (option 2, realistic lower bound) — a
+  dead supervisor forces the whole node-role down until it is restarted.
+
+:meth:`SoftwareParams.effective_availability` reproduces the paper's ``A*``
+calculations for both scenarios (the 0.99998 vs 0.9998 contrast of VI.A).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.controller.process import RestartMode
+from repro.errors import ParameterError
+from repro.units import check_positive, check_probability, scale_downtime
+
+
+class RestartScenario(enum.Enum):
+    """Whether the supervisor process is required for node-role operation."""
+
+    NOT_REQUIRED = 1  #: option "1" — optimistic upper bound
+    REQUIRED = 2  #: option "2" — realistic lower bound
+
+
+@dataclass(frozen=True)
+class SoftwareParams:
+    """Process failure/restart times and the derived availabilities.
+
+    Attributes:
+        mtbf_hours: process mean time between failures, the paper's ``F``
+            (default 5000 h).
+        auto_restart_hours: mean time for a supervisor auto-restart, ``R``
+            (default 0.1 h).
+        manual_restart_hours: mean time for a manual restart, ``R_S``
+            (default 1 h).
+        maintenance_window_hours: for scenario 1, the mean exposure window
+            between a supervisor failure and the next maintenance
+            opportunity (the paper's "say 10 hour" interval).
+    """
+
+    mtbf_hours: float = 5000.0
+    auto_restart_hours: float = 0.1
+    manual_restart_hours: float = 1.0
+    maintenance_window_hours: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.mtbf_hours, "mtbf_hours (F)")
+        check_positive(self.auto_restart_hours, "auto_restart_hours (R)")
+        check_positive(self.manual_restart_hours, "manual_restart_hours (R_S)")
+        check_positive(
+            self.maintenance_window_hours, "maintenance_window_hours"
+        )
+
+    # -- the two headline availabilities --------------------------------------
+
+    @property
+    def a_process(self) -> float:
+        """``A = F/(F+R)`` — availability of a supervised process."""
+        return self.mtbf_hours / (self.mtbf_hours + self.auto_restart_hours)
+
+    @property
+    def a_unsupervised(self) -> float:
+        """``A_S = F/(F+R_S)`` — availability of a manually-restarted process."""
+        return self.mtbf_hours / (self.mtbf_hours + self.manual_restart_hours)
+
+    def availability(self, restart: RestartMode) -> float:
+        """Per-process availability by restart mode (``A`` or ``A_S``)."""
+        if restart is RestartMode.AUTO:
+            return self.a_process
+        return self.a_unsupervised
+
+    def availability_map(self) -> dict[RestartMode, float]:
+        """``{AUTO: A, MANUAL: A_S}`` — the map consumed by quorum units."""
+        return {
+            RestartMode.AUTO: self.a_process,
+            RestartMode.MANUAL: self.a_unsupervised,
+        }
+
+    # -- section VI.A effective-availability analysis --------------------------
+
+    def effective_restart_hours(self, scenario: RestartScenario) -> float:
+        """The paper's ``R*``: actual mean restart time of a supervised process.
+
+        Scenario 1: the process is auto-restarted unless it happens to fail
+        during the window after its supervisor failed; with exponential
+        failures the window-failure probability is ``1 - exp(-W/F)`` and
+        ``R* = exp(-W/F) R + (1 - exp(-W/F)) R_S`` (paper: 0.102 h).
+
+        Scenario 2: either the process or its supervisor failing causes a
+        restart; with equal rates ``R* = (R + R_S)/2`` (paper: 0.55 h).
+        """
+        if scenario is RestartScenario.NOT_REQUIRED:
+            survive = math.exp(
+                -self.maintenance_window_hours / self.mtbf_hours
+            )
+            return (
+                survive * self.auto_restart_hours
+                + (1.0 - survive) * self.manual_restart_hours
+            )
+        return (self.auto_restart_hours + self.manual_restart_hours) / 2.0
+
+    def effective_mtbf_hours(self, scenario: RestartScenario) -> float:
+        """The paper's ``F*``: scenario 2 halves the failure interval.
+
+        In scenario 2 a process restarts when either it or its supervisor
+        fails; with equal exponential rates the combined interval is
+        ``F/2``.  Scenario 1 leaves ``F`` unchanged.
+        """
+        if scenario is RestartScenario.NOT_REQUIRED:
+            return self.mtbf_hours
+        return self.mtbf_hours / 2.0
+
+    def effective_availability(self, scenario: RestartScenario) -> float:
+        """The paper's ``A* = F*/(F* + R*)``.
+
+        Scenario 1 gives ``A* ~= A`` (supervisor failures barely matter);
+        scenario 2 gives ``A* ~= A_S`` ("every process effectively inherits
+        the supervisor availability").
+        """
+        f = self.effective_mtbf_hours(scenario)
+        r = self.effective_restart_hours(scenario)
+        return f / (f + r)
+
+    # -- sweeps ----------------------------------------------------------------
+
+    def scaled(self, orders_of_magnitude: float) -> "SoftwareParams":
+        """Scale both ``A`` and ``A_S`` by orders of magnitude of downtime.
+
+        This is the Figs. 4-5 x-axis: "A and A_S are varied in lock-step".
+        Implemented by scaling the restart times (``R``, ``R_S``) by
+        ``10**-x``, which scales both unavailabilities by ``10**-x`` exactly
+        (since ``1 - A = R/(F+R)`` rescales with ``R`` up to a second-order
+        term in ``R/F``); the residual second-order deviation is corrected
+        by solving for the restart time that hits the target availability
+        exactly.
+        """
+        target_a = scale_downtime(self.a_process, orders_of_magnitude)
+        target_as = scale_downtime(self.a_unsupervised, orders_of_magnitude)
+        if target_a <= 0.0 or target_as <= 0.0:
+            raise ParameterError("scaling pushed availability to 0")
+        # R such that F/(F+R) == target  =>  R = F (1-target)/target
+        new_r = self.mtbf_hours * (1.0 - target_a) / target_a
+        new_rs = self.mtbf_hours * (1.0 - target_as) / target_as
+        return replace(
+            self, auto_restart_hours=new_r, manual_restart_hours=new_rs
+        )
+
+    @classmethod
+    def from_availabilities(
+        cls,
+        a_process: float,
+        a_unsupervised: float,
+        mtbf_hours: float = 5000.0,
+    ) -> "SoftwareParams":
+        """Construct from target availabilities instead of restart times."""
+        check_probability(a_process, "a_process (A)")
+        check_probability(a_unsupervised, "a_unsupervised (A_S)")
+        if not 0.0 < a_process < 1.0 or not 0.0 < a_unsupervised < 1.0:
+            raise ParameterError(
+                "availabilities must be strictly inside (0, 1) to recover "
+                "finite restart times"
+            )
+        return cls(
+            mtbf_hours=mtbf_hours,
+            auto_restart_hours=mtbf_hours * (1.0 - a_process) / a_process,
+            manual_restart_hours=mtbf_hours
+            * (1.0 - a_unsupervised)
+            / a_unsupervised,
+        )

@@ -1,0 +1,6 @@
+"""Plain-text and CSV rendering used by the benchmark harness and examples."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.csvout import write_csv
+
+__all__ = ["format_table", "write_csv"]

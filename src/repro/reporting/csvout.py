@@ -1,0 +1,34 @@
+"""CSV output for figure series.
+
+Each benchmark that regenerates a paper figure also writes the underlying
+series to ``results/`` so the curves can be plotted externally.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to ``path`` (parent directories created), return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target

@@ -1,0 +1,51 @@
+"""Minimal, dependency-free ASCII table rendering.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; this module renders them with aligned columns so the output can be
+compared side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a table with a header rule and aligned columns.
+
+    Cells are converted with ``str``; floats should be pre-formatted by the
+    caller to control precision.  Raises if any row's width differs from the
+    header width.
+    """
+    header_cells = [str(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ReproError(
+                f"row {row!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        text_rows.append(cells)
+    widths = [len(h) for h in header_cells]
+    for cells in text_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_availability(value: float, digits: int = 7) -> str:
+    """Format an availability with enough digits to distinguish nines."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,44 @@
+"""Monte-Carlo discrete-event simulation of controller availability.
+
+The paper closes with: "Future work includes simulating the topologies to
+validate the conclusions."  This package is that simulator: exponential
+failure/repair processes for racks, hosts, VMs, supervisors, and controller
+processes; hierarchical failure masking; the two supervisor restart
+scenarios; and time-weighted CP/DP availability measurement with
+batch-means confidence intervals.
+
+Entry point: :func:`repro.sim.controller_sim.simulate_controller`, or the
+analytic-comparison harness :func:`repro.sim.validate.validate_against_analytic`.
+"""
+
+from repro.sim.controller_sim import (
+    OutageStatistics,
+    SimulationConfig,
+    SimulationResult,
+    simulate_controller,
+)
+from repro.sim.measures import BinarySignal, batch_means_interval
+from repro.sim.scenario import Injection, ScenarioRunner, ScenarioTrace
+from repro.sim.validate import ValidationReport, validate_against_analytic
+from repro.sim.vrouter_connections import (
+    ControlEvent,
+    DropInterval,
+    VRouterConnectionModel,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "OutageStatistics",
+    "simulate_controller",
+    "BinarySignal",
+    "batch_means_interval",
+    "Injection",
+    "ScenarioRunner",
+    "ScenarioTrace",
+    "ValidationReport",
+    "validate_against_analytic",
+    "ControlEvent",
+    "DropInterval",
+    "VRouterConnectionModel",
+]

@@ -1,0 +1,333 @@
+"""Full controller availability simulation.
+
+Builds the component system for a :class:`ControllerSpec` deployed on a
+:class:`DeploymentTopology` — racks, hosts, VMs, supervisors, and every
+regular process — wires the supervisor semantics of the selected restart
+scenario, and measures the four paper quantities (``A_CP``, ``A_SDP``,
+``A_LDP``, ``A_DP``) as time-weighted signals.
+
+Failure-rate parameterization: process dynamics come straight from
+:class:`SoftwareParams` (F, R, R_S); infrastructure elements get an MTBF
+per level from :class:`SimulationConfig` and the MTTR implied by the
+:class:`HardwareParams` availabilities, so the simulated steady state
+matches the analytic models' inputs exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.process import RestartMode
+from repro.controller.spec import ControllerSpec, Plane
+from repro.errors import SimulationError
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.sim.engine import AvailabilitySimulator
+from repro.sim.entities import Component, ComponentKind, ComponentState
+from repro.sim.measures import ConfidenceInterval, batch_means_interval
+from repro.topology.deployment import DeploymentTopology
+from repro.units import mttr_from_availability
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-length and infrastructure-dynamics settings.
+
+    Attributes:
+        seed: root RNG seed (runs are reproducible per seed).
+        horizon_hours: simulated time.
+        batches: batch count for batch-means confidence intervals.
+        rack_mtbf_hours / host_mtbf_hours / vm_mtbf_hours: infrastructure
+            failure intervals; the matching repair times are derived from
+            the hardware availabilities so steady-state availabilities match
+            the analytic inputs.
+    """
+
+    seed: int = 1
+    horizon_hours: float = 500_000.0
+    batches: int = 10
+    rack_mtbf_hours: float = 100_000.0
+    host_mtbf_hours: float = 40_000.0
+    vm_mtbf_hours: float = 20_000.0
+
+
+@dataclass(frozen=True)
+class OutageStatistics:
+    """Observed outage episodes for one plane signal."""
+
+    count: int
+    frequency_per_hour: float
+    mean_duration_hours: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured availabilities with confidence intervals."""
+
+    cp: float
+    shared_dp: float
+    local_dp: float
+    dp: float
+    intervals: dict[str, ConfidenceInterval] = field(default_factory=dict)
+    outages: dict[str, OutageStatistics] = field(default_factory=dict)
+    horizon_hours: float = 0.0
+
+    def interval(self, name: str) -> ConfidenceInterval:
+        try:
+            return self.intervals[name]
+        except KeyError:
+            raise SimulationError(f"no interval for signal {name!r}") from None
+
+    def outage_statistics(self, name: str) -> OutageStatistics:
+        try:
+            return self.outages[name]
+        except KeyError:
+            raise SimulationError(
+                f"no outage statistics for signal {name!r}"
+            ) from None
+
+
+def _infrastructure_components(
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    config: SimulationConfig,
+) -> list[Component]:
+    components: list[Component] = []
+    levels = (
+        (topology.racks, ComponentKind.RACK, "rack", hardware.a_rack,
+         config.rack_mtbf_hours, lambda e: ()),
+        (topology.hosts, ComponentKind.HOST, "host", hardware.a_host,
+         config.host_mtbf_hours, lambda e: (f"rack:{e.rack}",)),
+        (topology.vms, ComponentKind.VM, "vm", hardware.a_vm,
+         config.vm_mtbf_hours, lambda e: (f"host:{e.host}",)),
+    )
+    for elements, kind, prefix, availability, mtbf, deps in levels:
+        if availability >= 1.0:
+            rate, mttr = 0.0, 1.0
+        else:
+            rate = 1.0 / mtbf
+            mttr = mttr_from_availability(availability, mtbf)
+        for element in elements:
+            components.append(
+                Component(
+                    key=f"{prefix}:{element.name}",
+                    kind=kind,
+                    failure_rate=rate,
+                    repair_mean=mttr,
+                    dependencies=deps(element),
+                )
+            )
+    return components
+
+
+def build_simulator(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    config: SimulationConfig,
+) -> AvailabilitySimulator:
+    """Construct the ready-to-run simulator (exposed for tests/inspection)."""
+    components = _infrastructure_components(topology, hardware, config)
+    process_rate = 1.0 / software.mtbf_hours
+    supervised_by: dict[str, list[str]] = {}
+
+    for role in spec.cluster_roles:
+        instances = topology.instances_of(role.name)
+        for instance in instances:
+            vm_key = f"vm:{instance.vm}"
+            sup_key = None
+            if role.supervisor is not None:
+                sup_key = f"sup:{role.name}-{instance.index}"
+                components.append(
+                    Component(
+                        key=sup_key,
+                        kind=ComponentKind.SUPERVISOR,
+                        failure_rate=process_rate,
+                        repair_mean=(
+                            software.manual_restart_hours
+                            if scenario is RestartScenario.REQUIRED
+                            else software.maintenance_window_hours
+                        ),
+                        dependencies=(vm_key,),
+                    )
+                )
+                supervised_by[sup_key] = []
+            for process in role.regular_processes:
+                deps = (vm_key,)
+                if scenario is RestartScenario.REQUIRED and sup_key:
+                    deps = (vm_key, sup_key)
+                key = f"proc:{role.name}/{process.name}-{instance.index}"
+                components.append(
+                    Component(
+                        key=key,
+                        kind=ComponentKind.PROCESS,
+                        failure_rate=process_rate,
+                        repair_mean=software.manual_restart_hours,
+                        dependencies=deps,
+                        auto_restart=process.restart is RestartMode.AUTO,
+                        supervisor_key=sup_key,
+                    )
+                )
+                if sup_key:
+                    supervised_by[sup_key].append(key)
+
+    host_role = spec.host_role
+    if host_role is not None:
+        local_sup = None
+        if host_role.supervisor is not None:
+            local_sup = "local:supervisor"
+            components.append(
+                Component(
+                    key=local_sup,
+                    kind=ComponentKind.SUPERVISOR,
+                    failure_rate=process_rate,
+                    repair_mean=(
+                        software.manual_restart_hours
+                        if scenario is RestartScenario.REQUIRED
+                        else software.maintenance_window_hours
+                    ),
+                )
+            )
+            supervised_by[local_sup] = []
+        for process in host_role.regular_processes:
+            deps: tuple[str, ...] = ()
+            if scenario is RestartScenario.REQUIRED and local_sup:
+                deps = (local_sup,)
+            key = f"local:{process.name}"
+            components.append(
+                Component(
+                    key=key,
+                    kind=ComponentKind.PROCESS,
+                    failure_rate=process_rate,
+                    repair_mean=software.manual_restart_hours,
+                    dependencies=deps,
+                    auto_restart=process.restart is RestartMode.AUTO,
+                    supervisor_key=local_sup,
+                )
+            )
+            if local_sup:
+                supervised_by[local_sup].append(key)
+
+    def repair_policy(component: Component) -> float:
+        """AUTO processes restart in R while supervised, R_S otherwise."""
+        if component.kind is ComponentKind.PROCESS and component.auto_restart:
+            sup = component.supervisor_key
+            if sup is None or simulator.effectively_up(sup):
+                return software.auto_restart_hours
+            return software.manual_restart_hours
+        return component.repair_mean
+
+    def on_repair(sim: AvailabilitySimulator, component: Component) -> None:
+        """A restarted supervisor restores its node-role's processes."""
+        if (
+            scenario is RestartScenario.REQUIRED
+            and component.kind is ComponentKind.SUPERVISOR
+        ):
+            for key in supervised_by.get(component.key, ()):
+                if sim.components[key].state is ComponentState.REPAIRING:
+                    sim.restore_component(key)
+
+    simulator = AvailabilitySimulator(
+        components,
+        seed=config.seed,
+        repair_policy=repair_policy,
+        on_repair=on_repair,
+    )
+    _attach_signals(simulator, spec, topology)
+    return simulator
+
+
+def _attach_signals(
+    simulator: AvailabilitySimulator,
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+) -> None:
+    plane_units: dict[str, list[tuple[int, list[str]]]] = {"cp": [], "dp": []}
+    for plane_name in ("cp", "dp"):
+        for role in spec.cluster_roles:
+            for unit in role.quorum_units(plane_name):
+                per_instance = [
+                    [
+                        f"proc:{role.name}/{member.name}-{instance.index}"
+                        for member in unit.members
+                    ]
+                    for instance in topology.instances_of(role.name)
+                ]
+                plane_units[plane_name].append((unit.quorum, per_instance))
+
+    def plane_up(plane_name: str):
+        units = plane_units[plane_name]
+
+        def predicate(sim: AvailabilitySimulator) -> bool:
+            for quorum, per_instance in units:
+                satisfied = 0
+                for member_keys in per_instance:
+                    if all(sim.effectively_up(k) for k in member_keys):
+                        satisfied += 1
+                        if satisfied >= quorum:
+                            break
+                if satisfied < quorum:
+                    return False
+            return True
+
+        return predicate
+
+    local_keys: list[str] = []
+    host_role = spec.host_role
+    if host_role is not None:
+        for unit in host_role.quorum_units("dp"):
+            local_keys.extend(f"local:{m.name}" for m in unit.members)
+
+    def ldp_up(sim: AvailabilitySimulator) -> bool:
+        return all(sim.effectively_up(k) for k in local_keys)
+
+    cp_predicate = plane_up("cp")
+    sdp_predicate = plane_up("dp")
+    simulator.add_signal("cp", cp_predicate)
+    simulator.add_signal("sdp", sdp_predicate)
+    simulator.add_signal("ldp", ldp_up)
+    simulator.add_signal(
+        "dp", lambda sim: sdp_predicate(sim) and ldp_up(sim)
+    )
+
+
+def simulate_controller(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Run the controller simulation and return measured availabilities."""
+    config = config or SimulationConfig()
+    simulator = build_simulator(
+        spec, topology, hardware, software, scenario, config
+    )
+    simulator.run(config.horizon_hours, batches=config.batches)
+    intervals = {}
+    outages = {}
+    for name in ("cp", "sdp", "ldp", "dp"):
+        batch_values = simulator.batch_availabilities(name)
+        if len(batch_values) >= 2:
+            intervals[name] = batch_means_interval(batch_values)
+        signal = simulator.signal(name)
+        durations = signal.outage_durations
+        outages[name] = OutageStatistics(
+            count=signal.outage_count,
+            frequency_per_hour=signal.outage_frequency(),
+            mean_duration_hours=(
+                sum(durations) / len(durations) if durations else 0.0
+            ),
+        )
+    return SimulationResult(
+        cp=simulator.availability("cp"),
+        shared_dp=simulator.availability("sdp"),
+        local_dp=simulator.availability("ldp"),
+        dp=simulator.availability("dp"),
+        intervals=intervals,
+        outages=outages,
+        horizon_hours=config.horizon_hours,
+    )

@@ -1,0 +1,302 @@
+"""The discrete-event simulation core.
+
+:class:`AvailabilitySimulator` runs a set of :class:`Component` instances
+with exponential failure/repair dynamics under hierarchical masking, and
+integrates caller-supplied binary system signals (CP up, DP up, ...) over
+simulated time with per-batch accounting.
+
+Correctness notes (these are tested):
+
+* Failure clocks only run while a component is effectively up.  Because
+  failures are exponential, *resampling* a fresh failure time whenever the
+  effective state is re-evaluated is distributionally equivalent to pausing
+  the clock (memorylessness), so every effective-state change simply bumps
+  the component's epoch and reschedules.
+* Repairs continue while a component is masked (a replaced server does not
+  un-replace because its rack lost power).
+* Scenario-2 supervisor semantics are injected through ``on_repair`` hooks:
+  when a supervisor completes its manual restart it restores all of its
+  supervised processes (the paper's "the supervisor can then auto-restart
+  those processes under its oversight").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.entities import Component, ComponentState
+from repro.sim.events import Event, EventQueue
+from repro.sim.measures import BinarySignal
+from repro.sim.rng import RngStreams
+
+RepairPolicy = Callable[[Component], float]
+SignalPredicate = Callable[["AvailabilitySimulator"], bool]
+RepairHook = Callable[["AvailabilitySimulator", Component], None]
+
+
+class AvailabilitySimulator:
+    """Generic failure/repair simulator over a component dependency DAG."""
+
+    def __init__(
+        self,
+        components: Sequence[Component],
+        seed: int,
+        repair_policy: RepairPolicy | None = None,
+        on_repair: RepairHook | None = None,
+        repair_sampler=None,
+    ):
+        self.components: dict[str, Component] = {}
+        for component in components:
+            if component.key in self.components:
+                raise SimulationError(f"duplicate component {component.key!r}")
+            self.components[component.key] = component
+        for component in components:
+            for dependency in component.dependencies:
+                if dependency not in self.components:
+                    raise SimulationError(
+                        f"{component.key!r} depends on unknown "
+                        f"{dependency!r}"
+                    )
+                self.components[dependency].dependents.append(component.key)
+        self._queue = EventQueue()
+        self._rng = RngStreams(seed)
+        self._repair_policy = repair_policy or (lambda c: c.repair_mean)
+        self._on_repair = on_repair
+        if repair_sampler is None:
+            from repro.sim.distributions import exponential_repairs
+
+            repair_sampler = exponential_repairs
+        self._repair_sampler = repair_sampler
+        self._signals: list[tuple[BinarySignal, SignalPredicate]] = []
+        self._batch_records: dict[str, list[float]] = {}
+
+    # -- state queries -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._queue.now
+
+    def intrinsically_up(self, key: str) -> bool:
+        return self.components[key].state is ComponentState.UP
+
+    def effectively_up(self, key: str) -> bool:
+        """Intrinsically up and every dependency effectively up."""
+        component = self.components[key]
+        if component.state is not ComponentState.UP:
+            return False
+        return all(self.effectively_up(d) for d in component.dependencies)
+
+    # -- signals ------------------------------------------------------------------
+
+    def add_signal(self, name: str, predicate: SignalPredicate) -> None:
+        signal = BinarySignal(name, predicate(self), start_time=self.now)
+        self._signals.append((signal, predicate))
+        self._batch_records[name] = []
+
+    def _refresh_signals(self) -> None:
+        for signal, predicate in self._signals:
+            signal.update(self.now, predicate(self))
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _schedule_failure(self, component: Component) -> None:
+        if component.failure_rate <= 0.0:
+            return
+        delay = self._rng.exponential(
+            f"fail:{component.key}", 1.0 / component.failure_rate
+        )
+        epoch = component.epoch
+        self._queue.schedule(
+            Event(
+                time=self.now + delay,
+                action=lambda: self._fail(component.key, epoch),
+                component=component.key,
+                epoch=epoch,
+            )
+        )
+
+    def _schedule_repair(self, component: Component) -> None:
+        mean = self._repair_policy(component)
+        delay = self._repair_sampler(
+            self._rng, f"repair:{component.key}", mean
+        )
+        epoch = component.epoch
+        self._queue.schedule(
+            Event(
+                time=self.now + delay,
+                action=lambda: self._repair(component.key, epoch),
+                component=component.key,
+                epoch=epoch,
+            )
+        )
+
+    def _transitive_dependents(self, key: str) -> list[str]:
+        seen: list[str] = []
+        stack = list(self.components[key].dependents)
+        while stack:
+            dependent = stack.pop()
+            if dependent not in seen:
+                seen.append(dependent)
+                stack.extend(self.components[dependent].dependents)
+        return seen
+
+    def _reschedule_subtree(self, key: str) -> None:
+        """Re-evaluate failure clocks for ``key``'s dependents.
+
+        Every transitive dependent gets its pending *failure* clock
+        invalidated; those now effectively up get a fresh one (valid by
+        memorylessness), those masked get none.  Pending repairs are left
+        alone — repairs proceed regardless of masking.
+        """
+        for dependent_key in self._transitive_dependents(key):
+            dependent = self.components[dependent_key]
+            if dependent.state is ComponentState.UP:
+                dependent.bump()
+                if self.effectively_up(dependent_key):
+                    self._schedule_failure(dependent)
+
+    # -- transitions -----------------------------------------------------------------
+
+    def _fail(self, key: str, epoch: int) -> None:
+        component = self.components[key]
+        if component.epoch != epoch or component.state is not ComponentState.UP:
+            return  # stale clock
+        component.state = ComponentState.REPAIRING
+        component.bump()
+        self._schedule_repair(component)
+        self._reschedule_subtree(key)
+        self._refresh_signals()
+
+    def _repair(self, key: str, epoch: int) -> None:
+        component = self.components[key]
+        if (
+            component.epoch != epoch
+            or component.state is not ComponentState.REPAIRING
+        ):
+            return  # cancelled (e.g. supervisor restored the process)
+        component.state = ComponentState.UP
+        component.bump()
+        if self._on_repair is not None:
+            self._on_repair(self, component)
+        if self.effectively_up(key):
+            self._schedule_failure(component)
+        self._reschedule_subtree(key)
+        self._refresh_signals()
+
+    def advance_time(self, time: float) -> None:
+        """Move the clock forward with no intervening events (scenario use)."""
+        self._queue.advance_to(time)
+        self._refresh_signals()
+
+    def force_fail(self, key: str) -> None:
+        """Fail a component immediately without scheduling its repair.
+
+        Used by the deterministic scenario runner
+        (:mod:`repro.sim.scenario`); the component stays down until
+        :meth:`force_repair`.
+        """
+        component = self.components[key]
+        if component.state is ComponentState.REPAIRING:
+            return
+        component.state = ComponentState.REPAIRING
+        component.bump()
+        self._reschedule_subtree(key)
+        self._refresh_signals()
+
+    def force_repair(self, key: str) -> None:
+        """Repair a component immediately (scenario counterpart of force_fail).
+
+        Applies the same supervisor hook as a stochastic repair, so a
+        scenario-restarted supervisor restores its processes.
+        """
+        component = self.components[key]
+        if component.state is ComponentState.UP:
+            return
+        component.state = ComponentState.UP
+        component.bump()
+        if self._on_repair is not None:
+            self._on_repair(self, component)
+        if self.effectively_up(key):
+            self._schedule_failure(component)
+        self._reschedule_subtree(key)
+        self._refresh_signals()
+
+    def restore_component(self, key: str) -> None:
+        """Force a component up immediately (used by supervisor hooks).
+
+        Cancels its pending repair, marks it up, and schedules a fresh
+        failure clock if it is effectively up.
+        """
+        component = self.components[key]
+        if component.state is ComponentState.UP:
+            return
+        component.state = ComponentState.UP
+        component.bump()
+        if self.effectively_up(key):
+            self._schedule_failure(component)
+        self._reschedule_subtree(key)
+
+    # -- run loop ---------------------------------------------------------------------
+
+    def run(self, horizon: float, batches: int = 10) -> None:
+        """Simulate to ``horizon`` time units with ``batches`` batch windows."""
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon}")
+        if batches < 1:
+            raise SimulationError(f"batches must be >= 1, got {batches}")
+        for component in self.components.values():
+            if component.state is ComponentState.UP and self.effectively_up(
+                component.key
+            ):
+                self._schedule_failure(component)
+        boundaries = [horizon * (i + 1) / batches for i in range(batches)]
+        previous: dict[str, tuple[float, float]] = {
+            signal.name: (0.0, 0.0) for signal, _ in self._signals
+        }
+        boundary_index = 0
+        while self._queue and boundary_index < batches:
+            event = self._queue.pop()
+            while (
+                boundary_index < batches
+                and event.time >= boundaries[boundary_index]
+            ):
+                self._record_batch(boundaries[boundary_index], previous)
+                boundary_index += 1
+            if event.time >= horizon:
+                break
+            event.action()
+        while boundary_index < batches:
+            self._record_batch(boundaries[boundary_index], previous)
+            boundary_index += 1
+
+    def _record_batch(
+        self, boundary: float, previous: dict[str, tuple[float, float]]
+    ) -> None:
+        for signal, predicate in self._signals:
+            signal.update(boundary, predicate(self))
+            up, total = signal.cumulative()
+            prev_up, prev_total = previous[signal.name]
+            batch_total = total - prev_total
+            if batch_total > 0:
+                self._batch_records[signal.name].append(
+                    (up - prev_up) / batch_total
+                )
+            previous[signal.name] = (up, total)
+
+    # -- results -------------------------------------------------------------------------
+
+    def availability(self, name: str) -> float:
+        return self.signal(name).availability()
+
+    def signal(self, name: str) -> BinarySignal:
+        """Access a signal's full record (outage episodes, integrals)."""
+        for signal, _ in self._signals:
+            if signal.name == name:
+                return signal
+        raise SimulationError(f"unknown signal {name!r}")
+
+    def batch_availabilities(self, name: str) -> list[float]:
+        if name not in self._batch_records:
+            raise SimulationError(f"unknown signal {name!r}")
+        return list(self._batch_records[name])

@@ -1,0 +1,66 @@
+"""Simulated components.
+
+Every failable thing in the simulation — rack, host, VM, supervisor,
+process — is a :class:`Component` with an intrinsic state (UP or
+REPAIRING), an exponential failure rate, a repair-time selector, and a set
+of dependencies.  A component is *effectively up* when it is intrinsically
+up and every dependency is effectively up; failure clocks only run while
+effectively up (stale clocks are invalidated through the component's epoch
+counter — see :mod:`repro.sim.events`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ComponentState(enum.Enum):
+    UP = "up"
+    REPAIRING = "repairing"
+
+
+class ComponentKind(enum.Enum):
+    RACK = "rack"
+    HOST = "host"
+    VM = "vm"
+    SUPERVISOR = "supervisor"
+    PROCESS = "process"
+
+
+@dataclass
+class Component:
+    """One failable element of the simulated deployment.
+
+    Attributes:
+        key: unique identity, e.g. ``"proc:Config/config-api-1"``.
+        kind: what level of the stack the component models.
+        failure_rate: exponential failure rate (1/MTBF) while effectively up.
+            Zero means the component never fails intrinsically.
+        repair_mean: default mean repair time.  Auto-restarted processes may
+            override this dynamically (R vs R_S depending on supervisor
+            state) via the engine's repair-time policy.
+        dependencies: keys this component needs effectively up (its
+            infrastructure chain, plus its supervisor in scenario 2).
+        dependents: reverse edges, filled in by the engine.
+        auto_restart: process attribute — True when the supervisor restarts
+            it (restart mode AUTO).
+        supervisor_key: the supervisor overseeing this process, if any.
+    """
+
+    key: str
+    kind: ComponentKind
+    failure_rate: float
+    repair_mean: float
+    dependencies: tuple[str, ...] = ()
+    dependents: list[str] = field(default_factory=list)
+    auto_restart: bool = False
+    supervisor_key: str | None = None
+
+    state: ComponentState = ComponentState.UP
+    epoch: int = 0
+
+    def bump(self) -> int:
+        """Invalidate any scheduled event for this component."""
+        self.epoch += 1
+        return self.epoch

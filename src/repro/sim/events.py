@@ -1,0 +1,82 @@
+"""Discrete-event queue.
+
+A heap-ordered future event list with stable FIFO tie-breaking and
+token-based cancellation: events carry the epoch of the component they were
+scheduled for, and the dispatcher drops events whose epoch has moved on
+(the standard trick for exponential clocks that pause under failure
+masking).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback with a staleness token.
+
+    Attributes:
+        time: absolute simulation time the event fires at.
+        action: zero-argument callable run when the event is dispatched.
+        component: optional component key the event belongs to.
+        epoch: the component's epoch at scheduling time; the queue owner
+            compares it against the current epoch to drop stale events.
+    """
+
+    time: float
+    action: Callable[[], None]
+    component: str | None = None
+    epoch: int = 0
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, event: Event) -> None:
+        if event.time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {event.time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, _Entry(event.time, next(self._sequence), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        entry = heapq.heappop(self._heap)
+        if entry.time < self._now:
+            raise SimulationError("event queue produced an out-of-order event")
+        self._now = entry.time
+        return entry.event
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without dispatching (end-of-horizon)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance clock backwards to {time} from {self._now}"
+            )
+        self._now = time

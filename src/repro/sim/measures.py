@@ -1,0 +1,143 @@
+"""Time-weighted measurement of binary availability signals.
+
+:class:`BinarySignal` integrates a boolean signal over simulated time —
+the estimator of steady-state availability — and records per-batch means so
+a confidence interval can be formed by the batch-means method (simulation
+output is autocorrelated; i.i.d. formulas on raw samples would be wrong).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class BinarySignal:
+    """Integrates an up/down signal over time.
+
+    Besides the time-weighted availability, the signal records *outage
+    episodes* — maximal down intervals — enabling frequency/duration
+    statistics that validate the cut-set outage calculus
+    (:mod:`repro.analysis.frequency`).
+    """
+
+    def __init__(self, name: str, initial: bool, start_time: float = 0.0):
+        self.name = name
+        self._state = bool(initial)
+        self._last_change = start_time
+        self._up_time = 0.0
+        self._total_time = 0.0
+        self._outage_started = None if self._state else start_time
+        self._outage_durations: list[float] = []
+
+    @property
+    def state(self) -> bool:
+        return self._state
+
+    def update(self, time: float, state: bool) -> None:
+        """Record the signal value from ``time`` onward."""
+        if time < self._last_change:
+            raise SimulationError(
+                f"signal {self.name!r} updated backwards in time"
+            )
+        elapsed = time - self._last_change
+        self._total_time += elapsed
+        if self._state:
+            self._up_time += elapsed
+        state = bool(state)
+        if self._state and not state:
+            self._outage_started = time
+        elif not self._state and state:
+            if self._outage_started is not None:
+                self._outage_durations.append(time - self._outage_started)
+            self._outage_started = None
+        self._state = state
+        self._last_change = time
+
+    @property
+    def outage_count(self) -> int:
+        """Completed outage episodes observed so far."""
+        return len(self._outage_durations)
+
+    @property
+    def outage_durations(self) -> tuple[float, ...]:
+        """Durations of the completed outage episodes."""
+        return tuple(self._outage_durations)
+
+    def mean_outage_duration(self) -> float:
+        """Mean completed-outage length; raises when none were observed."""
+        if not self._outage_durations:
+            raise SimulationError(
+                f"signal {self.name!r} observed no completed outages"
+            )
+        return sum(self._outage_durations) / len(self._outage_durations)
+
+    def outage_frequency(self) -> float:
+        """Completed outages per unit of observed time."""
+        if self._total_time <= 0:
+            raise SimulationError(
+                f"signal {self.name!r} observed no time; run the simulation"
+            )
+        return len(self._outage_durations) / self._total_time
+
+    def finalize(self, time: float) -> None:
+        """Close the integration window at the horizon."""
+        self.update(time, self._state)
+
+    @property
+    def observed_time(self) -> float:
+        return self._total_time
+
+    def cumulative(self) -> tuple[float, float]:
+        """``(up_time, total_time)`` integrated so far — batch bookkeeping."""
+        return self._up_time, self._total_time
+
+    def availability(self) -> float:
+        """Fraction of observed time the signal was up."""
+        if self._total_time <= 0:
+            raise SimulationError(
+                f"signal {self.name!r} observed no time; run the simulation"
+            )
+        return self._up_time / self._total_time
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric normal-approximation confidence interval."""
+
+    mean: float
+    half_width: float
+    batches: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def batch_means_interval(
+    batch_values: list[float], z: float = 1.96
+) -> ConfidenceInterval:
+    """Batch-means confidence interval from per-batch availability means.
+
+    Standard method for steady-state simulation output: split the horizon
+    into equal batches, treat batch means as approximately i.i.d. normal.
+    Requires at least 2 batches.
+    """
+    k = len(batch_values)
+    if k < 2:
+        raise SimulationError(
+            f"batch-means needs at least 2 batches, got {k}"
+        )
+    mean = sum(batch_values) / k
+    variance = sum((v - mean) ** 2 for v in batch_values) / (k - 1)
+    half_width = z * math.sqrt(variance / k)
+    return ConfidenceInterval(mean=mean, half_width=half_width, batches=k)

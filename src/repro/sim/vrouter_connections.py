@@ -1,0 +1,208 @@
+"""vRouter-agent control-connection dynamics — section III fidelity.
+
+The paper's section III describes behavior the steady-state models
+deliberately abstract away ("we assume that the impact of simultaneous
+*control* process failures on host DP availability is negligible"):
+
+* each host's *vrouter-agent* is connected to **two** Control nodes,
+  assigned round-robin, so each control pair serves about a third of the
+  hosts;
+* if one connected control fails, the agent rediscovers the unused control
+  "typically within a minute" **without** dropping packets (it still has
+  one live connection);
+* if **both** connected controls fail simultaneously, that third of the
+  agents drops packets until they reconnect to the remaining control;
+* if **all** controls fail, every host DP goes down (BGP forwarding tables
+  are flushed) until a control returns and agents reconnect.
+
+This module models those dynamics exactly for an explicit timeline of
+control-node up/down events, computing per-host packet-drop intervals —
+which lets us *test* the negligibility assumption instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """A control node going down or coming back at a point in time."""
+
+    time: float
+    control: str
+    up: bool
+
+
+@dataclass(frozen=True)
+class DropInterval:
+    """A maximal interval during which a host's DP dropped packets."""
+
+    host: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class VRouterConnectionModel:
+    """Per-host agent connections with round-robin assignment and rediscovery.
+
+    Args:
+        controls: control node names (the paper's three).
+        hosts: number of compute hosts.
+        rediscovery_hours: time for an agent to (re)connect to an available
+            control after losing all its connections (the paper's "typically
+            within a minute" — default 1/60 h).
+    """
+
+    def __init__(
+        self,
+        controls: Sequence[str],
+        hosts: int,
+        rediscovery_hours: float = 1.0 / 60.0,
+    ):
+        if len(controls) < 2:
+            raise SimulationError("need at least two control nodes")
+        if len(set(controls)) != len(controls):
+            raise SimulationError("control names must be distinct")
+        if hosts < 1:
+            raise SimulationError(f"hosts must be >= 1, got {hosts}")
+        if rediscovery_hours <= 0:
+            raise SimulationError("rediscovery time must be > 0")
+        self._controls = tuple(controls)
+        self._hosts = hosts
+        self._rediscovery = rediscovery_hours
+
+    def initial_connections(self, host: int) -> tuple[str, str]:
+        """Round-robin pair assignment: host h -> (c_h, c_{h+1}) mod n."""
+        if not 0 <= host < self._hosts:
+            raise SimulationError(f"host index out of range: {host}")
+        n = len(self._controls)
+        return (
+            self._controls[host % n],
+            self._controls[(host + 1) % n],
+        )
+
+    def drop_intervals(
+        self,
+        events: Sequence[ControlEvent],
+        horizon: float,
+    ) -> list[DropInterval]:
+        """Packet-drop intervals per host over an event timeline.
+
+        An agent holds up to two connections.  A connection dies when its
+        control goes down.  When the agent still has one connection it
+        immediately (and hitlessly) picks up a replacement if any other
+        control is up.  When it loses *both* — or when a replacement is
+        wanted but no control is up — the host drops packets; service
+        resumes ``rediscovery_hours`` after at least one control is
+        continuously available (if a control is up the whole time, that is
+        ``rediscovery_hours`` after the loss).
+        """
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon}")
+        ordered = sorted(events, key=lambda e: e.time)
+        for event in ordered:
+            if event.control not in self._controls:
+                raise SimulationError(f"unknown control {event.control!r}")
+            if not 0 <= event.time <= horizon:
+                raise SimulationError("event outside [0, horizon]")
+        intervals: list[DropInterval] = []
+        for host in range(self._hosts):
+            intervals.extend(self._host_intervals(host, ordered, horizon))
+        return intervals
+
+    def _host_intervals(
+        self, host: int, events: Sequence[ControlEvent], horizon: float
+    ) -> list[DropInterval]:
+        up = {c: True for c in self._controls}
+        connections = set(self.initial_connections(host))
+        dropping_since: float | None = None
+        reconnect_at: float | None = None  # pending dark-state rediscovery
+        topup_at: float | None = None  # pending hitless replacement
+        intervals: list[DropInterval] = []
+
+        def available_controls() -> list[str]:
+            return [c for c in self._controls if up[c]]
+
+        def replacement_candidates() -> list[str]:
+            return [c for c in available_controls() if c not in connections]
+
+        def complete_pending(now: float) -> None:
+            """Land any rediscovery/top-up whose delay elapsed before now."""
+            nonlocal dropping_since, reconnect_at, topup_at, connections
+            if reconnect_at is not None and reconnect_at <= now:
+                intervals.append(
+                    DropInterval(host, dropping_since, reconnect_at)
+                )
+                connections = set(available_controls()[:2])
+                dropping_since = None
+                reconnect_at = None
+            if topup_at is not None and topup_at <= now:
+                for control in replacement_candidates():
+                    if len(connections) >= 2:
+                        break
+                    connections.add(control)
+                topup_at = None
+
+        for event in sorted(events, key=lambda e: e.time):
+            complete_pending(event.time)
+            up[event.control] = event.up
+            if event.up:
+                if dropping_since is not None:
+                    if reconnect_at is None:
+                        # A control returned while the agent was dark with
+                        # no target; rediscovery starts now.
+                        reconnect_at = event.time + self._rediscovery
+                elif len(connections) < 2 and topup_at is None:
+                    topup_at = event.time + self._rediscovery
+            else:
+                connections.discard(event.control)
+                if dropping_since is not None:
+                    if reconnect_at is not None and not available_controls():
+                        reconnect_at = None  # rediscovery target vanished
+                elif not connections:
+                    # Both connections lost before a replacement landed:
+                    # the paper's simultaneous-failure packet drop.
+                    dropping_since = event.time
+                    topup_at = None
+                    reconnect_at = (
+                        event.time + self._rediscovery
+                        if available_controls()
+                        else None
+                    )
+                elif replacement_candidates() and topup_at is None:
+                    # One live connection remains: hitless replacement
+                    # lands after the rediscovery delay.
+                    topup_at = event.time + self._rediscovery
+        complete_pending(horizon)
+        if dropping_since is not None:
+            end = (
+                min(reconnect_at, horizon)
+                if reconnect_at is not None
+                else horizon
+            )
+            intervals.append(DropInterval(host, dropping_since, end))
+        return intervals
+
+    def impacted_fraction(
+        self, events: Sequence[ControlEvent], horizon: float
+    ) -> float:
+        """Fraction of hosts that dropped any packets over the timeline."""
+        impacted = {i.host for i in self.drop_intervals(events, horizon)}
+        return len(impacted) / self._hosts
+
+    def dp_unavailability(
+        self, events: Sequence[ControlEvent], horizon: float
+    ) -> float:
+        """Mean per-host DP unavailability contributed by connection loss."""
+        total = sum(
+            i.duration for i in self.drop_intervals(events, horizon)
+        )
+        return total / (self._hosts * horizon)

@@ -1,0 +1,31 @@
+"""Hardware deployment topologies.
+
+Section IV of the paper defines three reference layouts of controller role
+instances onto VMs, hosts, and racks — Small, Medium, and Large.  This
+package provides:
+
+* :mod:`repro.topology.elements` — racks, hosts, VMs, role instances,
+* :mod:`repro.topology.deployment` — the :class:`DeploymentTopology`
+  placement model with validation and shared/private element analysis,
+* :mod:`repro.topology.reference` — builders for the Small/Medium/Large
+  reference topologies (and their 2N+1 generalizations).
+"""
+
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.reference import (
+    large_topology,
+    medium_topology,
+    small_topology,
+)
+
+__all__ = [
+    "Rack",
+    "Host",
+    "Vm",
+    "RoleInstance",
+    "DeploymentTopology",
+    "small_topology",
+    "medium_topology",
+    "large_topology",
+]

@@ -1,0 +1,115 @@
+"""Custom deployment layouts beyond the paper's three references.
+
+The exact engine (:mod:`repro.models.engine`) evaluates *any* placement,
+which lets us ask design questions the closed forms cannot:
+
+* :func:`cross_rack_small` — the Small topology's three combined-role
+  hosts, but one per rack.  Costs the same hardware as Small (3 hosts)
+  while protecting the quorum from rack failure like Large does.
+* :func:`database_spread` — only the Database role's hosts are spread
+  across racks; the 1-of-3 roles stay in rack R1.  Tests whether
+  protecting just the quorum role is enough (it is not: R1 remains an
+  order-1 cut for the co-located 1-of-3 roles).
+* :func:`check_anti_affinity` — placement policy validation: are a role's
+  instances on distinct hosts/racks?
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import TopologyError
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+from repro.topology.reference import _cluster_size, _role_names
+
+
+def cross_rack_small(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """Small's hardware footprint with Large's rack diversity.
+
+    Node ``i`` is one host in its own rack ``Ri`` running the combined
+    GCAD VM — three hosts, three racks, twelve role instances.
+    """
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    racks = tuple(Rack(f"R{i}") for i in range(1, n + 1))
+    hosts = tuple(Host(f"H{i}", f"R{i}") for i in range(1, n + 1))
+    vms = tuple(Vm(f"GCAD{i}", f"H{i}") for i in range(1, n + 1))
+    instances = tuple(
+        RoleInstance(role, i, f"GCAD{i}")
+        for i in range(1, n + 1)
+        for role in roles
+    )
+    return DeploymentTopology("CrossRackSmall", racks, hosts, vms, instances)
+
+
+def database_spread(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    quorum_role: str = "Database",
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """Spread only the quorum role across racks; co-locate the rest in R1.
+
+    The quorum role's instances get dedicated hosts in racks R1..Rn; the
+    remaining roles share combined VMs on hosts in rack R1.
+    """
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    if quorum_role not in roles:
+        raise TopologyError(
+            f"quorum role {quorum_role!r} not among roles {roles}"
+        )
+    other_roles = tuple(r for r in roles if r != quorum_role)
+    racks = tuple(Rack(f"R{i}") for i in range(1, n + 1))
+    hosts = []
+    vms = []
+    instances = []
+    for i in range(1, n + 1):
+        host = Host(f"DBH{i}", f"R{i}")
+        hosts.append(host)
+        vm = Vm(f"{quorum_role}{i}", host.name)
+        vms.append(vm)
+        instances.append(RoleInstance(quorum_role, i, vm.name))
+    for i in range(1, n + 1):
+        host = Host(f"H{i}", "R1")
+        hosts.append(host)
+        vm = Vm(f"GCA{i}", host.name)
+        vms.append(vm)
+        instances.extend(
+            RoleInstance(role, i, vm.name) for role in other_roles
+        )
+    return DeploymentTopology(
+        "DatabaseSpread", racks, tuple(hosts), tuple(vms), tuple(instances)
+    )
+
+
+def check_anti_affinity(
+    topology: DeploymentTopology, role: str, level: str
+) -> bool:
+    """Whether a role's instances occupy distinct elements at ``level``.
+
+    ``level`` is ``"rack"``, ``"host"``, or ``"vm"``.  Anti-affinity at
+    the rack level is what makes the Large topology's quorum rack-failure
+    tolerant.
+    """
+    index = {"rack": 0, "host": 1, "vm": 2}
+    try:
+        position = index[level]
+    except KeyError:
+        raise TopologyError(
+            f"level must be one of {sorted(index)}, got {level!r}"
+        ) from None
+    elements = [
+        topology.support_chain(instance)[position]
+        for instance in topology.instances_of(role)
+    ]
+    return len(set(elements)) == len(elements)
+
+
+def hardware_footprint(topology: DeploymentTopology) -> tuple[int, int, int]:
+    """``(racks, hosts, vms)`` — the cost drivers of a layout."""
+    return len(topology.racks), len(topology.hosts), len(topology.vms)

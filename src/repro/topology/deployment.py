@@ -1,0 +1,188 @@
+"""Deployment topology: placement of role instances on VMs/hosts/racks.
+
+:class:`DeploymentTopology` validates the containment hierarchy and exposes
+the queries the availability engine needs:
+
+* the *support chain* of a role instance (its VM, host, and rack),
+* which elements are *shared* (support more than one role instance) versus
+  *private* — shared elements must be conditioned on jointly during exact
+  evaluation, while private elements fold into the instance's own survival
+  probability (see :mod:`repro.models.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import TopologyError
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+
+@dataclass(frozen=True)
+class DeploymentTopology:
+    """An immutable, validated deployment of a controller cluster.
+
+    Attributes:
+        name: topology label (e.g. ``"Small"``).
+        racks, hosts, vms: the containment hierarchy.
+        instances: role instances placed on VMs.  Multiple instances may
+            share a VM (the Small topology's combined GCAD VMs).
+    """
+
+    name: str
+    racks: tuple[Rack, ...]
+    hosts: tuple[Host, ...]
+    vms: tuple[Vm, ...]
+    instances: tuple[RoleInstance, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "racks", tuple(self.racks))
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+        object.__setattr__(self, "vms", tuple(self.vms))
+        object.__setattr__(self, "instances", tuple(self.instances))
+        self._validate()
+
+    def _validate(self) -> None:
+        rack_names = {r.name for r in self.racks}
+        if len(rack_names) != len(self.racks):
+            raise TopologyError("duplicate rack names")
+        host_names = {h.name for h in self.hosts}
+        if len(host_names) != len(self.hosts):
+            raise TopologyError("duplicate host names")
+        vm_names = {v.name for v in self.vms}
+        if len(vm_names) != len(self.vms):
+            raise TopologyError("duplicate VM names")
+        overlap = rack_names & host_names | rack_names & vm_names | host_names & vm_names
+        if overlap:
+            raise TopologyError(f"element names reused across levels: {overlap}")
+        for host in self.hosts:
+            if host.rack not in rack_names:
+                raise TopologyError(
+                    f"host {host.name!r} references unknown rack {host.rack!r}"
+                )
+        for vm in self.vms:
+            if vm.host not in host_names:
+                raise TopologyError(
+                    f"VM {vm.name!r} references unknown host {vm.host!r}"
+                )
+        seen_instances = set()
+        for instance in self.instances:
+            if instance.vm not in vm_names:
+                raise TopologyError(
+                    f"instance {instance.label} references unknown VM "
+                    f"{instance.vm!r}"
+                )
+            key = (instance.role, instance.index)
+            if key in seen_instances:
+                raise TopologyError(
+                    f"duplicate placement for instance {instance.label}"
+                )
+            seen_instances.add(key)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def host_of_vm(self, vm_name: str) -> Host:
+        for vm in self.vms:
+            if vm.name == vm_name:
+                for host in self.hosts:
+                    if host.name == vm.host:
+                        return host
+        raise TopologyError(f"unknown VM {vm_name!r}")
+
+    def rack_of_host(self, host_name: str) -> Rack:
+        for host in self.hosts:
+            if host.name == host_name:
+                for rack in self.racks:
+                    if rack.name == host.rack:
+                        return rack
+        raise TopologyError(f"unknown host {host_name!r}")
+
+    def role_names(self) -> tuple[str, ...]:
+        """Distinct role names in placement order of first appearance."""
+        seen: list[str] = []
+        for instance in self.instances:
+            if instance.role not in seen:
+                seen.append(instance.role)
+        return tuple(seen)
+
+    def instances_of(self, role: str) -> tuple[RoleInstance, ...]:
+        """All placed instances of a role, ordered by index."""
+        found = sorted(
+            (i for i in self.instances if i.role == role),
+            key=lambda i: i.index,
+        )
+        if not found:
+            raise TopologyError(f"no instances of role {role!r} placed")
+        return tuple(found)
+
+    def replica_count(self, role: str) -> int:
+        return len(self.instances_of(role))
+
+    # -- support chains and sharing ----------------------------------------------
+
+    def support_chain(self, instance: RoleInstance) -> tuple[str, str, str]:
+        """``(rack, host, vm)`` element names supporting an instance."""
+        host = self.host_of_vm(instance.vm)
+        return (host.rack, host.name, instance.vm)
+
+    def element_support(self) -> dict[str, set[tuple[str, int]]]:
+        """Map from element name to the set of role instances it supports.
+
+        Rack support includes every instance on any VM in the rack, etc.
+        """
+        support: dict[str, set[tuple[str, int]]] = {}
+        for instance in self.instances:
+            rack, host, vm = self.support_chain(instance)
+            key = (instance.role, instance.index)
+            for element in (rack, host, vm):
+                support.setdefault(element, set()).add(key)
+        return support
+
+    def shared_elements(self) -> tuple[str, ...]:
+        """Elements supporting more than one role instance, hierarchy order.
+
+        These are the elements the exact availability engine must enumerate
+        jointly; everything else folds into per-instance probabilities.
+        Returned racks first, then hosts, then VMs, each sorted by name, so
+        enumeration order is deterministic.
+        """
+        support = self.element_support()
+        shared = {name for name, inst in support.items() if len(inst) > 1}
+        ordered: list[str] = []
+        for group in (self.racks, self.hosts, self.vms):
+            ordered.extend(
+                e.name for e in sorted(group) if e.name in shared
+            )
+        return tuple(ordered)
+
+    def parent_of(self, element: str) -> str | None:
+        """Containing element (VM -> host, host -> rack, rack -> None)."""
+        for vm in self.vms:
+            if vm.name == element:
+                return vm.host
+        for host in self.hosts:
+            if host.name == element:
+                return host.rack
+        for rack in self.racks:
+            if rack.name == element:
+                return None
+        raise TopologyError(f"unknown element {element!r}")
+
+    def level_of(self, element: str) -> str:
+        """``'rack'``, ``'host'``, or ``'vm'``."""
+        if any(r.name == element for r in self.racks):
+            return "rack"
+        if any(h.name == element for h in self.hosts):
+            return "host"
+        if any(v.name == element for v in self.vms):
+            return "vm"
+        raise TopologyError(f"unknown element {element!r}")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        return (
+            f"{self.name}: {len(self.racks)} rack(s), {len(self.hosts)} "
+            f"host(s), {len(self.vms)} VM(s), {len(self.instances)} role "
+            f"instance(s) across roles {', '.join(self.role_names())}"
+        )

@@ -1,0 +1,73 @@
+"""Physical and virtual deployment elements.
+
+A deployment is a three-level containment hierarchy — racks contain hosts,
+hosts run VMs — plus a placement of controller *role instances* onto VMs.
+Names are the identities: two elements with the same name are the same
+element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True, order=True)
+class Rack:
+    """A rack — the largest shared failure domain the paper models."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("rack name must be non-empty")
+
+
+@dataclass(frozen=True, order=True)
+class Host:
+    """A physical server, including its host OS and hypervisor."""
+
+    name: str
+    rack: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.rack:
+            raise TopologyError("host name and rack must be non-empty")
+
+
+@dataclass(frozen=True, order=True)
+class Vm:
+    """A virtual machine (including guest OS) pinned to one host."""
+
+    name: str
+    host: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.host:
+            raise TopologyError("VM name and host must be non-empty")
+
+
+@dataclass(frozen=True, order=True)
+class RoleInstance:
+    """One copy of a controller role: ``(role, index)`` placed on a VM.
+
+    ``index`` runs 1..cluster_size — the paper's G1..G3, C1..C3, etc.
+    """
+
+    role: str
+    index: int
+    vm: str
+
+    def __post_init__(self) -> None:
+        if not self.role or not self.vm:
+            raise TopologyError("role and VM must be non-empty")
+        if self.index < 1:
+            raise TopologyError(
+                f"instance index must be >= 1, got {self.index}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``G1`` style is left to callers; here ``Config-1``."""
+        return f"{self.role}-{self.index}"

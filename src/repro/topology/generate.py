@@ -1,0 +1,84 @@
+"""Parametric topology generation.
+
+The paper's Small/Medium/Large are three points in a two-dimensional
+design space: *how many racks* the nodes spread over, and whether roles
+share combined node VMs or get their own VM+host.  These generators cover
+the whole space so the design-search tooling can sweep it:
+
+* :func:`combined_nodes_topology` — one combined (GCAD-style) VM per node,
+  one host per node, nodes round-robin over ``racks_used`` racks.
+  ``racks_used=1`` is the paper's Small; ``racks_used=3`` is the
+  CrossRackSmall layout of :mod:`repro.topology.custom`.
+* :func:`separated_topology` — every role copy in its own VM on its own
+  host, node hosts round-robin over ``racks_used`` racks.
+  ``racks_used=cluster_size`` is the paper's Large.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import TopologyError
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+from repro.topology.reference import _cluster_size, _role_names
+
+
+def _validate_racks(racks_used: int, cluster_size: int) -> None:
+    if not 1 <= racks_used <= cluster_size:
+        raise TopologyError(
+            f"racks_used must be in [1, {cluster_size}], got {racks_used}"
+        )
+
+
+def combined_nodes_topology(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    racks_used: int,
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """Combined node VMs on per-node hosts, spread over ``racks_used`` racks."""
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    _validate_racks(racks_used, n)
+    racks = tuple(Rack(f"R{i}") for i in range(1, racks_used + 1))
+    hosts = tuple(
+        Host(f"H{i}", f"R{(i - 1) % racks_used + 1}") for i in range(1, n + 1)
+    )
+    vms = tuple(Vm(f"GCAD{i}", f"H{i}") for i in range(1, n + 1))
+    instances = tuple(
+        RoleInstance(role, i, f"GCAD{i}")
+        for i in range(1, n + 1)
+        for role in roles
+    )
+    return DeploymentTopology(
+        f"Combined-{racks_used}R", racks, hosts, vms, instances
+    )
+
+
+def separated_topology(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    racks_used: int,
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """Per-role VMs and hosts, node hosts spread over ``racks_used`` racks."""
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    _validate_racks(racks_used, n)
+    racks = tuple(Rack(f"R{i}") for i in range(1, racks_used + 1))
+    hosts = []
+    vms = []
+    instances = []
+    host_number = 0
+    for i in range(1, n + 1):
+        rack = f"R{(i - 1) % racks_used + 1}"
+        for role in roles:
+            host_number += 1
+            host = Host(f"H{host_number}", rack)
+            hosts.append(host)
+            vm = Vm(f"{role}{i}", host.name)
+            vms.append(vm)
+            instances.append(RoleInstance(role, i, vm.name))
+    return DeploymentTopology(
+        f"Separated-{racks_used}R", racks, tuple(hosts), tuple(vms), instances
+    )

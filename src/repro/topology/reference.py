@@ -1,0 +1,139 @@
+"""The paper's reference deployment topologies (section IV, Fig. 2).
+
+* **Small** — all critical roles of each node combined in one VM (GCAD1-3),
+  three VMs on three hosts, all hosts in a single rack.
+* **Medium** — roles in separate VMs (G1-3, C1-3, A1-3, D1-3), node ``i``'s
+  VMs on host ``Hi``; hosts H1-H2 in rack R1, H3 in rack R2.
+* **Large** — every role copy in its own VM on its own host; node ``i``'s
+  hosts in their own rack ``Ri``.
+
+Builders are parameterized by the controller's cluster roles so the same
+layouts apply to any :class:`~repro.controller.spec.ControllerSpec`, and by
+the cluster size for 2N+1 generalizations (Medium keeps a quorum majority of
+nodes in rack R1, matching the paper's two-rack hazard).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import TopologyError
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+
+def _role_names(spec_or_roles: ControllerSpec | Sequence[str]) -> tuple[str, ...]:
+    if isinstance(spec_or_roles, ControllerSpec):
+        return tuple(role.name for role in spec_or_roles.cluster_roles)
+    names = tuple(spec_or_roles)
+    if not names or len(set(names)) != len(names):
+        raise TopologyError("role names must be non-empty and distinct")
+    return names
+
+
+def _cluster_size(
+    spec_or_roles: ControllerSpec | Sequence[str], cluster_size: int | None
+) -> int:
+    if cluster_size is None:
+        if isinstance(spec_or_roles, ControllerSpec):
+            return spec_or_roles.cluster_size
+        return 3
+    if cluster_size < 1:
+        raise TopologyError(f"cluster_size must be >= 1, got {cluster_size}")
+    return cluster_size
+
+
+def small_topology(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """The Small topology: combined role VMs, one host each, one rack."""
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    rack = Rack("R1")
+    hosts = tuple(Host(f"H{i}", "R1") for i in range(1, n + 1))
+    vms = tuple(Vm(f"GCAD{i}", f"H{i}") for i in range(1, n + 1))
+    instances = tuple(
+        RoleInstance(role, i, f"GCAD{i}")
+        for i in range(1, n + 1)
+        for role in roles
+    )
+    return DeploymentTopology("Small", (rack,), hosts, vms, instances)
+
+
+def medium_topology(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """The Medium topology: per-role VMs, node VMs per host, two racks.
+
+    A quorum majority of nodes (all but the last) resides in rack R1 —
+    reproducing the paper's observation that the two-rack layout keeps the
+    "2 of 3" quorum exposed to a single rack failure.
+    """
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    if n < 2:
+        raise TopologyError("the Medium topology needs at least 2 nodes")
+    racks = (Rack("R1"), Rack("R2"))
+    hosts = tuple(
+        Host(f"H{i}", "R1" if i < n else "R2") for i in range(1, n + 1)
+    )
+    vms = tuple(
+        Vm(f"{role}{i}", f"H{i}") for i in range(1, n + 1) for role in roles
+    )
+    instances = tuple(
+        RoleInstance(role, i, f"{role}{i}")
+        for i in range(1, n + 1)
+        for role in roles
+    )
+    return DeploymentTopology("Medium", racks, hosts, vms, instances)
+
+
+def large_topology(
+    spec_or_roles: ControllerSpec | Sequence[str],
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """The Large topology: every role copy on its own host, node per rack."""
+    roles = _role_names(spec_or_roles)
+    n = _cluster_size(spec_or_roles, cluster_size)
+    racks = tuple(Rack(f"R{i}") for i in range(1, n + 1))
+    hosts = []
+    vms = []
+    instances = []
+    host_number = 0
+    for i in range(1, n + 1):
+        for role in roles:
+            host_number += 1
+            host = Host(f"H{host_number}", f"R{i}")
+            hosts.append(host)
+            vm = Vm(f"{role}{i}", host.name)
+            vms.append(vm)
+            instances.append(RoleInstance(role, i, vm.name))
+    return DeploymentTopology(
+        "Large", racks, tuple(hosts), tuple(vms), tuple(instances)
+    )
+
+
+REFERENCE_BUILDERS = {
+    "small": small_topology,
+    "medium": medium_topology,
+    "large": large_topology,
+}
+
+
+def reference_topology(
+    name: str,
+    spec_or_roles: ControllerSpec | Sequence[str],
+    cluster_size: int | None = None,
+) -> DeploymentTopology:
+    """Build a reference topology by name (``small``/``medium``/``large``)."""
+    try:
+        builder = REFERENCE_BUILDERS[name.lower()]
+    except KeyError:
+        raise TopologyError(
+            f"unknown reference topology {name!r}; expected one of "
+            f"{sorted(REFERENCE_BUILDERS)}"
+        ) from None
+    return builder(spec_or_roles, cluster_size)

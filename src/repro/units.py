@@ -1,0 +1,137 @@
+"""Availability units and conversions.
+
+The paper expresses resiliency interchangeably as an availability fraction
+(e.g. ``0.99999``), annual downtime in minutes per year (``m/y``), "nines"
+(``5`` nines), and MTBF/MTTR pairs (``A = MTTF/(MTTF+MTTR)``).  This module
+provides the conversions among those representations, used throughout the
+models, analyses, and benchmark harnesses.
+
+The paper's downtime figures are quoted in minutes per *calendar* year; we
+use the 365.25-day Julian year (525 960 minutes) by default, matching the
+paper's quoted values (e.g. availability 0.999989 -> "5.9 minutes/year"), and
+expose the constant so callers may substitute a 365-day year.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+#: Minutes in a Julian year (365.25 days), the paper's downtime denominator.
+MINUTES_PER_YEAR: float = 365.25 * 24 * 60
+
+#: Hours in a Julian year.
+HOURS_PER_YEAR: float = 365.25 * 24
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval ``[0, 1]``.
+
+    Returns the value unchanged so the function can be used inline::
+
+        self.a_host = check_probability(a_host, "A_H")
+
+    Raises:
+        ParameterError: if ``value`` is not a finite number in ``[0, 1]``.
+    """
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(numeric) or not 0.0 <= numeric <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {numeric!r}")
+    return numeric
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, strictly positive number."""
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(numeric) or numeric <= 0.0:
+        raise ParameterError(f"{name} must be finite and > 0, got {numeric!r}")
+    return numeric
+
+
+def availability_from_mtbf(mtbf: float, mttr: float) -> float:
+    """Steady-state availability ``A = MTBF / (MTBF + MTTR)``.
+
+    ``mtbf`` and ``mttr`` must share a time unit (the paper uses hours).
+    ``mttr`` may be zero (a never-failing or instantly-repaired element).
+    """
+    check_positive(mtbf, "MTBF")
+    if mttr < 0:
+        raise ParameterError(f"MTTR must be >= 0, got {mttr!r}")
+    return mtbf / (mtbf + mttr)
+
+
+def mttr_from_availability(availability: float, mtbf: float) -> float:
+    """Invert ``A = MTBF/(MTBF+MTTR)`` to recover the MTTR."""
+    check_probability(availability, "availability")
+    check_positive(mtbf, "MTBF")
+    if availability == 0.0:
+        raise ParameterError("availability 0 implies infinite MTTR")
+    return mtbf * (1.0 - availability) / availability
+
+
+def downtime_minutes_per_year(
+    availability: float, minutes_per_year: float = MINUTES_PER_YEAR
+) -> float:
+    """Annual downtime in minutes implied by a steady-state availability."""
+    check_probability(availability, "availability")
+    return (1.0 - availability) * minutes_per_year
+
+
+def availability_from_downtime(
+    minutes: float, minutes_per_year: float = MINUTES_PER_YEAR
+) -> float:
+    """Availability implied by an annual downtime of ``minutes`` per year."""
+    if minutes < 0 or minutes > minutes_per_year:
+        raise ParameterError(
+            f"annual downtime must be in [0, {minutes_per_year}], got {minutes!r}"
+        )
+    return 1.0 - minutes / minutes_per_year
+
+
+def nines(availability: float) -> float:
+    """Number of "nines" of availability: ``-log10(1 - A)``.
+
+    ``A = 0.999`` -> 3.0; ``A = 0.99995`` -> ~4.3.  Returns ``inf`` for a
+    perfectly available element.
+    """
+    check_probability(availability, "availability")
+    if availability == 1.0:
+        return math.inf
+    return -math.log10(1.0 - availability)
+
+
+def availability_from_nines(n: float) -> float:
+    """Availability with ``n`` nines: ``1 - 10**-n``."""
+    if n < 0:
+        raise ParameterError(f"nines must be >= 0, got {n!r}")
+    return 1.0 - 10.0 ** (-n)
+
+
+def scale_downtime(availability: float, orders_of_magnitude: float) -> float:
+    """Scale an availability by orders of magnitude of *downtime*.
+
+    This is the x-axis transformation of the paper's Figs. 4-5: the sweep
+    variable ``x in [-1, +1]`` maps a default availability ``A`` to an
+    availability with ``10**-x`` times the downtime, i.e.::
+
+        A(x) = 1 - (1 - A) * 10**(-x)
+
+    ``x = -1`` means one order of magnitude *more* downtime (10x less
+    reliable); ``x = +1`` means one order of magnitude *less* downtime.
+    """
+    check_probability(availability, "availability")
+    scaled_downtime = (1.0 - availability) * 10.0 ** (-orders_of_magnitude)
+    if scaled_downtime > 1.0:
+        raise ParameterError(
+            "scaling by {0:+g} orders pushes unavailability above 1".format(
+                orders_of_magnitude
+            )
+        )
+    return 1.0 - scaled_downtime

@@ -1,0 +1,80 @@
+"""Shared fixtures: the reference spec, parameters, and topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.library import (
+    flat_consensus_controller,
+    split_state_controller,
+    toy_controller,
+)
+from repro.controller.opencontrail import opencontrail_3x
+from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+from repro.params.hardware import HardwareParams
+from repro.params.software import SoftwareParams
+from repro.topology.reference import (
+    large_topology,
+    medium_topology,
+    small_topology,
+)
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The OpenContrail 3.x reference controller specification."""
+    return opencontrail_3x()
+
+
+@pytest.fixture(scope="session")
+def hardware():
+    """The paper's hardware defaults (Fig. 3 / section VI values)."""
+    return PAPER_HARDWARE
+
+
+@pytest.fixture(scope="session")
+def software():
+    """The paper's software defaults (F=5000h, R=0.1h, R_S=1h)."""
+    return PAPER_SOFTWARE
+
+
+@pytest.fixture(scope="session")
+def small(spec):
+    return small_topology(spec)
+
+
+@pytest.fixture(scope="session")
+def medium(spec):
+    return medium_topology(spec)
+
+
+@pytest.fixture(scope="session")
+def large(spec):
+    return large_topology(spec)
+
+
+@pytest.fixture(scope="session")
+def toy_spec():
+    return toy_controller()
+
+
+@pytest.fixture(scope="session")
+def flat_spec():
+    return flat_consensus_controller()
+
+
+@pytest.fixture(scope="session")
+def split_spec():
+    return split_state_controller()
+
+
+@pytest.fixture(scope="session")
+def stressed_hardware():
+    """Low-availability hardware for simulation validation runs."""
+    return HardwareParams(a_role=1.0, a_vm=0.998, a_host=0.998, a_rack=0.999)
+
+
+@pytest.fixture(scope="session")
+def stressed_software():
+    """Low-availability software so simulated failures actually occur."""
+    return SoftwareParams.from_availabilities(0.995, 0.95, mtbf_hours=100.0)

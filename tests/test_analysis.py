@@ -1,0 +1,153 @@
+"""Tests for sweeps, sensitivity, and figure series (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.figures import fig3_series, fig4_series, fig5_series
+from repro.analysis.sensitivity import (
+    hardware_tornado,
+    local_sensitivity,
+    unavailability_elasticity,
+)
+from repro.analysis.sweep import grid, sweep
+from repro.errors import ParameterError
+from repro.models.hw_closed import hw_large, hw_small
+
+
+class TestSweep:
+    def test_grid_inclusive(self):
+        values = grid(0.0, 1.0, 5)
+        assert values[0] == 0.0 and values[-1] == 1.0
+        assert len(values) == 5
+
+    def test_grid_validation(self):
+        with pytest.raises(ParameterError):
+            grid(0.0, 1.0, 1)
+        with pytest.raises(ParameterError):
+            grid(1.0, 0.0, 5)
+
+    def test_sweep_rows(self):
+        result = sweep("x", [1.0, 2.0], {"sq": lambda x: x * x})
+        assert result.rows() == [(1.0, 1.0), (2.0, 4.0)]
+        assert result.labels == ("sq",)
+
+    def test_sweep_needs_evaluators(self):
+        with pytest.raises(ParameterError):
+            sweep("x", [1.0], {})
+
+
+class TestFig3:
+    def test_endpoints_match_models(self, hardware):
+        result = fig3_series(hardware, points=5)
+        assert result.series["Small"][0] == pytest.approx(
+            hw_small(hardware.with_role_availability(0.999))
+        )
+        assert result.series["Large"][-1] == pytest.approx(
+            hw_large(hardware.with_role_availability(1.0))
+        )
+
+    def test_large_dominates_everywhere(self, hardware):
+        result = fig3_series(hardware, points=9)
+        for s, m, l in zip(
+            result.series["Small"],
+            result.series["Medium"],
+            result.series["Large"],
+        ):
+            assert l > s >= m
+
+    def test_monotone_in_role_availability(self, hardware):
+        result = fig3_series(hardware, points=9)
+        for label in ("Small", "Medium", "Large"):
+            series = result.series[label]
+            assert all(a <= b + 1e-15 for a, b in zip(series, series[1:]))
+
+
+class TestFig4And5:
+    def test_fig4_center_matches_options(self, spec, hardware, software):
+        from repro.models.sw_options import evaluate_option
+
+        result = fig4_series(spec, hardware, software, points=3)
+        center = {
+            option: result.series[option][1] for option in result.labels
+        }
+        for option, value in center.items():
+            expected = evaluate_option(spec, option, hardware, software).cp
+            assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_fig5_center_matches_options(self, spec, hardware, software):
+        from repro.models.sw_options import evaluate_option
+
+        result = fig5_series(spec, hardware, software, points=3)
+        for option in result.labels:
+            expected = evaluate_option(spec, option, hardware, software).dp
+            assert result.series[option][1] == pytest.approx(
+                expected, rel=1e-12
+            )
+
+    def test_curves_monotone_in_process_availability(
+        self, spec, hardware, software
+    ):
+        result = fig4_series(spec, hardware, software, points=9)
+        for option in result.labels:
+            series = result.series[option]
+            assert all(a <= b + 1e-15 for a, b in zip(series, series[1:]))
+
+    def test_scenario1_dominates_scenario2_pointwise(
+        self, spec, hardware, software
+    ):
+        for maker in (fig4_series, fig5_series):
+            result = maker(spec, hardware, software, points=5)
+            for a1, a2 in zip(result.series["1S"], result.series["2S"]):
+                assert a1 >= a2
+            for a1, a2 in zip(result.series["1L"], result.series["2L"]):
+                assert a1 >= a2
+
+
+class TestSensitivity:
+    def test_local_sensitivity_of_series_system(self):
+        # d(x * 0.9)/dx = 0.9.
+        assert local_sensitivity(lambda x: x * 0.9, 0.5) == pytest.approx(0.9)
+
+    def test_boundary_clipping(self):
+        derivative = local_sensitivity(lambda x: x, 1.0, step=1e-6)
+        assert derivative == pytest.approx(1.0)
+
+    def test_elasticity_series_element(self):
+        # For the sole series element the elasticity is exactly 1.
+        fn = lambda a: a  # noqa: E731
+        assert unavailability_elasticity(fn, 0.99) == pytest.approx(1.0)
+
+    def test_elasticity_with_partner_slightly_below_one(self):
+        # A fixed-partner series element dilutes the elasticity below 1.
+        fn = lambda a: a * 0.999  # noqa: E731
+        value = unavailability_elasticity(fn, 0.99)
+        assert 0.8 < value < 1.0
+
+    def test_elasticity_redundant_element(self, hardware):
+        # The role in the Large topology is protected by 2-of-3 redundancy:
+        # elasticity of system unavailability to role unavailability ~ 2
+        # in the regime where role failures dominate.
+        params = hardware
+        fn = lambda a: hw_large(  # noqa: E731
+            params.with_role_availability(a)
+        )
+        elasticity = unavailability_elasticity(fn, 0.995, factor=2.0)
+        assert elasticity == pytest.approx(2.0, abs=0.25)
+
+    def test_tornado_ranks_host_over_rack_in_large(self, hardware):
+        impacts = hardware_tornado(hw_large, hardware)
+        # In the Large topology the rack joins the redundant chain, so
+        # degrading racks hurts less than degrading the (also redundant but
+        # larger-unavailability) hosts... all four should be modest.
+        assert set(impacts) == {"a_role", "a_vm", "a_host", "a_rack"}
+        assert all(v >= -1e-9 for v in impacts.values())
+
+    def test_tornado_rack_dominates_small(self, hardware):
+        impacts = hardware_tornado(hw_small, hardware)
+        # The Small topology's single rack is a series element: degrading
+        # it 10x adds ~47 min/yr, more than any redundancy-protected term.
+        assert impacts["a_rack"] == max(impacts.values())
+        assert impacts["a_rack"] == pytest.approx(47.3, abs=1.5)
+
+    def test_tornado_validation(self, hardware):
+        with pytest.raises(ParameterError):
+            hardware_tornado(hw_small, hardware, downtime_factor=1.0)

@@ -1,0 +1,98 @@
+"""Tests for crossover detection (repro.analysis.crossover)."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    option_crossover_orders,
+    refine_crossing,
+    sweep_crossings,
+)
+from repro.analysis.figures import fig4_series
+from repro.analysis.sweep import sweep
+from repro.errors import ParameterError
+
+
+class TestRefineCrossing:
+    def test_linear_root(self):
+        root = refine_crossing(lambda x: x - 0.3, 0.0, 1.0)
+        assert root == pytest.approx(0.3, abs=1e-5)
+
+    def test_endpoint_roots(self):
+        assert refine_crossing(lambda x: x, 0.0, 1.0) == 0.0
+        assert refine_crossing(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_unbracketed_rejected(self):
+        with pytest.raises(ParameterError):
+            refine_crossing(lambda x: 1.0, 0.0, 1.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ParameterError):
+            refine_crossing(lambda x: x, 1.0, 0.0)
+
+
+class TestSweepCrossings:
+    def test_detects_single_crossing(self):
+        result = sweep(
+            "x",
+            [0.0, 0.5, 1.0],
+            {"up": lambda x: x, "down": lambda x: 1 - x},
+        )
+        brackets = sweep_crossings(result, "up", "down")
+        # The curves touch exactly at the x = 0.5 grid point, so both
+        # adjacent intervals bracket the crossing.
+        assert (0.0, 0.5) in brackets
+        assert all(lo <= 0.5 <= hi for lo, hi in brackets)
+
+    def test_no_crossing(self):
+        result = sweep(
+            "x", [0.0, 1.0], {"a": lambda x: x, "b": lambda x: x + 1}
+        )
+        assert sweep_crossings(result, "a", "b") == []
+
+    def test_unknown_label_rejected(self):
+        result = sweep("x", [0.0, 1.0], {"a": lambda x: x})
+        with pytest.raises(ParameterError):
+            sweep_crossings(result, "a", "ghost")
+
+
+class TestOptionCrossovers:
+    def test_1s_crosses_2l_on_cp(self, spec, hardware, software):
+        """Below a certain process maturity, one rack without supervisor
+        dependence beats three racks with it — the design guidance flips.
+
+        From the Fig. 4 series the crossing sits between x = -0.6 and
+        x = -0.4 orders of magnitude.
+        """
+        crossing = option_crossover_orders(
+            spec, hardware, software, "1S", "2L"
+        )
+        assert crossing is not None
+        assert -0.6 < crossing < -0.4
+
+    def test_crossing_matches_sweep_bracket(self, spec, hardware, software):
+        result = fig4_series(spec, hardware, software, points=11)
+        brackets = sweep_crossings(result, "1S", "2L")
+        assert len(brackets) == 1
+        lo, hi = brackets[0]
+        crossing = option_crossover_orders(
+            spec, hardware, software, "1S", "2L"
+        )
+        assert lo <= crossing <= hi
+
+    def test_dominated_pairs_return_none(self, spec, hardware, software):
+        # 1L dominates 2L at every sweep point (same topology, strictly
+        # weaker requirement).
+        assert (
+            option_crossover_orders(spec, hardware, software, "1L", "2L")
+            is None
+        )
+
+    def test_dp_plane_supported(self, spec, hardware, software):
+        # On the DP, the supervisor penalty dominates everywhere: no
+        # crossing between 1S and 2L.
+        assert (
+            option_crossover_orders(
+                spec, hardware, software, "1S", "2L", plane="dp"
+            )
+            is None
+        )

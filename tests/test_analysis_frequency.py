@@ -1,0 +1,113 @@
+"""Tests for outage frequency/duration analysis (repro.analysis.frequency)."""
+
+import pytest
+
+from repro.analysis.frequency import (
+    ComponentDynamics,
+    cut_set_frequency,
+    paper_rack_dynamics,
+    system_outage_profile,
+)
+from repro.errors import ParameterError
+from repro.units import HOURS_PER_YEAR
+
+
+class TestComponentDynamics:
+    def test_frequency_is_q_over_d(self):
+        component = ComponentDynamics(
+            unavailability=1e-4, mean_downtime_hours=2.0
+        )
+        assert component.failure_frequency_per_hour == pytest.approx(5e-5)
+
+    def test_from_mtbf_roundtrip(self):
+        component = ComponentDynamics.from_mtbf(1000.0, 10.0)
+        assert component.unavailability == pytest.approx(10.0 / 1010.0)
+        assert component.mtbf_hours == pytest.approx(1000.0)
+
+    def test_paper_rack_decomposition(self):
+        # "A_R = 0.99999 could consist of a rack failure every 500 years,
+        # lasting two days."
+        rack = paper_rack_dynamics()
+        assert 1 - rack.unavailability == pytest.approx(0.99999, abs=2e-6)
+        assert rack.mean_downtime_hours == 48.0
+        # One failure every ~500 years.
+        years_between = 1.0 / (
+            rack.failure_frequency_per_hour * HOURS_PER_YEAR
+        )
+        assert years_between == pytest.approx(500.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ComponentDynamics(unavailability=1.0, mean_downtime_hours=1.0)
+        with pytest.raises(ParameterError):
+            ComponentDynamics(unavailability=0.5, mean_downtime_hours=0.0)
+
+
+class TestCutSetFrequency:
+    DYNAMICS = {
+        "a": ComponentDynamics(1e-3, 1.0),
+        "b": ComponentDynamics(1e-2, 10.0),
+    }
+
+    def test_singleton_cut_is_component_frequency(self):
+        assert cut_set_frequency(["a"], self.DYNAMICS) == pytest.approx(
+            self.DYNAMICS["a"].failure_frequency_per_hour
+        )
+
+    def test_pair_cut_formula(self):
+        # w = q_a q_b (mu_a + mu_b).
+        expected = 1e-3 * 1e-2 * (1.0 + 0.1)
+        assert cut_set_frequency(["a", "b"], self.DYNAMICS) == pytest.approx(
+            expected
+        )
+
+    def test_empty_cut_rejected(self):
+        with pytest.raises(ParameterError):
+            cut_set_frequency([], self.DYNAMICS)
+
+    def test_missing_component_rejected(self):
+        with pytest.raises(ParameterError):
+            cut_set_frequency(["ghost"], self.DYNAMICS)
+
+
+class TestSystemProfile:
+    DYNAMICS = {
+        "rack": paper_rack_dynamics(),
+        "p1": ComponentDynamics(2e-4, 1.0),
+        "p2": ComponentDynamics(2e-4, 1.0),
+    }
+
+    def test_series_system(self):
+        profile = system_outage_profile([["rack"]], self.DYNAMICS)
+        assert profile.mean_outage_hours == pytest.approx(48.0)
+        assert profile.mean_years_between_outages == pytest.approx(
+            500.0, rel=0.01
+        )
+
+    def test_mixture_duration(self):
+        # Rack (rare, 48h) + process pair (frequent-ish, ~0.5h): the mean
+        # outage duration is the frequency-weighted mixture, between the
+        # two pure durations.
+        profile = system_outage_profile(
+            [["rack"], ["p1", "p2"]], self.DYNAMICS
+        )
+        pair_duration = 1.0 / (1.0 + 1.0)
+        assert pair_duration < profile.mean_outage_hours < 48.0
+
+    def test_downtime_consistency(self):
+        # U = frequency x duration (exactly, by construction).
+        profile = system_outage_profile(
+            [["rack"], ["p1", "p2"]], self.DYNAMICS
+        )
+        assert profile.unavailability == pytest.approx(
+            profile.frequency_per_hour * profile.mean_outage_hours
+        )
+
+    def test_single_markov_consistency(self):
+        # For a single component the cut-set frequency matches the CTMC
+        # cycle frequency lam * pi_up.
+        component = ComponentDynamics.from_mtbf(100.0, 1.0)
+        profile = system_outage_profile([["c"]], {"c": component})
+        lam = 1.0 / 100.0
+        pi_up = 100.0 / 101.0
+        assert profile.frequency_per_hour == pytest.approx(lam * pi_up)

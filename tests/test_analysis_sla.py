@@ -1,0 +1,107 @@
+"""Tests for SLA risk analysis (repro.analysis.sla)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.frequency import OutageProfile
+from repro.analysis.sla import (
+    annual_downtime_samples,
+    exceedance_probability,
+    zero_downtime_probability,
+)
+from repro.errors import ParameterError
+from repro.units import HOURS_PER_YEAR
+
+
+def profile(outages_per_year=0.5, mean_hours=4.0):
+    frequency = outages_per_year / HOURS_PER_YEAR
+    return OutageProfile(
+        unavailability=frequency * mean_hours,
+        frequency_per_hour=frequency,
+    )
+
+
+class TestZeroDowntime:
+    def test_closed_form(self):
+        p = profile(outages_per_year=0.1)
+        assert zero_downtime_probability(p, years=1.0) == pytest.approx(
+            math.exp(-0.1)
+        )
+
+    def test_paper_rack_decade(self):
+        # A 1-per-500-years rack: ~98% chance of a quiet decade.
+        p = profile(outages_per_year=1 / 500)
+        assert zero_downtime_probability(p, years=10) == pytest.approx(
+            math.exp(-10 / 500)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            zero_downtime_probability(profile(), years=-1)
+
+
+class TestSamples:
+    def test_mean_matches_profile(self):
+        p = profile(outages_per_year=2.0, mean_hours=3.0)
+        samples = annual_downtime_samples(p, samples=40_000, seed=1)
+        expected_minutes = 2.0 * 3.0 * 60.0
+        assert np.mean(samples) == pytest.approx(expected_minutes, rel=0.05)
+
+    def test_zero_fraction_matches_poisson(self):
+        p = profile(outages_per_year=0.5)
+        samples = annual_downtime_samples(p, samples=40_000, seed=2)
+        zero_fraction = float(np.mean(samples == 0.0))
+        assert zero_fraction == pytest.approx(math.exp(-0.5), abs=0.01)
+
+    def test_deterministic_per_seed(self):
+        p = profile()
+        a = annual_downtime_samples(p, samples=100, seed=3)
+        b = annual_downtime_samples(p, samples=100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            annual_downtime_samples(profile(), samples=0)
+
+
+class TestExceedance:
+    def test_monotone_in_threshold(self):
+        p = profile(outages_per_year=2.0, mean_hours=2.0)
+        low = exceedance_probability(p, 10.0, samples=20_000, seed=4)
+        high = exceedance_probability(p, 600.0, samples=20_000, seed=4)
+        assert low > high
+
+    def test_zero_threshold_is_any_outage(self):
+        p = profile(outages_per_year=1.0)
+        any_outage = exceedance_probability(p, 0.0, samples=40_000, seed=5)
+        assert any_outage == pytest.approx(1 - math.exp(-1.0), abs=0.01)
+
+    def test_small_vs_large_sla_risk(self, spec, hardware, software):
+        # The operational takeaway: Small and Large have similar chances
+        # of an outage-free year, but Small's bad years are much worse.
+        from repro.controller.spec import Plane
+        from repro.models.outage import plane_outage_profile
+        from repro.params.software import RestartScenario
+        from repro.topology.reference import large_topology, small_topology
+
+        small_profile = plane_outage_profile(
+            spec, small_topology(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED, Plane.CP,
+        )
+        large_profile = plane_outage_profile(
+            spec, large_topology(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED, Plane.CP,
+        )
+        quiet_small = zero_downtime_probability(small_profile)
+        quiet_large = zero_downtime_probability(large_profile)
+        assert quiet_small == pytest.approx(quiet_large, abs=0.01)
+        # P(> 1 hour of CP downtime in a year): Small is far riskier.
+        risk_small = exceedance_probability(
+            small_profile, 60.0, samples=40_000, seed=6
+        )
+        risk_large = exceedance_probability(
+            large_profile, 60.0, samples=40_000, seed=6
+        )
+        assert risk_small > 3 * risk_large

@@ -1,0 +1,98 @@
+"""Tests for uncertainty propagation (repro.analysis.uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    UncertaintyResult,
+    corner_bounds,
+    monte_carlo,
+    ordering_confidence,
+    sample_hardware,
+)
+from repro.errors import ParameterError
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+
+
+class TestSampling:
+    def test_samples_within_spread(self, hardware):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            draw = sample_hardware(hardware, 0.5, rng)
+            for field in ("a_role", "a_vm", "a_host", "a_rack"):
+                base_u = 1 - getattr(hardware, field)
+                draw_u = 1 - getattr(draw, field)
+                assert base_u / 10**0.5 <= draw_u <= base_u * 10**0.5 * (1 + 1e-9)
+
+    def test_deterministic_per_seed(self, hardware):
+        a = monte_carlo(hw_small, hardware, samples=20, seed=7)
+        b = monte_carlo(hw_small, hardware, samples=20, seed=7)
+        assert a.samples == b.samples
+
+    def test_validation(self, hardware):
+        with pytest.raises(ParameterError):
+            monte_carlo(hw_small, hardware, samples=0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            sample_hardware(hardware, 0.0, rng)
+
+
+class TestResult:
+    def test_percentiles_ordered(self, hardware):
+        result = monte_carlo(hw_small, hardware, samples=200, seed=3)
+        assert result.p5 <= result.mean <= result.p95
+
+    def test_percentile_validation(self):
+        result = UncertaintyResult((0.5, 0.6))
+        with pytest.raises(ParameterError):
+            result.percentile(101)
+
+
+class TestPaperRobustnessClaim:
+    """'The resulting relative comparisons and observations remain the
+    same regardless of the actual values used.'"""
+
+    def test_one_or_three_racks_ordering_robust(self, hardware):
+        confidence = ordering_confidence(
+            {"small": hw_small, "medium": hw_medium, "large": hw_large},
+            ("medium", "small", "large"),
+            hardware,
+            spread_orders=0.5,
+            samples=300,
+            seed=11,
+        )
+        assert confidence == 1.0
+
+    def test_ordering_holds_at_one_full_order(self, hardware):
+        confidence = ordering_confidence(
+            {"small": hw_small, "large": hw_large},
+            ("small", "large"),
+            hardware,
+            spread_orders=1.0,
+            samples=300,
+            seed=13,
+        )
+        assert confidence == 1.0
+
+    def test_ordering_validation(self, hardware):
+        with pytest.raises(ParameterError):
+            ordering_confidence({"a": hw_small}, ("a",), hardware)
+        with pytest.raises(ParameterError):
+            ordering_confidence({"a": hw_small}, ("a", "ghost"), hardware)
+
+
+class TestCornerBounds:
+    def test_bounds_bracket_samples(self, hardware):
+        lo, hi = corner_bounds(hw_large, hardware, spread_orders=0.5)
+        result = monte_carlo(hw_large, hardware, 0.5, samples=200, seed=5)
+        assert lo <= min(result.samples)
+        assert max(result.samples) <= hi
+
+    def test_bounds_bracket_base(self, hardware):
+        lo, hi = corner_bounds(hw_small, hardware, 0.3)
+        assert lo <= hw_small(hardware) <= hi
+
+    def test_wider_spread_widens_bounds(self, hardware):
+        narrow = corner_bounds(hw_small, hardware, 0.2)
+        wide = corner_bounds(hw_small, hardware, 1.0)
+        assert wide[0] <= narrow[0] and narrow[1] <= wide[1]

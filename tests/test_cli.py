@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "TABLE III" in out
+
+    def test_hw(self, capsys):
+        assert main(["hw"]) == 0
+        out = capsys.readouterr().out
+        assert "Small" in out and "Large" in out
+        assert "0.9999887" in out
+
+    def test_hw_custom_parameters(self, capsys):
+        assert main(["hw", "--a-rack", "0.9999"]) == 0
+        out = capsys.readouterr().out
+        assert "Small" in out
+
+    def test_sw(self, capsys):
+        assert main(["sw"]) == 0
+        out = capsys.readouterr().out
+        for option in ("1S", "2S", "1L", "2L"):
+            assert option in out
+
+    def test_fig3_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig3.csv"
+        assert main(["fig3", "--points", "3", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "Small" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--points", "3"]) == 0
+        assert "1S" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--points", "3"]) == 0
+        assert "2L" in capsys.readouterr().out
+
+    def test_modes(self, capsys):
+        assert main(["modes", "--option", "1S", "--plane", "dp", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vrouter" in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--option",
+                    "2S",
+                    "--horizon",
+                    "2000",
+                    "--batches",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Monte-Carlo validation" in out
+        assert "LDP" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

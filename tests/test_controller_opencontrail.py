@@ -1,0 +1,92 @@
+"""Tests for the OpenContrail 3.x profile (repro.controller.opencontrail)."""
+
+import pytest
+
+from repro.controller.opencontrail import opencontrail_3x
+from repro.controller.process import ProcessKind, RestartMode
+from repro.controller.spec import Plane
+
+
+class TestTableOne:
+    """Spot-check the Table I transcription."""
+
+    def test_all_config_processes_auto(self, spec):
+        config = spec.role("Config")
+        assert all(
+            p.restart is RestartMode.AUTO for p in config.regular_processes
+        )
+
+    def test_all_database_processes_manual(self, spec):
+        database = spec.role("Database")
+        assert all(
+            p.restart is RestartMode.MANUAL
+            for p in database.regular_processes
+        )
+
+    def test_redis_is_the_only_manual_analytics_process(self, spec):
+        analytics = spec.role("Analytics")
+        manual = [
+            p.name
+            for p in analytics.regular_processes
+            if p.restart is RestartMode.MANUAL
+        ]
+        assert manual == ["redis"]
+
+    def test_database_quorums_are_two_of_three(self, spec):
+        database = spec.role("Database")
+        assert all(p.cp_quorum == 2 for p in database.regular_processes)
+        assert all(p.dp_quorum == 0 for p in database.regular_processes)
+
+    def test_dns_named_not_required_for_cp(self, spec):
+        control = spec.role("Control")
+        assert control.process("dns").cp_quorum == 0
+        assert control.process("named").cp_quorum == 0
+        assert control.process("control").cp_quorum == 1
+
+    def test_control_dns_named_grouped_for_dp(self, spec):
+        control = spec.role("Control")
+        groups = {p.name: p.dp_group for p in control.regular_processes}
+        assert groups == {"control": "ctl", "dns": "ctl", "named": "ctl"}
+
+    def test_every_role_has_supervisor_and_nodemgr(self, spec):
+        for role in spec.roles:
+            kinds = {p.kind for p in role.processes}
+            assert ProcessKind.SUPERVISOR in kinds
+            assert ProcessKind.NODEMGR in kinds
+
+    def test_vrouter_processes_one_of_one(self, spec):
+        vrouter = spec.host_role
+        assert {p.name for p in vrouter.regular_processes} == {
+            "vrouter-agent",
+            "vrouter-dpdk",
+        }
+        assert all(p.dp_quorum == 1 for p in vrouter.regular_processes)
+        assert all(p.cp_quorum == 0 for p in vrouter.regular_processes)
+
+
+class TestGeneralization:
+    def test_default_is_three_nodes(self, spec):
+        assert spec.cluster_size == 3
+
+    def test_five_node_cluster_scales_quorums(self):
+        spec5 = opencontrail_3x(cluster_size=5)
+        assert spec5.cluster_size == 5
+        database = spec5.role("Database")
+        # "2 of 3" interpreted as majority: 3 of 5.
+        assert all(p.cp_quorum == 3 for p in database.regular_processes)
+        # 1-of-n requirements stay 1.
+        assert spec5.role("Config").process("config-api").cp_quorum == 1
+
+    def test_even_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            opencontrail_3x(cluster_size=4)
+
+    def test_too_small_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            opencontrail_3x(cluster_size=1)
+
+    def test_dp_blocks_survive_rescaling(self):
+        spec5 = opencontrail_3x(cluster_size=5)
+        units = spec5.role("Control").quorum_units("dp")
+        assert units[0].label == "{control+dns+named}"
+        assert spec5.quorum_sums(Plane.DP) == (0, 2)

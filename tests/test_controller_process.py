@@ -1,0 +1,62 @@
+"""Tests for process specifications (repro.controller.process)."""
+
+import pytest
+
+from repro.controller.process import (
+    ProcessKind,
+    ProcessSpec,
+    RestartMode,
+    nodemgr,
+    supervisor,
+)
+from repro.errors import SpecError
+
+
+class TestProcessSpec:
+    def test_basic_construction(self):
+        p = ProcessSpec("control", RestartMode.AUTO, cp_quorum=1, dp_quorum=1)
+        assert p.name == "control"
+        assert p.kind is ProcessKind.REGULAR
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            ProcessSpec("", RestartMode.AUTO)
+
+    def test_rejects_negative_quorum(self):
+        with pytest.raises(SpecError):
+            ProcessSpec("x", RestartMode.AUTO, cp_quorum=-1)
+
+    def test_group_requires_dp_quorum(self):
+        with pytest.raises(SpecError):
+            ProcessSpec("dns", RestartMode.AUTO, dp_quorum=0, dp_group="ctl")
+
+    def test_group_with_quorum_accepted(self):
+        p = ProcessSpec("dns", RestartMode.AUTO, dp_quorum=1, dp_group="ctl")
+        assert p.dp_group == "ctl"
+
+    def test_supervisor_must_be_zero_of_n(self):
+        with pytest.raises(SpecError):
+            ProcessSpec(
+                "supervisor",
+                RestartMode.MANUAL,
+                cp_quorum=1,
+                kind=ProcessKind.SUPERVISOR,
+            )
+
+    def test_frozen(self):
+        p = ProcessSpec("x", RestartMode.AUTO)
+        with pytest.raises(AttributeError):
+            p.name = "y"
+
+
+class TestCommonProcesses:
+    def test_supervisor_is_manual(self):
+        s = supervisor()
+        assert s.kind is ProcessKind.SUPERVISOR
+        assert s.restart is RestartMode.MANUAL
+        assert s.cp_quorum == 0 and s.dp_quorum == 0
+
+    def test_nodemgr_is_auto(self):
+        n = nodemgr()
+        assert n.kind is ProcessKind.NODEMGR
+        assert n.restart is RestartMode.AUTO

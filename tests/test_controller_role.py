@@ -1,0 +1,126 @@
+"""Tests for role specifications and quorum units (repro.controller.role)."""
+
+import pytest
+
+from repro.controller.process import ProcessSpec, RestartMode, supervisor
+from repro.controller.role import RoleKind, RoleSpec
+from repro.errors import SpecError
+
+AUTO = RestartMode.AUTO
+MANUAL = RestartMode.MANUAL
+
+
+def control_like():
+    return RoleSpec(
+        "Control",
+        (
+            ProcessSpec("control", AUTO, cp_quorum=1, dp_quorum=1, dp_group="g"),
+            ProcessSpec("dns", AUTO, cp_quorum=0, dp_quorum=1, dp_group="g"),
+            ProcessSpec("named", AUTO, cp_quorum=0, dp_quorum=1, dp_group="g"),
+            supervisor(),
+        ),
+    )
+
+
+class TestRoleSpec:
+    def test_duplicate_process_names_rejected(self):
+        with pytest.raises(SpecError):
+            RoleSpec(
+                "R",
+                (ProcessSpec("x", AUTO), ProcessSpec("x", MANUAL)),
+            )
+
+    def test_multiple_supervisors_rejected(self):
+        with pytest.raises(SpecError):
+            RoleSpec("R", (supervisor(), supervisor()))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            RoleSpec("", (ProcessSpec("x", AUTO),))
+
+    def test_mixed_group_quorums_rejected(self):
+        with pytest.raises(SpecError):
+            RoleSpec(
+                "R",
+                (
+                    ProcessSpec("a", AUTO, dp_quorum=1, dp_group="g"),
+                    ProcessSpec("b", AUTO, dp_quorum=2, dp_group="g"),
+                ),
+            )
+
+    def test_supervisor_lookup(self):
+        assert control_like().supervisor is not None
+        role = RoleSpec("R", (ProcessSpec("x", AUTO),))
+        assert role.supervisor is None
+
+    def test_regular_processes_excludes_supervisor(self):
+        names = [p.name for p in control_like().regular_processes]
+        assert "supervisor" not in names
+        assert names == ["control", "dns", "named"]
+
+    def test_process_lookup(self):
+        assert control_like().process("dns").name == "dns"
+        with pytest.raises(SpecError):
+            control_like().process("ghost")
+
+
+class TestQuorumUnits:
+    def test_dp_group_merges_into_one_unit(self):
+        units = control_like().quorum_units("dp")
+        assert len(units) == 1
+        unit = units[0]
+        assert unit.label == "{control+dns+named}"
+        assert unit.quorum == 1
+        assert len(unit.members) == 3
+
+    def test_group_alpha_is_product(self):
+        # The Table III footnote: the block is "a single process with
+        # availability A^3".
+        unit = control_like().quorum_units("dp")[0]
+        a = 0.99998
+        alpha = unit.alpha({AUTO: a, MANUAL: 0.9998})
+        assert alpha == pytest.approx(a**3)
+
+    def test_cp_units_ignore_dp_groups(self):
+        units = control_like().quorum_units("cp")
+        assert [u.label for u in units] == ["control"]
+
+    def test_zero_quorum_processes_excluded(self):
+        role = RoleSpec(
+            "R",
+            (
+                ProcessSpec("needed", AUTO, cp_quorum=1),
+                ProcessSpec("optional", AUTO, cp_quorum=0),
+            ),
+        )
+        assert [u.label for u in role.quorum_units("cp")] == ["needed"]
+
+    def test_bad_plane_rejected(self):
+        with pytest.raises(SpecError):
+            control_like().quorum_units("forwarding")
+
+
+class TestDerivedCounts:
+    def test_quorum_counts(self):
+        # Control: CP (M=0, N=1); DP (M=0, N=1 — the merged block).
+        role = control_like()
+        assert role.quorum_counts("cp") == (0, 1)
+        assert role.quorum_counts("dp") == (0, 1)
+
+    def test_restart_counts(self):
+        role = RoleSpec(
+            "Analytics",
+            (
+                ProcessSpec("api", AUTO, cp_quorum=1),
+                ProcessSpec("redis", MANUAL, cp_quorum=1),
+                supervisor(),
+            ),
+        )
+        assert role.restart_counts() == (1, 1)
+
+    def test_host_role_kind(self):
+        role = RoleSpec(
+            "vRouter", (ProcessSpec("agent", AUTO, dp_quorum=1),),
+            kind=RoleKind.HOST,
+        )
+        assert role.kind is RoleKind.HOST

@@ -1,0 +1,123 @@
+"""Tests for controller specifications and derived tables (repro.controller.spec)."""
+
+import pytest
+
+from repro.controller.process import ProcessSpec, RestartMode, supervisor
+from repro.controller.role import RoleKind, RoleSpec
+from repro.controller.spec import ControllerSpec, Plane
+from repro.errors import SpecError
+
+AUTO = RestartMode.AUTO
+MANUAL = RestartMode.MANUAL
+
+
+class TestValidation:
+    def test_duplicate_role_names_rejected(self):
+        role = RoleSpec("R", (ProcessSpec("x", AUTO),))
+        with pytest.raises(SpecError):
+            ControllerSpec("C", (role, role))
+
+    def test_quorum_exceeding_cluster_rejected(self):
+        role = RoleSpec("R", (ProcessSpec("x", MANUAL, cp_quorum=4),))
+        with pytest.raises(SpecError):
+            ControllerSpec("C", (role,), cluster_size=3)
+
+    def test_multiple_host_roles_rejected(self):
+        host = RoleSpec(
+            "H1", (ProcessSpec("a", AUTO, dp_quorum=1),), kind=RoleKind.HOST
+        )
+        host2 = RoleSpec(
+            "H2", (ProcessSpec("b", AUTO, dp_quorum=1),), kind=RoleKind.HOST
+        )
+        with pytest.raises(SpecError):
+            ControllerSpec("C", (host, host2))
+
+    def test_host_role_quorum_above_one_rejected(self):
+        host = RoleSpec(
+            "H", (ProcessSpec("a", AUTO, dp_quorum=2),), kind=RoleKind.HOST
+        )
+        with pytest.raises(SpecError):
+            ControllerSpec("C", (host,))
+
+    def test_needs_a_role(self):
+        with pytest.raises(SpecError):
+            ControllerSpec("C", ())
+
+    def test_role_lookup(self, spec):
+        assert spec.role("Database").name == "Database"
+        with pytest.raises(SpecError):
+            spec.role("Ghost")
+
+
+class TestOpenContrailDerivedTables:
+    """The derived views must reproduce the paper's Tables II and III."""
+
+    def test_table2(self, spec):
+        table = spec.restart_mode_table()
+        assert table == {
+            "Config": (6, 0),
+            "Control": (3, 0),
+            "Analytics": (4, 1),
+            "Database": (0, 4),
+        }
+
+    def test_table3_cp(self, spec):
+        table = spec.quorum_table(Plane.CP)
+        assert table == {
+            "Config": (0, 6),
+            "Control": (0, 1),
+            "Analytics": (0, 5),
+            "Database": (4, 0),
+        }
+
+    def test_table3_dp(self, spec):
+        table = spec.quorum_table(Plane.DP)
+        assert table == {
+            "Config": (0, 1),
+            "Control": (0, 1),
+            "Analytics": (0, 0),
+            "Database": (0, 0),
+        }
+
+    def test_table3_sums(self, spec):
+        assert spec.quorum_sums(Plane.CP) == (4, 12)
+        assert spec.quorum_sums(Plane.DP) == (0, 2)
+
+    def test_twelve_supervisors(self, spec):
+        # "3 nodes x 4 roles = 12 supervisor processes" (section VI.A).
+        assert spec.supervisors_per_cluster == 12
+
+    def test_table1_rows(self, spec):
+        rows = spec.process_rows()
+        lookup = {(role, name): (cp, dp) for role, name, cp, dp in rows}
+        assert lookup[("Config", "discovery")] == ("1 of 3", "1 of 3")
+        assert lookup[("Control", "dns")] == ("0 of 3", "1 of 3")
+        assert lookup[("Database", "zookeeper")] == ("2 of 3", "0 of 3")
+        assert lookup[("vRouter", "vrouter-agent")] == ("0 of 1", "1 of 1")
+        # 20 regular processes total (Table I).
+        assert len(rows) == 20
+
+    def test_host_role(self, spec):
+        assert spec.host_role is not None
+        assert spec.host_role.name == "vRouter"
+
+    def test_cluster_roles_exclude_host(self, spec):
+        assert [r.name for r in spec.cluster_roles] == [
+            "Config",
+            "Control",
+            "Analytics",
+            "Database",
+        ]
+
+
+class TestAlternativeSpecs:
+    def test_flat_consensus_tables(self, flat_spec):
+        assert flat_spec.quorum_sums(Plane.CP) == (1, 3)
+        assert flat_spec.host_role is not None
+
+    def test_split_state_has_no_host_role(self, split_spec):
+        assert split_spec.host_role is None
+
+    def test_toy_spec(self, toy_spec):
+        assert toy_spec.quorum_sums(Plane.CP) == (1, 1)
+        assert toy_spec.quorum_sums(Plane.DP) == (0, 0)

@@ -1,0 +1,46 @@
+"""Tests for the table renderers (repro.controller.tables)."""
+
+from repro.controller.tables import render_table1, render_table2, render_table3
+
+
+class TestRenderers:
+    def test_table1_contains_all_processes(self, spec):
+        text = render_table1(spec)
+        for name in (
+            "config-api",
+            "discovery",
+            "control",
+            "redis",
+            "zookeeper",
+            "vrouter-agent",
+        ):
+            assert name in text
+        assert "TABLE I" in text
+
+    def test_table1_shows_quorums(self, spec):
+        text = render_table1(spec)
+        assert "2 of 3" in text
+        assert "1 of 1" in text
+
+    def test_table2_counts(self, spec):
+        text = render_table2(spec)
+        assert "Auto" in text and "Manual" in text
+        lines = text.splitlines()
+        auto_line = next(line for line in lines if line.startswith("Auto"))
+        assert auto_line.split() == ["Auto", "6", "3", "4", "0"]
+        manual_line = next(
+            line for line in lines if line.startswith("Manual")
+        )
+        assert manual_line.split() == ["Manual", "0", "0", "1", "4"]
+
+    def test_table3_sums_row(self, spec):
+        text = render_table3(spec)
+        sums_line = next(
+            line for line in text.splitlines() if line.startswith("Sums")
+        )
+        assert sums_line.split() == ["Sums", "4", "12", "0", "2"]
+
+    def test_renderers_work_for_other_controllers(self, flat_spec):
+        assert "consensus-store" in render_table1(flat_spec)
+        assert "Controller" in render_table2(flat_spec)
+        assert "Sums" in render_table3(flat_spec)

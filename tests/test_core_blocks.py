@@ -1,0 +1,145 @@
+"""Tests for the RBD algebra (repro.core.blocks)."""
+
+import pytest
+
+from repro.core.blocks import Basic, KOfN, Parallel, Series, identical_kofn
+from repro.core.kofn import a_m_of_n
+from repro.errors import ModelError, ParameterError
+
+
+class TestBasic:
+    def test_availability_is_probability(self):
+        assert Basic("x", 0.9).availability() == pytest.approx(0.9)
+
+    def test_override(self):
+        assert Basic("x", 0.9).availability({"x": 0.5}) == pytest.approx(0.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ParameterError):
+            Basic("", 0.9)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            Basic("x", 1.1)
+
+    def test_default_probability_is_one(self):
+        assert Basic("x").availability() == 1.0
+
+
+class TestSeries:
+    def test_multiplies(self):
+        block = Series((Basic("a", 0.9), Basic("b", 0.8)))
+        assert block.availability() == pytest.approx(0.72)
+
+    def test_and_operator(self):
+        block = Basic("a", 0.9) & Basic("b", 0.8)
+        assert block.availability() == pytest.approx(0.72)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Series(())
+
+    def test_single_child(self):
+        assert Series((Basic("a", 0.7),)).availability() == pytest.approx(0.7)
+
+
+class TestParallel:
+    def test_complements_multiply(self):
+        block = Parallel((Basic("a", 0.9), Basic("b", 0.8)))
+        assert block.availability() == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_or_operator(self):
+        block = Basic("a", 0.5) | Basic("b", 0.5)
+        assert block.availability() == pytest.approx(0.75)
+
+    def test_non_block_child_rejected(self):
+        with pytest.raises(ModelError):
+            Parallel((Basic("a", 0.5), "not a block"))
+
+
+class TestKOfN:
+    def test_matches_eq1_for_identical_leaves(self):
+        block = identical_kofn(2, 3, "db", 0.999)
+        assert block.availability() == pytest.approx(a_m_of_n(2, 3, 0.999))
+
+    def test_heterogeneous_convolution(self):
+        # 1-of-2 with p=0.9, 0.8: 1 - 0.1*0.2 = 0.98.
+        block = KOfN(1, (Basic("a", 0.9), Basic("b", 0.8)))
+        assert block.availability() == pytest.approx(0.98)
+
+    def test_two_of_three_heterogeneous(self):
+        p = [0.9, 0.8, 0.7]
+        expected = (
+            p[0] * p[1] * p[2]
+            + p[0] * p[1] * (1 - p[2])
+            + p[0] * (1 - p[1]) * p[2]
+            + (1 - p[0]) * p[1] * p[2]
+        )
+        block = KOfN(2, tuple(Basic(f"x{i}", v) for i, v in enumerate(p)))
+        assert block.availability() == pytest.approx(expected)
+
+    def test_k_zero_always_up(self):
+        assert KOfN(0, (Basic("a", 0.0),)).availability() == 1.0
+
+    def test_k_exceeds_children(self):
+        assert KOfN(3, (Basic("a", 1.0), Basic("b", 1.0))).availability() == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ModelError):
+            KOfN(-1, (Basic("a", 0.5),))
+
+    def test_nested_blocks_as_children(self):
+        # k-of-n over series pairs.
+        pair1 = Basic("a1", 0.9) & Basic("a2", 0.9)
+        pair2 = Basic("b1", 0.9) & Basic("b2", 0.9)
+        block = KOfN(1, (pair1, pair2))
+        assert block.availability() == pytest.approx(1 - (1 - 0.81) ** 2)
+
+
+class TestSharedComponents:
+    def test_repeated_leaf_conditioned_exactly(self):
+        # (a & b) | (a & c): P = P(a) * (1 - (1-P(b))(1-P(c))).
+        a, b, c = Basic("a", 0.9), Basic("b", 0.8), Basic("c", 0.7)
+        block = (a & b) | (a & c)
+        expected = 0.9 * (1 - 0.2 * 0.3)
+        assert block.availability() == pytest.approx(expected)
+
+    def test_series_with_duplicate_is_not_squared(self):
+        a = Basic("a", 0.9)
+        block = Series((a, a))
+        assert block.availability() == pytest.approx(0.9)
+
+    def test_conflicting_probabilities_rejected(self):
+        block = Series((Basic("a", 0.9), Basic("a", 0.8)))
+        with pytest.raises(ModelError):
+            block.availability()
+
+
+class TestStructure:
+    def test_series_structure(self):
+        block = Basic("a", 0.9) & Basic("b", 0.9)
+        assert block.structure({"a": True, "b": True})
+        assert not block.structure({"a": True, "b": False})
+
+    def test_parallel_structure(self):
+        block = Basic("a", 0.9) | Basic("b", 0.9)
+        assert block.structure({"a": False, "b": True})
+        assert not block.structure({"a": False, "b": False})
+
+    def test_missing_names_default_up(self):
+        block = Basic("a", 0.9) & Basic("b", 0.9)
+        assert block.structure({})
+
+    def test_names(self):
+        block = (Basic("a", 0.5) & Basic("b", 0.5)) | Basic("a", 0.5)
+        assert block.names() == {"a", "b"}
+
+
+class TestIdenticalKofn:
+    def test_names_are_indexed(self):
+        block = identical_kofn(2, 3, "db", 0.9)
+        assert block.names() == {"db-1", "db-2", "db-3"}
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ModelError):
+            identical_kofn(1, 0, "x", 0.9)

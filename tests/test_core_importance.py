@@ -1,0 +1,88 @@
+"""Tests for importance measures (repro.core.importance)."""
+
+import pytest
+
+from repro.core.blocks import Basic, KOfN
+from repro.core.cutsets import minimal_cut_sets
+from repro.core.importance import (
+    birnbaum_importance,
+    fussell_vesely,
+    improvement_potential,
+)
+from repro.core.structure import StructureFunction
+from repro.errors import ModelError
+
+
+def series_ab():
+    return StructureFunction.from_block(Basic("a", 0.9) & Basic("b", 0.8))
+
+
+class TestBirnbaum:
+    def test_series_importance_is_partner_availability(self):
+        # d(p_a p_b)/d p_a = p_b.
+        importance = birnbaum_importance(series_ab(), {"a": 0.9, "b": 0.8})
+        assert importance["a"] == pytest.approx(0.8)
+        assert importance["b"] == pytest.approx(0.9)
+
+    def test_redundant_component_has_low_importance(self):
+        block = Basic("a", 0.99) | Basic("b", 0.99)
+        importance = birnbaum_importance(
+            StructureFunction.from_block(block), {"a": 0.99, "b": 0.99}
+        )
+        assert importance["a"] == pytest.approx(0.01)
+
+    def test_two_of_three_symmetric(self):
+        block = KOfN(2, tuple(Basic(x, 0.9) for x in "abc"))
+        importance = birnbaum_importance(
+            StructureFunction.from_block(block), {x: 0.9 for x in "abc"}
+        )
+        assert importance["a"] == pytest.approx(importance["b"])
+        # I_B = P(exactly one of the other two up) = 2 p (1-p).
+        assert importance["a"] == pytest.approx(2 * 0.9 * 0.1)
+
+
+class TestImprovementPotential:
+    def test_series(self):
+        potential = improvement_potential(series_ab(), {"a": 0.9, "b": 0.8})
+        # Making a perfect: 0.8 - 0.72 = 0.08.
+        assert potential["a"] == pytest.approx(0.08)
+        assert potential["b"] == pytest.approx(0.18)
+
+    def test_never_negative_for_coherent_systems(self):
+        block = KOfN(2, tuple(Basic(x, 0.7) for x in "abc"))
+        potential = improvement_potential(
+            StructureFunction.from_block(block), {x: 0.7 for x in "abc"}
+        )
+        assert all(v >= 0 for v in potential.values())
+
+
+class TestFussellVesely:
+    def test_series_shares_by_unavailability(self):
+        cuts = [frozenset({"a"}), frozenset({"b"})]
+        fv = fussell_vesely(cuts, {"a": 0.01, "b": 0.03})
+        assert fv["a"] == pytest.approx(0.25)
+        assert fv["b"] == pytest.approx(0.75)
+
+    def test_vrouter_dominates_dp(self):
+        # DP-like structure: two order-1 local cuts (1-A) and a rack cut.
+        cuts = [
+            frozenset({"vrouter-agent"}),
+            frozenset({"vrouter-dpdk"}),
+            frozenset({"rack"}),
+        ]
+        fv = fussell_vesely(
+            cuts,
+            {"vrouter-agent": 2e-5, "vrouter-dpdk": 2e-5, "rack": 1e-5},
+        )
+        assert fv["vrouter-agent"] > fv["rack"]
+
+    def test_empty_cuts_rejected(self):
+        with pytest.raises(ModelError):
+            fussell_vesely([], {})
+
+    def test_from_structure(self):
+        block = Basic("a", 0.99) & (Basic("b", 0.99) | Basic("c", 0.99))
+        cuts = minimal_cut_sets(StructureFunction.from_block(block))
+        fv = fussell_vesely(cuts, {"a": 0.01, "b": 0.01, "c": 0.01})
+        # Singleton cut {a} dominates the pair {b, c}.
+        assert fv["a"] > 0.9

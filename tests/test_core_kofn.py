@@ -1,0 +1,125 @@
+"""Tests for Eq. (1), the k-of-n block availability (repro.core.kofn)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.kofn import (
+    a_m_of_n,
+    a_m_of_n_array,
+    a_m_of_n_exact,
+    binomial_pmf,
+    kofn_unavailability,
+)
+from repro.errors import ParameterError
+
+
+class TestAMofN:
+    def test_zero_of_n_always_available(self):
+        # The paper's "0 of 3" processes (supervisor, nodemgr).
+        assert a_m_of_n(0, 3, 0.0) == 1.0
+        assert a_m_of_n(0, 3, 0.7) == 1.0
+
+    def test_m_greater_than_n_unavailable(self):
+        # Eq. (1): A_{m/n} = 0 for m > n — the "2 of 3 with 1 host" case.
+        assert a_m_of_n(2, 1, 0.9999) == 0.0
+        assert a_m_of_n(3, 2, 1.0) == 0.0
+
+    def test_one_of_one(self):
+        assert a_m_of_n(1, 1, 0.75) == pytest.approx(0.75)
+
+    def test_series_all_of_n(self):
+        assert a_m_of_n(3, 3, 0.9) == pytest.approx(0.9**3)
+
+    def test_parallel_one_of_n(self):
+        assert a_m_of_n(1, 3, 0.9) == pytest.approx(1 - 0.1**3)
+
+    def test_two_of_three_polynomial(self):
+        # A_{2/3} = alpha^2 (3 - 2 alpha), the conclusion's closed form.
+        alpha = 0.97
+        assert a_m_of_n(2, 3, alpha) == pytest.approx(
+            alpha**2 * (3 - 2 * alpha)
+        )
+
+    def test_perfect_components(self):
+        assert a_m_of_n(2, 3, 1.0) == 1.0
+
+    def test_dead_components(self):
+        assert a_m_of_n(1, 5, 0.0) == 0.0
+
+    def test_matches_exact_fraction_oracle(self):
+        for m in range(0, 6):
+            for n in range(0, 5):
+                alpha = Fraction(7, 10)
+                expected = float(a_m_of_n_exact(m, n, alpha))
+                assert a_m_of_n(m, n, 0.7) == pytest.approx(
+                    expected, rel=1e-12
+                )
+
+    def test_high_availability_precision(self):
+        # The complementary-sum form retains precision at alpha -> 1:
+        # 1 - A_{2/3}(1 - 1e-8) = 3e-16 + O(e^3), representable in float.
+        u = kofn_unavailability(2, 3, 1 - 1e-8)
+        assert u == pytest.approx(3e-16, rel=1e-6)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ParameterError):
+            a_m_of_n(1, -1, 0.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            a_m_of_n(1, 3, 1.5)
+
+
+class TestUnavailability:
+    def test_complements_availability(self):
+        for m, n, alpha in [(1, 3, 0.9), (2, 3, 0.99), (3, 5, 0.8)]:
+            assert kofn_unavailability(m, n, alpha) == pytest.approx(
+                1 - a_m_of_n(m, n, alpha), abs=1e-12
+            )
+
+    def test_zero_requirement(self):
+        assert kofn_unavailability(0, 3, 0.5) == 0.0
+
+    def test_impossible_requirement(self):
+        assert kofn_unavailability(4, 3, 0.5) == 1.0
+
+
+class TestArrayForm:
+    def test_matches_scalar(self):
+        alphas = np.linspace(0.0, 1.0, 7)
+        vector = a_m_of_n_array(2, 3, alphas)
+        for value, alpha in zip(vector, alphas):
+            assert value == pytest.approx(a_m_of_n(2, 3, float(alpha)))
+
+    def test_shape_preserved(self):
+        grid = np.ones((2, 3)) * 0.9
+        assert a_m_of_n_array(1, 2, grid).shape == (2, 3)
+
+    def test_m_zero_all_ones(self):
+        assert np.all(a_m_of_n_array(0, 3, np.array([0.1, 0.5])) == 1.0)
+
+    def test_m_too_large_all_zeros(self):
+        assert np.all(a_m_of_n_array(4, 3, np.array([0.9, 1.0])) == 0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            a_m_of_n_array(1, 3, np.array([0.5, 1.2]))
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(k, 5, 0.3) for k in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_out_of_range_k_is_zero(self):
+        assert binomial_pmf(-1, 3, 0.5) == 0.0
+        assert binomial_pmf(4, 3, 0.5) == 0.0
+
+    def test_known_value(self):
+        assert binomial_pmf(2, 3, 0.5) == pytest.approx(0.375)
+
+    def test_certain_success(self):
+        assert binomial_pmf(3, 3, 1.0) == 1.0
+        assert binomial_pmf(2, 3, 1.0) == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the conditioning engine (repro.core.states)."""
+
+import pytest
+
+from repro.core.kofn import a_m_of_n, binomial_pmf
+from repro.core.states import (
+    enumerate_up_down,
+    weighted_condition,
+    weighted_condition_multi,
+)
+from repro.errors import ParameterError
+
+
+class TestEnumerateUpDown:
+    def test_weights_sum_to_one(self):
+        states = list(enumerate_up_down({"a": 0.9, "b": 0.5, "c": 0.3}))
+        assert sum(w for _, w in states) == pytest.approx(1.0)
+
+    def test_state_count(self):
+        states = list(enumerate_up_down({"a": 0.5, "b": 0.5}))
+        assert len(states) == 4
+
+    def test_zero_probability_states_skipped(self):
+        states = list(enumerate_up_down({"a": 1.0, "b": 0.5}))
+        assert all(state["a"] for state, _ in states)
+        assert len(states) == 2
+
+    def test_single_element(self):
+        states = dict(
+            (state["x"], w) for state, w in enumerate_up_down({"x": 0.7})
+        )
+        assert states[True] == pytest.approx(0.7)
+        assert states[False] == pytest.approx(0.3)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            list(enumerate_up_down({"a": 1.5}))
+
+
+class TestWeightedCondition:
+    def test_reproduces_eq1(self):
+        # Conditioning 'at least m survivors' through the binomial count is
+        # exactly Eq. (1).
+        alpha = 0.95
+        result = weighted_condition(
+            3, alpha, lambda x: 1.0 if x >= 2 else 0.0
+        )
+        assert result == pytest.approx(a_m_of_n(2, 3, alpha))
+
+    def test_constant_conditional(self):
+        assert weighted_condition(5, 0.3, lambda x: 0.42) == pytest.approx(0.42)
+
+    def test_identity_expectation(self):
+        # E[X] = n p.
+        assert weighted_condition(4, 0.25, float) == pytest.approx(1.0)
+
+
+class TestWeightedConditionMulti:
+    def test_factorizes_over_roles(self):
+        # With a product-form conditional, the multi sum equals the product
+        # of single sums — the structure of Eqs. (12)-(14).
+        p = 0.9
+
+        def single(m, n):
+            return weighted_condition(n, p, lambda x: a_m_of_n(m, x, 0.99))
+
+        multi = weighted_condition_multi(
+            (3, 3),
+            p,
+            lambda counts: a_m_of_n(1, counts[0], 0.99)
+            * a_m_of_n(2, counts[1], 0.99),
+        )
+        assert multi == pytest.approx(single(1, 3) * single(2, 3))
+
+    def test_weights_are_binomial_products(self):
+        collected = {}
+
+        def conditional(counts):
+            collected[counts] = collected.get(counts, 0)
+            return 1.0
+
+        result = weighted_condition_multi((2, 1), 0.5, conditional)
+        assert result == pytest.approx(1.0)
+        assert (2, 1) in collected
+        assert (0, 0) in collected
+
+    def test_includes_zero_counts(self):
+        # The paper's printed sums start at 1; the exact sum includes 0
+        # (where a 0-of-n block is still up).
+        seen = []
+        weighted_condition_multi((1,), 0.5, lambda c: seen.append(c) or 1.0)
+        assert (0,) in seen
+
+    def test_paper_eq14_weight(self):
+        # P(g, c, a, d | x) is the product of four binomial pmfs.
+        rho = 0.9998
+        x = 3
+        weight = (
+            binomial_pmf(3, x, rho)
+            * binomial_pmf(1, x, rho)
+            * binomial_pmf(2, x, rho)
+            * binomial_pmf(3, x, rho)
+        )
+        total = weighted_condition_multi(
+            (x, x, x, x),
+            rho,
+            lambda counts: 1.0 if counts == (3, 1, 2, 3) else 0.0,
+        )
+        assert total == pytest.approx(weight)

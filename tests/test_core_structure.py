@@ -1,0 +1,60 @@
+"""Tests for structure functions (repro.core.structure)."""
+
+import pytest
+
+from repro.core.blocks import Basic, KOfN
+from repro.core.structure import StructureFunction
+from repro.errors import ModelError
+
+
+def two_of_three():
+    return StructureFunction(
+        ("a", "b", "c"),
+        lambda s: sum(s.get(k, True) for k in "abc") >= 2,
+    )
+
+
+class TestStructureFunction:
+    def test_evaluation(self):
+        f = two_of_three()
+        assert f({"a": True, "b": True, "c": False})
+        assert not f({"a": True, "b": False, "c": False})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            StructureFunction(("a", "a"), lambda s: True)
+
+    def test_from_block(self):
+        block = KOfN(2, (Basic("a", 0.9), Basic("b", 0.9), Basic("c", 0.9)))
+        f = StructureFunction.from_block(block)
+        assert f.names == ("a", "b", "c")
+        assert f({"a": True, "b": True, "c": False})
+
+    def test_availability_matches_block(self):
+        block = KOfN(2, (Basic("a", 0.9), Basic("b", 0.8), Basic("c", 0.7)))
+        f = StructureFunction.from_block(block)
+        probabilities = {"a": 0.9, "b": 0.8, "c": 0.7}
+        assert f.availability(probabilities) == pytest.approx(
+            block.availability()
+        )
+
+    def test_availability_requires_all_probabilities(self):
+        with pytest.raises(ModelError):
+            two_of_three().availability({"a": 0.9, "b": 0.9})
+
+
+class TestCoherence:
+    def test_kofn_is_coherent(self):
+        assert two_of_three().is_coherent()
+
+    def test_non_monotone_rejected(self):
+        # "Exactly one up" is non-monotone: repairing can break it.
+        parity = StructureFunction(
+            ("a", "b"),
+            lambda s: (s.get("a", True) + s.get("b", True)) == 1,
+        )
+        assert not parity.is_coherent()
+
+    def test_irrelevant_component_rejected(self):
+        f = StructureFunction(("a", "b"), lambda s: s.get("a", True))
+        assert not f.is_coherent()

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs cleanly and prints its findings.
+
+``simulation_validation.py`` runs a long Monte-Carlo horizon and is
+exercised separately (its machinery is covered by tests/test_sim_*.py),
+so it is only checked for compilability here.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "headline conclusion"),
+    ("custom_controller.py", "RAFT design"),
+    ("topology_tradeoff.py", "Where to spend"),
+    ("process_maturity.py", "maturity sweep"),
+    ("failure_walkthrough.py", "one-third of the"),
+    ("outage_frequency.py", "highly-publicized extended"),
+    ("design_search.py", "third rack"),
+    ("automation_payoff.py", "minutes/year per host"),
+]
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name, marker", FAST_EXAMPLES)
+    def test_example_runs(self, name, marker):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert marker in result.stdout, f"{name} output changed"
+
+    def test_all_examples_compile(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 9
+        for script in scripts:
+            py_compile.compile(str(script), doraise=True)

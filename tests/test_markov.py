@@ -1,0 +1,149 @@
+"""Tests for the CTMC substrate (repro.markov)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ModelError, ParameterError
+from repro.markov.birth_death import birth_death_steady_state
+from repro.markov.ctmc import Ctmc, steady_state
+from repro.markov.kofn_markov import (
+    kofn_availability_markov,
+    kofn_availability_rbd,
+    kofn_chain,
+    shared_repair_penalty,
+)
+
+
+class TestCtmc:
+    def test_two_state_machine(self):
+        # Up/down with rates lam, mu: pi_up = mu/(lam+mu).
+        lam, mu = 0.01, 1.0
+        chain = Ctmc()
+        chain.add_transition("up", "down", lam)
+        chain.add_transition("down", "up", mu)
+        pi = chain.steady_state()
+        assert pi["up"] == pytest.approx(mu / (lam + mu))
+
+    def test_rates_accumulate(self):
+        chain = Ctmc()
+        chain.add_transition("a", "b", 0.5)
+        chain.add_transition("a", "b", 0.5)
+        chain.add_transition("b", "a", 1.0)
+        pi = chain.steady_state()
+        assert pi["a"] == pytest.approx(0.5)
+
+    def test_self_transition_rejected(self):
+        chain = Ctmc()
+        with pytest.raises(ModelError):
+            chain.add_transition("a", "a", 1.0)
+
+    def test_negative_rate_rejected(self):
+        chain = Ctmc()
+        with pytest.raises(ParameterError):
+            chain.add_transition("a", "b", -1.0)
+
+    def test_zero_rate_is_noop(self):
+        chain = Ctmc()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "a", 1.0)
+        chain.add_transition("a", "b", 0.0)
+        assert len(chain.states) == 2
+
+    def test_probability_predicate(self):
+        chain = Ctmc()
+        chain.add_transition(0, 1, 1.0)
+        chain.add_transition(1, 0, 1.0)
+        assert chain.probability(lambda s: s == 0) == pytest.approx(0.5)
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = kofn_chain(4, 0.1, 1.0)
+        q = chain.generator()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_reducible_chain_detected(self):
+        q = np.zeros((2, 2))  # absorbing everywhere: singular system
+        q[0, 0] = -1.0
+        q[0, 1] = 1.0
+        # state 1 absorbing: steady state is deterministic, solvable; build
+        # a truly disconnected chain instead.
+        q = np.zeros((3, 3))
+        q[0, 1] = 1.0
+        q[0, 0] = -1.0
+        q[1, 0] = 1.0
+        q[1, 1] = -1.0
+        # state 2 isolated -> reducible
+        with pytest.raises(ConvergenceError):
+            steady_state(q)
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(ModelError):
+            steady_state(np.ones((2, 3)))
+        with pytest.raises(ModelError):
+            steady_state(np.ones((2, 2)))  # rows don't sum to zero
+
+
+class TestBirthDeath:
+    def test_two_state(self):
+        pi = birth_death_steady_state([0.1], [1.0])
+        assert pi[0] == pytest.approx(1 / 1.1)
+
+    def test_matches_generic_solver(self):
+        up, down = [0.3, 0.2, 0.1], [1.0, 2.0, 3.0]
+        pi = birth_death_steady_state(up, down)
+        chain = Ctmc()
+        for i, (u, d) in enumerate(zip(up, down)):
+            chain.add_transition(i, i + 1, u)
+            chain.add_transition(i + 1, i, d)
+        generic = chain.steady_state()
+        for i in range(4):
+            assert generic[i] == pytest.approx(pi[i])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            birth_death_steady_state([1.0], [1.0, 2.0])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            birth_death_steady_state([0.0], [1.0])
+
+
+class TestKofnMarkov:
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 3), (2, 3), (3, 5), (2, 2)])
+    def test_independent_repair_matches_eq1(self, m, n):
+        # The headline cross-validation: CTMC steady state with one crew
+        # per component equals the paper's Eq. (1).
+        lam, mu = 0.02, 1.0
+        markov = kofn_availability_markov(m, n, lam, mu)
+        rbd = kofn_availability_rbd(m, n, lam, mu)
+        assert markov == pytest.approx(rbd, rel=1e-10)
+
+    def test_shared_repair_strictly_worse(self):
+        penalty = shared_repair_penalty(2, 3, 0.05, 1.0)
+        assert penalty > 0
+
+    def test_shared_repair_equal_for_single_component(self):
+        assert shared_repair_penalty(1, 1, 0.05, 1.0) == pytest.approx(0.0)
+
+    def test_penalty_grows_with_load(self):
+        light = shared_repair_penalty(2, 3, 0.01, 1.0)
+        heavy = shared_repair_penalty(2, 3, 0.2, 1.0)
+        assert heavy > light
+
+    def test_degenerate_quorums(self):
+        assert kofn_availability_markov(0, 3, 0.1, 1.0) == 1.0
+        assert kofn_availability_markov(4, 3, 0.1, 1.0) == 0.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            kofn_chain(0, 0.1, 1.0)
+        with pytest.raises(ParameterError):
+            kofn_chain(3, -0.1, 1.0)
+
+    def test_database_quorum_example(self):
+        # The paper's Database block at its parameters: F = 5000 h manual
+        # restart R_S = 1 h -> lam = 1/5000, mu = 1.  2-of-3 quorum.
+        lam, mu = 1 / 5000, 1.0
+        markov = kofn_availability_markov(2, 3, lam, mu)
+        rbd = kofn_availability_rbd(2, 3, lam, mu)
+        assert markov == pytest.approx(rbd, rel=1e-9)
+        assert 1 - markov == pytest.approx(1.2e-7, rel=0.05)

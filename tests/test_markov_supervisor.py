@@ -1,0 +1,133 @@
+"""Tests for the supervisor-process CTMC and transient analysis."""
+
+import math
+
+import pytest
+
+from repro.markov.kofn_markov import kofn_chain
+from repro.markov.supervisor_markov import (
+    DOWN_DOWN,
+    UP_DOWN,
+    UP_UP,
+    effective_availability_markov,
+    supervisor_process_chain,
+)
+from repro.markov.transient import (
+    expected_first_outage_hours,
+    survival_probability,
+    transient_availability,
+)
+from repro.params.software import RestartScenario, SoftwareParams
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+class TestSupervisorChain:
+    def test_scenario1_has_four_states(self, software):
+        chain = supervisor_process_chain(software, S1)
+        assert len(chain.states) == 4
+
+    def test_scenario2_has_no_up_down_state(self, software):
+        # A supervisor failure kills the node-role, so (process up,
+        # supervisor down) is unreachable and never constructed.
+        chain = supervisor_process_chain(software, S2)
+        assert UP_DOWN not in chain.states
+        assert len(chain.states) == 3
+
+    def test_scenario1_validates_paper_a_star(self, software):
+        result = effective_availability_markov(software, S1)
+        # Paper: A* ~= 0.99998 — exact chain agrees to ~0.1% on the
+        # unavailability.
+        assert result.exact_availability == pytest.approx(
+            result.paper_approximation, abs=3e-7
+        )
+        assert result.approximation_error < 0.01
+
+    def test_scenario2_validates_paper_a_star(self, software):
+        result = effective_availability_markov(software, S2)
+        assert result.approximation_error < 0.01
+        assert result.exact_availability == pytest.approx(0.9998, abs=3e-5)
+
+    def test_scenario2_worse_than_scenario1(self, software):
+        a1 = effective_availability_markov(software, S1).exact_availability
+        a2 = effective_availability_markov(software, S2).exact_availability
+        assert a2 < a1
+
+    def test_approximation_degrades_gracefully_when_stressed(self):
+        # At stressed parameters the paper's mixing argument is still
+        # within ~20% on the unavailability.
+        stressed = SoftwareParams(
+            mtbf_hours=100.0,
+            auto_restart_hours=0.5,
+            manual_restart_hours=5.0,
+            maintenance_window_hours=10.0,
+        )
+        for scenario in (S1, S2):
+            result = effective_availability_markov(stressed, scenario)
+            assert result.approximation_error < 0.2, scenario
+
+
+class TestTransient:
+    def up(self, failed):
+        return failed <= 1  # 2-of-3 quorum
+
+    def test_transient_starts_at_one(self):
+        chain = kofn_chain(3, 1 / 5000, 1.0)
+        assert transient_availability(chain, self.up, 0.0, start=0) == pytest.approx(
+            1.0
+        )
+
+    def test_transient_approaches_steady_state(self):
+        chain = kofn_chain(3, 0.01, 1.0)
+        steady = chain.probability(lambda failed: failed <= 1)
+        late = transient_availability(chain, self.up, 5_000.0, start=0)
+        assert late == pytest.approx(steady, rel=1e-6)
+
+    def test_survival_decreasing_in_time(self):
+        chain = kofn_chain(3, 0.01, 1.0)
+        s1 = survival_probability(chain, self.up, 10.0, start=0)
+        s2 = survival_probability(chain, self.up, 100.0, start=0)
+        assert 0.0 <= s2 <= s1 <= 1.0
+
+    def test_survival_consistent_with_hitting_time(self):
+        # For small t, 1 - S(t) ~= t / E[T_outage] when outages are
+        # approximately exponential arrivals.
+        chain = kofn_chain(3, 1 / 5000, 1.0)
+        expected = expected_first_outage_hours(chain, self.up, start=0)
+        t = expected / 1000.0
+        survival = survival_probability(chain, self.up, t, start=0)
+        assert 1 - survival == pytest.approx(t / expected, rel=0.05)
+
+    def test_hitting_time_matches_exponential_structure(self):
+        # A 1-of-1 component: E[first failure] = MTBF exactly.
+        chain = kofn_chain(1, 0.01, 1.0)
+        expected = expected_first_outage_hours(
+            chain, lambda failed: failed == 0, start=0
+        )
+        assert expected == pytest.approx(100.0)
+
+    def test_paper_single_rack_narrative(self):
+        # "no rack-related downtime for many years followed by a ...
+        # extended outage": a rack with a 500-year MTBF has >98% chance of
+        # surviving a decade without any outage.
+        years = 8766.0
+        chain = kofn_chain(1, 1 / (500 * years), 1 / 48.0)
+        survival = survival_probability(
+            chain, lambda failed: failed == 0, 10 * years, start=0
+        )
+        assert survival == pytest.approx(math.exp(-10 / 500), rel=1e-6)
+
+    def test_survival_must_start_up(self):
+        chain = kofn_chain(3, 0.01, 1.0)
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            survival_probability(chain, lambda failed: failed == 0, 1.0, start=3)
+
+    def test_hitting_time_from_down_state_is_zero(self):
+        chain = kofn_chain(3, 0.01, 1.0)
+        assert (
+            expected_first_outage_hours(chain, lambda f: f <= 1, start=2)
+            == 0.0
+        )

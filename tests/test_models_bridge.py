@@ -1,0 +1,132 @@
+"""Tests for the HW/SW bridge and Esary-Proschan bounds."""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.core.blocks import Basic, KOfN
+from repro.core.bounds import (
+    esary_proschan_bounds,
+    min_cut_lower_bound,
+    min_path_upper_bound,
+)
+from repro.core.cutsets import minimal_cut_sets, minimal_path_sets
+from repro.core.structure import StructureFunction
+from repro.errors import ModelError
+from repro.models.bridge import (
+    abstraction_gap,
+    hw_availability_implied,
+    implied_role_availability,
+    implied_role_quorum,
+)
+
+
+class TestImpliedRoleParameters:
+    def test_config_role_alpha(self, spec, software):
+        # Config instance: six auto processes required -> A^6.
+        config = spec.role("Config")
+        implied = implied_role_availability(config, software, Plane.CP)
+        assert implied == pytest.approx(software.a_process**6)
+
+    def test_database_role_alpha(self, spec, software):
+        # Database instance: four manual processes -> A_S^4.
+        database = spec.role("Database")
+        implied = implied_role_availability(database, software, Plane.CP)
+        assert implied == pytest.approx(software.a_unsupervised**4)
+
+    def test_quorums_match_paper_abstraction(self, spec):
+        assert implied_role_quorum(spec.role("Config"), Plane.CP) == 1
+        assert implied_role_quorum(spec.role("Database"), Plane.CP) == 2
+        assert implied_role_quorum(spec.role("Analytics"), Plane.DP) == 0
+
+    def test_implied_alpha_near_paper_ac(self, spec, software):
+        # The implied role availabilities straddle the paper's ballpark
+        # A_C = 0.9995: Config/Analytics ~0.9999, Database ~0.9992.
+        values = [
+            implied_role_availability(spec.role(name), software, Plane.CP)
+            for name in ("Config", "Control", "Analytics", "Database")
+        ]
+        assert min(values) > 0.999
+        assert max(values) < 1.0
+
+
+class TestAbstractionGap:
+    @pytest.mark.parametrize("name", ["small", "large"])
+    def test_implied_hw_is_lower_bound(
+        self, spec, hardware, software, name, request
+    ):
+        topology = request.getfixturevalue(name)
+        implied, sw = abstraction_gap(
+            spec, topology, name, hardware, software
+        )
+        assert implied <= sw + 1e-12
+
+    def test_gap_small_at_paper_parameters(
+        self, spec, small, hardware, software
+    ):
+        implied, sw = abstraction_gap(
+            spec, small, "small", hardware, software
+        )
+        # The atomic-role abstraction overstates unavailability by ~13% at
+        # the paper's parameters: a whole Database instance fails when ANY
+        # of its four processes fails (4 q_S per instance), so the 2-of-3
+        # pair term is 3(4 q_S)^2 = 16x the SW model's 4 x 3 q_S^2.
+        assert implied < sw
+        assert (1 - implied) / (1 - sw) == pytest.approx(1.13, abs=0.03)
+
+    def test_dp_plane_supported(self, spec, small, hardware, software):
+        value = hw_availability_implied(
+            spec, small, hardware, software, Plane.DP
+        )
+        assert 0.999 < value <= 1.0
+
+
+class TestEsaryProschan:
+    def two_of_three(self, p=0.99):
+        block = KOfN(2, tuple(Basic(x, p) for x in "abc"))
+        structure = StructureFunction.from_block(block)
+        return (
+            block,
+            minimal_cut_sets(structure),
+            minimal_path_sets(structure),
+            {x: p for x in "abc"},
+        )
+
+    def test_bounds_bracket_exact(self):
+        block, cuts, paths, availability = self.two_of_three()
+        lower, upper = esary_proschan_bounds(cuts, paths, availability)
+        exact = block.availability()
+        assert lower <= exact <= upper
+
+    def test_lower_bound_tight_in_ha_regime(self):
+        block, cuts, paths, availability = self.two_of_three(p=0.9999)
+        lower = min_cut_lower_bound(cuts, availability)
+        exact = block.availability()
+        assert (1 - lower) == pytest.approx(1 - exact, rel=1e-3)
+
+    def test_series_bounds_exact(self):
+        # For a pure series system both bounds are exact.
+        block = Basic("a", 0.9) & Basic("b", 0.8)
+        structure = StructureFunction.from_block(block)
+        cuts = minimal_cut_sets(structure)
+        paths = minimal_path_sets(structure)
+        availability = {"a": 0.9, "b": 0.8}
+        lower, upper = esary_proschan_bounds(cuts, paths, availability)
+        assert lower == pytest.approx(block.availability())
+        assert upper == pytest.approx(block.availability())
+
+    def test_parallel_bounds_exact(self):
+        block = Basic("a", 0.6) | Basic("b", 0.7)
+        structure = StructureFunction.from_block(block)
+        lower, upper = esary_proschan_bounds(
+            minimal_cut_sets(structure),
+            minimal_path_sets(structure),
+            {"a": 0.6, "b": 0.7},
+        )
+        assert lower == pytest.approx(block.availability())
+        assert upper == pytest.approx(block.availability())
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            min_cut_lower_bound([], {})
+        with pytest.raises(ModelError):
+            min_path_upper_bound([], {})

@@ -1,0 +1,114 @@
+"""Tests for topology generation and design search."""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.errors import ModelError, TopologyError
+from repro.models.design import (
+    CostModel,
+    cheapest_meeting,
+    enumerate_designs,
+    pareto_frontier,
+)
+from repro.models.sw import plane_availability_exact
+from repro.params.software import RestartScenario
+from repro.topology.generate import combined_nodes_topology, separated_topology
+
+S2 = RestartScenario.REQUIRED
+
+
+class TestGenerators:
+    def test_combined_1r_is_small(self, spec, small, hardware, software):
+        generated = combined_nodes_topology(spec, 1)
+        for scenario in RestartScenario:
+            assert plane_availability_exact(
+                spec, Plane.CP, generated, hardware, software, scenario
+            ) == pytest.approx(
+                plane_availability_exact(
+                    spec, Plane.CP, small, hardware, software, scenario
+                ),
+                rel=1e-12,
+            )
+
+    def test_separated_3r_is_large(self, spec, large, hardware, software):
+        generated = separated_topology(spec, 3)
+        assert plane_availability_exact(
+            spec, Plane.CP, generated, hardware, software, S2
+        ) == pytest.approx(
+            plane_availability_exact(
+                spec, Plane.CP, large, hardware, software, S2
+            ),
+            rel=1e-12,
+        )
+
+    def test_round_robin_rack_assignment(self, spec):
+        topo = combined_nodes_topology(spec, 2)
+        racks = {h.name: h.rack for h in topo.hosts}
+        assert racks == {"H1": "R1", "H2": "R2", "H3": "R1"}
+
+    def test_racks_used_validated(self, spec):
+        with pytest.raises(TopologyError):
+            combined_nodes_topology(spec, 0)
+        with pytest.raises(TopologyError):
+            separated_topology(spec, 4)
+
+    def test_five_node_generation(self):
+        roles = ("A", "B")
+        topo = separated_topology(roles, 3, cluster_size=5)
+        assert len(topo.racks) == 3
+        assert len(topo.hosts) == 10
+
+
+class TestDesignSearch:
+    @pytest.fixture()
+    def points(self, spec, hardware, software):
+        return enumerate_designs(spec, hardware, software, S2)
+
+    def test_six_candidates(self, points):
+        assert len(points) == 6
+        names = {p.name for p in points}
+        assert "Combined-1R" in names and "Separated-3R" in names
+
+    def test_frontier_is_one_rack_or_three(self, points):
+        # The paper's law, rediscovered by mechanical search: two racks
+        # are never on the frontier, and separated layouts never beat
+        # combined ones at the same rack count.
+        frontier = pareto_frontier(points)
+        assert [p.name for p in frontier] == ["Combined-1R", "Combined-3R"]
+
+    def test_separation_buys_nothing(self, points):
+        by_name = {p.name: p for p in points}
+        for racks in (1, 2, 3):
+            combined = by_name[f"Combined-{racks}R"]
+            separated = by_name[f"Separated-{racks}R"]
+            assert separated.availability == pytest.approx(
+                combined.availability, abs=1e-7
+            )
+            assert separated.cost > combined.cost
+
+    def test_cheapest_meeting_target(self, points):
+        # ~5.3 min/yr needs nothing special; 1.4 m/y needs three racks.
+        modest = cheapest_meeting(points, 0.99998)
+        assert modest.name == "Combined-1R"
+        strict = cheapest_meeting(points, 0.999995)
+        assert strict.name == "Combined-3R"
+        assert cheapest_meeting(points, 0.99999999) is None
+
+    def test_custom_cost_model(self, spec, hardware, software):
+        # Free racks, expensive hosts: frontier unchanged in membership
+        # order but costs differ.
+        points = enumerate_designs(
+            spec, hardware, software, S2,
+            cost_model=CostModel(rack_cost=0.0, host_cost=5.0),
+        )
+        by_name = {p.name: p for p in points}
+        assert by_name["Combined-3R"].cost == pytest.approx(15.0)
+
+    def test_design_point_metrics(self, points):
+        point = points[0]
+        assert point.downtime_minutes > 0
+        assert point.nines > 4
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ModelError):
+            pareto_frontier([])

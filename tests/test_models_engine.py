@@ -1,0 +1,148 @@
+"""Tests for the exact topology engine (repro.models.engine)."""
+
+import pytest
+
+from repro.core.kofn import a_m_of_n
+from repro.errors import ModelError, TopologyError
+from repro.models.engine import (
+    RoleRequirement,
+    UnitRequirement,
+    evaluate_topology,
+    resolve_availability,
+)
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+
+def chain_topology():
+    """One role instance on one VM/host/rack — a pure series chain."""
+    return DeploymentTopology(
+        "Chain",
+        (Rack("R1"),),
+        (Host("H1", "R1"),),
+        (Vm("V1", "H1"),),
+        (RoleInstance("A", 1, "V1"),),
+    )
+
+
+def triple_topology():
+    """Three instances of one role on private chains in one rack."""
+    return DeploymentTopology(
+        "Triple",
+        (Rack("R1"),),
+        tuple(Host(f"H{i}", "R1") for i in (1, 2, 3)),
+        tuple(Vm(f"V{i}", f"H{i}") for i in (1, 2, 3)),
+        tuple(RoleInstance("A", i, f"V{i}") for i in (1, 2, 3)),
+    )
+
+
+LEVELS = {"rack": 0.999, "host": 0.998, "vm": 0.997}
+
+
+class TestSeriesChain:
+    def test_single_instance_is_series(self):
+        req = RoleRequirement("A", (UnitRequirement("p", 1, 0.99),))
+        result = evaluate_topology(chain_topology(), (req,), LEVELS)
+        assert result == pytest.approx(0.999 * 0.998 * 0.997 * 0.99)
+
+    def test_zero_quorum_unit_ignores_infrastructure(self):
+        req = RoleRequirement("A", (UnitRequirement("p", 0, 0.5),))
+        result = evaluate_topology(chain_topology(), (req,), LEVELS)
+        assert result == pytest.approx(1.0)
+
+    def test_no_requirements_is_certain(self):
+        assert evaluate_topology(chain_topology(), (), LEVELS) == 1.0
+
+
+class TestKofnOverPrivateChains:
+    def test_two_of_three_thins_by_chain(self):
+        # Each instance survives with p = A_H A_V alpha; the rack is a
+        # shared series element.  2-of-3 over the thinned instances.
+        alpha = 0.99
+        req = RoleRequirement("A", (UnitRequirement("p", 2, alpha),))
+        result = evaluate_topology(triple_topology(), (req,), LEVELS)
+        p = 0.998 * 0.997 * alpha
+        assert result == pytest.approx(a_m_of_n(2, 3, p) * 0.999, rel=1e-12)
+
+    def test_extra_instance_availability(self):
+        # The scenario-2 supervisor factor thins each platform further.
+        alpha, extra = 0.99, 0.95
+        req = RoleRequirement(
+            "A",
+            (UnitRequirement("p", 2, alpha),),
+            extra_instance_availability=extra,
+        )
+        result = evaluate_topology(triple_topology(), (req,), LEVELS)
+        p = 0.998 * 0.997 * extra * alpha
+        assert result == pytest.approx(a_m_of_n(2, 3, p) * 0.999, rel=1e-12)
+
+    def test_multiple_units_share_platforms(self):
+        # Two units of the same role are correlated through platforms:
+        # P = E[prod_u A_{1/g}(alpha_u)] over the platform count g, which is
+        # NOT the product of the units' marginal availabilities.
+        req = RoleRequirement(
+            "A",
+            (UnitRequirement("u1", 1, 0.9), UnitRequirement("u2", 1, 0.9)),
+        )
+        result = evaluate_topology(triple_topology(), (req,), LEVELS)
+        # Exact: condition on g ~ thinned Binomial(3, A_H A_V).
+        from repro.core.kofn import binomial_pmf
+
+        p = 0.998 * 0.997
+        expected = 0.999 * sum(
+            binomial_pmf(g, 3, p) * a_m_of_n(1, g, 0.9) ** 2
+            for g in range(4)
+        )
+        assert result == pytest.approx(expected, rel=1e-12)
+        # And strictly above the naive independent-marginals product.
+        marginal = 0.999 * sum(
+            binomial_pmf(g, 3, p) * a_m_of_n(1, g, 0.9) for g in range(4)
+        )
+        assert result > (marginal / 0.999) ** 2 * 0.999
+
+
+class TestSharedVms:
+    def test_shared_vm_conditioned_once(self):
+        # Two roles on one VM: P(both up) = chain * alpha_a * alpha_b, not
+        # chain^2.
+        topo = DeploymentTopology(
+            "SharedVM",
+            (Rack("R1"),),
+            (Host("H1", "R1"),),
+            (Vm("V1", "H1"),),
+            (RoleInstance("A", 1, "V1"), RoleInstance("B", 1, "V1")),
+        )
+        reqs = (
+            RoleRequirement("A", (UnitRequirement("pa", 1, 0.9),)),
+            RoleRequirement("B", (UnitRequirement("pb", 1, 0.8),)),
+        )
+        result = evaluate_topology(topo, reqs, LEVELS)
+        assert result == pytest.approx(
+            0.999 * 0.998 * 0.997 * 0.9 * 0.8, rel=1e-12
+        )
+
+
+class TestErrors:
+    def test_unplaced_role_rejected(self):
+        req = RoleRequirement("Z", (UnitRequirement("p", 1, 0.9),))
+        with pytest.raises(TopologyError):
+            evaluate_topology(chain_topology(), (req,), LEVELS)
+
+    def test_missing_level_availability_rejected(self):
+        req = RoleRequirement("A", (UnitRequirement("p", 1, 0.9),))
+        with pytest.raises(ModelError):
+            evaluate_topology(chain_topology(), (req,), {"rack": 0.999})
+
+    def test_per_element_override(self):
+        assert resolve_availability("H1", "host", {"H1": 0.5, "host": 0.9}) == 0.5
+        assert resolve_availability("H2", "host", {"H1": 0.5, "host": 0.9}) == 0.9
+
+    def test_bad_alpha_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            UnitRequirement("p", 1, 1.5)
+
+    def test_negative_quorum_rejected(self):
+        with pytest.raises(ModelError):
+            UnitRequirement("p", -1, 0.5)

@@ -1,0 +1,206 @@
+"""Tests for the HW-centric models (closed forms, exact engine, approximations)."""
+
+import pytest
+
+from repro.core.kofn import a_m_of_n
+from repro.errors import ModelError
+from repro.models.hw_approx import (
+    hw_approx_large,
+    hw_approx_medium,
+    hw_approx_small,
+    hw_approximation,
+    two_of_three_polynomial,
+)
+from repro.models.hw_closed import (
+    hw_availability,
+    hw_large,
+    hw_medium,
+    hw_medium_paper,
+    hw_small,
+)
+from repro.models.hw_exact import (
+    hw_availability_exact,
+    hw_availability_exact_for_spec,
+)
+from repro.params.hardware import HardwareParams
+from repro.topology.reference import (
+    large_topology,
+    medium_topology,
+    small_topology,
+)
+
+ROLES = ("Config", "Control", "Analytics", "Database")
+
+
+class TestClosedFormsVsEngine:
+    """The printed equations and the enumeration engine must agree."""
+
+    def test_small(self, hardware, small):
+        assert hw_small(hardware) == pytest.approx(
+            hw_availability_exact(small, hardware), rel=1e-12
+        )
+
+    def test_medium(self, hardware, medium):
+        assert hw_medium(hardware) == pytest.approx(
+            hw_availability_exact(medium, hardware), rel=1e-12
+        )
+
+    def test_large(self, hardware, large):
+        assert hw_large(hardware) == pytest.approx(
+            hw_availability_exact(large, hardware), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("a_role", [0.9, 0.99, 0.999, 0.9999])
+    def test_agreement_across_role_availability(self, a_role, hardware):
+        params = hardware.with_role_availability(a_role)
+        topo = large_topology(ROLES)
+        assert hw_large(params) == pytest.approx(
+            hw_availability_exact(topo, params), rel=1e-12
+        )
+
+    def test_degraded_hardware_agreement(self):
+        params = HardwareParams(
+            a_role=0.97, a_vm=0.98, a_host=0.95, a_rack=0.9
+        )
+        for name, topo in (
+            ("small", small_topology(ROLES)),
+            ("medium", medium_topology(ROLES)),
+            ("large", large_topology(ROLES)),
+        ):
+            assert hw_availability(name, params) == pytest.approx(
+                hw_availability_exact(topo, params), rel=1e-10
+            ), name
+
+
+class TestPaperMediumForm:
+    def test_corrected_form_matches_exact_to_first_order(self, hardware):
+        exact = hw_medium(hardware)
+        printed = hw_medium_paper(hardware)
+        # Agreement to O((1-A)^2): unavailabilities within ~1%.
+        assert (1 - printed) == pytest.approx(1 - exact, rel=0.01)
+
+    def test_as_printed_form_overestimates(self, hardware):
+        # Discrepancy D1: the verbatim Eq. (6) drops an A_R and lands ~1e-5
+        # high, contradicting Fig. 3.
+        verbatim = hw_medium_paper(hardware, as_printed=True)
+        exact = hw_medium(hardware)
+        assert verbatim - exact == pytest.approx(1e-5, rel=0.2)
+
+
+class TestSectionVDClaims:
+    """The qualitative conclusions of section V-D."""
+
+    def test_role_separation_does_not_improve_availability(self, hardware):
+        # S -> M: "separation of roles onto separate VMs does not improve
+        # availability" — in fact two racks slightly reduce it.
+        assert hw_medium(hardware) <= hw_small(hardware)
+
+    def test_two_racks_slightly_worse_than_one(self, hardware):
+        # "adding a second rack actually slightly reduces availability".
+        small = hw_small(hardware)
+        medium = hw_medium(hardware)
+        assert medium < small
+        assert small - medium < 1e-6  # "slightly"
+
+    def test_third_rack_improves(self, hardware):
+        # M -> L improves availability.
+        assert hw_large(hardware) > hw_medium(hardware)
+
+    def test_one_rack_or_three_not_two(self, hardware):
+        ranking = sorted(
+            ("small", "medium", "large"),
+            key=lambda n: hw_availability(n, hardware),
+        )
+        assert ranking == ["medium", "small", "large"]
+
+
+class TestApproximations:
+    def test_small_approximation_close(self, hardware):
+        exact = hw_small(hardware)
+        approx = hw_approx_small(hardware)
+        assert (1 - approx) == pytest.approx(1 - exact, rel=0.02)
+
+    def test_medium_approximation_equals_small(self, hardware):
+        assert hw_approx_medium(hardware) == hw_approx_small(hardware)
+
+    def test_large_approximation_close(self, hardware):
+        exact = hw_large(hardware)
+        approx = hw_approx_large(hardware)
+        assert (1 - approx) == pytest.approx(1 - exact, rel=0.05)
+
+    def test_conclusion_polynomial(self):
+        alpha = 0.9993
+        assert two_of_three_polynomial(alpha) == pytest.approx(
+            a_m_of_n(2, 3, alpha)
+        )
+
+    def test_dispatch(self, hardware):
+        assert hw_approximation("small", hardware) == hw_approx_small(hardware)
+        with pytest.raises(ModelError):
+            hw_approximation("huge", hardware)
+
+
+class TestGeneralizations:
+    def test_five_node_cluster(self, hardware):
+        # Larger clusters with majority quorum are strictly better.
+        three = hw_large(hardware, quorums=(1, 1, 1, 2), n=3)
+        five = hw_large(hardware, quorums=(1, 1, 1, 3), n=5)
+        assert five > three
+
+    def test_custom_quorums_in_exact_engine(self, hardware):
+        topo = small_topology(("Config", "Database"))
+        result = hw_availability_exact(
+            topo, hardware, quorums={"Config": 1, "Database": 2}
+        )
+        assert 0 < result < 1
+
+    def test_unknown_role_rejected(self, hardware, small):
+        with pytest.raises(ModelError):
+            hw_availability_exact(small, hardware, quorums={"Ghost": 1})
+
+    def test_spec_derived_quorums(self, spec, hardware, small):
+        from_spec = hw_availability_exact_for_spec(small, spec, hardware)
+        explicit = hw_availability_exact(
+            small,
+            hardware,
+            quorums={"Config": 1, "Control": 1, "Analytics": 1, "Database": 2},
+        )
+        assert from_spec == pytest.approx(explicit, rel=1e-12)
+
+    def test_dispatch_unknown_topology(self, hardware):
+        with pytest.raises(ModelError):
+            hw_availability("gigantic", hardware)
+
+
+class TestFig3Anchors:
+    """The availability values read off Fig. 3 / quoted in section V-D."""
+
+    def test_default_values(self, hardware):
+        assert hw_small(hardware) == pytest.approx(0.999989, abs=1.5e-6)
+        assert hw_medium(hardware) == pytest.approx(0.999989, abs=1.5e-6)
+        assert hw_large(hardware) == pytest.approx(0.999999, abs=5e-7)
+
+    def test_small_range_over_sweep(self, hardware):
+        # "Small and Medium availabilities range between 0.999986 and
+        # 0.999990" over A_C in [0.999, 1.0].
+        low = hw_small(hardware.with_role_availability(0.999))
+        high = hw_small(hardware.with_role_availability(1.0))
+        assert low == pytest.approx(0.999986, abs=2e-6)
+        assert high == pytest.approx(0.999990, abs=2e-6)
+
+    def test_large_range_over_sweep(self, hardware):
+        # "Large availability ranges between 0.999996 and 0.9999999".
+        low = hw_large(hardware.with_role_availability(0.999))
+        high = hw_large(hardware.with_role_availability(1.0))
+        assert low == pytest.approx(0.999996, abs=1e-6)
+        assert high == pytest.approx(0.9999999, abs=1e-7)
+
+    def test_third_rack_saves_five_minutes(self, hardware):
+        # "Controller availability increases from 0.999989 to 0.9999990
+        # (a savings of 5 minutes/year in downtime)".
+        from repro.units import downtime_minutes_per_year
+
+        saving = downtime_minutes_per_year(
+            hw_medium(hardware)
+        ) - downtime_minutes_per_year(hw_large(hardware))
+        assert saving == pytest.approx(5.0, abs=0.5)

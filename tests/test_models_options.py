@@ -1,0 +1,99 @@
+"""Tests for the 1S/2S/1L/2L option wrappers and data-plane composition."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.dataplane import dp_availability, local_dp_availability
+from repro.models.sw_options import (
+    PAPER_OPTIONS,
+    evaluate_all_options,
+    evaluate_option,
+    parse_option,
+)
+from repro.params.software import RestartScenario
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+class TestParseOption:
+    def test_all_paper_options(self):
+        assert parse_option("1S") == (S1, "small")
+        assert parse_option("2S") == (S2, "small")
+        assert parse_option("1L") == (S1, "large")
+        assert parse_option("2L") == (S2, "large")
+
+    def test_medium_supported(self):
+        assert parse_option("2M") == (S2, "medium")
+
+    def test_case_insensitive(self):
+        assert parse_option("2l") == (S2, "large")
+
+    def test_rejects_garbage(self):
+        for bad in ("", "3S", "1X", "XL", "1SL"):
+            with pytest.raises(ModelError):
+                parse_option(bad)
+
+
+class TestLocalDp:
+    def test_scenario1_is_a_to_the_k(self, spec, software):
+        # A_LDP = A^K with K = 2 (vrouter-agent, vrouter-dpdk).
+        assert local_dp_availability(spec, software, S1) == pytest.approx(
+            software.a_process**2
+        )
+
+    def test_scenario2_adds_supervisor(self, spec, software):
+        # A_LDP = A^K A_S.
+        assert local_dp_availability(spec, software, S2) == pytest.approx(
+            software.a_process**2 * software.a_unsupervised
+        )
+
+    def test_no_host_role_is_perfect(self, split_spec, software):
+        assert local_dp_availability(split_spec, software, S1) == 1.0
+        assert local_dp_availability(split_spec, software, S2) == 1.0
+
+
+class TestDpComposition:
+    def test_dp_is_product(self, spec, hardware, software):
+        for topology in ("small", "large"):
+            for scenario in (S1, S2):
+                from repro.models.sw import shared_dp_availability
+
+                shared = shared_dp_availability(
+                    spec, topology, hardware, software, scenario
+                )
+                local = local_dp_availability(spec, software, scenario)
+                assert dp_availability(
+                    spec, topology, hardware, software, scenario
+                ) == pytest.approx(shared * local)
+
+
+class TestOptionResults:
+    def test_result_fields_consistent(self, spec, hardware, software):
+        result = evaluate_option(spec, "2L", hardware, software)
+        assert result.option == "2L"
+        assert result.dp == pytest.approx(result.shared_dp * result.local_dp)
+        assert 0 < result.cp_downtime_minutes < 10
+        assert 0 < result.dp_downtime_minutes < 200
+
+    def test_all_options(self, spec, hardware, software):
+        results = evaluate_all_options(spec, hardware, software)
+        assert set(results) == set(PAPER_OPTIONS)
+
+    def test_option_ordering_cp(self, spec, hardware, software):
+        # CP: 1L best, then 2L, then 1S, then 2S (Fig. 4 at x = 0).
+        results = evaluate_all_options(spec, hardware, software)
+        assert (
+            results["1L"].cp
+            > results["2L"].cp
+            > results["1S"].cp
+            > results["2S"].cp
+        )
+
+    def test_option_ordering_dp(self, spec, hardware, software):
+        # DP: supervisor requirement dominates; topology is secondary
+        # (Fig. 5: 1L > 1S >> 2L > 2S).
+        results = evaluate_all_options(spec, hardware, software)
+        assert results["1L"].dp > results["1S"].dp
+        assert results["2L"].dp > results["2S"].dp
+        assert results["1S"].dp > results["2L"].dp

@@ -1,0 +1,139 @@
+"""Tests for topology outage profiles (repro.models.outage)."""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.models.outage import (
+    DowntimeAssumptions,
+    OutageComparison,
+    component_dynamics,
+    fleet_outages_per_year,
+    plane_outage_profile,
+)
+from repro.models.sw import cp_availability
+from repro.params.software import RestartScenario
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+class TestComponentDynamics:
+    def test_unavailabilities_match_parameters(
+        self, spec, small, hardware, software
+    ):
+        dynamics = component_dynamics(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        assert 1 - dynamics["rack:R1"].unavailability == pytest.approx(
+            hardware.a_rack
+        )
+        assert 1 - dynamics["host:H1"].unavailability == pytest.approx(
+            hardware.a_host
+        )
+        assert 1 - dynamics[
+            "proc:Config/config-api-1"
+        ].unavailability == pytest.approx(software.a_process)
+        assert 1 - dynamics[
+            "proc:Database/kafka-2"
+        ].unavailability == pytest.approx(software.a_unsupervised)
+
+    def test_process_downtimes_by_restart_mode(
+        self, spec, small, hardware, software
+    ):
+        dynamics = component_dynamics(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        assert dynamics[
+            "proc:Config/config-api-1"
+        ].mean_downtime_hours == pytest.approx(software.auto_restart_hours)
+        assert dynamics[
+            "proc:Database/kafka-1"
+        ].mean_downtime_hours == pytest.approx(software.manual_restart_hours)
+
+    def test_custom_assumptions(self, spec, small, hardware, software):
+        assumptions = DowntimeAssumptions(rack_mttr_hours=96.0)
+        dynamics = component_dynamics(
+            spec, small, hardware, software, S1, Plane.CP, assumptions
+        )
+        assert dynamics["rack:R1"].mean_downtime_hours == 96.0
+
+    def test_supervisor_downtime_by_scenario(
+        self, spec, small, hardware, software
+    ):
+        dynamics = component_dynamics(
+            spec, small, hardware, software, S2, Plane.CP
+        )
+        assert dynamics["sup:Config-1"].mean_downtime_hours == pytest.approx(
+            software.manual_restart_hours
+        )
+
+
+class TestPlaneProfiles:
+    def test_unavailability_matches_closed_form(
+        self, spec, small, hardware, software
+    ):
+        # The union-bound unavailability over order<=2 cuts must track the
+        # closed-form CP unavailability (order-3 cuts are ~1e-12).
+        profile = plane_outage_profile(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        closed = 1 - cp_availability(spec, "small", hardware, software, S1)
+        assert profile.unavailability == pytest.approx(closed, rel=0.05)
+
+    def test_small_outages_longer_than_large(
+        self, spec, small, large, hardware, software
+    ):
+        # The paper's rare-but-long story: the Small topology's CP outages
+        # are dominated by the 48 h rack event; Large converts them into
+        # short process-level events.
+        comparison = OutageComparison(
+            small=plane_outage_profile(
+                spec, small, hardware, software, S1, Plane.CP
+            ),
+            large=plane_outage_profile(
+                spec, large, hardware, software, S1, Plane.CP
+            ),
+        )
+        assert comparison.duration_ratio > 5.0
+        assert comparison.small.mean_outage_hours > 3.0
+        assert comparison.large.mean_outage_hours < 1.0
+
+    def test_downtime_identity(self, spec, large, hardware, software):
+        profile = plane_outage_profile(
+            spec, large, hardware, software, S2, Plane.CP
+        )
+        assert profile.unavailability == pytest.approx(
+            profile.frequency_per_hour * profile.mean_outage_hours
+        )
+
+    def test_dp_dominated_by_vrouter(self, spec, small, hardware, software):
+        # DP outage frequency is dominated by the per-host vRouter
+        # processes (two 1-of-1 cuts at rate ~1/F each).
+        profile = plane_outage_profile(
+            spec, small, hardware, software, S1, Plane.DP
+        )
+        per_process_rate = (1 - software.a_process) / (
+            software.auto_restart_hours
+        )
+        assert profile.frequency_per_hour > 2 * per_process_rate * 0.9
+
+
+class TestFleet:
+    def test_fleet_scaling(self, spec, small, hardware, software):
+        profile = plane_outage_profile(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        one = fleet_outages_per_year(profile, 1)
+        five_hundred = fleet_outages_per_year(profile, 500)
+        assert five_hundred == pytest.approx(500 * one)
+        # The paper's warning: at 500 edge sites, outages become routine.
+        assert five_hundred > 1.0
+
+    def test_fleet_validation(self, spec, small, hardware, software):
+        profile = plane_outage_profile(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            fleet_outages_per_year(profile, 0)

@@ -1,0 +1,56 @@
+"""Tests for the supervisor scenario analysis (repro.models.supervisor)."""
+
+import pytest
+
+from repro.models.supervisor import (
+    analyze_scenario,
+    compare_scenarios,
+    scenario1_preserves_availability,
+    scenario2_inherits_supervisor,
+)
+from repro.params.software import RestartScenario, SoftwareParams
+
+
+class TestScenarioAnalysis:
+    def test_scenario1_triple(self, software):
+        analysis = analyze_scenario(software, RestartScenario.NOT_REQUIRED)
+        assert analysis.effective_mtbf_hours == 5000.0
+        assert analysis.effective_restart_hours == pytest.approx(0.102, abs=1e-3)
+        assert analysis.effective_availability == pytest.approx(
+            0.99998, abs=1e-6
+        )
+
+    def test_scenario2_triple(self, software):
+        analysis = analyze_scenario(software, RestartScenario.REQUIRED)
+        assert analysis.effective_mtbf_hours == 2500.0
+        assert analysis.effective_restart_hours == pytest.approx(0.55)
+        assert analysis.effective_availability == pytest.approx(
+            0.9998, abs=3e-5
+        )
+
+    def test_compare_covers_both(self, software):
+        both = compare_scenarios(software)
+        assert set(both) == set(RestartScenario)
+
+
+class TestPaperPredicates:
+    def test_paper_defaults_satisfy_both_claims(self, software):
+        assert scenario1_preserves_availability(software)
+        assert scenario2_inherits_supervisor(software)
+
+    def test_scenario1_claim_fails_with_long_window(self):
+        # A day-long supervisor exposure with a short MTBF breaks the
+        # "not measurably impacted" claim — the predicate must detect it.
+        fragile = SoftwareParams(
+            mtbf_hours=50.0,
+            auto_restart_hours=0.1,
+            manual_restart_hours=10.0,
+            maintenance_window_hours=24.0,
+        )
+        assert not scenario1_preserves_availability(fragile, tolerance=1e-4)
+
+    def test_scenario2_claim_scale_free(self):
+        # The inheritance claim holds across a range of F (same R, R_S).
+        for f in (1000.0, 5000.0, 20000.0):
+            params = SoftwareParams(mtbf_hours=f)
+            assert scenario2_inherits_supervisor(params)

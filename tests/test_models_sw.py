@@ -1,0 +1,162 @@
+"""Tests for the SW-centric models (repro.models.sw) — Eqs. (9)-(15)."""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.errors import ModelError
+from repro.models.sw import (
+    cp_availability,
+    plane_availability,
+    plane_availability_exact,
+    plane_requirements,
+    shared_dp_availability,
+)
+from repro.params.software import RestartScenario
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+class TestClosedFormVsEngine:
+    """The reference-topology closed forms must match the exact engine."""
+
+    @pytest.mark.parametrize("scenario", [S1, S2])
+    @pytest.mark.parametrize("plane", [Plane.CP, Plane.DP])
+    def test_small(self, spec, hardware, software, small, scenario, plane):
+        closed = plane_availability(
+            spec, plane, "small", hardware, software, scenario
+        )
+        exact = plane_availability_exact(
+            spec, plane, small, hardware, software, scenario
+        )
+        assert closed == pytest.approx(exact, rel=1e-12)
+
+    @pytest.mark.parametrize("scenario", [S1, S2])
+    @pytest.mark.parametrize("plane", [Plane.CP, Plane.DP])
+    def test_large(self, spec, hardware, software, large, scenario, plane):
+        closed = plane_availability(
+            spec, plane, "large", hardware, software, scenario
+        )
+        exact = plane_availability_exact(
+            spec, plane, large, hardware, software, scenario
+        )
+        assert closed == pytest.approx(exact, rel=1e-12)
+
+    @pytest.mark.parametrize("scenario", [S1, S2])
+    def test_medium(self, spec, hardware, software, medium, scenario):
+        closed = plane_availability(
+            spec, Plane.CP, "medium", hardware, software, scenario
+        )
+        exact = plane_availability_exact(
+            spec, Plane.CP, medium, hardware, software, scenario
+        )
+        assert closed == pytest.approx(exact, rel=1e-12)
+
+    def test_stressed_parameters_agreement(
+        self, spec, stressed_hardware, stressed_software, small, large
+    ):
+        for name, topo in (("small", small), ("large", large)):
+            for scenario in (S1, S2):
+                closed = cp_availability(
+                    spec, name, stressed_hardware, stressed_software, scenario
+                )
+                exact = plane_availability_exact(
+                    spec,
+                    Plane.CP,
+                    topo,
+                    stressed_hardware,
+                    stressed_software,
+                    scenario,
+                )
+                assert closed == pytest.approx(exact, rel=1e-10)
+
+
+class TestScenarioOrdering:
+    def test_supervisor_required_is_lower_bound(
+        self, spec, hardware, software
+    ):
+        # Scenario 2 is the "realistic lower bound": always at most the
+        # scenario-1 availability.
+        for topology in ("small", "medium", "large"):
+            a1 = cp_availability(spec, topology, hardware, software, S1)
+            a2 = cp_availability(spec, topology, hardware, software, S2)
+            assert a2 <= a1
+
+    def test_large_beats_small(self, spec, hardware, software):
+        for scenario in (S1, S2):
+            assert cp_availability(
+                spec, "large", hardware, software, scenario
+            ) > cp_availability(spec, "small", hardware, software, scenario)
+
+    def test_dp_shared_higher_than_cp(self, spec, hardware, software):
+        # The DP needs only 2 process blocks (Table III sums: 0, 2) versus
+        # the CP's 16, so the shared DP availability exceeds CP
+        # availability.
+        for topology in ("small", "large"):
+            for scenario in (S1, S2):
+                assert shared_dp_availability(
+                    spec, topology, hardware, software, scenario
+                ) >= cp_availability(
+                    spec, topology, hardware, software, scenario
+                )
+
+
+class TestManualProcessesCarryAs:
+    def test_database_uses_unsupervised_availability(
+        self, spec, hardware, software
+    ):
+        # Raising R_S (worsening A_S only) must hurt CP availability even
+        # in scenario 1, because the Database processes restart manually.
+        from dataclasses import replace
+
+        worse = replace(software, manual_restart_hours=5.0)
+        assert cp_availability(
+            spec, "small", hardware, worse, S1
+        ) < cp_availability(spec, "small", hardware, software, S1)
+
+    def test_dp_block_uses_cubed_availability(self, spec, software):
+        # The {control+dns+named} unit has alpha = A^3 (Table III footnote).
+        reqs = plane_requirements(spec, Plane.DP, software, S1)
+        control = next(r for r in reqs if r.role == "Control")
+        assert control.units[0].alpha == pytest.approx(
+            software.a_process**3
+        )
+
+    def test_cp_requirements_cover_four_roles(self, spec, software):
+        reqs = plane_requirements(spec, Plane.CP, software, S1)
+        assert {r.role for r in reqs} == {
+            "Config",
+            "Control",
+            "Analytics",
+            "Database",
+        }
+
+    def test_dp_requirements_cover_two_roles(self, spec, software):
+        reqs = plane_requirements(spec, Plane.DP, software, S1)
+        assert {r.role for r in reqs} == {"Config", "Control"}
+
+    def test_scenario2_adds_supervisor_extra(self, spec, software):
+        reqs = plane_requirements(spec, Plane.CP, software, S2)
+        for requirement in reqs:
+            assert requirement.extra_instance_availability == pytest.approx(
+                software.a_unsupervised
+            )
+        reqs1 = plane_requirements(spec, Plane.CP, software, S1)
+        for requirement in reqs1:
+            assert requirement.extra_instance_availability == 1.0
+
+
+class TestOtherControllers:
+    def test_flat_consensus_evaluates(self, flat_spec, hardware, software):
+        a = cp_availability(flat_spec, "small", hardware, software, S2)
+        assert 0.99 < a < 1.0
+
+    def test_split_state_evaluates(self, split_spec, hardware, software):
+        a = cp_availability(split_spec, "large", hardware, software, S1)
+        assert 0.99 < a < 1.0
+
+    def test_unknown_topology_rejected(self, spec, hardware, software):
+        with pytest.raises(ModelError):
+            plane_availability(
+                spec, Plane.CP, "gigantic", hardware, software, S1
+            )

@@ -1,0 +1,112 @@
+"""Tests for weak-link ranking and the composite report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, render_report
+from repro.controller.spec import Plane
+from repro.models.weak_links import rank_weak_links
+from repro.params.software import RestartScenario
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+class TestWeakLinks:
+    def test_rack_dominates_small_cp(self, spec, small, hardware, software):
+        links = rank_weak_links(
+            spec, small, hardware, software, S1, Plane.CP
+        )
+        assert links[0].component == "rack:R1"
+        assert links[0].fussell_vesely > 0.5
+
+    def test_database_supervisor_prominent_in_scenario2(
+        self, spec, small, hardware, software
+    ):
+        links = rank_weak_links(
+            spec, small, hardware, software, S2, Plane.CP
+        )
+        names = [link.component for link in links]
+        assert "sup:Database" in names
+        # ... and it outranks every individual Database process.
+        sup_rank = names.index("sup:Database")
+        for name in names:
+            if name.startswith("proc:Database/"):
+                assert sup_rank < names.index(name)
+
+    def test_vrouter_supervisor_is_the_dp_automation_target(
+        self, spec, small, hardware, software
+    ):
+        # The paper's headline recommendation: automating the vRouter
+        # supervisor recovers most of the DP downtime.
+        links = rank_weak_links(
+            spec, small, hardware, software, S2, Plane.DP
+        )
+        assert links[0].component == "local:supervisor"
+        assert links[0].automation_benefit_minutes > 90.0
+
+    def test_auto_restarted_processes_have_no_benefit(
+        self, spec, small, hardware, software
+    ):
+        links = rank_weak_links(
+            spec, small, hardware, software, S1, Plane.DP
+        )
+        by_name = {link.component: link for link in links}
+        assert by_name[
+            "local:vrouter-agent"
+        ].automation_benefit_minutes == pytest.approx(0.0)
+
+    def test_instances_grouped_by_class(
+        self, spec, large, hardware, software
+    ):
+        links = rank_weak_links(
+            spec, large, hardware, software, S1, Plane.CP, top=30
+        )
+        for link in links:
+            if link.component.startswith("proc:"):
+                # No trailing instance index.
+                assert not link.component.rsplit("-", 1)[-1].isdigit()
+
+    def test_shares_sum_near_one(self, spec, small, hardware, software):
+        links = rank_weak_links(
+            spec, small, hardware, software, S1, Plane.CP, top=100
+        )
+        # Fussell-Vesely shares overlap on multi-component cuts, so the
+        # sum exceeds... each order-2 cut contributes its probability to
+        # two components; total is between 1 and 2.
+        total = sum(link.fussell_vesely for link in links)
+        assert 1.0 <= total <= 2.0
+
+
+class TestReport:
+    def test_report_values_match_exact_models(
+        self, spec, small, hardware, software
+    ):
+        from repro.models.sw import plane_availability_exact
+
+        report = generate_report(
+            spec, small, hardware, software, S2
+        )
+        assert report.cp == pytest.approx(
+            plane_availability_exact(
+                spec, Plane.CP, small, hardware, software, S2
+            )
+        )
+        assert report.dp == pytest.approx(
+            report.shared_dp * report.local_dp
+        )
+
+    def test_render_contains_sections(self, spec, small, hardware, software):
+        report = generate_report(spec, small, hardware, software, S2)
+        text = render_report(report)
+        assert "SDN control plane" in text
+        assert "Dominant CP failure mode" in text
+        assert "Automation benefit" in text
+        assert "outage every" in text
+
+    def test_report_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--option", "2S", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Availability report" in out
+        assert "local:supervisor" in out

@@ -1,0 +1,62 @@
+"""Tests for hardware parameters (repro.params.hardware)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params.defaults import PAPER_HARDWARE, PAPER_HARDWARE_SD
+from repro.params.hardware import HardwareParams, MaintenanceLevel
+
+
+class TestHardwareParams:
+    def test_paper_defaults(self, hardware):
+        assert hardware.a_role == 0.9995
+        assert hardware.a_vm == 0.99995
+        assert hardware.a_host == 0.99990
+        assert hardware.a_rack == 0.99999
+
+    def test_sd_variant(self):
+        assert PAPER_HARDWARE_SD.a_host == 0.99999
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HardwareParams(a_role=1.2, a_vm=1, a_host=1, a_rack=1)
+
+    def test_with_role_availability(self, hardware):
+        swept = hardware.with_role_availability(0.999)
+        assert swept.a_role == 0.999
+        assert swept.a_vm == hardware.a_vm
+        assert hardware.a_role == 0.9995  # original untouched
+
+    def test_blocks(self, hardware):
+        assert hardware.node_block == pytest.approx(
+            0.9995 * 0.99995 * 0.9999
+        )
+        assert hardware.vm_block == pytest.approx(0.9995 * 0.99995)
+        assert hardware.vm_host_block == pytest.approx(0.99995 * 0.9999)
+
+
+class TestMaintenanceLevels:
+    """Section V-D: A_H from 0.9990 (NBD) to 0.9995 (ND) to 0.9999 (SD)."""
+
+    @pytest.mark.parametrize(
+        "level, expected",
+        [
+            (MaintenanceLevel.SAME_DAY, 0.9999),
+            (MaintenanceLevel.NEXT_DAY, 0.9995),
+            (MaintenanceLevel.NEXT_BUSINESS_DAY, 0.9990),
+        ],
+    )
+    def test_paper_host_availabilities(self, level, expected):
+        # 5-year MTBF with the contract's MTTR; the paper quotes rounded
+        # rules of thumb, so compare to ~1.5 significant downtime digits.
+        params = PAPER_HARDWARE.with_maintenance(level, mtbf_years=5.0)
+        assert params.a_host == pytest.approx(expected, abs=1.5e-4)
+        assert 1 - params.a_host == pytest.approx(1 - expected, rel=0.15)
+
+    def test_mttr_hours(self):
+        assert MaintenanceLevel.SAME_DAY.mttr_hours == 4.0
+        assert MaintenanceLevel.NEXT_BUSINESS_DAY.mttr_hours == 48.0
+
+    def test_rejects_bad_mtbf(self):
+        with pytest.raises(ParameterError):
+            PAPER_HARDWARE.with_maintenance(MaintenanceLevel.SAME_DAY, 0.0)

@@ -1,0 +1,108 @@
+"""Tests for software parameters and the section VI.A analysis."""
+
+import pytest
+
+from repro.controller.process import RestartMode
+from repro.errors import ParameterError
+from repro.params.software import RestartScenario, SoftwareParams
+
+
+class TestDerivedAvailabilities:
+    def test_paper_values(self, software):
+        # "A = 0.99998 (based on F = 5000 hours and R = 0.1 hour) and
+        #  A_S = 0.99980 (based on R_S = 1 hour)".
+        assert software.a_process == pytest.approx(0.99998, abs=1e-6)
+        assert software.a_unsupervised == pytest.approx(0.9998, abs=1e-5)
+
+    def test_availability_by_restart_mode(self, software):
+        assert software.availability(RestartMode.AUTO) == software.a_process
+        assert (
+            software.availability(RestartMode.MANUAL)
+            == software.a_unsupervised
+        )
+
+    def test_availability_map(self, software):
+        amap = software.availability_map()
+        assert amap[RestartMode.AUTO] == software.a_process
+        assert amap[RestartMode.MANUAL] == software.a_unsupervised
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SoftwareParams(mtbf_hours=0)
+        with pytest.raises(ParameterError):
+            SoftwareParams(auto_restart_hours=-1)
+
+
+class TestSectionVIA:
+    """The paper's scenario walkthrough numbers."""
+
+    def test_scenario1_restart_time(self, software):
+        # R* = e^{-10/F} R + (1 - e^{-10/F}) R_S = 0.102 hours.
+        r_star = software.effective_restart_hours(
+            RestartScenario.NOT_REQUIRED
+        )
+        assert r_star == pytest.approx(0.102, abs=0.001)
+
+    def test_scenario1_availability_unchanged(self, software):
+        # "A* = F/(F+R*) ~= 0.99998 ... not measurably impacted".
+        a_star = software.effective_availability(RestartScenario.NOT_REQUIRED)
+        assert a_star == pytest.approx(0.99998, abs=1e-6)
+
+    def test_scenario2_halves_mtbf(self, software):
+        # F* = F/2 = 2500 hours.
+        assert software.effective_mtbf_hours(
+            RestartScenario.REQUIRED
+        ) == pytest.approx(2500.0)
+
+    def test_scenario2_restart_time(self, software):
+        # R* = (R_S + R)/2 = 0.55 hours.
+        assert software.effective_restart_hours(
+            RestartScenario.REQUIRED
+        ) == pytest.approx(0.55)
+
+    def test_scenario2_inherits_supervisor_availability(self, software):
+        # "A* = F*/(F*+R*) ~= 0.9998".
+        a_star = software.effective_availability(RestartScenario.REQUIRED)
+        assert a_star == pytest.approx(0.9998, abs=3e-5)
+
+    def test_scenario1_mtbf_unchanged(self, software):
+        assert (
+            software.effective_mtbf_hours(RestartScenario.NOT_REQUIRED)
+            == software.mtbf_hours
+        )
+
+
+class TestScaling:
+    def test_lock_step_scaling(self, software):
+        scaled = software.scaled(-1.0)
+        # "x = -1 corresponds to A = 0.9998 and A_S = 0.998".
+        assert scaled.a_process == pytest.approx(0.9998)
+        assert scaled.a_unsupervised == pytest.approx(0.998)
+
+    def test_positive_scaling(self, software):
+        scaled = software.scaled(1.0)
+        assert scaled.a_process == pytest.approx(0.999998)
+        assert scaled.a_unsupervised == pytest.approx(0.99998)
+
+    def test_zero_scaling_is_identity(self, software):
+        scaled = software.scaled(0.0)
+        assert scaled.a_process == pytest.approx(software.a_process)
+        assert scaled.a_unsupervised == pytest.approx(
+            software.a_unsupervised
+        )
+
+    def test_mtbf_preserved(self, software):
+        assert software.scaled(-0.5).mtbf_hours == software.mtbf_hours
+
+
+class TestFromAvailabilities:
+    def test_roundtrip(self):
+        params = SoftwareParams.from_availabilities(0.995, 0.95, 100.0)
+        assert params.a_process == pytest.approx(0.995)
+        assert params.a_unsupervised == pytest.approx(0.95)
+
+    def test_rejects_extremes(self):
+        with pytest.raises(ParameterError):
+            SoftwareParams.from_availabilities(1.0, 0.9)
+        with pytest.raises(ParameterError):
+            SoftwareParams.from_availabilities(0.9, 0.0)

@@ -1,0 +1,110 @@
+"""Property-based tests for the RBD algebra and cut-set duality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import Basic, Block, KOfN, Parallel, Series
+from repro.core.cutsets import (
+    exact_unavailability,
+    minimal_cut_sets,
+    minimal_path_sets,
+)
+from repro.core.structure import StructureFunction
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def rbd_trees(draw, depth: int = 2, prefix: str = "c") -> Block:
+    """Random RBD trees with distinct leaf names."""
+    counter = draw(st.integers(min_value=0, max_value=0))  # noqa: F841
+    index = [0]
+
+    def build(d: int, tag: str) -> Block:
+        if d == 0 or draw(st.booleans()) and d < depth:
+            index[0] += 1
+            return Basic(f"{prefix}{tag}-{index[0]}", draw(probabilities))
+        kind = draw(st.sampled_from(["series", "parallel", "kofn"]))
+        width = draw(st.integers(min_value=1, max_value=3))
+        children = tuple(build(d - 1, f"{tag}{i}") for i in range(width))
+        if kind == "series":
+            return Series(children)
+        if kind == "parallel":
+            return Parallel(children)
+        k = draw(st.integers(min_value=0, max_value=width))
+        return KOfN(k, children)
+
+    return build(depth, "r")
+
+
+class TestAlgebraBounds:
+    @given(tree=rbd_trees())
+    @settings(max_examples=60)
+    def test_availability_is_probability(self, tree):
+        assert 0.0 <= tree.availability() <= 1.0
+
+    @given(tree=rbd_trees())
+    @settings(max_examples=40)
+    def test_matches_exhaustive_enumeration(self, tree):
+        # The compositional evaluation equals brute-force state enumeration.
+        structure = StructureFunction.from_block(tree)
+        probabilities_map = {
+            leaf.name: leaf.probability for leaf in tree.leaves()
+        }
+        assert tree.availability() == pytest.approx(
+            structure.availability(probabilities_map), abs=1e-10
+        )
+
+
+class TestCompositionLaws:
+    @given(p=probabilities, q=probabilities)
+    def test_series_bounded_by_children(self, p, q):
+        block = Basic("a", p) & Basic("b", q)
+        assert block.availability() <= min(p, q) + 1e-12
+
+    @given(p=probabilities, q=probabilities)
+    def test_parallel_bounded_by_children(self, p, q):
+        block = Basic("a", p) | Basic("b", q)
+        assert block.availability() >= max(p, q) - 1e-12
+
+    @given(p=probabilities)
+    def test_series_parallel_duality(self, p):
+        # 1 - P_series(p, p) over failures = P_parallel over complements.
+        series = (Basic("a", p) & Basic("b", p)).availability()
+        parallel = (Basic("a", 1 - p) | Basic("b", 1 - p)).availability()
+        assert series == pytest.approx(1 - parallel, abs=1e-12)
+
+
+class TestCutPathDuality:
+    @given(tree=rbd_trees(depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_cut_sets_reconstruct_unavailability(self, tree):
+        structure = StructureFunction.from_block(tree)
+        names = structure.names
+        all_up = {n: True for n in names}
+        if not structure(all_up):
+            return  # no cut sets defined for a dead system
+        cuts = minimal_cut_sets(structure)
+        if len(cuts) > 6:
+            return  # keep inclusion-exclusion tractable
+        unavailability = {
+            leaf.name: 1 - leaf.probability for leaf in tree.leaves()
+        }
+        expected = 1 - tree.availability()
+        assert exact_unavailability(cuts, unavailability) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(tree=rbd_trees(depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_every_path_hits_every_cut(self, tree):
+        structure = StructureFunction.from_block(tree)
+        if not structure({n: True for n in structure.names}):
+            return
+        if not structure({n: False for n in structure.names}):
+            cuts = minimal_cut_sets(structure)
+            paths = minimal_path_sets(structure)
+            for cut in cuts:
+                for path in paths:
+                    assert cut & path, (cut, path)

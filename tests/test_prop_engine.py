@@ -1,0 +1,134 @@
+"""Property-based validation of the exact topology engine.
+
+The oracle enumerates *every* infrastructure element (no shared/private
+optimization) and convolves platform survivals per role — an independent,
+simpler implementation of the same semantics.  The engine must match it on
+random topologies and requirements.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kofn import a_m_of_n
+from repro.models.engine import (
+    RoleRequirement,
+    UnitRequirement,
+    evaluate_topology,
+)
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+probabilities = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def random_deployments(draw):
+    """Random small deployments with 1-2 racks, 1-3 hosts, 1-4 VMs."""
+    n_racks = draw(st.integers(min_value=1, max_value=2))
+    racks = tuple(Rack(f"R{i}") for i in range(1, n_racks + 1))
+    n_hosts = draw(st.integers(min_value=1, max_value=3))
+    hosts = tuple(
+        Host(f"H{i}", f"R{draw(st.integers(min_value=1, max_value=n_racks))}")
+        for i in range(1, n_hosts + 1)
+    )
+    n_vms = draw(st.integers(min_value=1, max_value=4))
+    vms = tuple(
+        Vm(f"V{i}", f"H{draw(st.integers(min_value=1, max_value=n_hosts))}")
+        for i in range(1, n_vms + 1)
+    )
+    n_roles = draw(st.integers(min_value=1, max_value=2))
+    instances = []
+    requirements = []
+    for r in range(n_roles):
+        role = f"Role{r}"
+        count = draw(st.integers(min_value=1, max_value=3))
+        for i in range(1, count + 1):
+            vm = f"V{draw(st.integers(min_value=1, max_value=n_vms))}"
+            instances.append(RoleInstance(role, i, vm))
+        n_units = draw(st.integers(min_value=1, max_value=2))
+        units = tuple(
+            UnitRequirement(
+                f"{role}-u{u}",
+                draw(st.integers(min_value=0, max_value=count + 1)),
+                draw(probabilities),
+            )
+            for u in range(n_units)
+        )
+        requirements.append(
+            RoleRequirement(role, units, draw(probabilities))
+        )
+    topology = DeploymentTopology(
+        "Random", racks, hosts, vms, tuple(instances)
+    )
+    availability = {
+        "rack": draw(probabilities),
+        "host": draw(probabilities),
+        "vm": draw(probabilities),
+    }
+    return topology, tuple(requirements), availability
+
+
+def oracle(topology, requirements, availability):
+    """Brute-force enumeration over every infrastructure element."""
+    elements = (
+        [("rack", r.name) for r in topology.racks]
+        + [("host", h.name) for h in topology.hosts]
+        + [("vm", v.name) for v in topology.vms]
+    )
+    total = 0.0
+    for bits in itertools.product((True, False), repeat=len(elements)):
+        state = {name: up for (_, name), up in zip(elements, bits)}
+        weight = 1.0
+        for (level, name), up in zip(elements, bits):
+            p = availability[level]
+            weight *= p if up else 1.0 - p
+        if weight == 0.0:
+            continue
+        value = 1.0
+        for requirement in requirements:
+            counts = [1.0]
+            for instance in topology.instances_of(requirement.role):
+                rack, host, vm = topology.support_chain(instance)
+                alive = state[rack] and state[host] and state[vm]
+                p = requirement.extra_instance_availability if alive else 0.0
+                nxt = [0.0] * (len(counts) + 1)
+                for g, w in enumerate(counts):
+                    nxt[g] += w * (1 - p)
+                    nxt[g + 1] += w * p
+                counts = nxt
+            role_value = 0.0
+            for g, w in enumerate(counts):
+                if w == 0.0:
+                    continue
+                term = 1.0
+                for unit in requirement.units:
+                    term *= a_m_of_n(unit.quorum, g, unit.alpha)
+                role_value += w * term
+            value *= role_value
+        total += weight * value
+    return total
+
+
+class TestEngineAgainstOracle:
+    @given(case=random_deployments())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce(self, case):
+        topology, requirements, availability = case
+        engine_value = evaluate_topology(topology, requirements, availability)
+        oracle_value = oracle(topology, requirements, availability)
+        assert engine_value == pytest.approx(oracle_value, abs=1e-10)
+
+    @given(case=random_deployments())
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_infrastructure(self, case):
+        topology, requirements, availability = case
+        base = evaluate_topology(topology, requirements, availability)
+        better = dict(availability)
+        better["host"] = min(1.0, availability["host"] * 1.05)
+        improved = evaluate_topology(topology, requirements, better)
+        assert improved >= base - 1e-12

@@ -1,0 +1,94 @@
+"""Property-based tests for Eq. (1) (repro.core.kofn)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kofn import (
+    a_m_of_n,
+    a_m_of_n_exact,
+    binomial_pmf,
+    kofn_unavailability,
+)
+
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_n = st.integers(min_value=0, max_value=8)
+quorums = st.integers(min_value=0, max_value=10)
+
+
+class TestBounds:
+    @given(m=quorums, n=small_n, alpha=alphas)
+    def test_result_is_probability(self, m, n, alpha):
+        value = a_m_of_n(m, n, alpha)
+        assert 0.0 <= value <= 1.0
+
+    @given(m=quorums, n=small_n, alpha=alphas)
+    def test_complement_identity(self, m, n, alpha):
+        assert a_m_of_n(m, n, alpha) + kofn_unavailability(
+            m, n, alpha
+        ) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestMonotonicity:
+    @given(
+        m=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=8),
+        lo=alphas,
+        hi=alphas,
+    )
+    def test_monotone_in_alpha(self, m, n, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        assert a_m_of_n(m, n, lo) <= a_m_of_n(m, n, hi) + 1e-12
+
+    @given(m=st.integers(min_value=1, max_value=8), n=small_n, alpha=alphas)
+    def test_decreasing_in_quorum(self, m, n, alpha):
+        assert a_m_of_n(m + 1, n, alpha) <= a_m_of_n(m, n, alpha) + 1e-12
+
+    @given(m=st.integers(min_value=1, max_value=6), n=small_n, alpha=alphas)
+    def test_increasing_in_replicas(self, m, n, alpha):
+        # Adding a replica never hurts an m-of-n requirement.
+        assert a_m_of_n(m, n, alpha) <= a_m_of_n(m, n + 1, alpha) + 1e-12
+
+
+class TestRecurrence:
+    @given(
+        m=st.integers(min_value=1, max_value=6),
+        n=st.integers(min_value=1, max_value=8),
+        alpha=alphas,
+    )
+    def test_pascal_recurrence(self, m, n, alpha):
+        # Condition on the last component: A_{m/n} =
+        # alpha A_{m-1/n-1} + (1-alpha) A_{m/n-1}.
+        lhs = a_m_of_n(m, n, alpha)
+        rhs = alpha * a_m_of_n(m - 1, n - 1, alpha) + (1 - alpha) * a_m_of_n(
+            m, n - 1, alpha
+        )
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+class TestExactOracle:
+    @given(
+        m=quorums,
+        n=small_n,
+        num=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_matches_rational_arithmetic(self, m, n, num):
+        alpha = Fraction(num, 100)
+        expected = float(a_m_of_n_exact(m, n, alpha))
+        assert a_m_of_n(m, n, num / 100) == pytest.approx(expected, abs=1e-12)
+
+
+class TestBinomial:
+    @given(n=small_n, p=alphas)
+    def test_pmf_normalizes(self, n, p):
+        total = sum(binomial_pmf(k, n, p) for k in range(n + 1))
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    @given(n=small_n, p=alphas, m=quorums)
+    def test_tail_sum_equals_eq1(self, n, p, m):
+        tail = sum(binomial_pmf(k, n, p) for k in range(min(m, n + 1), n + 1))
+        if m <= n:
+            assert tail == pytest.approx(a_m_of_n(m, n, p), abs=1e-10)

@@ -1,0 +1,98 @@
+"""Property-based tests for the Markov and simulation substrates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.birth_death import birth_death_steady_state
+from repro.markov.kofn_markov import (
+    kofn_availability_markov,
+    kofn_availability_rbd,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.measures import BinarySignal
+
+rates = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+class TestMarkovProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=5),
+        lam=rates,
+        mu=rates,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_independent_repair_equals_eq1(self, m, n, lam, mu):
+        # The central cross-validation, over the whole parameter space.
+        markov = kofn_availability_markov(m, n, lam, mu)
+        rbd = kofn_availability_rbd(m, n, lam, mu)
+        assert markov == pytest.approx(rbd, rel=1e-8, abs=1e-12)
+
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=5),
+        lam=rates,
+        mu=rates,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shared_repair_never_better(self, m, n, lam, mu):
+        if m > n:
+            return
+        shared = kofn_availability_markov(m, n, lam, mu, shared_repair=True)
+        independent = kofn_availability_markov(m, n, lam, mu)
+        assert shared <= independent + 1e-9
+
+    @given(
+        ups=st.lists(rates, min_size=1, max_size=5),
+        downs=st.lists(rates, min_size=1, max_size=5),
+    )
+    @settings(max_examples=40)
+    def test_birth_death_normalizes(self, ups, downs):
+        size = min(len(ups), len(downs))
+        pi = birth_death_steady_state(ups[:size], downs[:size])
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+
+class TestSignalProperties:
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        initial=st.booleans(),
+    )
+    def test_availability_equals_manual_integration(self, updates, initial):
+        signal = BinarySignal("s", initial)
+        time = 0.0
+        up_time = 0.0
+        state = initial
+        for delta, new_state in updates:
+            if state:
+                up_time += delta
+            time += delta
+            signal.update(time, new_state)
+            state = new_state
+        if time > 0:
+            assert signal.availability() == pytest.approx(
+                up_time / time, abs=1e-9
+            )
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_event_queue_pops_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.schedule(Event(t, lambda: None))
+        popped = [queue.pop().time for _ in times]
+        assert popped == sorted(popped)

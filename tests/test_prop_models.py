@@ -1,0 +1,108 @@
+"""Property-based tests on the paper's availability models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.opencontrail import opencontrail_3x
+from repro.controller.spec import Plane
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.models.sw import cp_availability, plane_availability
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+
+SPEC = opencontrail_3x()
+
+hw_availabilities = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+sw_availabilities = st.floats(min_value=0.6, max_value=0.999999, allow_nan=False)
+
+
+@st.composite
+def hardware_params(draw):
+    return HardwareParams(
+        a_role=draw(hw_availabilities),
+        a_vm=draw(hw_availabilities),
+        a_host=draw(hw_availabilities),
+        a_rack=draw(hw_availabilities),
+    )
+
+
+@st.composite
+def software_params(draw):
+    a = draw(sw_availabilities)
+    a_s = draw(st.floats(min_value=0.5, max_value=1.0, allow_nan=False)) * a
+    a_s = max(a_s, 1e-6)
+    return SoftwareParams.from_availabilities(a, a_s)
+
+
+class TestHwModelProperties:
+    @given(params=hardware_params())
+    @settings(max_examples=60)
+    def test_results_are_probabilities(self, params):
+        for model in (hw_small, hw_medium, hw_large):
+            value = model(params)
+            assert 0.0 <= value <= 1.0
+
+    @given(params=hardware_params())
+    @settings(max_examples=60)
+    def test_two_racks_never_beat_one(self, params):
+        # The "one rack or three, not two" law holds across the whole
+        # parameter space, not just at the defaults.
+        assert hw_medium(params) <= hw_small(params) + 1e-12
+
+    @given(params=hardware_params(), factor=st.floats(0.9, 1.0))
+    @settings(max_examples=40)
+    def test_monotone_in_role_availability(self, params, factor):
+        degraded = params.with_role_availability(params.a_role * factor)
+        for model in (hw_small, hw_medium, hw_large):
+            assert model(degraded) <= model(params) + 1e-12
+
+    @given(params=hardware_params())
+    @settings(max_examples=40)
+    def test_upper_bounded_by_perfect_roles(self, params):
+        perfect = params.with_role_availability(1.0)
+        for model in (hw_small, hw_medium, hw_large):
+            assert model(params) <= model(perfect) + 1e-12
+
+
+class TestSwModelProperties:
+    @given(hardware=hardware_params(), software=software_params())
+    @settings(max_examples=30, deadline=None)
+    def test_cp_is_probability(self, hardware, software):
+        for topology in ("small", "medium", "large"):
+            for scenario in RestartScenario:
+                value = cp_availability(
+                    SPEC, topology, hardware, software, scenario
+                )
+                assert 0.0 <= value <= 1.0
+
+    @given(hardware=hardware_params(), software=software_params())
+    @settings(max_examples=30, deadline=None)
+    def test_scenario2_never_better(self, hardware, software):
+        for topology in ("small", "large"):
+            a1 = cp_availability(
+                SPEC, topology, hardware, software,
+                RestartScenario.NOT_REQUIRED,
+            )
+            a2 = cp_availability(
+                SPEC, topology, hardware, software, RestartScenario.REQUIRED
+            )
+            assert a2 <= a1 + 1e-12
+
+    @given(hardware=hardware_params(), software=software_params())
+    @settings(max_examples=30, deadline=None)
+    def test_shared_dp_at_least_cp(self, hardware, software):
+        # The DP requires a strict subset of the CP's quorum blocks per
+        # role... not a subset relation in general, but with Table III
+        # (DP: 2 one-of-n units vs CP: 16 units incl. all DP members'
+        # availabilities) the DP shared availability dominates.
+        for topology in ("small", "large"):
+            cp = plane_availability(
+                SPEC, Plane.CP, topology, hardware, software,
+                RestartScenario.NOT_REQUIRED,
+            )
+            dp = plane_availability(
+                SPEC, Plane.DP, topology, hardware, software,
+                RestartScenario.NOT_REQUIRED,
+            )
+            assert dp >= cp - 1e-12

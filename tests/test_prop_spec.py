@@ -1,0 +1,146 @@
+"""Property-based tests over *random controller specifications*.
+
+The paper claims the framework handles "any distributed SDN controller"
+via the encapsulation tables.  These tests generate random controllers —
+random roles, processes, restart modes, quorums, DP groups — and check the
+framework-wide invariants: derived tables are consistent with the spec,
+and the reference-topology closed forms agree with the exact engine for
+every generated controller.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.process import ProcessSpec, RestartMode, nodemgr, supervisor
+from repro.controller.role import RoleSpec
+from repro.controller.spec import ControllerSpec, Plane
+from repro.models.sw import plane_availability, plane_availability_exact
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.topology.reference import large_topology, small_topology
+
+
+@st.composite
+def controller_specs(draw) -> ControllerSpec:
+    n_roles = draw(st.integers(min_value=1, max_value=3))
+    roles = []
+    for r in range(n_roles):
+        n_processes = draw(st.integers(min_value=1, max_value=4))
+        processes = []
+        group_quorum = None
+        for p in range(n_processes):
+            restart = draw(st.sampled_from(list(RestartMode)))
+            cp_quorum = draw(st.integers(min_value=0, max_value=3))
+            in_group = draw(st.booleans())
+            if in_group:
+                if group_quorum is None:
+                    group_quorum = draw(st.integers(min_value=1, max_value=3))
+                dp_quorum, dp_group = group_quorum, "g"
+            else:
+                dp_quorum, dp_group = draw(st.integers(min_value=0, max_value=3)), None
+            processes.append(
+                ProcessSpec(
+                    f"p{p}",
+                    restart,
+                    cp_quorum=cp_quorum,
+                    dp_quorum=dp_quorum,
+                    dp_group=dp_group,
+                )
+            )
+        if draw(st.booleans()):
+            processes.append(supervisor())
+        if draw(st.booleans()):
+            processes.append(nodemgr())
+        roles.append(RoleSpec(f"Role{r}", tuple(processes)))
+    return ControllerSpec("Fuzzed", tuple(roles), cluster_size=3)
+
+
+@st.composite
+def parameter_sets(draw):
+    hardware = HardwareParams(
+        a_role=1.0,
+        a_vm=draw(st.floats(min_value=0.8, max_value=1.0)),
+        a_host=draw(st.floats(min_value=0.8, max_value=1.0)),
+        a_rack=draw(st.floats(min_value=0.8, max_value=1.0)),
+    )
+    a = draw(st.floats(min_value=0.7, max_value=0.99999))
+    a_s = a * draw(st.floats(min_value=0.7, max_value=1.0))
+    software = SoftwareParams.from_availabilities(a, max(a_s, 1e-6))
+    return hardware, software
+
+
+class TestDerivedTableInvariants:
+    @given(spec=controller_specs())
+    @settings(max_examples=50)
+    def test_table2_counts_regular_processes(self, spec):
+        table = spec.restart_mode_table()
+        for role in spec.cluster_roles:
+            auto, manual = table[role.name]
+            assert auto + manual == len(role.regular_processes)
+
+    @given(spec=controller_specs())
+    @settings(max_examples=50)
+    def test_table3_counts_bounded_by_processes(self, spec):
+        for plane in (Plane.CP, Plane.DP):
+            for role in spec.cluster_roles:
+                m, n = role.quorum_counts(plane.value)
+                assert m + n <= len(role.regular_processes)
+                assert m + n == len(
+                    [u for u in role.quorum_units(plane.value) if u.quorum >= 1]
+                )
+
+    @given(spec=controller_specs())
+    @settings(max_examples=50)
+    def test_process_rows_cover_regular_processes(self, spec):
+        rows = spec.process_rows()
+        expected = sum(len(r.regular_processes) for r in spec.roles)
+        assert len(rows) == expected
+
+
+class TestClosedFormVsEngineFuzzed:
+    @given(spec=controller_specs(), params=parameter_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_small_topology_agreement(self, spec, params):
+        hardware, software = params
+        topology = small_topology(spec)
+        for plane in (Plane.CP, Plane.DP):
+            for scenario in RestartScenario:
+                closed = plane_availability(
+                    spec, plane, "small", hardware, software, scenario
+                )
+                exact = plane_availability_exact(
+                    spec, plane, topology, hardware, software, scenario
+                )
+                assert closed == pytest.approx(exact, abs=1e-10), (
+                    plane,
+                    scenario,
+                )
+
+    @given(spec=controller_specs(), params=parameter_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_large_topology_agreement(self, spec, params):
+        hardware, software = params
+        topology = large_topology(spec)
+        for scenario in RestartScenario:
+            closed = plane_availability(
+                spec, Plane.CP, "large", hardware, software, scenario
+            )
+            exact = plane_availability_exact(
+                spec, Plane.CP, topology, hardware, software, scenario
+            )
+            assert closed == pytest.approx(exact, abs=1e-10), scenario
+
+    @given(spec=controller_specs(), params=parameter_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_scenario2_never_better_fuzzed(self, spec, params):
+        hardware, software = params
+        a1 = plane_availability(
+            spec, Plane.CP, "small", hardware, software,
+            RestartScenario.NOT_REQUIRED,
+        )
+        a2 = plane_availability(
+            spec, Plane.CP, "small", hardware, software,
+            RestartScenario.REQUIRED,
+        )
+        assert a2 <= a1 + 1e-12

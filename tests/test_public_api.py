@@ -1,0 +1,78 @@
+"""Public API surface checks."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_star_import_is_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        for name in repro.__all__:
+            if name != "__version__":
+                assert name in namespace, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.controller",
+            "repro.topology",
+            "repro.params",
+            "repro.models",
+            "repro.markov",
+            "repro.sim",
+            "repro.analysis",
+            "repro.reporting",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        imported = importlib.import_module(module)
+        assert imported is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.controller",
+            "repro.markov",
+            "repro.sim",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", ()):
+            assert hasattr(imported, name), f"{module}.{name}"
+
+    def test_quickstart_snippet(self):
+        # The README / module docstring snippet must keep working.
+        from repro import (
+            PAPER_HARDWARE,
+            PAPER_SOFTWARE,
+            evaluate_option,
+            opencontrail_3x,
+        )
+
+        spec = opencontrail_3x()
+        result = evaluate_option(spec, "2L", PAPER_HARDWARE, PAPER_SOFTWARE)
+        assert result.cp == pytest.approx(0.9999974, abs=1e-6)
+
+    def test_cli_outage_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["outage", "--plane", "dp", "--sites", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Outage profile" in out
+        assert "small" in out and "large" in out

@@ -1,0 +1,56 @@
+"""Tests for table and CSV rendering (repro.reporting)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_availability, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("A", "Bee"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(("A",), [("x",)], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(("A", "B"), [("only-one",)])
+
+    def test_column_widths_accommodate_data(self):
+        text = format_table(("H",), [("wiiiiiide",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("wiiiiiide")
+
+
+class TestFormatAvailability:
+    def test_default_digits(self):
+        assert format_availability(0.99998) == "0.9999800"
+
+    def test_custom_digits(self):
+        assert format_availability(0.5, digits=2) == "0.50"
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "series.csv"
+        write_csv(path, ("x", "y"), [(1, 2), (3, 4)])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,2"
+        assert len(content) == 3
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        write_csv(path, ("x",), [(1,)])
+        assert path.exists()
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(tmp_path / "x.csv", ("a", "b"), [(1,)])

@@ -1,0 +1,162 @@
+"""End-to-end controller simulation tests (repro.sim.controller_sim / validate).
+
+These use stressed parameters (availabilities around 0.95-0.999) so that
+failures occur within modest horizons; the validation criterion is the
+unavailability ratio against the closed-form models computed from the
+*same* parameters.
+"""
+
+import pytest
+
+from repro.params.software import RestartScenario
+from repro.sim.controller_sim import (
+    SimulationConfig,
+    build_simulator,
+    simulate_controller,
+)
+from repro.sim.validate import validate_against_analytic
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+def config(horizon=40_000.0, seed=17):
+    return SimulationConfig(
+        seed=seed,
+        horizon_hours=horizon,
+        batches=8,
+        rack_mtbf_hours=2000.0,
+        host_mtbf_hours=1000.0,
+        vm_mtbf_hours=500.0,
+    )
+
+
+class TestConstruction:
+    def test_component_inventory_small(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        sim = build_simulator(
+            spec, small, stressed_hardware, stressed_software, S2, config()
+        )
+        keys = set(sim.components)
+        # 1 rack + 3 hosts + 3 VMs + 12 supervisors + 54 regular cluster
+        # processes (18 Table-I processes x 3 nodes) + the local vRouter.
+        assert sum(k.startswith("rack:") for k in keys) == 1
+        assert sum(k.startswith("host:") for k in keys) == 3
+        assert sum(k.startswith("vm:") for k in keys) == 3
+        assert sum(k.startswith("sup:") for k in keys) == 12
+        assert sum(k.startswith("proc:") for k in keys) == 54
+        assert "local:supervisor" in keys
+        assert "local:vrouter-agent" in keys
+
+    def test_scenario2_processes_depend_on_supervisor(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        sim = build_simulator(
+            spec, small, stressed_hardware, stressed_software, S2, config()
+        )
+        proc = sim.components["proc:Database/kafka-1"]
+        assert "sup:Database-1" in proc.dependencies
+
+    def test_scenario1_processes_independent_of_supervisor(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        sim = build_simulator(
+            spec, small, stressed_hardware, stressed_software, S1, config()
+        )
+        proc = sim.components["proc:Database/kafka-1"]
+        assert all(not d.startswith("sup:") for d in proc.dependencies)
+
+
+class TestScenario2Agreement:
+    """Scenario 2 has no window approximation; agreement should be tight."""
+
+    @pytest.mark.parametrize("name", ["small", "large"])
+    def test_dp_ratio_near_one(
+        self, spec, stressed_hardware, stressed_software, name, request
+    ):
+        topology = request.getfixturevalue(name)
+        report = validate_against_analytic(
+            spec,
+            topology,
+            name,
+            stressed_hardware,
+            stressed_software,
+            S2,
+            config(),
+        )
+        assert report.unavailability_ratio("ldp") == pytest.approx(1.0, abs=0.2)
+        assert report.unavailability_ratio("dp") == pytest.approx(1.0, abs=0.2)
+
+    def test_cp_ratio_reasonable(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        report = validate_against_analytic(
+            spec, small, "small", stressed_hardware, stressed_software, S2,
+            config(),
+        )
+        # The simulator's supervisor-restores-processes coupling makes it
+        # slightly *more* available than the independence-based analytic;
+        # the ratio sits below but near 1.
+        assert 0.6 < report.unavailability_ratio("cp") < 1.3
+
+
+class TestScenario1Agreement:
+    def test_ldp_matches_effective_availability(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        report = validate_against_analytic(
+            spec, small, "small", stressed_hardware, stressed_software, S1,
+            config(horizon=60_000.0),
+        )
+        # With the A* correction the local DP agrees within ~15%.
+        assert report.unavailability_ratio("ldp") == pytest.approx(
+            1.0, abs=0.2
+        )
+
+    def test_cp_ratio_reasonable(
+        self, spec, large, stressed_hardware, stressed_software
+    ):
+        report = validate_against_analytic(
+            spec, large, "large", stressed_hardware, stressed_software, S1,
+            config(),
+        )
+        assert 0.6 < report.unavailability_ratio("cp") < 1.4
+
+
+class TestResultShape:
+    def test_intervals_present(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        result = simulate_controller(
+            spec, small, stressed_hardware, stressed_software, S2,
+            config(horizon=5_000.0),
+        )
+        for plane in ("cp", "sdp", "ldp", "dp"):
+            ci = result.interval(plane)
+            # The normal-approximation half-width may push past 1 for
+            # near-perfect signals; the mean itself must be a probability.
+            assert ci.low <= ci.mean <= ci.high
+            assert 0.0 <= ci.mean <= 1.0
+
+    def test_dp_never_exceeds_components(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        result = simulate_controller(
+            spec, small, stressed_hardware, stressed_software, S2,
+            config(horizon=5_000.0),
+        )
+        assert result.dp <= result.shared_dp + 1e-12
+        assert result.dp <= result.local_dp + 1e-12
+
+    def test_seed_reproducibility(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        runs = [
+            simulate_controller(
+                spec, small, stressed_hardware, stressed_software, S1,
+                config(horizon=3_000.0, seed=23),
+            ).cp
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

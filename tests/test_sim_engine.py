@@ -1,0 +1,147 @@
+"""Tests for the availability simulator core (repro.sim.engine).
+
+Small, analytically-solvable component systems with long horizons; the
+simulated availabilities must land near the closed-form steady states.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AvailabilitySimulator
+from repro.sim.entities import Component, ComponentKind
+
+
+def single(lam=0.1, mttr=1.0):
+    return Component(
+        key="x",
+        kind=ComponentKind.PROCESS,
+        failure_rate=lam,
+        repair_mean=mttr,
+    )
+
+
+class TestSingleComponent:
+    def test_steady_state_availability(self):
+        sim = AvailabilitySimulator([single(lam=0.1, mttr=1.0)], seed=11)
+        sim.add_signal("x", lambda s: s.effectively_up("x"))
+        sim.run(horizon=60_000.0, batches=10)
+        expected = 10.0 / 11.0  # MTBF / (MTBF + MTTR)
+        assert sim.availability("x") == pytest.approx(expected, abs=0.01)
+
+    def test_never_failing_component(self):
+        component = Component(
+            key="solid",
+            kind=ComponentKind.RACK,
+            failure_rate=0.0,
+            repair_mean=1.0,
+        )
+        sim = AvailabilitySimulator([component], seed=1)
+        sim.add_signal("s", lambda s: s.effectively_up("solid"))
+        sim.run(horizon=100.0, batches=2)
+        assert sim.availability("s") == 1.0
+
+    def test_reproducible_across_seeds(self):
+        results = []
+        for _ in range(2):
+            sim = AvailabilitySimulator([single()], seed=5)
+            sim.add_signal("x", lambda s: s.effectively_up("x"))
+            sim.run(horizon=1000.0, batches=2)
+            results.append(sim.availability("x"))
+        assert results[0] == results[1]
+
+
+class TestDependencyMasking:
+    def build_chain(self, seed=3):
+        parent = Component(
+            key="host",
+            kind=ComponentKind.HOST,
+            failure_rate=0.05,
+            repair_mean=1.0,
+        )
+        child = Component(
+            key="proc",
+            kind=ComponentKind.PROCESS,
+            failure_rate=0.1,
+            repair_mean=0.5,
+            dependencies=("host",),
+        )
+        return AvailabilitySimulator([parent, child], seed=seed)
+
+    def test_child_unavailability_is_product(self):
+        # With the child's clock paused while the parent is down, the
+        # steady-state joint availability is the product A_parent A_child.
+        sim = self.build_chain()
+        sim.add_signal("chain", lambda s: s.effectively_up("proc"))
+        sim.run(horizon=100_000.0, batches=10)
+        a_parent = (1 / 0.05) / (1 / 0.05 + 1.0)
+        a_child = (1 / 0.1) / (1 / 0.1 + 0.5)
+        assert sim.availability("chain") == pytest.approx(
+            a_parent * a_child, abs=0.005
+        )
+
+    def test_child_down_when_parent_down(self):
+        sim = self.build_chain()
+        sim.components["host"].state = sim.components["host"].state.__class__(
+            "repairing"
+        )
+        assert not sim.effectively_up("proc")
+
+    def test_unknown_dependency_rejected(self):
+        orphan = Component(
+            key="orphan",
+            kind=ComponentKind.PROCESS,
+            failure_rate=0.1,
+            repair_mean=1.0,
+            dependencies=("ghost",),
+        )
+        with pytest.raises(SimulationError):
+            AvailabilitySimulator([orphan], seed=1)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SimulationError):
+            AvailabilitySimulator([single(), single()], seed=1)
+
+
+class TestRepairPolicy:
+    def test_dynamic_repair_time(self):
+        # A policy giving 10x slower repairs should show ~10x downtime.
+        fast = AvailabilitySimulator(
+            [single(lam=0.01, mttr=1.0)],
+            seed=9,
+            repair_policy=lambda c: 0.2,
+        )
+        fast.add_signal("x", lambda s: s.effectively_up("x"))
+        fast.run(horizon=200_000.0, batches=5)
+        slow = AvailabilitySimulator(
+            [single(lam=0.01, mttr=1.0)],
+            seed=9,
+            repair_policy=lambda c: 2.0,
+        )
+        slow.add_signal("x", lambda s: s.effectively_up("x"))
+        slow.run(horizon=200_000.0, batches=5)
+        ratio = (1 - slow.availability("x")) / (1 - fast.availability("x"))
+        assert ratio == pytest.approx(10.0, rel=0.25)
+
+
+class TestRunValidation:
+    def test_bad_horizon_rejected(self):
+        sim = AvailabilitySimulator([single()], seed=1)
+        with pytest.raises(SimulationError):
+            sim.run(horizon=0.0)
+
+    def test_bad_batches_rejected(self):
+        sim = AvailabilitySimulator([single()], seed=1)
+        with pytest.raises(SimulationError):
+            sim.run(horizon=10.0, batches=0)
+
+    def test_unknown_signal_rejected(self):
+        sim = AvailabilitySimulator([single()], seed=1)
+        sim.run(horizon=10.0, batches=2)
+        with pytest.raises(SimulationError):
+            sim.availability("nope")
+
+    def test_batch_count(self):
+        sim = AvailabilitySimulator([single()], seed=2)
+        sim.add_signal("x", lambda s: s.effectively_up("x"))
+        sim.run(horizon=100.0, batches=7)
+        assert len(sim.batch_availabilities("x")) == 7

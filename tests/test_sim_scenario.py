@@ -1,0 +1,219 @@
+"""Deterministic scenario tests — section III's narratives, executed.
+
+Each test scripts one of the paper's failure-mode walkthroughs against the
+frozen controller simulation and asserts the described plane behavior.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.params.software import RestartScenario
+from repro.sim.scenario import Injection, ScenarioRunner
+from repro.topology.reference import small_topology
+
+S1 = RestartScenario.NOT_REQUIRED
+S2 = RestartScenario.REQUIRED
+
+
+@pytest.fixture()
+def runner(spec, small):
+    return ScenarioRunner.for_controller(spec, small, scenario=S2)
+
+
+@pytest.fixture()
+def runner_s1(spec, small):
+    return ScenarioRunner.for_controller(spec, small, scenario=S1)
+
+
+class TestDatabaseQuorum:
+    def test_one_database_process_down_keeps_quorum(self, runner):
+        # "a lack of quorum of any of these processes only impacts the SDN
+        # CP" — and one instance down is not lack of quorum (2 of 3).
+        trace = runner.run(
+            [Injection(1.0, "proc:Database/kafka-1", "fail")], horizon=10.0
+        )
+        assert trace.state_at("cp", 5.0)
+        assert trace.state_at("dp", 5.0)
+
+    def test_two_same_database_processes_break_cp(self, runner):
+        trace = runner.run(
+            [
+                Injection(1.0, "proc:Database/kafka-1", "fail"),
+                Injection(2.0, "proc:Database/kafka-2", "fail"),
+                Injection(5.0, "proc:Database/kafka-1", "repair"),
+            ],
+            horizon=10.0,
+        )
+        assert trace.state_at("cp", 0.5)
+        assert not trace.state_at("cp", 3.0)  # quorum lost
+        assert trace.state_at("cp", 6.0)  # quorum restored
+        # The DP is untouched throughout: Database is 0-of-3 for the DP.
+        assert trace.state_at("dp", 3.0)
+        assert trace.downtime("cp") == pytest.approx(3.0)
+
+    def test_two_different_database_processes_keep_quorum(self, runner):
+        # kafka-1 and zookeeper-2 down: each process still has 2 of 3.
+        trace = runner.run(
+            [
+                Injection(1.0, "proc:Database/kafka-1", "fail"),
+                Injection(2.0, "proc:Database/zookeeper-2", "fail"),
+            ],
+            horizon=10.0,
+        )
+        assert trace.state_at("cp", 5.0)
+
+
+class TestSupervisorSemantics:
+    def test_supervisor_failure_kills_node_role_in_scenario2(self, runner):
+        # "one Database supervisor failure and any Database process failure
+        # in another node, taking down two Database instances, resulting in
+        # quorum loss."
+        trace = runner.run(
+            [
+                Injection(1.0, "sup:Database-1", "fail"),
+                Injection(2.0, "proc:Database/cassandra-config-2", "fail"),
+                Injection(6.0, "sup:Database-1", "repair"),
+            ],
+            horizon=10.0,
+        )
+        assert trace.state_at("cp", 1.5)  # supervisor alone: still 2 of 3
+        assert not trace.state_at("cp", 3.0)  # plus one process: quorum lost
+        # Supervisor restart restores its whole node-role instantly...
+        assert trace.state_at("cp", 7.0)
+
+    def test_supervisor_repair_restores_failed_processes(self, runner):
+        # Manual supervisor restart requires killing and auto-restarting
+        # every process in the node-role — afterwards they are all up.
+        trace = runner.run(
+            [
+                Injection(1.0, "sup:Config-1", "fail"),
+                Injection(2.0, "proc:Config/config-api-1", "fail"),
+                Injection(3.0, "proc:Config/config-api-2", "fail"),
+                Injection(4.0, "proc:Config/config-api-3", "fail"),
+                Injection(6.0, "sup:Config-1", "repair"),
+            ],
+            horizon=10.0,
+        )
+        assert not trace.state_at("cp", 5.0)  # all config-api down
+        sim = runner.simulator
+        # config-api-1 was restored by its supervisor's restart.
+        assert sim.effectively_up("proc:Config/config-api-1")
+        # config-api-2/3 belong to other node-roles: still down ("any
+        # process failures within that node-role require manual restart").
+        assert not sim.effectively_up("proc:Config/config-api-2")
+        assert not sim.effectively_up("proc:Config/config-api-3")
+        # But the restored instance satisfies the 1-of-3 quorum: CP is up.
+        assert trace.state_at("cp", 7.0)
+
+    def test_supervisor_irrelevant_in_scenario1(self, runner_s1):
+        # Scenario 1: all supervisors down, functionality unimpaired
+        # ("the supervisor is a '0 of 3' process").
+        injections = [
+            Injection(1.0, f"sup:{role}-{i}", "fail")
+            for role in ("Config", "Control", "Analytics", "Database")
+            for i in (1, 2, 3)
+        ]
+        trace = runner_s1.run(injections, horizon=10.0)
+        assert trace.state_at("cp", 9.0)
+        assert trace.state_at("dp", 9.0)
+
+
+class TestControlPlaneVsDataPlane:
+    def test_control_block_one_of_three_for_dp(self, runner):
+        # {control+dns+named} is 1-of-3: two full Control nodes down leaves
+        # the DP up; the third going down kills every host DP.
+        trace = runner.run(
+            [
+                Injection(1.0, "proc:Control/control-1", "fail"),
+                Injection(2.0, "proc:Control/control-2", "fail"),
+                Injection(3.0, "proc:Control/control-3", "fail"),
+                Injection(6.0, "proc:Control/control-2", "repair"),
+            ],
+            horizon=10.0,
+        )
+        assert trace.state_at("dp", 2.5)  # one control left: DP fine
+        assert not trace.state_at("dp", 4.0)  # "BGP tables flushed"
+        assert trace.state_at("dp", 7.0)
+        # The CP lost its 1-of-3 control requirement at t=3 too.
+        assert not trace.state_at("cp", 4.0)
+
+    def test_mixed_control_dns_named_insufficient(self, runner):
+        # "having only control-1 and dns-2 and named-3 available is not
+        # sufficient for host DP availability".
+        trace = runner.run(
+            [
+                # Leave control-1, dns-2, named-3; fail everything else in
+                # the {control+dns+named} block.
+                Injection(1.0, "proc:Control/control-2", "fail"),
+                Injection(1.0, "proc:Control/control-3", "fail"),
+                Injection(1.0, "proc:Control/dns-1", "fail"),
+                Injection(1.0, "proc:Control/dns-3", "fail"),
+                Injection(1.0, "proc:Control/named-1", "fail"),
+                Injection(1.0, "proc:Control/named-2", "fail"),
+            ],
+            horizon=10.0,
+        )
+        assert not trace.state_at("dp", 5.0)
+        # The CP only needs *control* 1-of-3 (control-1 is up) plus the
+        # other roles, so the control plane survives.
+        assert trace.state_at("cp", 5.0)
+
+    def test_vrouter_process_kills_host_dp_only(self, runner):
+        # "Any vrouter-agent or vrouter-dpdk process failure takes down the
+        # DP for the entire host" — CP unaffected.
+        trace = runner.run(
+            [Injection(1.0, "local:vrouter-agent", "fail")], horizon=10.0
+        )
+        assert not trace.state_at("dp", 5.0)
+        assert not trace.state_at("ldp", 5.0)
+        assert trace.state_at("cp", 5.0)
+        assert trace.state_at("sdp", 5.0)
+
+
+class TestInfrastructure:
+    def test_rack_failure_takes_small_topology_down(self, runner):
+        trace = runner.run(
+            [
+                Injection(1.0, "rack:R1", "fail"),
+                Injection(4.0, "rack:R1", "repair"),
+            ],
+            horizon=10.0,
+        )
+        assert not trace.state_at("cp", 2.0)
+        assert not trace.state_at("sdp", 2.0)
+        assert trace.state_at("cp", 5.0)
+
+    def test_host_failure_leaves_quorum(self, runner):
+        trace = runner.run(
+            [Injection(1.0, "host:H1", "fail")], horizon=10.0
+        )
+        assert trace.state_at("cp", 5.0)  # 2 of 3 nodes remain
+
+    def test_two_hosts_break_quorum(self, runner):
+        trace = runner.run(
+            [
+                Injection(1.0, "host:H1", "fail"),
+                Injection(2.0, "host:H2", "fail"),
+            ],
+            horizon=10.0,
+        )
+        assert not trace.state_at("cp", 5.0)
+
+
+class TestRunnerValidation:
+    def test_unknown_component_rejected(self, runner):
+        with pytest.raises(SimulationError):
+            runner.run([Injection(1.0, "proc:Ghost/x-1", "fail")], horizon=5.0)
+
+    def test_injection_beyond_horizon_rejected(self, runner):
+        with pytest.raises(SimulationError):
+            runner.run([Injection(9.0, "rack:R1", "fail")], horizon=5.0)
+
+    def test_bad_injection_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            Injection(1.0, "rack:R1", "explode")
+
+    def test_downtime_requires_known_signal(self, runner):
+        trace = runner.run([], horizon=5.0)
+        with pytest.raises(SimulationError):
+            trace.downtime("ghost")

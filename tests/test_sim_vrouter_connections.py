@@ -1,0 +1,176 @@
+"""Tests for the vRouter control-connection model — section III dynamics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.vrouter_connections import (
+    ControlEvent,
+    VRouterConnectionModel,
+)
+
+CONTROLS = ("control-1", "control-2", "control-3")
+DELTA = 1.0 / 60.0  # the paper's "typically within a minute"
+
+
+def model(hosts=9):
+    return VRouterConnectionModel(CONTROLS, hosts, rediscovery_hours=DELTA)
+
+
+class TestAssignment:
+    def test_round_robin_pairs(self):
+        m = model()
+        assert m.initial_connections(0) == ("control-1", "control-2")
+        assert m.initial_connections(1) == ("control-2", "control-3")
+        assert m.initial_connections(2) == ("control-3", "control-1")
+
+    def test_pairs_balanced(self):
+        # "normally roughly equal numbers of all host vrouter-agent
+        # processes are connected to" each pair.
+        m = model(hosts=9)
+        pairs = {}
+        for host in range(9):
+            pair = frozenset(m.initial_connections(host))
+            pairs[pair] = pairs.get(pair, 0) + 1
+        assert set(pairs.values()) == {3}
+
+    def test_out_of_range_host(self):
+        with pytest.raises(SimulationError):
+            model(hosts=3).initial_connections(3)
+
+
+class TestSingleFailure:
+    def test_one_control_failure_is_hitless(self):
+        # "If control-1 fails, all vrouter-agent processes connected to
+        # control-1 will rediscover ... the host DPs are not interrupted."
+        events = [ControlEvent(1.0, "control-1", False)]
+        assert model().drop_intervals(events, horizon=10.0) == []
+
+    def test_sequential_failures_hitless(self):
+        # control-1 fails; agents rediscover; control-2 fails an hour
+        # later: every agent still holds control-3 — no interruption.
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(2.0, "control-2", False),
+        ]
+        assert model().drop_intervals(events, horizon=10.0) == []
+
+
+class TestSimultaneousFailures:
+    def test_one_third_of_hosts_impacted(self):
+        # "In the unlikely event that two control processes fail
+        # simultaneously, then the one-third of vrouter-agent processes
+        # connected to those two Control nodes will drop packets until ...
+        # connect to the remaining control process."
+        m = model(hosts=9)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0, "control-2", False),
+        ]
+        assert m.impacted_fraction(events, horizon=10.0) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_drop_lasts_one_rediscovery(self):
+        m = model(hosts=3)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0, "control-2", False),
+        ]
+        intervals = m.drop_intervals(events, horizon=10.0)
+        assert len(intervals) == 1
+        assert intervals[0].host == 0
+        assert intervals[0].duration == pytest.approx(DELTA)
+
+    def test_impact_negligible_assumption(self):
+        # The paper "assume[s] that the impact of simultaneous control
+        # process failures on host DP availability is negligible" — check:
+        # one double failure per year costs ~1 minute / 3 hosts.
+        m = model(hosts=9)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0, "control-2", False),
+        ]
+        horizon = 8766.0  # one year
+        unavailability = m.dp_unavailability(events, horizon)
+        assert unavailability < 1e-6
+
+
+class TestTotalOutage:
+    def test_all_controls_down_kills_every_host(self):
+        # "If control-3 subsequently fails, then every host DP will go
+        # down because BGP forwarding tables will be flushed."
+        m = model(hosts=6)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(2.0, "control-2", False),
+            ControlEvent(3.0, "control-3", False),
+        ]
+        assert m.impacted_fraction(events, horizon=10.0) == 1.0
+
+    def test_recovery_after_first_control_returns(self):
+        m = model(hosts=3)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(2.0, "control-2", False),
+            ControlEvent(3.0, "control-3", False),
+            ControlEvent(5.0, "control-2", True),
+        ]
+        intervals = m.drop_intervals(events, horizon=10.0)
+        assert len(intervals) == 3
+        for interval in intervals:
+            assert interval.start == 3.0
+            assert interval.end == pytest.approx(5.0 + DELTA)
+
+    def test_never_recovered_truncates_at_horizon(self):
+        m = model(hosts=3)
+        events = [
+            ControlEvent(1.0, c, False) for c in CONTROLS
+        ]
+        intervals = m.drop_intervals(events, horizon=4.0)
+        assert all(i.end == 4.0 for i in intervals)
+
+
+class TestFlapping:
+    def test_rediscovery_interrupted_by_target_loss(self):
+        # Host 0 loses both connections; control-3 is up so rediscovery
+        # starts — but control-3 dies before the delay elapses.
+        m = model(hosts=3)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0, "control-2", False),
+            ControlEvent(1.0 + DELTA / 2, "control-3", False),
+            ControlEvent(2.0, "control-1", True),
+        ]
+        intervals = [
+            i for i in m.drop_intervals(events, horizon=10.0) if i.host == 0
+        ]
+        assert len(intervals) == 1
+        assert intervals[0].start == 1.0
+        assert intervals[0].end == pytest.approx(2.0 + DELTA)
+
+    def test_replacement_connection_can_fail_too(self):
+        # Host 0 (c1, c2): c1 dies; before the top-up lands, c2 dies.
+        m = model(hosts=3)
+        events = [
+            ControlEvent(1.0, "control-1", False),
+            ControlEvent(1.0 + DELTA / 2, "control-2", False),
+        ]
+        intervals = [
+            i for i in m.drop_intervals(events, horizon=10.0) if i.host == 0
+        ]
+        assert len(intervals) == 1
+        assert intervals[0].start == pytest.approx(1.0 + DELTA / 2)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            VRouterConnectionModel(("only-one",), 3)
+        with pytest.raises(SimulationError):
+            VRouterConnectionModel(CONTROLS, 0)
+        with pytest.raises(SimulationError):
+            model().drop_intervals(
+                [ControlEvent(99.0, "control-1", False)], horizon=10.0
+            )
+        with pytest.raises(SimulationError):
+            model().drop_intervals(
+                [ControlEvent(1.0, "ghost", False)], horizon=10.0
+            )

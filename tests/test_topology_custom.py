@@ -1,0 +1,94 @@
+"""Tests for custom layouts and anti-affinity checks (repro.topology.custom)."""
+
+import pytest
+
+from repro.controller.spec import Plane
+from repro.errors import TopologyError
+from repro.models.sw import plane_availability_exact
+from repro.params.software import RestartScenario
+from repro.topology.custom import (
+    check_anti_affinity,
+    cross_rack_small,
+    database_spread,
+    hardware_footprint,
+)
+
+ROLES = ("Config", "Control", "Analytics", "Database")
+
+
+class TestCrossRackSmall:
+    def test_footprint(self, spec):
+        topo = cross_rack_small(spec)
+        assert hardware_footprint(topo) == (3, 3, 3)
+
+    def test_rack_anti_affinity_for_all_roles(self, spec):
+        topo = cross_rack_small(spec)
+        for role in ROLES:
+            assert check_anti_affinity(topo, role, "rack")
+
+    def test_vm_affinity_within_node(self, spec):
+        # Roles share the combined VM, so VM anti-affinity fails.
+        topo = cross_rack_small(spec)
+        vms = {i.vm for i in topo.instances if i.index == 1}
+        assert vms == {"GCAD1"}
+
+    def test_matches_large_availability(self, spec, hardware, software):
+        # The headline ablation: rack diversity, not host count, drives
+        # the Small -> Large improvement.
+        from repro.topology.reference import large_topology
+
+        cross = plane_availability_exact(
+            spec, Plane.CP, cross_rack_small(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED,
+        )
+        large = plane_availability_exact(
+            spec, Plane.CP, large_topology(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED,
+        )
+        assert (1 - cross) == pytest.approx(1 - large, rel=0.05)
+
+
+class TestDatabaseSpread:
+    def test_shape(self, spec):
+        topo = database_spread(spec)
+        assert hardware_footprint(topo) == (3, 6, 6)
+        assert check_anti_affinity(topo, "Database", "rack")
+        assert not check_anti_affinity(topo, "Config", "rack")
+
+    def test_does_not_help(self, spec, hardware, software):
+        # Rack R1 still takes down all 1-of-3 roles: availability stays at
+        # the Small level despite doubling the hosts.
+        from repro.topology.reference import small_topology
+
+        spread = plane_availability_exact(
+            spec, Plane.CP, database_spread(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED,
+        )
+        small = plane_availability_exact(
+            spec, Plane.CP, small_topology(spec), hardware, software,
+            RestartScenario.NOT_REQUIRED,
+        )
+        assert (1 - spread) == pytest.approx(1 - small, rel=0.25)
+
+    def test_unknown_quorum_role_rejected(self, spec):
+        with pytest.raises(TopologyError):
+            database_spread(spec, quorum_role="Ghost")
+
+
+class TestAntiAffinity:
+    def test_large_has_host_anti_affinity(self, spec, large):
+        for role in ROLES:
+            assert check_anti_affinity(large, role, "host")
+            assert check_anti_affinity(large, role, "rack")
+
+    def test_small_lacks_rack_anti_affinity(self, spec, small):
+        assert not check_anti_affinity(small, "Database", "rack")
+        assert check_anti_affinity(small, "Database", "host")
+
+    def test_medium_rack_affinity_broken(self, spec, medium):
+        # Two instances share rack R1 in the Medium layout.
+        assert not check_anti_affinity(medium, "Database", "rack")
+
+    def test_bad_level_rejected(self, spec, small):
+        with pytest.raises(TopologyError):
+            check_anti_affinity(small, "Database", "datacenter")

@@ -1,0 +1,123 @@
+"""Tests for deployment topologies (repro.topology.deployment)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.deployment import DeploymentTopology
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+
+def tiny():
+    return DeploymentTopology(
+        "Tiny",
+        racks=(Rack("R1"),),
+        hosts=(Host("H1", "R1"), Host("H2", "R1")),
+        vms=(Vm("V1", "H1"), Vm("V2", "H2")),
+        instances=(
+            RoleInstance("A", 1, "V1"),
+            RoleInstance("A", 2, "V2"),
+            RoleInstance("B", 1, "V1"),
+        ),
+    )
+
+
+class TestValidation:
+    def test_unknown_rack_rejected(self):
+        with pytest.raises(TopologyError):
+            DeploymentTopology(
+                "X", (Rack("R1"),), (Host("H1", "R9"),), (), ()
+            )
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(TopologyError):
+            DeploymentTopology(
+                "X", (Rack("R1"),), (Host("H1", "R1"),), (Vm("V1", "H9"),), ()
+            )
+
+    def test_unknown_vm_rejected(self):
+        with pytest.raises(TopologyError):
+            DeploymentTopology(
+                "X",
+                (Rack("R1"),),
+                (Host("H1", "R1"),),
+                (Vm("V1", "H1"),),
+                (RoleInstance("A", 1, "V9"),),
+            )
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(TopologyError):
+            DeploymentTopology(
+                "X",
+                (Rack("R1"),),
+                (Host("H1", "R1"),),
+                (Vm("V1", "H1"),),
+                (RoleInstance("A", 1, "V1"), RoleInstance("A", 1, "V1")),
+            )
+
+    def test_name_reuse_across_levels_rejected(self):
+        with pytest.raises(TopologyError):
+            DeploymentTopology(
+                "X",
+                (Rack("R1"),),
+                (Host("R1", "R1"),),
+                (),
+                (),
+            )
+
+
+class TestQueries:
+    def test_support_chain(self):
+        topo = tiny()
+        chain = topo.support_chain(topo.instances_of("B")[0])
+        assert chain == ("R1", "H1", "V1")
+
+    def test_role_names_in_order(self):
+        assert tiny().role_names() == ("A", "B")
+
+    def test_instances_sorted_by_index(self):
+        instances = tiny().instances_of("A")
+        assert [i.index for i in instances] == [1, 2]
+
+    def test_unplaced_role_rejected(self):
+        with pytest.raises(TopologyError):
+            tiny().instances_of("Z")
+
+    def test_replica_count(self):
+        assert tiny().replica_count("A") == 2
+        assert tiny().replica_count("B") == 1
+
+    def test_parent_and_level(self):
+        topo = tiny()
+        assert topo.parent_of("V1") == "H1"
+        assert topo.parent_of("H1") == "R1"
+        assert topo.parent_of("R1") is None
+        assert topo.level_of("V1") == "vm"
+        with pytest.raises(TopologyError):
+            topo.parent_of("nope")
+
+
+class TestSharing:
+    def test_shared_elements(self):
+        topo = tiny()
+        shared = topo.shared_elements()
+        # R1 supports 3 instances; H1/V1 support 2 (A-1 and B-1); H2/V2
+        # support only A-2 and are private.
+        assert "R1" in shared
+        assert "H1" in shared and "V1" in shared
+        assert "H2" not in shared and "V2" not in shared
+
+    def test_shared_is_hierarchy_ordered(self):
+        shared = tiny().shared_elements()
+        assert shared.index("R1") < shared.index("H1") < shared.index("V1")
+
+    def test_sharing_is_upward_closed(self, small, medium, large):
+        for topo in (small, medium, large):
+            shared = set(topo.shared_elements())
+            for element in shared:
+                parent = topo.parent_of(element)
+                if parent is not None:
+                    assert parent in shared
+
+    def test_summary_mentions_counts(self):
+        text = tiny().summary()
+        assert "1 rack(s)" in text and "2 host(s)" in text

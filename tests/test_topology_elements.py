@@ -1,0 +1,37 @@
+"""Tests for topology elements (repro.topology.elements)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.elements import Host, Rack, RoleInstance, Vm
+
+
+class TestElements:
+    def test_rack_name_required(self):
+        with pytest.raises(TopologyError):
+            Rack("")
+
+    def test_host_references_rack(self):
+        host = Host("H1", "R1")
+        assert host.rack == "R1"
+
+    def test_host_requires_rack(self):
+        with pytest.raises(TopologyError):
+            Host("H1", "")
+
+    def test_vm_references_host(self):
+        vm = Vm("G1", "H1")
+        assert vm.host == "H1"
+
+    def test_role_instance_label(self):
+        instance = RoleInstance("Config", 2, "G2")
+        assert instance.label == "Config-2"
+
+    def test_role_instance_index_positive(self):
+        with pytest.raises(TopologyError):
+            RoleInstance("Config", 0, "G1")
+
+    def test_elements_are_hashable_and_ordered(self):
+        racks = sorted([Rack("R2"), Rack("R1")])
+        assert [r.name for r in racks] == ["R1", "R2"]
+        assert len({Host("H1", "R1"), Host("H1", "R1")}) == 1

@@ -1,0 +1,110 @@
+"""Tests for the reference topologies (repro.topology.reference) — Fig. 2."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.reference import (
+    large_topology,
+    medium_topology,
+    reference_topology,
+    small_topology,
+)
+
+ROLES = ("Config", "Control", "Analytics", "Database")
+
+
+class TestSmall:
+    def test_shape(self, small):
+        # 1 rack, 3 hosts, 3 combined GCAD VMs, 12 role instances.
+        assert len(small.racks) == 1
+        assert len(small.hosts) == 3
+        assert len(small.vms) == 3
+        assert len(small.instances) == 12
+
+    def test_all_roles_share_node_vm(self, small):
+        vms = {i.vm for i in small.instances if i.index == 1}
+        assert vms == {"GCAD1"}
+
+    def test_single_rack(self, small):
+        assert {h.rack for h in small.hosts} == {"R1"}
+
+
+class TestMedium:
+    def test_shape(self, medium):
+        # 2 racks, 3 hosts, 12 per-role VMs.
+        assert len(medium.racks) == 2
+        assert len(medium.hosts) == 3
+        assert len(medium.vms) == 12
+        assert len(medium.instances) == 12
+
+    def test_node_vms_colocated_per_host(self, medium):
+        # G1 ... D1 all on H1 (paper section IV).
+        hosts = {
+            medium.host_of_vm(i.vm).name
+            for i in medium.instances
+            if i.index == 1
+        }
+        assert hosts == {"H1"}
+
+    def test_quorum_majority_in_rack1(self, medium):
+        # H1, H2 in R1; H3 in R2.
+        racks = {h.name: h.rack for h in medium.hosts}
+        assert racks == {"H1": "R1", "H2": "R1", "H3": "R2"}
+
+    def test_vms_are_private(self, medium):
+        shared = set(medium.shared_elements())
+        assert not any(v.name in shared for v in medium.vms)
+
+
+class TestLarge:
+    def test_shape(self, large):
+        # 3 racks, 12 hosts, 12 VMs — every role copy on its own host.
+        assert len(large.racks) == 3
+        assert len(large.hosts) == 12
+        assert len(large.vms) == 12
+        assert len(large.instances) == 12
+
+    def test_one_instance_per_host(self, large):
+        hosts = [large.host_of_vm(i.vm).name for i in large.instances]
+        assert len(set(hosts)) == 12
+
+    def test_node_per_rack(self, large):
+        # Node i's four hosts live in rack Ri.
+        racks = {
+            large.rack_of_host(large.host_of_vm(i.vm).name).name
+            for i in large.instances
+            if i.index == 2
+        }
+        assert racks == {"R2"}
+
+    def test_only_racks_shared(self, large):
+        shared = set(large.shared_elements())
+        assert shared == {"R1", "R2", "R3"}
+
+
+class TestBuilders:
+    def test_from_role_names(self):
+        topo = small_topology(ROLES)
+        assert topo.role_names() == ROLES
+
+    def test_from_spec(self, spec, small):
+        assert small.role_names() == ROLES
+
+    def test_generalized_cluster_size(self):
+        topo = large_topology(ROLES, cluster_size=5)
+        assert len(topo.racks) == 5
+        assert len(topo.instances) == 20
+
+    def test_medium_needs_two_nodes(self):
+        with pytest.raises(TopologyError):
+            medium_topology(ROLES, cluster_size=1)
+
+    def test_reference_dispatch(self, spec):
+        assert reference_topology("small", spec).name == "Small"
+        assert reference_topology("LARGE", spec).name == "Large"
+        with pytest.raises(TopologyError):
+            reference_topology("gigantic", spec)
+
+    def test_duplicate_role_names_rejected(self):
+        with pytest.raises(TopologyError):
+            small_topology(("A", "A"))

@@ -1,0 +1,150 @@
+"""Tests for availability unit conversions (repro.units)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.units import (
+    MINUTES_PER_YEAR,
+    availability_from_downtime,
+    availability_from_mtbf,
+    availability_from_nines,
+    check_positive,
+    check_probability,
+    downtime_minutes_per_year,
+    mttr_from_availability,
+    nines,
+    scale_downtime,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_returns_value(self):
+        assert check_probability(0.5) == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ParameterError):
+            check_probability(1.0000001)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_probability(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError):
+            check_probability(float("nan"))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_probability("high")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ParameterError, match="A_H"):
+            check_probability(2.0, "A_H")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(5.0) == 5.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_positive(0.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ParameterError):
+            check_positive(math.inf)
+
+
+class TestMtbfConversions:
+    def test_paper_process_availability(self):
+        # F = 5000 h, R = 0.1 h -> A ~= 0.99998 (section VI.A).
+        assert availability_from_mtbf(5000.0, 0.1) == pytest.approx(
+            0.99998, abs=1e-6
+        )
+
+    def test_paper_supervisor_availability(self):
+        # R_S = 1 h -> A_S ~= 0.9998.
+        assert availability_from_mtbf(5000.0, 1.0) == pytest.approx(
+            0.9998, abs=1e-5
+        )
+
+    def test_zero_mttr_is_perfect(self):
+        assert availability_from_mtbf(100.0, 0.0) == 1.0
+
+    def test_roundtrip(self):
+        a = availability_from_mtbf(5000.0, 2.5)
+        assert mttr_from_availability(a, 5000.0) == pytest.approx(2.5)
+
+    def test_rejects_negative_mttr(self):
+        with pytest.raises(ParameterError):
+            availability_from_mtbf(100.0, -1.0)
+
+    def test_mttr_rejects_zero_availability(self):
+        with pytest.raises(ParameterError):
+            mttr_from_availability(0.0, 100.0)
+
+
+class TestDowntime:
+    def test_five_nines_is_about_five_minutes(self):
+        # The paper's A_R = 0.99999 rack -> ~5.26 min/yr, the "third rack
+        # saves 5 minutes/year" figure.
+        assert downtime_minutes_per_year(0.99999) == pytest.approx(
+            5.26, abs=0.01
+        )
+
+    def test_perfect_availability_no_downtime(self):
+        assert downtime_minutes_per_year(1.0) == 0.0
+
+    def test_roundtrip(self):
+        a = 0.99975
+        minutes = downtime_minutes_per_year(a)
+        assert availability_from_downtime(minutes) == pytest.approx(a)
+
+    def test_rejects_excessive_downtime(self):
+        with pytest.raises(ParameterError):
+            availability_from_downtime(MINUTES_PER_YEAR + 1)
+
+
+class TestNines:
+    def test_three_nines(self):
+        assert nines(0.999) == pytest.approx(3.0)
+
+    def test_perfect_is_infinite(self):
+        assert nines(1.0) == math.inf
+
+    def test_roundtrip(self):
+        assert availability_from_nines(nines(0.9995)) == pytest.approx(0.9995)
+
+    def test_rejects_negative_nines(self):
+        with pytest.raises(ParameterError):
+            availability_from_nines(-1)
+
+
+class TestScaleDowntime:
+    def test_zero_orders_is_identity(self):
+        assert scale_downtime(0.99998, 0.0) == pytest.approx(0.99998)
+
+    def test_plus_one_order_reduces_downtime_tenfold(self):
+        scaled = scale_downtime(0.99998, 1.0)
+        assert (1 - scaled) == pytest.approx((1 - 0.99998) / 10)
+
+    def test_minus_one_order_increases_downtime_tenfold(self):
+        scaled = scale_downtime(0.99998, -1.0)
+        assert (1 - scaled) == pytest.approx((1 - 0.99998) * 10)
+
+    def test_paper_sweep_endpoints(self):
+        # Figs. 4-5: x = -1 maps A = 0.99998 to 0.9998 and A_S = 0.9998 to
+        # 0.998; x = +1 maps A to 0.999998.
+        assert scale_downtime(0.99998, -1.0) == pytest.approx(0.9998)
+        assert scale_downtime(0.9998, -1.0) == pytest.approx(0.998)
+        assert scale_downtime(0.99998, 1.0) == pytest.approx(0.999998)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ParameterError):
+            scale_downtime(0.5, -1.0)  # downtime would exceed 1
