@@ -6,7 +6,6 @@ This bench performs that generalization: 3-, 5-, and 7-node clusters on
 correspondingly scaled Large topologies, with majority quorums.
 """
 
-import pytest
 
 from repro.controller.opencontrail import opencontrail_3x
 from repro.models.sw import cp_availability

@@ -9,7 +9,6 @@ Mechanically derives the failure modes the paper names:
 * 2* DP: "failure of any supervisor" (the local vRouter supervisor).
 """
 
-import pytest
 
 from repro.controller.spec import Plane
 from repro.models.failure_modes import dominant_failure_modes

@@ -24,7 +24,6 @@ from repro import (
 )
 from repro.controller.process import nodemgr, supervisor
 from repro.controller.tables import render_table2, render_table3
-from repro.units import downtime_minutes_per_year
 
 
 def raft_controller(cluster_size: int = 3) -> ControllerSpec:

@@ -19,7 +19,6 @@ from repro import (
     evaluate_option,
     opencontrail_3x,
 )
-from repro.units import downtime_minutes_per_year
 
 
 def report(label, spec, software):

@@ -15,7 +15,7 @@ the quantitative counterparts used by the ablation benchmarks and examples:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Mapping
+from typing import Callable
 
 from repro.errors import ParameterError
 from repro.params.hardware import HardwareParams

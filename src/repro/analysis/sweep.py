@@ -38,11 +38,16 @@ class SweepResult:
 
 
 def grid(start: float, stop: float, points: int) -> tuple[float, ...]:
-    """An inclusive linear grid with ``points`` samples."""
+    """An inclusive linear grid with ``points`` samples.
+
+    The grid may ascend or descend (``stop < start`` sweeps downward, e.g.
+    degrading availability from 1.0); only a degenerate zero-length span is
+    rejected.
+    """
     if points < 2:
         raise ParameterError(f"need at least 2 grid points, got {points}")
-    if not stop > start:
-        raise ParameterError(f"stop ({stop}) must exceed start ({start})")
+    if stop == start:
+        raise ParameterError(f"stop ({stop}) must differ from start ({start})")
     return tuple(float(x) for x in np.linspace(start, stop, points))
 
 

@@ -84,10 +84,30 @@ def monte_carlo(
     spread_orders: float = 0.5,
     samples: int = 500,
     seed: int = 0,
+    workers: int | None = None,
 ) -> UncertaintyResult:
-    """Distribution of ``model`` under log-uniform downtime uncertainty."""
+    """Distribution of ``model`` under log-uniform downtime uncertainty.
+
+    With ``workers=None`` (the default) samples are drawn sequentially from
+    one generator — the original, seed-compatible path.  Passing an integer
+    ``workers`` routes through :func:`repro.perf.parallel.monte_carlo_parallel`
+    instead: chunked ``SeedSequence.spawn`` seed derivation (bit-identical
+    for any worker count, but a different stream than this path) with
+    vectorized chunk evaluation for the registered closed-form models.
+    """
     if samples < 1:
         raise ParameterError(f"samples must be >= 1, got {samples}")
+    if workers is not None:
+        from repro.perf.parallel import monte_carlo_parallel
+
+        return monte_carlo_parallel(
+            model,
+            base,
+            spread_orders=spread_orders,
+            samples=samples,
+            seed=seed,
+            workers=workers,
+        )
     rng = np.random.default_rng(seed)
     values = tuple(
         model(sample_hardware(base, spread_orders, rng))

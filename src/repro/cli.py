@@ -8,6 +8,8 @@ Subcommands mirror the paper's artifacts:
 * ``fig3`` / ``fig4`` / ``fig5`` — dump the figure series (optionally CSV).
 * ``modes`` — dominant failure modes of a plane/option.
 * ``simulate`` — run the Monte-Carlo validation at stressed parameters.
+* ``perf`` — time the vectorized/parallel evaluation engine against the
+  sequential paths (``--workers``, ``--vectorize``).
 """
 
 from __future__ import annotations
@@ -321,6 +323,91 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.analysis.uncertainty import monte_carlo
+    from repro.models.hw_closed import hw_large
+    from repro.perf import fig3_series_vectorized, monte_carlo_parallel
+
+    hardware = _hardware(args)
+
+    def best_of(fn, repeats: int) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    sweep_scalar = best_of(
+        lambda: fig3_series(hardware, points=args.points), args.repeats
+    )
+    sweep_vector = best_of(
+        lambda: fig3_series_vectorized(hardware, points=args.points),
+        args.repeats,
+    )
+    mc_sequential = best_of(
+        lambda: monte_carlo(
+            hw_large, hardware, samples=args.samples, seed=args.seed
+        ),
+        args.repeats,
+    )
+    mc_engine = best_of(
+        lambda: monte_carlo_parallel(
+            hw_large,
+            hardware,
+            samples=args.samples,
+            seed=args.seed,
+            workers=args.workers,
+            vectorize=args.vectorize,
+        ),
+        args.repeats,
+    )
+    rows = [
+        (
+            f"fig3 sweep ({args.points} pts)",
+            f"{sweep_scalar * 1e3:.2f}",
+            f"{sweep_vector * 1e3:.2f}",
+            f"{sweep_scalar / sweep_vector:.1f}x",
+        ),
+        (
+            f"monte_carlo ({args.samples} samples)",
+            f"{mc_sequential * 1e3:.2f}",
+            f"{mc_engine * 1e3:.2f}",
+            f"{mc_sequential / mc_engine:.1f}x",
+        ),
+    ]
+    print(
+        format_table(
+            ("Workload", "Sequential (ms)", "Perf engine (ms)", "Speedup"),
+            rows,
+            title=(
+                f"Evaluation-engine timings (workers={args.workers}, "
+                f"vectorize={args.vectorize}, best of {args.repeats})"
+            ),
+        )
+    )
+    if args.json:
+        payload = {
+            "workers": args.workers,
+            "vectorize": args.vectorize,
+            "points": args.points,
+            "samples": args.samples,
+            "sweep_scalar_s": sweep_scalar,
+            "sweep_vectorized_s": sweep_vector,
+            "sweep_speedup": sweep_scalar / sweep_vector,
+            "monte_carlo_sequential_s": mc_sequential,
+            "monte_carlo_engine_s": mc_engine,
+            "monte_carlo_speedup": mc_sequential / mc_engine,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-avail",
@@ -397,6 +484,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--batches", type=int, default=10)
     sub.add_argument("--seed", type=int, default=1)
     sub.set_defaults(handler=_cmd_simulate)
+
+    sub = subparsers.add_parser(
+        "perf", help="time the vectorized/parallel evaluation engine"
+    )
+    _add_hardware_arguments(sub)
+    sub.add_argument("--workers", type=int, default=4)
+    sub.add_argument(
+        "--vectorize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate Monte-Carlo chunks through the array models",
+    )
+    sub.add_argument("--samples", type=int, default=2000)
+    sub.add_argument("--points", type=int, default=201)
+    sub.add_argument("--repeats", type=int, default=3)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--json", default=None, help="also write timings here")
+    sub.set_defaults(handler=_cmd_perf)
 
     return parser
 

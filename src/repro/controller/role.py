@@ -14,8 +14,8 @@ of its members' availabilities).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.controller.process import ProcessKind, ProcessSpec, RestartMode
 from repro.errors import SpecError

@@ -125,6 +125,23 @@ def a_m_of_n_exact(m: int, n: int, alpha: Fraction) -> Fraction:
     return total
 
 
+def binomial_pmf_array(k: int, n: int, p: np.ndarray | float) -> np.ndarray:
+    """Vectorized :func:`binomial_pmf` over an array of success probabilities.
+
+    ``k`` and ``n`` stay scalar — the sweep and Monte-Carlo harnesses
+    condition on fixed counts while the probability varies across the grid.
+    Returns a float array with the same shape as ``p``.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    q = np.asarray(p, dtype=float)
+    if not 0 <= k <= n:
+        return np.zeros_like(q)
+    if np.any((q < 0.0) | (q > 1.0)) or np.any(np.isnan(q)):
+        raise ParameterError("p values must be in [0, 1]")
+    return math.comb(n, k) * q**k * (1.0 - q) ** (n - k)
+
+
 def binomial_pmf(k: int, n: int, p: float) -> float:
     """Probability of exactly ``k`` successes in ``n`` Bernoulli(p) trials.
 

@@ -10,7 +10,7 @@ normalization row), which is robust for the modest state spaces used here
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Hashable
 
 import numpy as np
 

@@ -165,6 +165,51 @@ def evaluate_topology(
     return min(1.0, max(0.0, total))
 
 
+def freeze_availability(
+    availability: Mapping[str, float],
+) -> tuple[tuple[str, float], ...]:
+    """A hashable, order-independent key for an availability mapping."""
+    return tuple(sorted(availability.items()))
+
+
+@lru_cache(maxsize=4096)
+def _evaluate_frozen(
+    topology: DeploymentTopology,
+    requirements: tuple[RoleRequirement, ...],
+    frozen_availability: tuple[tuple[str, float], ...],
+) -> float:
+    return evaluate_topology(topology, requirements, dict(frozen_availability))
+
+
+def evaluate_topology_cached(
+    topology: DeploymentTopology,
+    requirements: Sequence[RoleRequirement],
+    availability: Mapping[str, float],
+) -> float:
+    """Memoized :func:`evaluate_topology`.
+
+    Every argument is already immutable (the topology and requirements are
+    frozen dataclasses; the availability mapping is frozen to a sorted
+    tuple), so repeated evaluations — design searches, sweeps revisiting
+    grid points, Monte-Carlo draws hitting the same corner — return without
+    re-enumerating shared states.  Extends the per-call ``lru_cache`` on
+    :func:`_conditional_role_term` to whole-evaluation granularity.
+    """
+    return _evaluate_frozen(
+        topology, tuple(requirements), freeze_availability(availability)
+    )
+
+
+def engine_cache_info():
+    """Hit/miss statistics of the :func:`evaluate_topology_cached` memo."""
+    return _evaluate_frozen.cache_info()
+
+
+def clear_engine_cache() -> None:
+    """Drop all memoized :func:`evaluate_topology_cached` results."""
+    _evaluate_frozen.cache_clear()
+
+
 def _enumerate_shared(
     shared: Sequence[str],
     parents: Mapping[str, str | None],

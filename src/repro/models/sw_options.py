@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.controller.spec import ControllerSpec
 from repro.errors import ModelError
-from repro.models.dataplane import dp_availability, local_dp_availability
+from repro.models.dataplane import local_dp_availability
 from repro.models.sw import cp_availability, shared_dp_availability
 from repro.params.hardware import HardwareParams
 from repro.params.software import RestartScenario, SoftwareParams

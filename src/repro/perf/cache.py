@@ -1,0 +1,59 @@
+"""Transparent memoization of model evaluations.
+
+Every parameter object in this codebase is a frozen (hashable) dataclass —
+:class:`~repro.params.hardware.HardwareParams`,
+:class:`~repro.params.software.SoftwareParams`, controller specs,
+topologies — so any closed-form model is memoizable by its argument tuple.
+:func:`memoize_model` wraps one with an ``lru_cache`` and keeps the
+wrapper's ``cache_info``/``cache_clear`` introspection; the exact-engine
+entry point gets the same treatment in
+:func:`repro.models.engine.evaluate_topology_cached` (re-exported here),
+where the availability *mapping* additionally has to be frozen to a sorted
+tuple.
+
+Typical use — a design search or uncertainty study that revisits parameter
+corners::
+
+    from repro.perf import memoize_model
+    from repro.models.hw_closed import hw_large
+
+    hw_large_cached = memoize_model(hw_large)
+    hw_large_cached(params)            # computed
+    hw_large_cached(params)            # memo hit
+    hw_large_cached.cache_info()
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+from repro.models.engine import (
+    clear_engine_cache,
+    engine_cache_info,
+    evaluate_topology_cached,
+    freeze_availability,
+)
+
+__all__ = [
+    "memoize_model",
+    "evaluate_topology_cached",
+    "engine_cache_info",
+    "clear_engine_cache",
+    "freeze_availability",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+def memoize_model(fn: F, maxsize: int | None = 4096) -> F:
+    """Memoize a model over its (hashable) frozen-dataclass arguments.
+
+    A thin, explicit ``functools.lru_cache`` wrapper: the returned callable
+    exposes ``cache_info()`` and ``cache_clear()``.  Arguments must all be
+    hashable — which the parameter dataclasses, enums, and strings used by
+    the models already are; passing a dict or list raises ``TypeError``
+    (deliberately: silent key coercion would make stale results possible).
+    """
+    cached = functools.lru_cache(maxsize=maxsize)(fn)
+    return functools.wraps(fn)(cached)

@@ -1,0 +1,187 @@
+"""Deterministic parallel Monte-Carlo over input-parameter uncertainty.
+
+:func:`monte_carlo_parallel` reproduces the study of
+:func:`repro.analysis.uncertainty.monte_carlo` — the distribution of a
+hardware-availability model output under log-uniform downtime uncertainty —
+but restructured for throughput:
+
+* the sample index space is split into **fixed-size chunks**; chunk ``c``
+  draws from a generator seeded with ``np.random.SeedSequence(seed,
+  spawn_key=(c,))`` (the ``SeedSequence.spawn`` child derivation), so every
+  sample is a pure function of ``(seed, chunk_size, sample index)`` —
+  results are **bit-identical regardless of the worker count**;
+* chunks are dispatched to a :class:`concurrent.futures.ProcessPoolExecutor`
+  when ``workers > 1`` and evaluated inline otherwise;
+* within a chunk, models registered in :data:`ARRAY_MODELS` (the section V
+  closed forms) are evaluated **vectorized** over the whole chunk via
+  :mod:`repro.perf.vectorized`; unregistered models fall back to scalar
+  calls, still parallelized across workers.
+
+The draw scheme intentionally differs from the sequential seed path (which
+threads one generator through every sample): the sequential path's draws
+depend on sample *order*, which cannot be parallelized without either
+serializing the generator or fixing a derivation tree.  This module fixes
+the tree; the two paths agree in distribution and are separately
+deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.uncertainty import (
+    HARDWARE_FIELDS,
+    UncertaintyResult,
+)
+from repro.errors import ParameterError
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.params.hardware import HardwareParams
+from repro.perf.vectorized import (
+    hw_large_array,
+    hw_medium_array,
+    hw_small_array,
+)
+from repro.units import check_positive
+
+__all__ = [
+    "ARRAY_MODELS",
+    "DEFAULT_CHUNK_SIZE",
+    "monte_carlo_parallel",
+    "chunk_bounds",
+]
+
+#: Scalar model -> vectorized counterpart used for whole-chunk evaluation.
+ARRAY_MODELS: dict[Callable[[HardwareParams], float], Callable[..., np.ndarray]] = {
+    hw_small: hw_small_array,
+    hw_medium: hw_medium_array,
+    hw_large: hw_large_array,
+}
+
+#: Samples per chunk.  Part of the deterministic derivation scheme: results
+#: depend on ``(seed, chunk_size)`` but never on the worker count.
+DEFAULT_CHUNK_SIZE = 1024
+
+
+def chunk_bounds(samples: int, chunk_size: int) -> list[tuple[int, int, int]]:
+    """``(chunk index, start, stop)`` triples covering ``range(samples)``."""
+    if samples < 1:
+        raise ParameterError(f"samples must be >= 1, got {samples}")
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (c, start, min(start + chunk_size, samples))
+        for c, start in enumerate(range(0, samples, chunk_size))
+    ]
+
+
+def _scale_array(availability: float, orders: np.ndarray) -> np.ndarray:
+    """Vectorized ``uncertainty._scale``: downtime scaled by ``10**orders``."""
+    scaled_downtime = (1.0 - availability) * 10.0**orders
+    return np.maximum(0.0, 1.0 - scaled_downtime)
+
+
+def _mc_chunk(
+    model: Callable[[HardwareParams], float],
+    array_model: Callable[..., np.ndarray] | None,
+    base: HardwareParams,
+    spread_orders: float,
+    seed: int,
+    chunk_index: int,
+    count: int,
+) -> np.ndarray:
+    """Evaluate one chunk of samples (runs in a worker process).
+
+    Module-level so it pickles under :class:`ProcessPoolExecutor`.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(chunk_index,))
+    )
+    draws = rng.uniform(
+        -spread_orders, spread_orders, size=(count, len(HARDWARE_FIELDS))
+    )
+    columns = {
+        field: _scale_array(getattr(base, field), draws[:, j])
+        for j, field in enumerate(HARDWARE_FIELDS)
+    }
+    if array_model is not None:
+        out = array_model(
+            columns["a_role"],
+            columns["a_vm"],
+            columns["a_host"],
+            columns["a_rack"],
+        )
+        return np.asarray(out, dtype=float)
+    values = np.empty(count, dtype=float)
+    for i in range(count):
+        params = replace(
+            base, **{f: float(columns[f][i]) for f in HARDWARE_FIELDS}
+        )
+        values[i] = model(params)
+    return values
+
+
+def monte_carlo_parallel(
+    model: Callable[[HardwareParams], float],
+    base: HardwareParams,
+    spread_orders: float = 0.5,
+    samples: int = 500,
+    seed: int = 0,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    vectorize: bool = True,
+    array_model: Callable[..., np.ndarray] | None = None,
+    executor: Executor | None = None,
+) -> UncertaintyResult:
+    """Parallel/vectorized distribution of ``model`` under input uncertainty.
+
+    Args:
+        model: scalar availability model of :class:`HardwareParams`.  Must
+            be picklable (a module-level function) when ``workers > 1``.
+        base: nominal hardware parameters.
+        spread_orders: ±orders of magnitude of downtime uncertainty.
+        samples: number of Monte-Carlo samples.
+        seed: root seed of the ``SeedSequence`` derivation tree.
+        workers: process count; ``<= 1`` evaluates inline (no pool).
+        chunk_size: samples per chunk.  Changing it changes the draws;
+            changing ``workers`` never does.
+        vectorize: evaluate chunks through the model's registered array
+            counterpart (:data:`ARRAY_MODELS`) when available.
+        array_model: explicit vectorized counterpart overriding the
+            registry; called as ``array_model(a_role, a_vm, a_host,
+            a_rack)`` on equal-length arrays.
+        executor: reuse an existing executor (e.g. a warm process pool)
+            instead of creating one per call; ``workers`` is then only the
+            chunk-dispatch width.
+
+    Returns:
+        The same :class:`UncertaintyResult` as the sequential path, with
+        samples ordered by sample index.
+    """
+    check_positive(spread_orders, "spread_orders")
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    chunks = chunk_bounds(samples, chunk_size)
+    resolved = array_model
+    if resolved is None and vectorize:
+        resolved = ARRAY_MODELS.get(model)
+    jobs = [
+        (model, resolved, base, spread_orders, seed, c, stop - start)
+        for c, start, stop in chunks
+    ]
+    if executor is not None:
+        parts = list(executor.map(_mc_chunk_star, jobs))
+    elif workers == 1 or len(jobs) == 1:
+        parts = [_mc_chunk(*job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(_mc_chunk_star, jobs))
+    values = np.concatenate(parts)
+    return UncertaintyResult(tuple(float(v) for v in values))
+
+
+def _mc_chunk_star(job: tuple) -> np.ndarray:
+    return _mc_chunk(*job)

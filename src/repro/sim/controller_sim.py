@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.controller.process import RestartMode
-from repro.controller.spec import ControllerSpec, Plane
+from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
 from repro.params.hardware import HardwareParams
 from repro.params.software import RestartScenario, SoftwareParams

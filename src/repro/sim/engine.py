@@ -22,7 +22,7 @@ Correctness notes (these are tested):
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.entities import Component, ComponentState

@@ -4,6 +4,11 @@ Each simulated component draws from its own numpy Generator, spawned from a
 single root seed via ``SeedSequence``; runs are bit-reproducible for a given
 seed and component set, and independent across components regardless of the
 event interleaving.
+
+:func:`derive_seeds` extends the same discipline across *runs*: independent
+replications (and parallel workers) get child seeds spawned from one root
+``SeedSequence``, so a replication's stream depends only on ``(root seed,
+replication index)`` — never on how the replications are scheduled.
 """
 
 from __future__ import annotations
@@ -19,7 +24,6 @@ class RngStreams:
     def __init__(self, seed: int):
         self._root = np.random.SeedSequence(seed)
         self._streams: dict[str, np.random.Generator] = {}
-        self._counter = 0
 
     def stream(self, name: str) -> np.random.Generator:
         """The generator dedicated to ``name`` (created on first use).
@@ -30,7 +34,6 @@ class RngStreams:
         if name not in self._streams:
             child = self._root.spawn(1)[0]
             self._streams[name] = np.random.default_rng(child)
-            self._counter += 1
         return self._streams[name]
 
     def exponential(self, name: str, mean: float) -> float:
@@ -40,3 +43,19 @@ class RngStreams:
                 f"exponential mean must be > 0, got {mean} for {name!r}"
             )
         return float(self.stream(name).exponential(mean))
+
+
+def derive_seeds(seed: int, count: int) -> tuple[int, ...]:
+    """``count`` independent integer child seeds of a root ``seed``.
+
+    Children are spawned with ``np.random.SeedSequence.spawn``, so child
+    ``i`` is a pure function of ``(seed, i)``: the derivation is identical
+    no matter how many workers later consume the seeds, which is what makes
+    parallel replication runs bit-identical to sequential ones.
+    """
+    if count < 0:
+        raise SimulationError(f"count must be >= 0, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return tuple(
+        int(child.generate_state(2, np.uint64)[0]) for child in children
+    )

@@ -13,8 +13,6 @@ the queries the availability engine needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
-
 from repro.errors import TopologyError
 from repro.topology.elements import Host, Rack, RoleInstance, Vm
 

@@ -23,7 +23,12 @@ class TestSweep:
         with pytest.raises(ParameterError):
             grid(0.0, 1.0, 1)
         with pytest.raises(ParameterError):
-            grid(1.0, 0.0, 5)
+            grid(1.0, 1.0, 5)
+
+    def test_grid_descending(self):
+        values = grid(1.0, 0.0, 5)
+        assert values[0] == 1.0 and values[-1] == 0.0
+        assert list(values) == sorted(values, reverse=True)
 
     def test_sweep_rows(self):
         result = sweep("x", [1.0, 2.0], {"sq": lambda x: x * x})

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.controller.process import ProcessSpec, RestartMode, supervisor
+from repro.controller.process import ProcessSpec, RestartMode
 from repro.controller.role import RoleKind, RoleSpec
 from repro.controller.spec import ControllerSpec, Plane
 from repro.errors import SpecError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.blocks import Basic, KOfN, Parallel, Series
+from repro.core.blocks import Basic, KOfN
 from repro.core.cutsets import (
     exact_unavailability,
     minimal_cut_sets,

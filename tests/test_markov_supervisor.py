@@ -6,9 +6,7 @@ import pytest
 
 from repro.markov.kofn_markov import kofn_chain
 from repro.markov.supervisor_markov import (
-    DOWN_DOWN,
     UP_DOWN,
-    UP_UP,
     effective_availability_markov,
     supervisor_process_chain,
 )

@@ -9,7 +9,6 @@ import pytest
 
 from repro.models.hw_closed import hw_large, hw_medium, hw_small
 from repro.models.sw_options import evaluate_option
-from repro.params.software import RestartScenario
 from repro.units import downtime_minutes_per_year
 
 

@@ -1,0 +1,118 @@
+"""Vectorized evaluation paths agree with the scalar seed paths (repro.perf)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import fig3_series, fig4_series, fig5_series
+from repro.core.kofn import binomial_pmf, binomial_pmf_array
+from repro.errors import ParameterError
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.params.hardware import HardwareParams
+from repro.perf import (
+    fig3_series_vectorized,
+    fig4_series_vectorized,
+    fig5_series_vectorized,
+    hw_availability_array,
+    sweep_vectorized,
+)
+
+TOLERANCE = 1e-12
+
+SCALAR_MODELS = {"small": hw_small, "medium": hw_medium, "large": hw_large}
+
+
+def max_series_difference(a, b):
+    assert a.parameter == b.parameter
+    assert a.grid == pytest.approx(b.grid, abs=0.0)
+    assert a.labels == b.labels
+    return max(
+        abs(x - y)
+        for label in a.labels
+        for x, y in zip(a.series[label], b.series[label])
+    )
+
+
+class TestBinomialPmfArray:
+    def test_matches_scalar(self):
+        grid = np.linspace(0.0, 1.0, 21)
+        for n in (0, 1, 3, 5):
+            for k in range(n + 1):
+                expected = [binomial_pmf(k, n, float(p)) for p in grid]
+                # numpy's pow may differ from python's by ~1 ulp
+                np.testing.assert_allclose(
+                    binomial_pmf_array(k, n, grid), expected, rtol=1e-14
+                )
+
+    def test_out_of_range_k_is_zero(self):
+        grid = np.linspace(0.1, 0.9, 5)
+        assert np.all(binomial_pmf_array(4, 3, grid) == 0.0)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ParameterError):
+            binomial_pmf_array(1, 3, np.array([0.5, 1.5]))
+
+
+class TestHwArrayModels:
+    @pytest.mark.parametrize("name", sorted(SCALAR_MODELS))
+    def test_matches_scalar_over_grid(self, name):
+        grid = np.linspace(0.9, 1.0, 101)
+        vectorized = hw_availability_array(
+            name, grid, 0.99995, 0.9999, 0.99999
+        )
+        for value, a_c in zip(vectorized, grid):
+            params = HardwareParams(
+                a_role=float(a_c), a_vm=0.99995, a_host=0.9999, a_rack=0.99999
+            )
+            assert value == pytest.approx(
+                SCALAR_MODELS[name](params), abs=TOLERANCE
+            )
+
+    def test_broadcasts_mixed_scalars_and_arrays(self):
+        grid = np.linspace(0.99, 1.0, 7)
+        out = hw_availability_array("large", 0.9999, grid, 0.9999, 0.99999)
+        assert out.shape == grid.shape
+
+    def test_unknown_topology_raises(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            hw_availability_array("ring", 0.999, 0.999, 0.999, 0.999)
+
+
+class TestFigureSeries:
+    def test_fig3_matches_scalar_path(self, hardware):
+        scalar = fig3_series(hardware, points=41)
+        vector = fig3_series_vectorized(hardware, points=41)
+        assert max_series_difference(scalar, vector) < TOLERANCE
+
+    def test_fig4_matches_scalar_path(self, spec, hardware, software):
+        scalar = fig4_series(spec, hardware, software, points=21)
+        vector = fig4_series_vectorized(spec, hardware, software, points=21)
+        assert max_series_difference(scalar, vector) < TOLERANCE
+
+    def test_fig5_matches_scalar_path(self, spec, hardware, software):
+        scalar = fig5_series(spec, hardware, software, points=21)
+        vector = fig5_series_vectorized(spec, hardware, software, points=21)
+        assert max_series_difference(scalar, vector) < TOLERANCE
+
+    def test_descending_grid_supported(self, hardware):
+        result = fig3_series_vectorized(
+            hardware, points=11, role_range=(1.0, 0.999)
+        )
+        assert result.grid[0] == 1.0 and result.grid[-1] == 0.999
+        small = result.series["Small"]
+        assert all(a >= b - 1e-15 for a, b in zip(small, small[1:]))
+
+
+class TestSweepVectorized:
+    def test_evaluates_whole_grid(self):
+        result = sweep_vectorized("x", [1.0, 2.0, 3.0], {"sq": lambda x: x**2})
+        assert result.series["sq"] == (1.0, 4.0, 9.0)
+
+    def test_needs_evaluators(self):
+        with pytest.raises(ParameterError):
+            sweep_vectorized("x", [1.0, 2.0], {})
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ParameterError):
+            sweep_vectorized("x", [1.0, 2.0], {"bad": lambda x: x[:1]})

@@ -1,6 +1,5 @@
 """Property-based tests on the paper's availability models."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

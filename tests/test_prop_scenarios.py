@@ -5,7 +5,6 @@ code that hides edge-case bugs.  The properties below must hold for *any*
 event timeline.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Finer-grained simulator construction checks across scenarios/topologies."""
 
-import pytest
 
 from repro.params.software import RestartScenario
 from repro.sim.controller_sim import SimulationConfig, build_simulator

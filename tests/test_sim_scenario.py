@@ -9,7 +9,6 @@ import pytest
 from repro.errors import SimulationError
 from repro.params.software import RestartScenario
 from repro.sim.scenario import Injection, ScenarioRunner
-from repro.topology.reference import small_topology
 
 S1 = RestartScenario.NOT_REQUIRED
 S2 = RestartScenario.REQUIRED
