@@ -6,6 +6,12 @@ from pathlib import Path
 
 import pytest
 
+
+def pytest_collection_modifyitems(items):
+    """Everything collected from benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 from repro.controller.opencontrail import opencontrail_3x
 from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
 

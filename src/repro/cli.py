@@ -10,6 +10,14 @@ Subcommands mirror the paper's artifacts:
 * ``simulate`` — run the Monte-Carlo validation at stressed parameters.
 * ``perf`` — time the vectorized/parallel evaluation engine against the
   sequential paths (``--workers``, ``--vectorize``).
+* ``obs`` — render a stored run manifest, or run a small instrumented
+  demo workload and print its trace summary.
+
+Every subcommand additionally accepts the global ``--trace FILE.json``
+flag (before or after the subcommand name): the whole invocation then runs
+under an observability session and writes its :class:`RunManifest` —
+parameters, seeds, solver path, per-phase timings, metrics, spans — to the
+file on exit.
 """
 
 from __future__ import annotations
@@ -29,10 +37,13 @@ from repro.models.hw_closed import hw_large, hw_medium, hw_small
 from repro.models.design import CostModel, enumerate_designs, pareto_frontier
 from repro.models.outage import fleet_outages_per_year, plane_outage_profile
 from repro.models.sw_options import PAPER_OPTIONS, evaluate_option, parse_option
+from repro.obs import RunManifest, render_manifest
+from repro.obs import runtime as obs_runtime
 from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
 from repro.params.hardware import HardwareParams
 from repro.params.software import SoftwareParams
 from repro.reporting.csvout import write_csv
+from repro.reporting.manifest import write_manifest_json
 from repro.reporting.tables import format_table
 from repro.sim.controller_sim import SimulationConfig
 from repro.sim.validate import validate_against_analytic
@@ -408,6 +419,44 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.manifest:
+        manifest = RunManifest.load(args.manifest)
+        print(render_manifest(manifest))
+        return 0
+    # Demo: run a small instrumented workload covering the closed forms,
+    # the vectorized sweep, and the parallel Monte-Carlo, then print the
+    # resulting manifest.  Reuses the --trace session when one is active.
+    from repro.perf import fig3_series_vectorized, monte_carlo_parallel
+
+    own_session = not obs_runtime.enabled()
+    session = obs_runtime.start("obs-demo") if own_session else (
+        obs_runtime.active()
+    )
+    try:
+        hardware = _hardware(args)
+        with obs_runtime.span("obs.demo"):
+            for model in (hw_small, hw_medium, hw_large):
+                model(hardware)
+            fig3_series_vectorized(hardware, points=41)
+            monte_carlo_parallel(
+                hw_large,
+                hardware,
+                samples=args.samples,
+                seed=args.seed,
+                workers=1,
+            )
+        manifest = session.build_manifest(
+            arguments=_manifest_arguments(args),
+            seed={"root": args.seed},
+        )
+    finally:
+        if own_session:
+            obs_runtime.stop()
+    print(render_manifest(manifest))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-avail",
@@ -415,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Distributed SDN controller failure-mode and availability "
             "analysis (ISPASS 2019 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.json",
+        help="record the run under tracing and write its manifest here",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -503,13 +558,75 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--json", default=None, help="also write timings here")
     sub.set_defaults(handler=_cmd_perf)
 
+    sub = subparsers.add_parser(
+        "obs", help="render a run manifest or trace a demo workload"
+    )
+    _add_hardware_arguments(sub)
+    sub.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE.json",
+        help="render this stored manifest instead of running the demo",
+    )
+    sub.add_argument("--samples", type=int, default=512)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.set_defaults(handler=_cmd_obs)
+
+    # The --trace flag is also accepted after the subcommand name
+    # (``repro-avail perf --trace out.json``).  SUPPRESS keeps an omitted
+    # per-subcommand flag from clobbering a value parsed at the top level.
+    for sub in set(subparsers.choices.values()):
+        sub.add_argument(
+            "--trace",
+            default=argparse.SUPPRESS,
+            metavar="FILE.json",
+            help=argparse.SUPPRESS,
+        )
+
     return parser
+
+
+#: argparse bookkeeping fields that are not run parameters.
+_NON_PARAMETER_FIELDS = frozenset({"handler", "trace", "manifest"})
+
+
+def _manifest_arguments(args: argparse.Namespace) -> dict[str, object]:
+    """The JSON-serializable run parameters of a parsed invocation."""
+    return {
+        name: value
+        for name, value in vars(args).items()
+        if name not in _NON_PARAMETER_FIELDS
+        and isinstance(value, (str, int, float, bool, type(None)))
+    }
+
+
+def _seed_material(args: argparse.Namespace) -> dict[str, object]:
+    """Seed-bearing arguments (everything the derivation trees hang off)."""
+    return {
+        name: getattr(args, name)
+        for name in ("seed", "samples", "workers", "batches", "horizon")
+        if hasattr(args, name)
+    }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.handler(args)
+    session = obs_runtime.start(command=args.command)
+    try:
+        with obs_runtime.span(f"cli.{args.command}"):
+            status = args.handler(args)
+    finally:
+        obs_runtime.stop()
+    manifest = session.build_manifest(
+        arguments=_manifest_arguments(args), seed=_seed_material(args)
+    )
+    write_manifest_json(trace_path, manifest)
+    print(f"wrote trace manifest {trace_path}")
+    return status
 
 
 if __name__ == "__main__":

@@ -226,7 +226,8 @@ class KOfN(Block):
                 nxt[j] += w * (1.0 - p)
                 nxt[j + 1] += w * p
             counts = nxt
-        return sum(counts[self.k :])
+        # The tail sum can creep past 1 by a ULP under float accumulation.
+        return min(1.0, sum(counts[self.k :]))
 
 
 def identical_kofn(k: int, n: int, name: str, probability: float) -> KOfN:

@@ -54,3 +54,12 @@ class SimulationError(ReproError, RuntimeError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """A numerical routine (CTMC solve, fixed point) failed to converge."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """The observability layer was misused or fed a malformed manifest.
+
+    Raised, for example, when a second tracing session is started while one
+    is active, or when a run-manifest file fails to parse.  Never raised
+    from the zero-cost disabled path.
+    """

@@ -15,6 +15,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.errors import ConvergenceError, ModelError, ParameterError
+from repro.obs import runtime as obs
 
 State = Hashable
 
@@ -80,6 +81,8 @@ def steady_state(q: np.ndarray) -> np.ndarray:
     chain is reducible (singular system) or produces an invalid
     distribution.
     """
+    obs.note_solver("markov")
+    obs.count("markov.steady_state_solves")
     q = np.asarray(q, dtype=float)
     if q.ndim != 2 or q.shape[0] != q.shape[1]:
         raise ModelError(f"generator must be square, got shape {q.shape}")

@@ -35,6 +35,7 @@ from typing import Mapping, Sequence
 
 from repro.core.kofn import a_m_of_n
 from repro.errors import ModelError
+from repro.obs import runtime as obs
 from repro.topology.deployment import DeploymentTopology
 from repro.units import check_probability
 
@@ -116,6 +117,22 @@ def evaluate_topology(
     Returns:
         The probability that every role's every quorum unit is satisfied.
     """
+    obs.note_solver("exact-engine")
+    obs.annotate("topology", topology.name)
+    with obs.span(
+        "engine.evaluate_topology",
+        topology=topology.name,
+        roles=len(requirements),
+        instances=len(topology.instances),
+    ):
+        return _evaluate_topology(topology, requirements, availability)
+
+
+def _evaluate_topology(
+    topology: DeploymentTopology,
+    requirements: Sequence[RoleRequirement],
+    availability: Mapping[str, float],
+) -> float:
     shared = topology.shared_elements()
     shared_set = set(shared)
     parents = {name: topology.parent_of(name) for name in shared}
@@ -194,10 +211,21 @@ def evaluate_topology_cached(
     grid points, Monte-Carlo draws hitting the same corner — return without
     re-enumerating shared states.  Extends the per-call ``lru_cache`` on
     :func:`_conditional_role_term` to whole-evaluation granularity.
+
+    When an observability session is active, memo hits and misses are
+    counted as ``engine.cache.hit`` / ``engine.cache.miss``.
     """
-    return _evaluate_frozen(
+    if not obs.enabled():
+        return _evaluate_frozen(
+            topology, tuple(requirements), freeze_availability(availability)
+        )
+    before = _evaluate_frozen.cache_info().misses
+    value = _evaluate_frozen(
         topology, tuple(requirements), freeze_availability(availability)
     )
+    missed = _evaluate_frozen.cache_info().misses > before
+    obs.count("engine.cache.miss" if missed else "engine.cache.hit")
+    return value
 
 
 def engine_cache_info():

@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.core.kofn import a_m_of_n, binomial_pmf
 from repro.errors import ModelError
+from repro.obs import runtime as obs
 from repro.params.hardware import HardwareParams
 
 #: The paper's role quorum vector: 1-of-n for Config/Control/Analytics,
@@ -53,6 +54,8 @@ def hw_small(
     rack.  Condition on the number of ``{VM+host}`` blocks up, then require
     each role's quorum among surviving nodes with ``alpha = A_C``.
     """
+    obs.note_solver("closed-form")
+    obs.count("models.hw_closed.calls")
     block = params.a_vm * params.a_host
     total = 0.0
     for x in range(n + 1):
@@ -75,6 +78,8 @@ def hw_medium(
     """
     if n < 2:
         raise ModelError("the Medium topology needs at least 2 nodes")
+    obs.note_solver("closed-form")
+    obs.count("models.hw_closed.calls")
     alpha = params.a_role * params.a_vm
     a_h, a_r = params.a_host, params.a_rack
 
@@ -130,6 +135,8 @@ def hw_large(
     on the number of racks up; surviving nodes are ``{role+VM+host}`` blocks
     with ``alpha = A_C A_V A_H``.
     """
+    obs.note_solver("closed-form")
+    obs.count("models.hw_closed.calls")
     alpha = params.a_role * params.a_vm * params.a_host
     total = 0.0
     for r in range(n + 1):

@@ -1,0 +1,77 @@
+"""Observability layer: tracing, metrics, and run manifests.
+
+Three pieces, built to be *zero-cost when disabled* and to never perturb
+results (instrumented runs are bit-identical to uninstrumented ones):
+
+* :mod:`repro.obs.trace` — span-based tracer (context manager + decorator,
+  monotonic timings, nesting);
+* :mod:`repro.obs.metrics` — counters, gauges, and timing histograms;
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON-round-tripping
+  provenance record (params hash, topology, seed material, package version,
+  solver path, per-phase timings) of one run.
+
+Instrumented code goes through :mod:`repro.obs.runtime`, whose module-level
+helpers collapse to no-ops while no session is active; the CLI's global
+``--trace file.json`` flag and the ``repro-avail obs`` subcommand are the
+user-facing entry points.
+"""
+
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    PhaseTiming,
+    RunManifest,
+    package_version,
+    params_hash,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimingHistogram
+from repro.obs.runtime import (
+    ObsSession,
+    active,
+    annotate,
+    count,
+    enabled,
+    gauge,
+    note_solver,
+    observe,
+    session,
+    span,
+    start,
+    stop,
+    traced,
+)
+from repro.obs.trace import Span, Tracer
+from repro.obs.export import render_manifest, summarize_spans
+
+__all__ = [
+    # trace
+    "Span",
+    "Tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "TimingHistogram",
+    "MetricsRegistry",
+    # manifest
+    "SCHEMA_VERSION",
+    "PhaseTiming",
+    "RunManifest",
+    "params_hash",
+    "package_version",
+    # runtime
+    "ObsSession",
+    "start",
+    "stop",
+    "active",
+    "enabled",
+    "session",
+    "span",
+    "traced",
+    "count",
+    "gauge",
+    "observe",
+    "note_solver",
+    "annotate",
+    # export
+    "render_manifest",
+    "summarize_spans",
+]

@@ -1,0 +1,128 @@
+"""Human-readable rendering of run manifests.
+
+``repro-avail obs --manifest trace.json`` pipes a stored manifest through
+:func:`render_manifest` to answer the usual post-hoc questions — what ran,
+with which parameters and seeds, through which solver path, and where the
+time went — without re-running anything.  The JSON/CSV writers live in
+:mod:`repro.reporting.manifest`; this module only formats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.manifest import RunManifest
+from repro.reporting.tables import format_table
+
+__all__ = ["render_manifest", "summarize_spans"]
+
+
+def summarize_spans(
+    spans: Iterable[Mapping[str, object]],
+) -> list[tuple[str, int, float, float]]:
+    """Aggregate span records by name: ``(name, count, total_s, mean_s)``.
+
+    Sorted by total time descending — the profile view of a trace.
+    """
+    totals: dict[str, tuple[int, float]] = {}
+    for span in spans:
+        name = str(span["name"])
+        calls, seconds = totals.get(name, (0, 0.0))
+        totals[name] = (calls + 1, seconds + float(span["duration"]))
+    return sorted(
+        (
+            (name, calls, seconds, seconds / calls)
+            for name, (calls, seconds) in totals.items()
+        ),
+        key=lambda row: row[2],
+        reverse=True,
+    )
+
+
+def _kv_table(title: str, pairs: list[tuple[str, str]]) -> str:
+    return format_table(("Field", "Value"), pairs, title=title)
+
+
+def render_manifest(manifest: RunManifest, top_spans: int = 12) -> str:
+    """Render a manifest as the stacked tables the CLI prints."""
+    sections: list[str] = []
+
+    header = [
+        ("command", manifest.command or "-"),
+        ("package version", manifest.package_version),
+        ("schema version", str(manifest.schema_version)),
+        ("params hash", manifest.params_hash),
+        ("topology", manifest.topology or "-"),
+        (
+            "solver path",
+            " -> ".join(manifest.solver_path) if manifest.solver_path else "-",
+        ),
+    ]
+    for key in sorted(manifest.seed):
+        header.append((f"seed.{key}", repr(manifest.seed[key])))
+    sections.append(_kv_table("Run manifest", header))
+
+    if manifest.arguments:
+        sections.append(
+            _kv_table(
+                "Arguments",
+                [
+                    (key, repr(manifest.arguments[key]))
+                    for key in sorted(manifest.arguments)
+                ],
+            )
+        )
+
+    if manifest.phases:
+        sections.append(
+            format_table(
+                ("Phase", "Seconds"),
+                [
+                    (phase.name, f"{phase.seconds:.6f}")
+                    for phase in manifest.phases
+                ],
+                title="Phases",
+            )
+        )
+
+    counters = manifest.metrics.get("counters", {})
+    gauges = manifest.metrics.get("gauges", {})
+    histograms = manifest.metrics.get("histograms", {})
+    metric_rows = [
+        (name, "counter", f"{value:g}") for name, value in counters.items()
+    ]
+    metric_rows += [
+        (name, "gauge", "-" if value is None else f"{value:g}")
+        for name, value in gauges.items()
+    ]
+    metric_rows += [
+        (
+            name,
+            "histogram",
+            (
+                f"n={summary['count']} total={summary['total']:.6f}s "
+                f"mean={summary['mean']:.6f}s"
+            ),
+        )
+        for name, summary in histograms.items()
+    ]
+    if metric_rows:
+        sections.append(
+            format_table(("Metric", "Kind", "Value"), metric_rows,
+                         title="Metrics")
+        )
+
+    profile = summarize_spans(manifest.spans)[:top_spans]
+    if profile:
+        sections.append(
+            format_table(
+                ("Span", "Calls", "Total (s)", "Mean (s)"),
+                [
+                    (name, str(calls), f"{total:.6f}", f"{mean:.6f}")
+                    for name, calls, total, mean in profile
+                ],
+                title="Span profile (by total time)",
+            )
+        )
+
+    return "\n\n".join(sections)

@@ -1,0 +1,217 @@
+"""Run manifests — the provenance record of one instrumented run.
+
+Availability numbers are only trustworthy when the run that produced them
+is reconstructible (Nencioni et al. and Sakic & Kellerer both archive the
+full parameter/seed/solver record next to every result).  A
+:class:`RunManifest` captures exactly that for this codebase:
+
+* the invoked command and its arguments, plus a canonical SHA-256
+  ``params_hash`` over them (two manifests with equal hashes evaluated the
+  same configuration);
+* the topology and seed material (root seed, chunk size, worker count —
+  everything the deterministic derivation trees depend on);
+* the package version and the **solver path** — which evaluation routes
+  (closed-form / exact engine / Markov / Monte-Carlo / vectorized /
+  simulation) the run actually exercised;
+* per-phase timings and the full metrics/span record of the run.
+
+Manifests round-trip losslessly through JSON (``to_json``/``from_json``;
+floats survive exactly via ``repr``-based encoding), which the determinism
+suite asserts.  CSV export lives in :mod:`repro.reporting.manifest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PhaseTiming",
+    "RunManifest",
+    "params_hash",
+    "package_version",
+]
+
+#: Bumped whenever the manifest layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def package_version() -> str:
+    """The repro package version (imported lazily to avoid install cycles)."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - only on broken installs
+        return "unknown"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to canonical JSON-encodable form for hashing."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_canonical(v) for v in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def params_hash(params: Mapping[str, Any]) -> str:
+    """Canonical SHA-256 hex digest of a parameter mapping.
+
+    Key order, tuple-vs-list, and nested mappings are normalized first, so
+    logically equal configurations hash equal regardless of construction
+    order.
+    """
+    canonical = json.dumps(
+        _canonical(dict(params)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Wall time of one top-level phase of the run."""
+
+    name: str
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "PhaseTiming":
+        return cls(name=record["name"], seconds=record["seconds"])
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to attribute, audit, and reproduce one run."""
+
+    command: str
+    arguments: dict[str, Any]
+    params_hash: str
+    topology: str | None
+    seed: dict[str, Any]
+    solver_path: tuple[str, ...]
+    phases: tuple[PhaseTiming, ...]
+    metrics: dict[str, Any]
+    spans: tuple[dict[str, Any], ...]
+    package_version: str
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def build(
+        cls,
+        command: str,
+        arguments: Mapping[str, Any] | None = None,
+        topology: str | None = None,
+        seed: Mapping[str, Any] | None = None,
+        solver_path: tuple[str, ...] = (),
+        phases: tuple[PhaseTiming, ...] = (),
+        metrics: Mapping[str, Any] | None = None,
+        spans: tuple[dict[str, Any], ...] = (),
+    ) -> "RunManifest":
+        """Assemble a manifest, deriving the params hash and version."""
+        arguments = dict(arguments or {})
+        return cls(
+            command=command,
+            arguments=arguments,
+            params_hash=params_hash(arguments),
+            topology=topology,
+            seed=dict(seed or {}),
+            solver_path=tuple(solver_path),
+            phases=tuple(phases),
+            metrics=dict(metrics or {}),
+            spans=tuple(dict(s) for s in spans),
+            package_version=package_version(),
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "command": self.command,
+            "arguments": dict(self.arguments),
+            "params_hash": self.params_hash,
+            "topology": self.topology,
+            "seed": dict(self.seed),
+            "solver_path": list(self.solver_path),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "metrics": dict(self.metrics),
+            "spans": [dict(span) for span in self.spans],
+            "package_version": self.package_version,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "RunManifest":
+        try:
+            return cls(
+                command=record["command"],
+                arguments=dict(record["arguments"]),
+                params_hash=record["params_hash"],
+                topology=record["topology"],
+                seed=dict(record["seed"]),
+                solver_path=tuple(record["solver_path"]),
+                phases=tuple(
+                    PhaseTiming.from_dict(p) for p in record["phases"]
+                ),
+                metrics=dict(record["metrics"]),
+                spans=tuple(dict(s) for s in record["spans"]),
+                package_version=record["package_version"],
+                schema_version=record.get("schema_version", SCHEMA_VERSION),
+            )
+        except KeyError as missing:
+            raise ObservabilityError(
+                f"manifest record is missing field {missing}"
+            ) from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"manifest is not valid JSON: {error}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ObservabilityError("manifest JSON must be an object")
+        return cls.from_dict(record)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest as JSON (parent directories created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise ObservabilityError(
+                f"cannot read manifest {path}: {error}"
+            ) from None
+        return cls.from_json(text)
+
+    # -- convenience -----------------------------------------------------------
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Summed wall time per phase name."""
+        totals: dict[str, float] = {}
+        for phase in self.phases:
+            totals[phase.name] = totals.get(phase.name, 0.0) + phase.seconds
+        return totals

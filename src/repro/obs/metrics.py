@@ -1,0 +1,139 @@
+"""A small metrics registry: counters, gauges, timing histograms.
+
+Instruments in this codebase report three shapes of measurement:
+
+* :class:`Counter` — monotonically increasing event counts (cache hits,
+  Monte-Carlo samples, simulator events);
+* :class:`Gauge` — last-value-wins observations (worker utilization,
+  samples/second of the most recent run);
+* :class:`TimingHistogram` — streaming summary of a duration distribution
+  (per-chunk wall times, per-evaluator sweep timings) keeping count, sum,
+  min, and max without storing samples, so observation cost is O(1) and
+  the registry's footprint is independent of run length.
+
+The registry is deliberately process-local and lock-free: instrumented
+sections run either inline or in worker *processes* (which carry their own,
+disabled, registry), never in racing threads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "TimingHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class TimingHistogram:
+    """Streaming summary statistics of observed durations."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, TimingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> TimingHistogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = TimingHistogram(name)
+        return histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable view of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].summary()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

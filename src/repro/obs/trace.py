@@ -1,0 +1,154 @@
+"""Span-based tracing with monotonic timings and nesting.
+
+A :class:`Tracer` records *spans* — named, timed sections of work — as they
+complete.  Spans nest: a span opened while another is active records that
+span as its parent, so the collected list reconstructs the call tree of an
+instrumented run.  Timings come from ``time.perf_counter`` (monotonic, not
+wall-clock), expressed relative to the tracer's creation so a trace is
+self-contained.
+
+Two entry styles are provided, mirroring the usual tracing APIs:
+
+* context manager — ``with tracer.span("engine.evaluate", roles=3): ...``
+* decorator — ``@tracer.wrap("mc.chunk")`` times every call of a function.
+
+Tracers only *observe*: they never touch random state and attach no
+behavior to the traced code, which is what lets the determinism tests
+demand bit-identical results with tracing on and off.  Most code should not
+hold a tracer directly but go through :mod:`repro.obs.runtime`, whose
+module-level helpers collapse to no-ops when no session is active.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed, timed section of work.
+
+    Attributes:
+        name: dotted span name (``"engine.evaluate_topology"``).
+        start: seconds since the tracer's epoch at which the span opened.
+        duration: elapsed monotonic seconds.
+        depth: nesting depth (0 for top-level spans).
+        parent: name of the enclosing span, or ``None`` at top level.
+        attrs: small JSON-serializable attributes (grid sizes, counts...).
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: str | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "Span":
+        return cls(
+            name=record["name"],
+            start=record["start"],
+            duration=record["duration"],
+            depth=record["depth"],
+            parent=record["parent"],
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+class _ActiveSpan:
+    """Context manager for one open span (appends to the tracer on exit)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = self._tracer._clock()
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        stack = tracer._stack
+        stack.pop()
+        parent = stack[-1].name if stack else None
+        tracer.spans.append(
+            Span(
+                name=self.name,
+                start=self._start - tracer._epoch,
+                duration=end - self._start,
+                depth=len(stack),
+                parent=parent,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects nested :class:`Span` records under one monotonic clock.
+
+    Spans are appended in *completion* order (children before parents);
+    :meth:`roots` recovers the top-level phases in start order.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[_ActiveSpan] = []
+        self.spans: list[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span: ``with tracer.span("phase", size=n): ...``."""
+        return _ActiveSpan(self, name, attrs)
+
+    def wrap(self, name: str | None = None) -> Callable:
+        """Decorator timing every call of the wrapped function as a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def roots(self) -> list[Span]:
+        """Completed top-level spans, in start order."""
+        return sorted(
+            (s for s in self.spans if s.depth == 0), key=lambda s: s.start
+        )
+
+    def total(self, name: str) -> float:
+        """Summed duration of all completed spans called ``name``."""
+        return sum(s.duration for s in self.spans if s.name == name)

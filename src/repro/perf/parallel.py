@@ -27,6 +27,7 @@ deterministic.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import replace
 from typing import Callable
@@ -39,6 +40,7 @@ from repro.analysis.uncertainty import (
 )
 from repro.errors import ParameterError
 from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.obs import runtime as obs
 from repro.params.hardware import HardwareParams
 from repro.perf.vectorized import (
     hw_large_array,
@@ -172,16 +174,69 @@ def monte_carlo_parallel(
         (model, resolved, base, spread_orders, seed, c, stop - start)
         for c, start, stop in chunks
     ]
-    if executor is not None:
-        parts = list(executor.map(_mc_chunk_star, jobs))
-    elif workers == 1 or len(jobs) == 1:
-        parts = [_mc_chunk(*job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(_mc_chunk_star, jobs))
+    obs.note_solver("monte-carlo")
+    if resolved is not None:
+        obs.note_solver("vectorized")
+    obs.annotate("seed.mc_root", seed)
+    obs.annotate("seed.mc_chunk_size", chunk_size)
+    with obs.span(
+        "perf.monte_carlo",
+        samples=samples,
+        chunks=len(jobs),
+        workers=workers,
+        vectorized=resolved is not None,
+    ):
+        wall_start = time.perf_counter()
+        inline = executor is None and (workers == 1 or len(jobs) == 1)
+        if executor is not None:
+            timed = list(executor.map(_mc_chunk_star, jobs))
+        elif inline:
+            timed = [_mc_chunk_star(job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                timed = list(pool.map(_mc_chunk_star, jobs))
+        parts = [values for values, _ in timed]
+        wall = time.perf_counter() - wall_start
+    if obs.enabled():
+        _record_mc_metrics(
+            samples,
+            [seconds for _, seconds in timed],
+            wall,
+            1 if inline else min(workers, len(jobs)),
+        )
     values = np.concatenate(parts)
     return UncertaintyResult(tuple(float(v) for v in values))
 
 
-def _mc_chunk_star(job: tuple) -> np.ndarray:
-    return _mc_chunk(*job)
+def _record_mc_metrics(
+    samples: int,
+    chunk_seconds: list[float],
+    wall: float,
+    effective_workers: int,
+) -> None:
+    """Publish the throughput metrics of one Monte-Carlo dispatch."""
+    for seconds in chunk_seconds:
+        obs.observe("perf.mc.chunk_seconds", seconds)
+    obs.count("perf.mc.samples", samples)
+    obs.count("perf.mc.chunks", len(chunk_seconds))
+    if wall > 0.0:
+        obs.gauge("perf.mc.samples_per_second", samples / wall)
+        busy = sum(chunk_seconds)
+        obs.gauge(
+            "perf.mc.worker_utilization",
+            min(1.0, busy / (wall * effective_workers)),
+        )
+
+
+def _mc_chunk_star(job: tuple) -> tuple[np.ndarray, float]:
+    """Evaluate one chunk, timed.
+
+    The per-chunk wall time rides back with the values (an observation
+    only — the sample values are untouched), so the parent process can
+    report chunk-time histograms and worker utilization even for chunks
+    evaluated in pool workers, where the parent's runtime state is
+    invisible.
+    """
+    start = time.perf_counter()
+    values = _mc_chunk(*job)
+    return values, time.perf_counter() - start

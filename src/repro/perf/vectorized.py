@@ -27,6 +27,7 @@ size — the property the parallel Monte-Carlo runner relies on.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.kofn import a_m_of_n_array, binomial_pmf_array
 from repro.errors import ModelError, ParameterError
 from repro.models.hw_closed import PAPER_ROLE_QUORUMS
 from repro.models.sw import _plane_required
+from repro.obs import runtime as obs
 from repro.models.sw_options import PAPER_OPTIONS, parse_option
 from repro.params.defaults import FIG3_ROLE_AVAILABILITY_RANGE
 from repro.params.hardware import HardwareParams
@@ -351,15 +353,30 @@ def sweep_vectorized(
     grid_values = np.asarray(values, dtype=float)
     if grid_values.ndim != 1:
         raise ParameterError("sweep values must be one-dimensional")
+    obs.note_solver("vectorized")
+    recording = obs.enabled()
     series = {}
-    for label, fn in evaluators.items():
-        out = np.asarray(fn(grid_values), dtype=float)
-        if out.shape != grid_values.shape:
-            raise ParameterError(
-                f"evaluator {label!r} returned shape {out.shape}, expected "
-                f"{grid_values.shape}"
-            )
-        series[label] = tuple(float(v) for v in out)
+    with obs.span(
+        "perf.sweep_vectorized",
+        parameter=parameter,
+        points=int(grid_values.size),
+        series=len(evaluators),
+    ):
+        for label, fn in evaluators.items():
+            evaluator_start = time.perf_counter() if recording else 0.0
+            out = np.asarray(fn(grid_values), dtype=float)
+            if recording:
+                obs.observe(
+                    "perf.sweep.evaluator_seconds",
+                    time.perf_counter() - evaluator_start,
+                )
+                obs.count("perf.sweep.points", int(grid_values.size))
+            if out.shape != grid_values.shape:
+                raise ParameterError(
+                    f"evaluator {label!r} returned shape {out.shape}, "
+                    f"expected {grid_values.shape}"
+                )
+            series[label] = tuple(float(v) for v in out)
     return SweepResult(
         parameter=parameter,
         grid=tuple(float(v) for v in grid_values),
@@ -415,18 +432,25 @@ def _option_series_vectorized(
         grid(orders_range[0], orders_range[1], points), dtype=float
     )
     a, a_s = _scaled_process_availabilities(software, values)
+    obs.note_solver("vectorized")
     series = {}
-    for option in options:
-        scenario, topology = parse_option(option)
-        if plane == "cp":
-            out = plane_availability_array(
-                spec, Plane.CP, topology, hardware, a, a_s, scenario
-            )
-        else:
-            out = dp_availability_array(
-                spec, topology, hardware, a, a_s, scenario
-            )
-        series[option] = tuple(float(v) for v in out)
+    with obs.span(
+        "perf.option_series",
+        plane=plane,
+        points=int(values.size),
+        options=len(options),
+    ):
+        for option in options:
+            scenario, topology = parse_option(option)
+            if plane == "cp":
+                out = plane_availability_array(
+                    spec, Plane.CP, topology, hardware, a, a_s, scenario
+                )
+            else:
+                out = dp_availability_array(
+                    spec, topology, hardware, a, a_s, scenario
+                )
+            series[option] = tuple(float(v) for v in out)
     return SweepResult(
         parameter="orders_of_magnitude",
         grid=tuple(float(v) for v in values),

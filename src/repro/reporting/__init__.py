@@ -1,6 +1,17 @@
-"""Plain-text and CSV rendering used by the benchmark harness and examples."""
+"""Plain-text, CSV, and manifest rendering for the CLI, benchmarks, examples."""
 
 from repro.reporting.tables import format_table
 from repro.reporting.csvout import write_csv
+from repro.reporting.manifest import (
+    write_manifest_csv,
+    write_manifest_json,
+    write_spans_csv,
+)
 
-__all__ = ["format_table", "write_csv"]
+__all__ = [
+    "format_table",
+    "write_csv",
+    "write_manifest_json",
+    "write_manifest_csv",
+    "write_spans_csv",
+]

@@ -1,0 +1,81 @@
+"""JSON and CSV serialization of run manifests.
+
+The manifest *object* lives in :mod:`repro.obs.manifest`; this module owns
+the file formats, next to the other reporting writers:
+
+* :func:`write_manifest_json` — the canonical lossless form (what the
+  CLI's global ``--trace`` flag writes);
+* :func:`write_manifest_csv` — a flat ``section,name,value`` table for
+  spreadsheet-side auditing of many runs;
+* :func:`write_spans_csv` — the span records alone, one row per completed
+  span, for external flame-graph/profile tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.manifest import RunManifest
+from repro.reporting.csvout import write_csv
+
+__all__ = ["write_manifest_json", "write_manifest_csv", "write_spans_csv"]
+
+
+def write_manifest_json(path: str | Path, manifest: RunManifest) -> Path:
+    """Write the manifest as JSON (parent directories created)."""
+    return manifest.write(path)
+
+
+def _flat_rows(manifest: RunManifest) -> list[tuple[str, str, object]]:
+    rows: list[tuple[str, str, object]] = [
+        ("run", "command", manifest.command),
+        ("run", "package_version", manifest.package_version),
+        ("run", "schema_version", manifest.schema_version),
+        ("run", "params_hash", manifest.params_hash),
+        ("run", "topology", manifest.topology or ""),
+        ("run", "solver_path", " -> ".join(manifest.solver_path)),
+    ]
+    rows += [
+        ("argument", name, manifest.arguments[name])
+        for name in sorted(manifest.arguments)
+    ]
+    rows += [
+        ("seed", name, manifest.seed[name]) for name in sorted(manifest.seed)
+    ]
+    rows += [
+        ("phase", phase.name, phase.seconds) for phase in manifest.phases
+    ]
+    counters = manifest.metrics.get("counters", {})
+    rows += [
+        ("counter", name, counters[name]) for name in sorted(counters)
+    ]
+    gauges = manifest.metrics.get("gauges", {})
+    rows += [("gauge", name, gauges[name]) for name in sorted(gauges)]
+    histograms = manifest.metrics.get("histograms", {})
+    for name in sorted(histograms):
+        summary = histograms[name]
+        for stat in ("count", "total", "mean", "min", "max"):
+            rows.append(("histogram", f"{name}.{stat}", summary[stat]))
+    return rows
+
+
+def write_manifest_csv(path: str | Path, manifest: RunManifest) -> Path:
+    """Write the manifest as a flat ``section,name,value`` CSV."""
+    return write_csv(path, ("section", "name", "value"), _flat_rows(manifest))
+
+
+def write_spans_csv(path: str | Path, manifest: RunManifest) -> Path:
+    """Write one CSV row per completed span (profile/flame-graph input)."""
+    rows = [
+        (
+            span["name"],
+            span["start"],
+            span["duration"],
+            span["depth"],
+            span["parent"] or "",
+        )
+        for span in manifest.spans
+    ]
+    return write_csv(
+        path, ("name", "start_s", "duration_s", "depth", "parent"), rows
+    )

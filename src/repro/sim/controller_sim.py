@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.controller.process import RestartMode
 from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
+from repro.obs import runtime as obs
 from repro.params.hardware import HardwareParams
 from repro.params.software import RestartScenario, SoftwareParams
 from repro.sim.engine import AvailabilitySimulator
@@ -303,6 +304,8 @@ def simulate_controller(
 ) -> SimulationResult:
     """Run the controller simulation and return measured availabilities."""
     config = config or SimulationConfig()
+    obs.annotate("topology", topology.name)
+    obs.annotate("seed.sim_seed", config.seed)
     simulator = build_simulator(
         spec, topology, hardware, software, scenario, config
     )

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.errors import SimulationError
+from repro.obs import runtime as obs
 from repro.sim.entities import Component, ComponentState
 from repro.sim.events import Event, EventQueue
 from repro.sim.measures import BinarySignal
@@ -70,6 +71,8 @@ class AvailabilitySimulator:
         self._repair_sampler = repair_sampler
         self._signals: list[tuple[BinarySignal, SignalPredicate]] = []
         self._batch_records: dict[str, list[float]] = {}
+        #: Events executed across every :meth:`run` of this simulator.
+        self.events_processed = 0
 
     # -- state queries -----------------------------------------------------------
 
@@ -245,30 +248,45 @@ class AvailabilitySimulator:
             raise SimulationError(f"horizon must be > 0, got {horizon}")
         if batches < 1:
             raise SimulationError(f"batches must be >= 1, got {batches}")
-        for component in self.components.values():
-            if component.state is ComponentState.UP and self.effectively_up(
-                component.key
-            ):
-                self._schedule_failure(component)
-        boundaries = [horizon * (i + 1) / batches for i in range(batches)]
-        previous: dict[str, tuple[float, float]] = {
-            signal.name: (0.0, 0.0) for signal, _ in self._signals
-        }
-        boundary_index = 0
-        while self._queue and boundary_index < batches:
-            event = self._queue.pop()
-            while (
-                boundary_index < batches
-                and event.time >= boundaries[boundary_index]
-            ):
+        obs.note_solver("simulation")
+        with obs.span(
+            "sim.run",
+            horizon=horizon,
+            batches=batches,
+            components=len(self.components),
+        ):
+            events_before = self.events_processed
+            for component in self.components.values():
+                if component.state is ComponentState.UP and self.effectively_up(
+                    component.key
+                ):
+                    self._schedule_failure(component)
+            boundaries = [horizon * (i + 1) / batches for i in range(batches)]
+            previous: dict[str, tuple[float, float]] = {
+                signal.name: (0.0, 0.0) for signal, _ in self._signals
+            }
+            boundary_index = 0
+            while self._queue and boundary_index < batches:
+                event = self._queue.pop()
+                while (
+                    boundary_index < batches
+                    and event.time >= boundaries[boundary_index]
+                ):
+                    self._record_batch(boundaries[boundary_index], previous)
+                    boundary_index += 1
+                if event.time >= horizon:
+                    break
+                event.action()
+                self.events_processed += 1
+            while boundary_index < batches:
                 self._record_batch(boundaries[boundary_index], previous)
                 boundary_index += 1
-            if event.time >= horizon:
-                break
-            event.action()
-        while boundary_index < batches:
-            self._record_batch(boundaries[boundary_index], previous)
-            boundary_index += 1
+        if obs.enabled():
+            obs.count("sim.events", self.events_processed - events_before)
+            for signal, _ in self._signals:
+                obs.count(
+                    f"sim.outage_episodes.{signal.name}", signal.outage_count
+                )
 
     def _record_batch(
         self, boundary: float, previous: dict[str, tuple[float, float]]

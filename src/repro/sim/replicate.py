@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 
 from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
+from repro.obs import runtime as obs
 from repro.params.hardware import HardwareParams
 from repro.params.software import RestartScenario, SoftwareParams
 from repro.sim.controller_sim import (
@@ -132,11 +133,26 @@ def run_replications(
         (spec, topology, hardware, software, scenario, config, seed)
         for seed in seeds
     ]
-    if executor is not None:
-        results = tuple(executor.map(_run_replication, jobs))
-    elif workers == 1 or replications == 1:
-        results = tuple(_run_replication(job) for job in jobs)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = tuple(pool.map(_run_replication, jobs))
+    obs.note_solver("simulation")
+    obs.annotate("topology", topology.name)
+    obs.annotate("seed.sim_root", config.seed)
+    obs.annotate("seed.sim_replications", replications)
+    with obs.span(
+        "sim.replicate",
+        replications=replications,
+        workers=workers,
+        horizon_hours=config.horizon_hours,
+    ):
+        if executor is not None:
+            results = tuple(executor.map(_run_replication, jobs))
+        elif workers == 1 or replications == 1:
+            collected = []
+            for index, job in enumerate(jobs):
+                with obs.span("sim.replication", index=index):
+                    collected.append(_run_replication(job))
+            results = tuple(collected)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = tuple(pool.map(_run_replication, jobs))
+    obs.count("sim.replications", replications)
     return ReplicationSet(results=results, seeds=seeds)

@@ -1,0 +1,121 @@
+"""Regenerate the golden-file regression fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.regen_golden
+
+The goldens pin the paper's headline numbers — the Small/Medium/Large
+HW-centric availabilities with downtime minutes per year (Fig. 3 anchors,
+Eqs. 3, 6, 8) and the four SW-centric options' CP/SDP/LDP/DP values with
+downtimes (Eqs. 9-15) — exactly as the current model code computes them.
+``tests/test_golden.py`` diffs live results against these files at 1e-12
+relative tolerance, so *any* numerical drift in a refactor of the model
+stack fails loudly.
+
+Regenerate (and commit the diff) only when a change is *supposed* to move
+the numbers, and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.controller.opencontrail import opencontrail_3x
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.models.sw_options import PAPER_OPTIONS, evaluate_option
+from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+from repro.units import downtime_minutes_per_year
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+HW_MODELS = {"small": hw_small, "medium": hw_medium, "large": hw_large}
+
+
+def hw_reference_record() -> dict:
+    """Section V headline numbers at the paper's hardware defaults."""
+    topologies = {}
+    for name, model in HW_MODELS.items():
+        availability = model(PAPER_HARDWARE)
+        topologies[name] = {
+            "availability": availability,
+            "downtime_minutes_per_year": downtime_minutes_per_year(
+                availability
+            ),
+        }
+    return {
+        "description": (
+            "HW-centric controller availabilities (Eqs. 3, 6, 8) at the "
+            "paper's hardware defaults"
+        ),
+        "hardware": {
+            "a_role": PAPER_HARDWARE.a_role,
+            "a_vm": PAPER_HARDWARE.a_vm,
+            "a_host": PAPER_HARDWARE.a_host,
+            "a_rack": PAPER_HARDWARE.a_rack,
+        },
+        "topologies": topologies,
+    }
+
+
+def sw_options_record() -> dict:
+    """Section VI per-option plane values (Eqs. 9-15) at the defaults."""
+    spec = opencontrail_3x()
+    options = {}
+    for option in PAPER_OPTIONS:
+        result = evaluate_option(spec, option, PAPER_HARDWARE, PAPER_SOFTWARE)
+        options[option] = {
+            "cp": result.cp,
+            "shared_dp": result.shared_dp,
+            "local_dp": result.local_dp,
+            "dp": result.dp,
+            "cp_downtime_minutes": result.cp_downtime_minutes,
+            "dp_downtime_minutes": result.dp_downtime_minutes,
+        }
+    return {
+        "description": (
+            "SW-centric option results (Eqs. 9-15) for the OpenContrail "
+            "3.x profile at the paper's defaults"
+        ),
+        "options": options,
+    }
+
+
+GOLDEN_RECORDS = {
+    "hw_reference.json": hw_reference_record,
+    "sw_options.json": sw_options_record,
+}
+
+
+def regenerate(directory: Path = GOLDEN_DIR) -> list[Path]:
+    """Write every golden file; returns the paths written."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, build in GOLDEN_RECORDS.items():
+        target = directory / filename
+        target.write_text(
+            json.dumps(build(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(target)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=GOLDEN_DIR,
+        help="directory to write the goldens into (default: tests/golden)",
+    )
+    args = parser.parse_args(argv)
+    for path in regenerate(args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

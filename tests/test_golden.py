@@ -1,0 +1,152 @@
+"""Golden-file regression wall for the paper's headline numbers.
+
+The fixtures under ``tests/golden/`` pin the Small/Medium/Large HW-centric
+availabilities (Eqs. 3, 6, 8) and the four SW-centric options' plane values
+(Eqs. 9-15) as computed at the paper's default parameters.  Every test here
+recomputes the live value and diffs it against the stored golden at 1e-12
+relative tolerance — tight enough that any numerical change in the model
+stack (a reordered sum, a "harmless" refactor, a changed constant) fails,
+while remaining robust to benign platform variation well below the paper's
+reported precision.
+
+To intentionally move the numbers: rerun ``PYTHONPATH=src python -m
+tests.regen_golden`` and commit the diff alongside the change that
+justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.models.hw_closed import hw_large, hw_medium, hw_small
+from repro.models.sw_options import PAPER_OPTIONS, evaluate_option
+from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+from repro.units import downtime_minutes_per_year
+from tests.regen_golden import (
+    GOLDEN_DIR,
+    GOLDEN_RECORDS,
+    hw_reference_record,
+    sw_options_record,
+)
+
+REL_TOL = 1e-12
+#: Absolute floor for values that can legitimately be ~0 (downtime minutes).
+ABS_TOL = 1e-15
+
+HW_MODELS = {"small": hw_small, "medium": hw_medium, "large": hw_large}
+
+
+def _load(filename: str) -> dict:
+    path = GOLDEN_DIR / filename
+    assert path.exists(), (
+        f"golden file {path} is missing; regenerate with "
+        f"`PYTHONPATH=src python -m tests.regen_golden`"
+    )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _diff(label: str, live: float, golden: float) -> None:
+    assert math.isclose(live, golden, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+        f"{label}: live value {live!r} drifted from golden {golden!r} "
+        f"(delta {live - golden:.3e}); if intentional, regenerate via "
+        f"`python -m tests.regen_golden` and commit the diff"
+    )
+
+
+@pytest.mark.parametrize("topology", sorted(HW_MODELS))
+def test_hw_availability_matches_golden(topology):
+    golden = _load("hw_reference.json")["topologies"][topology]
+    live = HW_MODELS[topology](PAPER_HARDWARE)
+    _diff(f"hw.{topology}.availability", live, golden["availability"])
+    _diff(
+        f"hw.{topology}.downtime",
+        downtime_minutes_per_year(live),
+        golden["downtime_minutes_per_year"],
+    )
+
+
+def test_hw_golden_hardware_matches_defaults():
+    """The golden was generated at the same defaults the tests use."""
+    golden = _load("hw_reference.json")["hardware"]
+    assert golden == {
+        "a_role": PAPER_HARDWARE.a_role,
+        "a_vm": PAPER_HARDWARE.a_vm,
+        "a_host": PAPER_HARDWARE.a_host,
+        "a_rack": PAPER_HARDWARE.a_rack,
+    }
+
+
+@pytest.mark.parametrize("option", PAPER_OPTIONS)
+def test_sw_option_matches_golden(spec, option):
+    golden = _load("sw_options.json")["options"][option]
+    result = evaluate_option(spec, option, PAPER_HARDWARE, PAPER_SOFTWARE)
+    _diff(f"{option}.cp", result.cp, golden["cp"])
+    _diff(f"{option}.shared_dp", result.shared_dp, golden["shared_dp"])
+    _diff(f"{option}.local_dp", result.local_dp, golden["local_dp"])
+    _diff(f"{option}.dp", result.dp, golden["dp"])
+    _diff(
+        f"{option}.cp_downtime",
+        result.cp_downtime_minutes,
+        golden["cp_downtime_minutes"],
+    )
+    _diff(
+        f"{option}.dp_downtime",
+        result.dp_downtime_minutes,
+        golden["dp_downtime_minutes"],
+    )
+
+
+def test_goldens_are_current():
+    """The committed files byte-match what the regen script would write.
+
+    Catches a regenerated-but-not-committed (or edited-by-hand) golden, and
+    doubles as an exact (not just 1e-12) end-to-end comparison.
+    """
+    for filename, build in GOLDEN_RECORDS.items():
+        stored = json.loads(
+            (GOLDEN_DIR / filename).read_text(encoding="utf-8")
+        )
+        assert stored == build(), (
+            f"{filename} is stale; rerun `python -m tests.regen_golden`"
+        )
+
+
+def test_regen_script_is_runnable(tmp_path):
+    """`python -m tests.regen_golden` stays invocable as documented.
+
+    Writes into a scratch directory (``--out``) so a run under mutated
+    sources can never clobber the committed goldens.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [sys.executable, "-m", "tests.regen_golden", "--out", str(tmp_path)],
+        cwd=repo_root,
+        env={
+            "PYTHONPATH": str(repo_root / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "hw_reference.json" in proc.stdout
+    regenerated = json.loads(
+        (tmp_path / "hw_reference.json").read_text(encoding="utf-8")
+    )
+    assert regenerated == json.loads(
+        (GOLDEN_DIR / "hw_reference.json").read_text(encoding="utf-8")
+    )
+
+
+def test_golden_fixtures_exercised():
+    """Both golden records are covered by a live diff above."""
+    assert set(GOLDEN_RECORDS) == {"hw_reference.json", "sw_options.json"}
+    assert set(hw_reference_record()["topologies"]) == set(HW_MODELS)
+    assert set(sw_options_record()["options"]) == set(PAPER_OPTIONS)

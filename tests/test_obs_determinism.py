@@ -1,0 +1,171 @@
+"""Instrumentation must never perturb results.
+
+The observability runtime is observational-only: it reads clocks and
+appends records, but never touches random state or feeds back into model
+code.  These tests enforce the consequence — every evaluation path produces
+*bit-identical* results with tracing on and off — and exercise the
+manifests the instrumented runs emit, including the CLI's global
+``--trace`` flag (``repro-avail perf --trace out.json``).
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.controller.spec import Plane
+from repro.models.engine import evaluate_topology
+from repro.models.hw_closed import hw_large, hw_small
+from repro.models.sw import plane_requirements
+from repro.obs import runtime as obs
+from repro.obs.manifest import RunManifest
+from repro.params.software import RestartScenario
+from repro.perf import monte_carlo_parallel
+from repro.sim.controller_sim import SimulationConfig
+from repro.sim.replicate import run_replications
+
+import pytest
+
+S2 = RestartScenario.REQUIRED
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    obs.stop()
+    yield
+    obs.stop()
+
+
+def _availability(hardware) -> dict[str, float]:
+    return {
+        "rack": hardware.a_rack,
+        "host": hardware.a_host,
+        "vm": hardware.a_vm,
+    }
+
+
+class TestBitIdenticalResults:
+    def test_evaluate_topology(self, spec, small, hardware, software):
+        requirements = plane_requirements(spec, Plane.CP, software, S2)
+        availability = _availability(hardware)
+        baseline = evaluate_topology(small, requirements, availability)
+        with obs.session("determinism") as session:
+            traced = evaluate_topology(small, requirements, availability)
+        assert traced == baseline  # exact, not approx
+        assert "exact-engine" in session.solver_path
+        assert session.tracer.total("engine.evaluate_topology") > 0.0
+
+    def test_monte_carlo_parallel_workers_4(self, hardware):
+        kwargs = dict(samples=512, seed=13, chunk_size=64, workers=4)
+        baseline = monte_carlo_parallel(hw_large, hardware, **kwargs)
+        with obs.session("determinism") as session:
+            traced = monte_carlo_parallel(hw_large, hardware, **kwargs)
+        assert traced.samples == baseline.samples  # tuple equality: bitwise
+        assert "monte-carlo" in session.solver_path
+        assert session.annotations["seed.mc_root"] == 13
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["perf.mc.samples"] == 512.0
+
+    def test_monte_carlo_scalar_fallback(self, hardware):
+        kwargs = dict(samples=128, seed=5, vectorize=False)
+        baseline = monte_carlo_parallel(hw_small, hardware, **kwargs)
+        with obs.session("determinism"):
+            traced = monte_carlo_parallel(hw_small, hardware, **kwargs)
+        assert traced.samples == baseline.samples
+
+    @pytest.mark.slow
+    def test_sim_replications(
+        self, spec, small, stressed_hardware, stressed_software
+    ):
+        kwargs = dict(
+            config=SimulationConfig(
+                seed=17,
+                horizon_hours=2000.0,
+                batches=2,
+                rack_mtbf_hours=2000.0,
+                host_mtbf_hours=1000.0,
+                vm_mtbf_hours=500.0,
+            ),
+            replications=2,
+        )
+        baseline = run_replications(
+            spec, small, stressed_hardware, stressed_software, S2, **kwargs
+        )
+        with obs.session("determinism") as session:
+            traced = run_replications(
+                spec, small, stressed_hardware, stressed_software, S2,
+                **kwargs,
+            )
+        assert traced.seeds == baseline.seeds
+        for a, b in zip(baseline.results, traced.results):
+            assert (a.cp, a.shared_dp, a.local_dp, a.dp) == (
+                b.cp, b.shared_dp, b.local_dp, b.dp,
+            )
+        assert "simulation" in session.solver_path
+        assert session.annotations["seed.sim_root"] == 17
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["sim.replications"] == 2.0
+
+
+class TestSessionManifests:
+    def test_instrumented_run_round_trips(self, hardware, tmp_path):
+        with obs.session("round-trip") as session:
+            monte_carlo_parallel(hw_large, hardware, samples=256, seed=3)
+        manifest = session.build_manifest(
+            arguments={"samples": 256, "seed": 3}
+        )
+        path = manifest.write(tmp_path / "trace.json")
+        restored = RunManifest.load(path)
+        assert restored == manifest
+        assert restored.seed["mc_root"] == 3
+        assert "monte-carlo" in restored.solver_path
+        assert restored.metrics["counters"]["perf.mc.samples"] == 256.0
+
+
+class TestCliTrace:
+    def test_perf_trace_writes_valid_manifest(self, capsys, tmp_path):
+        """Acceptance: ``repro-avail perf --trace out.json`` -> RunManifest."""
+        trace = tmp_path / "out.json"
+        assert main([
+            "perf", "--trace", str(trace),
+            "--samples", "256", "--points", "11", "--repeats", "1",
+            "--workers", "1",
+        ]) == 0
+        assert "wrote trace manifest" in capsys.readouterr().out
+        manifest = RunManifest.load(trace)
+        assert manifest.command == "perf"
+        assert manifest.arguments["samples"] == 256
+        assert manifest.params_hash
+        assert manifest.seed["mc_root"] == 0
+        assert "monte-carlo" in manifest.solver_path
+        assert "vectorized" in manifest.solver_path
+        assert [p.name for p in manifest.phases] == ["cli.perf"]
+        assert manifest.phases[0].seconds > 0.0
+        assert any(s["name"] == "perf.monte_carlo" for s in manifest.spans)
+        assert not obs.enabled()  # the CLI stopped its session
+
+    def test_global_trace_flag_position(self, capsys, tmp_path):
+        trace = tmp_path / "hw.json"
+        assert main(["--trace", str(trace), "hw"]) == 0
+        manifest = RunManifest.load(trace)
+        assert manifest.command == "hw"
+        assert "closed-form" in manifest.solver_path
+        assert manifest.metrics["counters"]["models.hw_closed.calls"] >= 3.0
+
+    def test_trace_does_not_change_output(self, capsys, tmp_path):
+        assert main(["hw"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["hw", "--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain)
+        extra = traced[len(plain):]
+        assert extra.startswith("wrote trace manifest")
+
+    def test_obs_command_renders_stored_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "demo.json"
+        assert main([
+            "obs", "--trace", str(trace), "--samples", "128",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "--manifest", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest" in out
+        assert "Span profile" in out

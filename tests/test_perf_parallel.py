@@ -104,6 +104,7 @@ class TestDeriveSeeds:
             derive_seeds(1, -1)
 
 
+@pytest.mark.slow
 class TestReplications:
     def test_bit_identical_across_worker_counts(
         self, spec, small, stressed_hardware, stressed_software

@@ -1,0 +1,119 @@
+"""Property-based edge-case tests for the perf layer and Eq. (1) paths.
+
+Covers the degenerate inputs a sweep or quorum computation can reach —
+empty and singleton grids, ``n = 1`` and ``k = n`` quorums, availabilities
+pinned at exactly 0 or 1 — and demands the three Eq. (1) implementations
+(stable scalar float, exact :class:`~fractions.Fraction`, vectorized numpy)
+agree there, where naive formulations typically diverge first.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kofn import a_m_of_n, a_m_of_n_array, a_m_of_n_exact
+from repro.errors import ParameterError
+from repro.perf.vectorized import sweep_vectorized
+
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+sizes = st.integers(min_value=1, max_value=8)
+
+
+class TestSweepGridEdges:
+    def test_empty_grid(self):
+        result = sweep_vectorized("A_C", [], {"id": lambda a: a})
+        assert result.grid == ()
+        assert result.series == {"id": ()}
+
+    @given(value=alphas)
+    def test_singleton_grid(self, value):
+        result = sweep_vectorized(
+            "A_C", [value], {"quorum": lambda a: a_m_of_n_array(2, 3, a)}
+        )
+        assert result.grid == (value,)
+        # scalar and numpy pow can differ in the last ULP
+        assert result.series["quorum"][0] == pytest.approx(
+            a_m_of_n(2, 3, value), rel=1e-12, abs=1e-15
+        )
+
+    def test_no_evaluators_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_vectorized("A_C", [0.5], {})
+
+    def test_multidimensional_grid_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_vectorized(
+                "A_C", np.ones((2, 2)), {"id": lambda a: a}
+            )
+
+    def test_wrong_evaluator_shape_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_vectorized(
+                "A_C", [0.1, 0.2], {"bad": lambda a: a[:1]}
+            )
+
+
+class TestQuorumEdges:
+    @given(n=sizes, alpha=alphas)
+    def test_n_equals_1(self, n, alpha):
+        """A 1-of-1 block is the element itself."""
+        assert a_m_of_n(1, 1, alpha) == pytest.approx(alpha, abs=1e-15)
+
+    @given(n=sizes, alpha=alphas)
+    def test_k_equals_n_is_series(self, n, alpha):
+        """An n-of-n block is a pure series system: alpha**n."""
+        value = a_m_of_n(n, n, alpha)
+        assert value == pytest.approx(alpha**n, rel=1e-12, abs=1e-15)
+        exact = a_m_of_n_exact(n, n, Fraction(alpha))
+        assert exact == Fraction(alpha) ** n
+
+    @given(n=sizes, alpha=alphas)
+    def test_m_zero_and_m_above_n(self, n, alpha):
+        assert a_m_of_n(0, n, alpha) == 1.0
+        assert a_m_of_n(n + 1, n, alpha) == 0.0
+        assert a_m_of_n_exact(0, n, Fraction(alpha)) == 1
+        assert a_m_of_n_exact(n + 1, n, Fraction(alpha)) == 0
+
+
+class TestExtremeAvailabilityAgreement:
+    """A in {0, 1}: all three Eq. (1) implementations agree exactly."""
+
+    @given(m=st.integers(min_value=1, max_value=8), n=sizes)
+    def test_alpha_one(self, m, n):
+        expected = 1.0 if m <= n else 0.0
+        assert a_m_of_n(m, n, 1.0) == expected
+        assert a_m_of_n_exact(m, n, Fraction(1)) == expected
+        assert float(a_m_of_n_array(m, n, 1.0)) == expected
+
+    @given(m=st.integers(min_value=1, max_value=8), n=sizes)
+    def test_alpha_zero(self, m, n):
+        assert a_m_of_n(m, n, 0.0) == 0.0
+        assert a_m_of_n_exact(m, n, Fraction(0)) == 0
+        assert float(a_m_of_n_array(m, n, 0.0)) == 0.0
+
+    @settings(max_examples=50)
+    @given(
+        m=st.integers(min_value=0, max_value=9),
+        n=sizes,
+        alpha=st.sampled_from([0.0, 1.0]) | alphas,
+    )
+    def test_three_paths_agree(self, m, n, alpha):
+        """Scalar, exact-Fraction, and vectorized paths agree to a few ULPs."""
+        scalar = a_m_of_n(m, n, alpha)
+        exact = float(a_m_of_n_exact(m, n, Fraction(alpha)))
+        vector = float(a_m_of_n_array(m, n, np.asarray([alpha]))[0])
+        assert scalar == pytest.approx(exact, rel=1e-12, abs=1e-15)
+        assert vector == pytest.approx(exact, rel=1e-12, abs=1e-15)
+
+    def test_array_path_matches_scalar_on_extreme_grid(self):
+        grid = np.asarray([0.0, 1e-12, 0.5, 1.0 - 1e-12, 1.0])
+        vector = a_m_of_n_array(2, 3, grid)
+        for value, expected in zip(
+            vector, (a_m_of_n(2, 3, float(a)) for a in grid)
+        ):
+            assert float(value) == pytest.approx(expected, abs=1e-15)

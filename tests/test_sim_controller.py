@@ -68,6 +68,7 @@ class TestConstruction:
         assert all(not d.startswith("sup:") for d in proc.dependencies)
 
 
+@pytest.mark.slow
 class TestScenario2Agreement:
     """Scenario 2 has no window approximation; agreement should be tight."""
 
@@ -101,6 +102,7 @@ class TestScenario2Agreement:
         assert 0.6 < report.unavailability_ratio("cp") < 1.3
 
 
+@pytest.mark.slow
 class TestScenario1Agreement:
     def test_ldp_matches_effective_availability(
         self, spec, small, stressed_hardware, stressed_software

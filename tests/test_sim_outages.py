@@ -46,6 +46,7 @@ class TestSignalEpisodes:
             signal.mean_outage_duration()
 
 
+@pytest.mark.slow
 class TestSimulatedOutageProfile:
     def test_ldp_frequency_matches_prediction(
         self, spec, small, stressed_hardware, stressed_software
