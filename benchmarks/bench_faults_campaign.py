@@ -1,0 +1,191 @@
+"""Fault-campaign throughput and worker scaling (:mod:`repro.faults`).
+
+Times a hazard-laden campaign (common cause + rack power + maintenance +
+limited crews over the small deployment) sequentially and across process
+workers, checks that the two runs are bit-identical, and appends a
+``faults_campaign`` section to ``BENCH_perf.json`` (other sections are
+preserved).  Runnable as a pytest benchmark *or* directly as a script —
+``python benchmarks/bench_faults_campaign.py --horizon 300
+--replications 5 --workers 2 --repeats 1`` is the CI smoke invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # script mode: make src/ importable without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults import (
+    CampaignSpec,
+    CommonCauseSpec,
+    MaintenanceSpec,
+    RackPowerSpec,
+    run_campaign,
+)
+from repro.reporting.tables import format_table
+
+BENCH_SEED = 20190324  # shared with bench_perf_engine.py
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def _best_of(fn, repeats: int):
+    best_time, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best_time = min(best_time, time.perf_counter() - start)
+    return best_time, result
+
+
+def _spec(horizon: float, replications: int) -> CampaignSpec:
+    return CampaignSpec(
+        option="1S",
+        horizon_hours=horizon,
+        replications=replications,
+        seed=BENCH_SEED,
+        hazards=(
+            CommonCauseSpec("role:Control", 0.4),
+            RackPowerSpec(mtbf_hours=3000.0),
+            MaintenanceSpec(
+                "host:H2", start_hours=100.0,
+                period_hours=500.0, duration_hours=25.0,
+            ),
+        ),
+        repair_crews=2,
+    )
+
+
+def _fingerprint(result):
+    return tuple(
+        (r.cp, r.shared_dp, r.local_dp, r.dp)
+        for r in result.replications.results
+    )
+
+
+def run_faults_bench(
+    horizon: float = 4000.0,
+    replications: int = 8,
+    workers: int = 4,
+    repeats: int = 3,
+) -> dict:
+    """Time the campaign runner and return the BENCH_perf.json section."""
+    spec = _spec(horizon, replications)
+
+    sequential_s, sequential = _best_of(
+        lambda: run_campaign(spec, workers=1), repeats
+    )
+    parallel_s, parallel = _best_of(
+        lambda: run_campaign(spec, workers=workers), repeats
+    )
+    if _fingerprint(parallel) != _fingerprint(sequential):
+        raise AssertionError(
+            "campaign results differ across worker counts"
+        )
+
+    events = sum(stat["events"] for stat in sequential.stats)
+    return {
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count() or 1,
+        "option": spec.option,
+        "horizon_hours": horizon,
+        "replications": replications,
+        "workers": workers,
+        "repeats": repeats,
+        "events": events,
+        "injections": sequential.total_injections(),
+        "repairs_queued": sequential.total_queued,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "speedup": sequential_s / parallel_s,
+        "events_per_second_sequential": events / sequential_s,
+        "bit_identical_across_workers": True,
+    }
+
+
+def _report(record: dict, out_path: Path) -> None:
+    rows = [
+        (
+            f"campaign {record['replications']}x"
+            f"{record['horizon_hours']:.0f}h",
+            f"{record['sequential_s'] * 1e3:.1f}",
+            f"{record['parallel_s'] * 1e3:.1f}",
+            f"{record['speedup']:.1f}x",
+        ),
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("Workload", "Sequential (ms)", "Parallel (ms)", "Speedup"),
+            rows,
+            title=(
+                f"Fault campaigns (workers={record['workers']}, "
+                f"{record['events']} events, "
+                f"{record['injections']} injections)"
+            ),
+        )
+    )
+    merged = {}
+    if out_path.exists():
+        merged = json.loads(out_path.read_text(encoding="utf-8"))
+    merged["faults_campaign"] = record
+    out_path.write_text(
+        json.dumps(merged, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path}")
+
+
+def _speedup_ok(record: dict) -> bool:
+    """Speedup target, only enforceable where the cores actually exist.
+
+    8 replications over 4 workers amortize the pool startup comfortably —
+    but a single-core box (some CI runners) cannot speed anything up, so
+    the target scales away below the requested worker count.
+    """
+    if record["cpus"] < record["workers"]:
+        return True
+    return record["speedup"] >= 1.5
+
+
+def test_faults_campaign():
+    record = run_faults_bench()
+    _report(record, DEFAULT_OUT)
+    assert record["bit_identical_across_workers"]
+    assert record["injections"] > 0
+    assert record["repairs_queued"] > 0
+    assert _speedup_ok(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--horizon", type=float, default=4000.0)
+    parser.add_argument("--replications", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the parallel runner meets the speedup target",
+    )
+    args = parser.parse_args(argv)
+    record = run_faults_bench(
+        horizon=args.horizon,
+        replications=args.replications,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    _report(record, args.out)
+    if args.check:
+        assert _speedup_ok(record)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

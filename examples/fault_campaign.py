@@ -1,0 +1,71 @@
+"""How wrong is the independence assumption?  A fault-injection campaign.
+
+Every analytic model in the paper multiplies independent element
+availabilities.  Real deployments violate that in well-known ways —
+common-cause software faults take out whole quorums, racks lose power as a
+unit, maintenance is scheduled, repair crews are finite.  This example
+loads the campaign spec next to this script (``campaign_small_ccf.json``:
+beta-factor common cause over the Control and Database roles, a periodic
+maintenance window on one host, two repair crews), simulates it, and puts
+the measured availabilities next to what the independent analytic model
+predicts for the *same* parameters.
+
+Run with::
+
+    python examples/fault_campaign.py
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.faults import CampaignSpec, evaluate_campaign
+from repro.reporting.faults import crossval_rows
+from repro.reporting.tables import format_table
+
+SPEC_PATH = Path(__file__).resolve().parent / "campaign_small_ccf.json"
+
+
+def main() -> None:
+    spec = CampaignSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    print(
+        f"Campaign (option {spec.option}): "
+        f"{spec.replications} replications x {spec.horizon_hours:.0f}h, "
+        f"{len(spec.hazards)} hazards, spec hash {spec.params_hash()[:12]}\n"
+    )
+
+    # The degenerate control: same seed and horizon, hazards stripped.
+    # beta=0 / unlimited crews / no maintenance *is* the independent model,
+    # so this one must agree with the analytic prediction within its CI.
+    control = evaluate_campaign(replace(spec, hazards=(), repair_crews=None))
+    hazarded = evaluate_campaign(spec)
+
+    for title, crossval in (
+        ("degenerate control (no hazards)", control),
+        ("with correlated hazards", hazarded),
+    ):
+        headers, rows = crossval_rows(crossval)
+        print(format_table(headers, rows, title=title))
+        result = crossval.result
+        print(
+            f"  injections: {result.total_injections()}, "
+            f"repairs queued: {result.total_queued}\n"
+        )
+
+    drop = control.simulated("cp") - hazarded.simulated("cp")
+    ratio = hazarded.unavailability_ratio("cp")
+    print(
+        f"Correlation costs {drop:.4f} of control-plane availability here —\n"
+        f"the measured CP unavailability is {ratio:.1f}x what the\n"
+        "independence assumption predicts.  The analytic column never\n"
+        "moves: the gap is the model error a beta-factor hazard injects,\n"
+        "which no amount of per-element redundancy tuning can see."
+    )
+
+    # Specs are plain JSON values: tweak, hash, and re-run reproducibly.
+    record = json.loads(SPEC_PATH.read_text(encoding="utf-8"))
+    assert CampaignSpec.from_dict(record) == spec
+
+
+if __name__ == "__main__":
+    main()

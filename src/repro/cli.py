@@ -8,6 +8,10 @@ Subcommands mirror the paper's artifacts:
 * ``fig3`` / ``fig4`` / ``fig5`` — dump the figure series (optionally CSV).
 * ``modes`` — dominant failure modes of a plane/option.
 * ``simulate`` — run the Monte-Carlo validation at stressed parameters.
+* ``faults`` — run a stochastic fault-injection campaign (correlated
+  failures, maintenance windows, limited repair crews) and cross-validate
+  it against the analytic prediction; ``--sweep-beta`` sweeps the
+  common-cause fraction.
 * ``perf`` — time the vectorized/parallel evaluation engine against the
   sequential paths (``--workers``, ``--vectorize``).
 * ``obs`` — render a stored run manifest, or run a small instrumented
@@ -334,6 +338,99 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+    from pathlib import Path
+
+    from repro.faults import CampaignSpec, evaluate_campaign
+    from repro.reporting.csvout import write_csv
+    from repro.reporting.faults import (
+        crossval_payload,
+        crossval_rows,
+        sweep_payload,
+        sweep_rows,
+        write_campaign_json,
+    )
+
+    if args.campaign:
+        spec = CampaignSpec.from_json(
+            Path(args.campaign).read_text(encoding="utf-8")
+        )
+        # Explicit flags refine a file-loaded spec.
+        overrides = {}
+        if args.replications is not None:
+            overrides["replications"] = args.replications
+        if args.horizon is not None:
+            overrides["horizon_hours"] = args.horizon
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.crews is not None:
+            overrides["repair_crews"] = args.crews
+        if overrides:
+            spec = dc_replace(spec, **overrides)
+    else:
+        spec = CampaignSpec(
+            option=args.option,
+            horizon_hours=args.horizon or 20_000.0,
+            replications=args.replications or 4,
+            seed=args.seed if args.seed is not None else 1,
+            batches=args.batches,
+            repair_crews=args.crews,
+        )
+    if args.beta is not None:
+        spec = spec.with_beta(args.beta, args.beta_group)
+
+    if args.sweep_beta:
+        betas = [float(b) for b in args.sweep_beta.split(",") if b.strip()]
+        crossvals = [
+            evaluate_campaign(
+                spec.with_beta(beta, args.beta_group), workers=args.workers
+            )
+            for beta in betas
+        ]
+        headers, rows = sweep_rows(crossvals, betas)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Common-cause beta sweep, option {spec.option}, "
+                    f"{spec.replications}x{spec.horizon_hours:.0f}h"
+                ),
+            )
+        )
+        payload = sweep_payload(crossvals, betas)
+    else:
+        crossval = evaluate_campaign(spec, workers=args.workers)
+        headers, rows = crossval_rows(crossval)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Fault campaign vs analytic, option {spec.option}, "
+                    f"{len(spec.hazards)} hazard(s), crews="
+                    f"{spec.repair_crews or 'unlimited'}"
+                ),
+            )
+        )
+        result = crossval.result
+        print(
+            f"\ninjections: {result.total_injections()}  "
+            f"repairs queued: {result.total_queued}  "
+            f"max queue depth: {result.max_queue_depth}"
+        )
+        payload = crossval_payload(crossval)
+
+    if args.json:
+        write_campaign_json(args.json, payload)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import json
     import time
@@ -539,6 +636,49 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--batches", type=int, default=10)
     sub.add_argument("--seed", type=int, default=1)
     sub.set_defaults(handler=_cmd_simulate)
+
+    sub = subparsers.add_parser(
+        "faults",
+        help="fault-injection campaign with analytic cross-validation",
+    )
+    sub.add_argument(
+        "--campaign",
+        default=None,
+        metavar="FILE.json",
+        help="load a CampaignSpec from this JSON file",
+    )
+    sub.add_argument("--option", default="1S", help="1S/2S/1L/2L")
+    sub.add_argument("--horizon", type=float, default=None)
+    sub.add_argument("--replications", type=int, default=None)
+    sub.add_argument("--batches", type=int, default=4)
+    sub.add_argument("--seed", type=int, default=None)
+    sub.add_argument("--workers", type=int, default=1)
+    sub.add_argument(
+        "--crews",
+        type=int,
+        default=None,
+        help="limit concurrent repairs to this many crews",
+    )
+    sub.add_argument(
+        "--beta",
+        type=float,
+        default=None,
+        help="attach a common-cause hazard with this beta factor",
+    )
+    sub.add_argument(
+        "--beta-group",
+        default=None,
+        help="group selector for --beta/--sweep-beta (default kind:vm)",
+    )
+    sub.add_argument(
+        "--sweep-beta",
+        default=None,
+        metavar="B0,B1,...",
+        help="run one campaign per comma-separated beta value",
+    )
+    sub.add_argument("--json", default=None, help="also write results here")
+    sub.add_argument("--csv", default=None, help="also write table rows here")
+    sub.set_defaults(handler=_cmd_faults)
 
     sub = subparsers.add_parser(
         "perf", help="time the vectorized/parallel evaluation engine"

@@ -52,6 +52,15 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class CampaignError(ReproError, ValueError):
+    """A fault-injection campaign specification is malformed.
+
+    Raised, for example, when a :class:`repro.faults.campaign.CampaignSpec`
+    names an unknown hazard kind, a beta factor outside ``[0, 1]``, or a
+    maintenance window longer than its period.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A numerical routine (CTMC solve, fixed point) failed to converge."""
 

@@ -1,0 +1,51 @@
+"""Stochastic fault-injection campaigns (:mod:`repro.faults`).
+
+The analytic models assume independent failures and unlimited repair
+capacity; this package quantifies how wrong those assumptions become under
+correlated failures, scheduled maintenance, and repair-crew contention:
+
+* :mod:`repro.faults.hazards` — composable hazard models (beta-factor
+  common cause, rack power events, maintenance windows, limited repair
+  crews);
+* :mod:`repro.faults.campaign` — declarative, JSON-serializable
+  :class:`CampaignSpec` plus a replication runner that is bit-identical
+  across worker counts;
+* :mod:`repro.faults.crossval` — the matching analytic prediction per
+  campaign and the availability gap.
+
+CLI entry point: ``repro-avail faults``.
+"""
+
+from repro.faults.campaign import CampaignResult, CampaignSpec, run_campaign
+from repro.faults.crossval import (
+    CrossValidation,
+    analytic_for_campaign,
+    evaluate_campaign,
+)
+from repro.faults.hazards import (
+    CommonCauseSpec,
+    HazardSet,
+    MaintenanceSpec,
+    RackPowerSpec,
+    RepairCrews,
+    RepairCrewsSpec,
+    attach_hazards,
+    hazard_from_dict,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
+    "CrossValidation",
+    "analytic_for_campaign",
+    "evaluate_campaign",
+    "CommonCauseSpec",
+    "RackPowerSpec",
+    "MaintenanceSpec",
+    "RepairCrewsSpec",
+    "RepairCrews",
+    "HazardSet",
+    "attach_hazards",
+    "hazard_from_dict",
+]

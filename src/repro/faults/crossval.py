@@ -1,0 +1,170 @@
+"""Campaign-versus-analytic cross-validation.
+
+Every campaign has a *matching analytic prediction* — what the paper's
+models say the availabilities should be if failures were independent and
+repair capacity unlimited:
+
+* **No maintenance hazards** — the closed-form predictions of
+  :func:`repro.sim.validate.analytic_predictions` (with the scenario-1
+  effective-availability correction), exactly the comparison target of the
+  existing ``repro-avail simulate`` validation.
+* **Maintenance hazards** — deterministic duty cycles are analytically
+  tractable: the exact engine (:mod:`repro.models.engine`) is evaluated
+  under a mixture of availability regimes
+  (:func:`~repro.models.engine.evaluate_topology_weighted`), where each
+  maintenance window contributes an "element down" regime weighted by its
+  duty fraction.  Only infrastructure targets (``rack:``/``host:``/``vm:``)
+  have an analytic counterpart.
+
+Stochastic hazards (common cause, rack power) deliberately have **no**
+analytic counterpart — the reported gap *is* the measurement: how wrong the
+independence assumption becomes under correlated failures.
+
+The load-bearing invariant (asserted by ``tests/test_faults_crossval.py``):
+a degenerate campaign — ``beta = 0``, no maintenance, unlimited crews —
+must reproduce the independent analytic CP/SDP/LDP availabilities within
+the campaign's Monte-Carlo confidence interval.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.controller.spec import Plane
+from repro.errors import CampaignError
+from repro.models.engine import evaluate_topology_weighted
+from repro.models.dataplane import local_dp_availability
+from repro.models.sw import plane_requirements
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.sim.validate import analytic_predictions
+from repro.faults.campaign import CampaignResult, CampaignSpec, run_campaign
+from repro.faults.hazards import MaintenanceSpec
+from repro.faults.campaign import materialize
+
+__all__ = ["CrossValidation", "analytic_for_campaign", "evaluate_campaign"]
+
+_PLANES = ("cp", "sdp", "ldp", "dp")
+
+_INFRA_PREFIXES = ("rack", "host", "vm")
+
+
+def _maintenance_element(target: str) -> str:
+    """Map a maintenance target to its topology element name.
+
+    Only infrastructure selectors have an analytic counterpart; the engine's
+    containment hierarchy already masks everything beneath a down element,
+    so ``"rack:R1"`` and ``"rack:R1/*"`` both reduce to element ``"R1"``.
+    """
+    selector = target[:-2] if target.endswith("/*") else target
+    prefix, _, name = selector.partition(":")
+    if prefix not in _INFRA_PREFIXES or not name:
+        raise CampaignError(
+            "analytic cross-validation supports only infrastructure "
+            f"maintenance targets (rack:/host:/vm:), got {target!r}"
+        )
+    return name
+
+
+def analytic_for_campaign(spec: CampaignSpec) -> dict[str, float]:
+    """The independent-failure analytic prediction matching a campaign.
+
+    Returns cp/sdp/ldp/dp availabilities at the campaign's parameters,
+    accounting for deterministic maintenance duty cycles (engine mixture)
+    but — by design — not for stochastic correlation or repair contention.
+    """
+    controller, topology, hardware, software, scenario = materialize(spec)
+    windows = [
+        hazard for hazard in spec.hazards
+        if isinstance(hazard, MaintenanceSpec)
+    ]
+    if not windows:
+        return analytic_predictions(
+            controller, topology.name, hardware, software, scenario
+        )
+    if scenario is RestartScenario.NOT_REQUIRED:
+        software = SoftwareParams.from_availabilities(
+            software.effective_availability(scenario),
+            software.a_unsupervised,
+            mtbf_hours=software.mtbf_hours,
+        )
+    base = {
+        "rack": hardware.a_rack,
+        "host": hardware.a_host,
+        "vm": hardware.a_vm,
+    }
+    elements = [_maintenance_element(window.target) for window in windows]
+    regimes = []
+    for bits in itertools.product((False, True), repeat=len(windows)):
+        weight = 1.0
+        overrides = dict(base)
+        for window, element, open_ in zip(windows, elements, bits):
+            f = window.duty_fraction
+            weight *= f if open_ else (1.0 - f)
+            if open_:
+                overrides[element] = 0.0
+        if weight > 0.0:
+            regimes.append((weight, overrides))
+    predictions = {}
+    for plane_name, plane in (("cp", Plane.CP), ("sdp", Plane.DP)):
+        requirements = plane_requirements(
+            controller, plane, software, scenario
+        )
+        predictions[plane_name] = evaluate_topology_weighted(
+            topology, requirements, regimes
+        )
+    predictions["ldp"] = local_dp_availability(controller, software, scenario)
+    predictions["dp"] = predictions["sdp"] * predictions["ldp"]
+    return predictions
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """One campaign's measured availabilities next to the analytic prediction."""
+
+    spec: CampaignSpec
+    analytic: dict[str, float]
+    result: CampaignResult
+
+    def simulated(self, plane: str) -> float:
+        return self.result.availability(plane)
+
+    def gap(self, plane: str) -> float:
+        """Simulated minus analytic availability (negative: hazards hurt)."""
+        return self.simulated(plane) - self.analytic[plane]
+
+    def unavailability_ratio(self, plane: str) -> float:
+        """Simulated / analytic unavailability — 1.0 is perfect agreement."""
+        analytic = self.analytic[plane]
+        simulated = self.simulated(plane)
+        if analytic >= 1.0:
+            return 1.0 if simulated >= 1.0 else float("inf")
+        return (1.0 - simulated) / (1.0 - analytic)
+
+    def within_interval(self, plane: str, widen: float = 1.0) -> bool:
+        """Whether the analytic value falls inside the campaign's CI.
+
+        The interval is the across-replication 95% CI; ``widen`` scales its
+        half-width (e.g. ``widen=1.5`` for a more conservative acceptance
+        band in statistical tests).
+        """
+        interval = self.result.interval(plane)
+        return (
+            abs(self.analytic[plane] - interval.mean)
+            <= interval.half_width * widen
+        )
+
+
+def evaluate_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    result: CampaignResult | None = None,
+) -> CrossValidation:
+    """Run (or reuse) a campaign and attach its analytic prediction."""
+    if result is None:
+        result = run_campaign(spec, workers=workers)
+    return CrossValidation(
+        spec=spec,
+        analytic=analytic_for_campaign(spec),
+        result=result,
+    )

@@ -1,0 +1,449 @@
+"""Composable hazard models for fault-injection campaigns.
+
+The analytic layers assume statistically independent component failures and
+unlimited repair capacity.  Each hazard here breaks exactly one of those
+assumptions on top of the unmodified simulator:
+
+* :class:`CommonCauseSpec` — the classic **beta factor** model: a fraction
+  ``beta`` of a group's failure intensity is moved from independent member
+  failures into a shared Poisson process that fails the *whole group* at
+  once.  ``beta = 0`` leaves the simulation bit-identical to the baseline
+  (member rates are multiplied by exactly 1.0 and no common-cause stream is
+  ever drawn), which is the degenerate-campaign invariant the
+  cross-validation suite asserts.
+* :class:`RackPowerSpec` — correlated rack power events: a Poisson process
+  per rack that power-cycles the rack *and* every host/VM beneath it, each
+  of which then needs its own repair (and competes for repair crews).
+* :class:`MaintenanceSpec` — deterministic periodic maintenance windows: the
+  target group is forced down (``hold`` semantics — a pending stochastic
+  repair is cancelled, the component stays down for the full window) and
+  restored at the window's end.
+* :class:`RepairCrewsSpec` — a limited-repair-crew policy: at most ``crews``
+  repairs run concurrently; further failures queue FIFO (deterministic
+  tie-breaking via the simulator's event ordering) and their repair time is
+  sampled when a crew picks them up, so queueing delay *adds to* repair
+  time.
+
+Specs are frozen, JSON-serializable value objects (``to_dict`` /
+:func:`hazard_from_dict`); the runtime side — :func:`attach_hazards` —
+binds them to a built :class:`~repro.sim.engine.AvailabilitySimulator`
+before the run starts.  All randomness flows through the simulator's own
+named RNG streams, so a campaign replication remains a pure function of its
+seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Mapping
+
+from repro.errors import CampaignError
+from repro.obs import runtime as obs
+from repro.sim.engine import AvailabilitySimulator, RepairController
+from repro.sim.entities import ComponentKind
+
+__all__ = [
+    "CommonCauseSpec",
+    "RackPowerSpec",
+    "MaintenanceSpec",
+    "RepairCrewsSpec",
+    "HazardSpec",
+    "hazard_from_dict",
+    "RepairCrews",
+    "HazardSet",
+    "attach_hazards",
+]
+
+_INFRA_KINDS = (ComponentKind.RACK, ComponentKind.HOST, ComponentKind.VM)
+
+
+@dataclass(frozen=True)
+class CommonCauseSpec:
+    """Beta-factor common-cause failures over one component group.
+
+    Attributes:
+        group: a group selector in the
+            :meth:`~repro.sim.engine.AvailabilitySimulator.resolve_group`
+            grammar (``"kind:vm"``, ``"role:Database"``, ``"rack:R1/*"``).
+        beta: fraction of the group's mean failure intensity redirected
+            into the shared cause.  Member intrinsic rates are scaled by
+            ``1 - beta``; the common cause fires as a Poisson process with
+            rate ``beta * mean(member rates)`` and fails every member at
+            one instant (each then repairs through the normal machinery).
+    """
+
+    kind: ClassVar[str] = "common_cause"
+
+    group: str
+    beta: float
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise CampaignError("common-cause group selector must be non-empty")
+        if not 0.0 <= self.beta <= 1.0:
+            raise CampaignError(
+                f"beta must be in [0, 1], got {self.beta}"
+            )
+
+
+@dataclass(frozen=True)
+class RackPowerSpec:
+    """Correlated rack power events.
+
+    Each targeted rack gets an independent Poisson process with mean
+    inter-event time ``mtbf_hours``; an event power-cycles the rack and all
+    infrastructure beneath it (hosts and VMs enter repair simultaneously —
+    processes are masked but do not themselves need repair).
+
+    Attributes:
+        mtbf_hours: mean hours between power events per rack.
+        racks: rack component keys (``"rack:R1"``); empty means every rack.
+    """
+
+    kind: ClassVar[str] = "rack_power"
+
+    mtbf_hours: float
+    racks: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "racks", tuple(self.racks))
+        if self.mtbf_hours <= 0.0:
+            raise CampaignError(
+                f"rack-power mtbf_hours must be > 0, got {self.mtbf_hours}"
+            )
+
+
+@dataclass(frozen=True)
+class MaintenanceSpec:
+    """Deterministic periodic maintenance windows over one group.
+
+    Starting at ``start_hours`` and repeating every ``period_hours``, the
+    target group is held down for ``duration_hours`` (pending stochastic
+    repairs are cancelled, so a window cannot be cut short) and restored at
+    the window's end through the normal repair path (supervisor hooks run).
+    """
+
+    kind: ClassVar[str] = "maintenance"
+
+    target: str
+    start_hours: float
+    period_hours: float
+    duration_hours: float
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise CampaignError("maintenance target selector must be non-empty")
+        if self.start_hours < 0.0:
+            raise CampaignError(
+                f"maintenance start_hours must be >= 0, got {self.start_hours}"
+            )
+        if self.duration_hours <= 0.0:
+            raise CampaignError(
+                "maintenance duration_hours must be > 0, got "
+                f"{self.duration_hours}"
+            )
+        if self.period_hours <= self.duration_hours:
+            raise CampaignError(
+                f"maintenance period_hours ({self.period_hours}) must exceed "
+                f"duration_hours ({self.duration_hours})"
+            )
+
+    @property
+    def duty_fraction(self) -> float:
+        """Long-run fraction of time the window is open."""
+        return self.duration_hours / self.period_hours
+
+
+@dataclass(frozen=True)
+class RepairCrewsSpec:
+    """Limit concurrent repairs to a fixed crew count (FIFO queueing)."""
+
+    kind: ClassVar[str] = "repair_crews"
+
+    crews: int
+
+    def __post_init__(self) -> None:
+        if self.crews < 1:
+            raise CampaignError(f"crews must be >= 1, got {self.crews}")
+
+
+HazardSpec = CommonCauseSpec | RackPowerSpec | MaintenanceSpec | RepairCrewsSpec
+
+_SPEC_TYPES: dict[str, type] = {
+    spec_type.kind: spec_type
+    for spec_type in (
+        CommonCauseSpec, RackPowerSpec, MaintenanceSpec, RepairCrewsSpec
+    )
+}
+
+
+def hazard_to_dict(spec: HazardSpec) -> dict[str, Any]:
+    """A JSON-serializable record of one hazard spec (``kind`` included)."""
+    record: dict[str, Any] = {"kind": spec.kind}
+    for field in fields(spec):
+        value = getattr(spec, field.name)
+        record[field.name] = list(value) if isinstance(value, tuple) else value
+    return record
+
+
+def hazard_from_dict(record: Mapping[str, Any]) -> HazardSpec:
+    """Rebuild a hazard spec from its :func:`hazard_to_dict` record."""
+    data = dict(record)
+    kind = data.pop("kind", None)
+    try:
+        spec_type = _SPEC_TYPES[kind]
+    except KeyError:
+        raise CampaignError(
+            f"unknown hazard kind {kind!r}; expected one of "
+            f"{sorted(_SPEC_TYPES)}"
+        ) from None
+    names = {field.name for field in fields(spec_type)}
+    unknown = set(data) - names
+    if unknown:
+        raise CampaignError(
+            f"unknown field(s) {sorted(unknown)} for hazard kind {kind!r}"
+        )
+    try:
+        return spec_type(**data)
+    except TypeError as error:
+        raise CampaignError(f"invalid {kind!r} hazard: {error}") from None
+
+
+# -- runtime side ------------------------------------------------------------------
+
+
+class RepairCrews(RepairController):
+    """At most ``crews`` concurrent repairs; excess failures queue FIFO.
+
+    Queue order is the order in which repair requests reached the
+    controller, which the simulator's event queue already makes
+    deterministic (FIFO tie-breaking at equal times).  A queued
+    component's repair time is sampled when a crew frees up
+    (:meth:`~repro.sim.engine.AvailabilitySimulator.begin_repair`), so
+    waiting and repairing never overlap.
+    """
+
+    def __init__(self, crews: int):
+        if crews < 1:
+            raise CampaignError(f"crews must be >= 1, got {crews}")
+        self.crews = crews
+        self._active: list[str] = []
+        self._queue: deque[str] = deque()
+        #: Peak number of simultaneously queued repairs.
+        self.max_queue_depth = 0
+        #: How many repair requests had to wait for a crew.
+        self.total_queued = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def active_repairs(self) -> int:
+        return len(self._active)
+
+    def request(
+        self, simulator: AvailabilitySimulator, component
+    ) -> bool:
+        if len(self._active) < self.crews:
+            self._active.append(component.key)
+            return True
+        self._queue.append(component.key)
+        self.total_queued += 1
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
+        obs.gauge("faults.repair_queue.depth", len(self._queue))
+        return False
+
+    def release(
+        self, simulator: AvailabilitySimulator, component
+    ) -> None:
+        key = component.key
+        if key in self._active:
+            self._active.remove(key)
+            if self._queue:
+                head = self._queue.popleft()
+                self._active.append(head)
+                simulator.begin_repair(head)
+                obs.gauge("faults.repair_queue.depth", len(self._queue))
+        elif key in self._queue:
+            self._queue.remove(key)
+            obs.gauge("faults.repair_queue.depth", len(self._queue))
+
+
+class _HazardProcess:
+    """Base runtime hazard: counts its injections for campaign statistics."""
+
+    def __init__(self, spec: HazardSpec):
+        self.spec = spec
+        self.injections = 0
+
+    def _record(self) -> None:
+        # Counted locally and aggregated by the campaign runner (workers
+        # carry a disabled obs runtime, so counting here would diverge
+        # between inline and pooled execution).
+        self.injections += 1
+
+
+class _CommonCause(_HazardProcess):
+    def __init__(
+        self, simulator: AvailabilitySimulator, spec: CommonCauseSpec,
+        index: int,
+    ):
+        super().__init__(spec)
+        self._simulator = simulator
+        self._keys = simulator.resolve_group(spec.group)
+        rates = [
+            simulator.components[key].failure_rate for key in self._keys
+        ]
+        self._rate = spec.beta * (sum(rates) / len(rates))
+        self._stream = f"hazard:{index}:ccf:{spec.group}"
+        if spec.beta > 0.0:
+            for key in self._keys:
+                simulator.components[key].failure_rate *= 1.0 - spec.beta
+            if self._rate > 0.0:
+                self._schedule()
+
+    def _schedule(self) -> None:
+        delay = self._simulator.draw_exponential(
+            self._stream, 1.0 / self._rate
+        )
+        self._simulator.schedule_action(
+            self._simulator.now + delay, self._fire
+        )
+
+    def _fire(self) -> None:
+        self._record()
+        self._simulator.fail_group(self._keys, repair=True)
+        self._schedule()
+
+
+class _RackPower(_HazardProcess):
+    def __init__(
+        self, simulator: AvailabilitySimulator, spec: RackPowerSpec,
+        index: int,
+    ):
+        super().__init__(spec)
+        self._simulator = simulator
+        racks = spec.racks or simulator.resolve_group("kind:rack")
+        self._groups: list[tuple[str, tuple[str, ...]]] = []
+        for rack in racks:
+            if simulator.components[rack].kind is not ComponentKind.RACK:
+                raise CampaignError(
+                    f"rack-power target {rack!r} is not a rack"
+                )
+            keys = tuple(
+                key
+                for key in simulator.resolve_group(f"{rack}/*")
+                if simulator.components[key].kind in _INFRA_KINDS
+            )
+            stream = f"hazard:{index}:rackpower:{rack}"
+            self._groups.append((stream, keys))
+            self._schedule(stream, keys)
+
+    def _schedule(self, stream: str, keys: tuple[str, ...]) -> None:
+        delay = self._simulator.draw_exponential(
+            stream, self.spec.mtbf_hours
+        )
+        self._simulator.schedule_action(
+            self._simulator.now + delay,
+            lambda: self._fire(stream, keys),
+        )
+
+    def _fire(self, stream: str, keys: tuple[str, ...]) -> None:
+        self._record()
+        self._simulator.fail_group(keys, repair=True)
+        self._schedule(stream, keys)
+
+
+class _Maintenance(_HazardProcess):
+    def __init__(
+        self, simulator: AvailabilitySimulator, spec: MaintenanceSpec,
+        index: int,
+    ):
+        super().__init__(spec)
+        self._simulator = simulator
+        self._keys = simulator.resolve_group(spec.target)
+        simulator.schedule_action(spec.start_hours, self._open)
+
+    def _open(self) -> None:
+        self._record()
+        window_start = self._simulator.now
+        self._simulator.fail_group(self._keys, repair=False, hold=True)
+        self._simulator.schedule_action(
+            window_start + self.spec.duration_hours, self._close
+        )
+        self._simulator.schedule_action(
+            window_start + self.spec.period_hours, self._open
+        )
+
+    def _close(self) -> None:
+        self._simulator.repair_group(self._keys)
+
+
+_PROCESS_TYPES: dict[str, type] = {
+    CommonCauseSpec.kind: _CommonCause,
+    RackPowerSpec.kind: _RackPower,
+    MaintenanceSpec.kind: _Maintenance,
+}
+
+
+@dataclass
+class HazardSet:
+    """The runtime hazards attached to one simulator."""
+
+    processes: list[_HazardProcess]
+    controller: RepairCrews | None
+
+    def stats(self) -> dict[str, Any]:
+        """Per-replication campaign statistics (rides back from workers)."""
+        injections: dict[str, int] = {}
+        for process in self.processes:
+            injections[process.spec.kind] = (
+                injections.get(process.spec.kind, 0) + process.injections
+            )
+        return {
+            "injections": injections,
+            "repair_max_queue_depth": (
+                self.controller.max_queue_depth if self.controller else 0
+            ),
+            "repair_total_queued": (
+                self.controller.total_queued if self.controller else 0
+            ),
+        }
+
+
+def attach_hazards(
+    simulator: AvailabilitySimulator,
+    hazards: tuple[HazardSpec, ...],
+    crews: int | None = None,
+) -> HazardSet:
+    """Bind hazard specs (and an optional crew limit) to a built simulator.
+
+    Must run before :meth:`~repro.sim.engine.AvailabilitySimulator.run`:
+    common-cause hazards rescale member failure rates, and hazard RNG
+    streams are spawned here in spec order, which keeps the whole run a
+    pure function of the root seed.  A :class:`RepairCrewsSpec` in
+    ``hazards`` and the ``crews`` argument are alternative spellings; the
+    explicit argument wins.
+    """
+    controller: RepairCrews | None = None
+    processes: list[_HazardProcess] = []
+    for index, spec in enumerate(hazards):
+        if isinstance(spec, RepairCrewsSpec):
+            if crews is None:
+                controller = RepairCrews(spec.crews)
+            continue
+        try:
+            process_type = _PROCESS_TYPES[spec.kind]
+        except (KeyError, AttributeError):
+            raise CampaignError(
+                f"cannot attach hazard {spec!r}: unknown kind"
+            ) from None
+        processes.append(process_type(simulator, spec, index))
+    if crews is not None:
+        controller = RepairCrews(crews)
+    if controller is not None:
+        simulator.set_repair_controller(controller)
+    return HazardSet(processes=processes, controller=controller)

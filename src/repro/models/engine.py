@@ -228,6 +228,44 @@ def evaluate_topology_cached(
     return value
 
 
+def evaluate_topology_weighted(
+    topology: DeploymentTopology,
+    requirements: Sequence[RoleRequirement],
+    regimes: Sequence[tuple[float, Mapping[str, float]]],
+) -> float:
+    """Exact availability under a mixture of availability regimes.
+
+    ``regimes`` is a sequence of ``(weight, availability)`` pairs whose
+    weights must sum to 1 (within 1e-9): the system spends fraction
+    ``weight`` of time under each availability mapping, and the long-run
+    availability is the weighted sum of the per-regime exact evaluations.
+    This is how deterministic duty cycles enter the analytic side — a
+    maintenance window that takes ``host:H2`` down for fraction ``f`` of
+    the time is the two-regime mixture ``(f, {"H2": 0.0, ...base})`` and
+    ``(1 - f, base)`` (per-element entries override level defaults, see
+    :func:`resolve_availability`).  Each regime evaluation goes through
+    :func:`evaluate_topology_cached`, so sweeps revisiting regimes stay
+    memoized.
+    """
+    regimes = list(regimes)
+    if not regimes:
+        raise ModelError("at least one availability regime is required")
+    total_weight = sum(weight for weight, _ in regimes)
+    if abs(total_weight - 1.0) > 1e-9:
+        raise ModelError(
+            f"regime weights must sum to 1, got {total_weight!r}"
+        )
+    value = 0.0
+    for weight, availability in regimes:
+        if weight < 0.0:
+            raise ModelError(f"regime weight must be >= 0, got {weight}")
+        if weight > 0.0:
+            value += weight * evaluate_topology_cached(
+                topology, requirements, availability
+            )
+    return value
+
+
 def engine_cache_info():
     """Hit/miss statistics of the :func:`evaluate_topology_cached` memo."""
     return _evaluate_frozen.cache_info()

@@ -1,0 +1,118 @@
+"""JSON/CSV serialization of fault-campaign cross-validation results.
+
+Table/CSV row builders plus a lossless JSON payload for one
+:class:`~repro.faults.crossval.CrossValidation` (or a beta sweep of them),
+consumed by the ``repro-avail faults`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "crossval_rows",
+    "crossval_payload",
+    "sweep_rows",
+    "sweep_payload",
+    "write_campaign_json",
+]
+
+_PLANES = ("cp", "sdp", "ldp", "dp")
+
+
+def crossval_rows(crossval) -> tuple[tuple[str, ...], list[tuple]]:
+    """Per-plane (headers, rows) for one campaign cross-validation."""
+    headers = (
+        "Plane", "Simulated", "Analytic", "Gap", "Unavail ratio", "In 95% CI"
+    )
+    rows = []
+    for plane in _PLANES:
+        rows.append(
+            (
+                plane.upper(),
+                f"{crossval.simulated(plane):.6f}",
+                f"{crossval.analytic[plane]:.6f}",
+                f"{crossval.gap(plane):+.6f}",
+                f"{crossval.unavailability_ratio(plane):.3f}",
+                "yes" if crossval.within_interval(plane) else "no",
+            )
+        )
+    return headers, rows
+
+
+def crossval_payload(crossval) -> dict[str, Any]:
+    """A JSON-serializable record of one campaign cross-validation."""
+    result = crossval.result
+    return {
+        "spec": crossval.spec.to_dict(),
+        "spec_hash": crossval.spec.params_hash(),
+        "seeds": list(result.replications.seeds),
+        "planes": {
+            plane: {
+                "simulated": crossval.simulated(plane),
+                "analytic": crossval.analytic[plane],
+                "gap": crossval.gap(plane),
+                "unavailability_ratio": crossval.unavailability_ratio(plane),
+                "within_interval": crossval.within_interval(plane),
+            }
+            for plane in _PLANES
+        },
+        "injections": {
+            "total": result.total_injections(),
+            "common_cause": result.total_injections("common_cause"),
+            "rack_power": result.total_injections("rack_power"),
+            "maintenance": result.total_injections("maintenance"),
+        },
+        "repair_queue": {
+            "max_depth": result.max_queue_depth,
+            "total_queued": result.total_queued,
+        },
+    }
+
+
+def sweep_rows(
+    crossvals: Sequence, betas: Sequence[float]
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """(headers, rows) for a beta sweep — one row per beta value."""
+    headers = (
+        "beta", "A_CP sim", "A_CP analytic", "CP gap",
+        "Injections", "Max queue",
+    )
+    rows = []
+    for beta, crossval in zip(betas, crossvals):
+        rows.append(
+            (
+                f"{beta:.4f}",
+                f"{crossval.simulated('cp'):.6f}",
+                f"{crossval.analytic['cp']:.6f}",
+                f"{crossval.gap('cp'):+.6f}",
+                str(crossval.result.total_injections()),
+                str(crossval.result.max_queue_depth),
+            )
+        )
+    return headers, rows
+
+
+def sweep_payload(
+    crossvals: Sequence, betas: Sequence[float]
+) -> dict[str, Any]:
+    """A JSON-serializable record of a whole beta sweep."""
+    return {
+        "sweep": "beta",
+        "points": [
+            {"beta": beta, **crossval_payload(crossval)}
+            for beta, crossval in zip(betas, crossvals)
+        ],
+    }
+
+
+def write_campaign_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a campaign payload as JSON (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return target

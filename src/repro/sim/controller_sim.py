@@ -294,22 +294,15 @@ def _attach_signals(
     )
 
 
-def simulate_controller(
-    spec: ControllerSpec,
-    topology: DeploymentTopology,
-    hardware: HardwareParams,
-    software: SoftwareParams,
-    scenario: RestartScenario,
-    config: SimulationConfig | None = None,
+def collect_result(
+    simulator: AvailabilitySimulator, horizon_hours: float
 ) -> SimulationResult:
-    """Run the controller simulation and return measured availabilities."""
-    config = config or SimulationConfig()
-    obs.annotate("topology", topology.name)
-    obs.annotate("seed.sim_seed", config.seed)
-    simulator = build_simulator(
-        spec, topology, hardware, software, scenario, config
-    )
-    simulator.run(config.horizon_hours, batches=config.batches)
+    """Package a finished run's signals as a :class:`SimulationResult`.
+
+    Shared by :func:`simulate_controller` and the fault-campaign runner
+    (:mod:`repro.faults.campaign`), which builds the same simulator but
+    attaches hazard processes before running it.
+    """
     intervals = {}
     outages = {}
     for name in ("cp", "sdp", "ldp", "dp"):
@@ -332,5 +325,24 @@ def simulate_controller(
         dp=simulator.availability("dp"),
         intervals=intervals,
         outages=outages,
-        horizon_hours=config.horizon_hours,
+        horizon_hours=horizon_hours,
     )
+
+
+def simulate_controller(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Run the controller simulation and return measured availabilities."""
+    config = config or SimulationConfig()
+    obs.annotate("topology", topology.name)
+    obs.annotate("seed.sim_seed", config.seed)
+    simulator = build_simulator(
+        spec, topology, hardware, software, scenario, config
+    )
+    simulator.run(config.horizon_hours, batches=config.batches)
+    return collect_result(simulator, config.horizon_hours)

@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.obs import runtime as obs
-from repro.sim.entities import Component, ComponentState
+from repro.sim.entities import Component, ComponentKind, ComponentState
 from repro.sim.events import Event, EventQueue
 from repro.sim.measures import BinarySignal
 from repro.sim.rng import RngStreams
@@ -34,6 +34,32 @@ from repro.sim.rng import RngStreams
 RepairPolicy = Callable[[Component], float]
 SignalPredicate = Callable[["AvailabilitySimulator"], bool]
 RepairHook = Callable[["AvailabilitySimulator", Component], None]
+
+
+class RepairController:
+    """Repair-capacity policy consulted on every downward transition.
+
+    The default grants every request immediately (unlimited repair
+    capacity), which reproduces the seed behavior exactly.  A limited
+    policy (:class:`repro.faults.hazards.RepairCrews`) may answer ``False``
+    from :meth:`request` to queue the repair; it then owns the obligation
+    to call :meth:`AvailabilitySimulator.begin_repair` later, when capacity
+    frees up.  :meth:`release` is invoked from the single upward-transition
+    site for *every* component that comes up (and for holds that cancel a
+    pending repair), so the policy can retire active work, drop queued
+    entries, and start the next queued repair.
+    """
+
+    def request(
+        self, simulator: "AvailabilitySimulator", component: Component
+    ) -> bool:
+        """Whether the repair may start now (``True``) or is queued."""
+        return True
+
+    def release(
+        self, simulator: "AvailabilitySimulator", component: Component
+    ) -> None:
+        """The component no longer needs (or holds) repair capacity."""
 
 
 class AvailabilitySimulator:
@@ -46,6 +72,7 @@ class AvailabilitySimulator:
         repair_policy: RepairPolicy | None = None,
         on_repair: RepairHook | None = None,
         repair_sampler=None,
+        repair_controller: RepairController | None = None,
     ):
         self.components: dict[str, Component] = {}
         for component in components:
@@ -69,6 +96,7 @@ class AvailabilitySimulator:
 
             repair_sampler = exponential_repairs
         self._repair_sampler = repair_sampler
+        self._repair_controller = repair_controller
         self._signals: list[tuple[BinarySignal, SignalPredicate]] = []
         self._batch_records: dict[str, list[float]] = {}
         #: Events executed across every :meth:`run` of this simulator.
@@ -79,6 +107,16 @@ class AvailabilitySimulator:
     @property
     def now(self) -> float:
         return self._queue.now
+
+    @property
+    def repair_controller(self) -> RepairController | None:
+        return self._repair_controller
+
+    def set_repair_controller(
+        self, controller: RepairController | None
+    ) -> None:
+        """Install a repair-capacity policy (before any failures occur)."""
+        self._repair_controller = controller
 
     def intrinsically_up(self, key: str) -> bool:
         return self.components[key].state is ComponentState.UP
@@ -134,6 +172,23 @@ class AvailabilitySimulator:
             )
         )
 
+    def schedule_action(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a non-component callback (hazard processes, maintenance).
+
+        The event carries no staleness token, so it always fires (unless the
+        run ends first); same-time events keep FIFO scheduling order.
+        """
+        self._queue.schedule(Event(time=time, action=action))
+
+    def draw_exponential(self, stream: str, mean: float) -> float:
+        """One exponential variate from a named stream of this run's RNG.
+
+        Hazard processes draw their inter-event times here so they share
+        the simulator's seed discipline: a run is a pure function of the
+        root seed and the (deterministic) stream-creation order.
+        """
+        return self._rng.exponential(stream, mean)
+
     def _transitive_dependents(self, key: str) -> list[str]:
         seen: list[str] = []
         stack = list(self.components[key].dependents)
@@ -160,15 +215,67 @@ class AvailabilitySimulator:
                     self._schedule_failure(dependent)
 
     # -- transitions -----------------------------------------------------------------
+    #
+    # Every transition — stochastic clocks, scenario injections, hazard
+    # engines, supervisor restores — funnels through _apply_down/_apply_up,
+    # the ONLY sites that flip component state and bump epochs.  Stale-event
+    # dropping therefore behaves identically no matter which layer caused
+    # the transition.
+
+    def _apply_down(
+        self, component: Component, *, want_repair: bool, hold: bool
+    ) -> bool:
+        """The single downward-transition (and epoch-bump) site.
+
+        ``want_repair`` schedules the component's repair through the
+        capacity policy; ``False`` leaves it down until an explicit repair
+        (scenario/maintenance semantics).  ``hold`` additionally cancels a
+        pending or queued repair when the component is *already* down, so a
+        maintenance window can pin a stochastically-failed component down
+        for its full duration.  Returns whether the intrinsic state changed.
+        """
+        if component.state is ComponentState.REPAIRING:
+            if hold:
+                component.bump()  # cancels the pending repair event
+                if self._repair_controller is not None:
+                    self._repair_controller.release(self, component)
+            return False
+        component.state = ComponentState.REPAIRING
+        component.bump()
+        if want_repair and (
+            self._repair_controller is None
+            or self._repair_controller.request(self, component)
+        ):
+            self._schedule_repair(component)
+        self._reschedule_subtree(component.key)
+        return True
+
+    def _apply_up(self, component: Component, *, run_hook: bool) -> bool:
+        """The single upward-transition (and epoch-bump) site.
+
+        Cancels any pending repair event via the epoch bump, releases the
+        component's repair-capacity claim, optionally runs the ``on_repair``
+        hook (supervisor semantics), and restarts the failure clock when the
+        component comes back effectively up.
+        """
+        if component.state is ComponentState.UP:
+            return False
+        component.state = ComponentState.UP
+        component.bump()
+        if self._repair_controller is not None:
+            self._repair_controller.release(self, component)
+        if run_hook and self._on_repair is not None:
+            self._on_repair(self, component)
+        if self.effectively_up(component.key):
+            self._schedule_failure(component)
+        self._reschedule_subtree(component.key)
+        return True
 
     def _fail(self, key: str, epoch: int) -> None:
         component = self.components[key]
         if component.epoch != epoch or component.state is not ComponentState.UP:
             return  # stale clock
-        component.state = ComponentState.REPAIRING
-        component.bump()
-        self._schedule_repair(component)
-        self._reschedule_subtree(key)
+        self._apply_down(component, want_repair=True, hold=False)
         self._refresh_signals()
 
     def _repair(self, key: str, epoch: int) -> None:
@@ -178,67 +285,144 @@ class AvailabilitySimulator:
             or component.state is not ComponentState.REPAIRING
         ):
             return  # cancelled (e.g. supervisor restored the process)
-        component.state = ComponentState.UP
-        component.bump()
-        if self._on_repair is not None:
-            self._on_repair(self, component)
-        if self.effectively_up(key):
-            self._schedule_failure(component)
-        self._reschedule_subtree(key)
+        self._apply_up(component, run_hook=True)
         self._refresh_signals()
+
+    def begin_repair(self, key: str) -> None:
+        """Start the repair of a down component now (crew became available).
+
+        Called by limited-capacity repair policies when a queued component
+        reaches the head of the line; the repair time is sampled at *start*
+        time, so queueing delay adds to — never overlaps — repair time.
+        """
+        component = self.components[key]
+        if component.state is not ComponentState.REPAIRING:
+            raise SimulationError(
+                f"cannot begin repair of {key!r}: component is up"
+            )
+        self._schedule_repair(component)
 
     def advance_time(self, time: float) -> None:
         """Move the clock forward with no intervening events (scenario use)."""
         self._queue.advance_to(time)
         self._refresh_signals()
 
-    def force_fail(self, key: str) -> None:
-        """Fail a component immediately without scheduling its repair.
+    def force_fail(
+        self, key: str, *, repair: bool = False, hold: bool = False
+    ) -> bool:
+        """Fail a component immediately.
 
-        Used by the deterministic scenario runner
-        (:mod:`repro.sim.scenario`); the component stays down until
-        :meth:`force_repair`.
+        By default (scenario semantics) no repair is scheduled — the
+        component stays down until :meth:`force_repair`.  Hazard engines
+        pass ``repair=True`` to route the outage through the normal repair
+        machinery (including any capacity policy), and ``hold=True`` to
+        also pin already-down components (cancelling their pending repair)
+        until an explicit :meth:`force_repair`.
         """
-        component = self.components[key]
-        if component.state is ComponentState.REPAIRING:
-            return
-        component.state = ComponentState.REPAIRING
-        component.bump()
-        self._reschedule_subtree(key)
+        changed = self._apply_down(
+            self.components[key], want_repair=repair, hold=hold
+        )
         self._refresh_signals()
+        return changed
 
-    def force_repair(self, key: str) -> None:
+    def force_repair(self, key: str) -> bool:
         """Repair a component immediately (scenario counterpart of force_fail).
 
         Applies the same supervisor hook as a stochastic repair, so a
         scenario-restarted supervisor restores its processes.
         """
-        component = self.components[key]
-        if component.state is ComponentState.UP:
-            return
-        component.state = ComponentState.UP
-        component.bump()
-        if self._on_repair is not None:
-            self._on_repair(self, component)
-        if self.effectively_up(key):
-            self._schedule_failure(component)
-        self._reschedule_subtree(key)
+        changed = self._apply_up(self.components[key], run_hook=True)
         self._refresh_signals()
+        return changed
+
+    def fail_group(
+        self,
+        keys: Sequence[str],
+        *,
+        repair: bool = False,
+        hold: bool = False,
+    ) -> int:
+        """Fail several components at one instant (correlated events).
+
+        Signals refresh once, after the whole group transitioned, so a
+        simultaneous multi-component event is observed as a single outage
+        edge.  Returns how many components actually changed state.
+        """
+        changed = 0
+        for key in keys:
+            if self._apply_down(
+                self.components[key], want_repair=repair, hold=hold
+            ):
+                changed += 1
+        self._refresh_signals()
+        return changed
+
+    def repair_group(self, keys: Sequence[str]) -> int:
+        """Repair several components at one instant (maintenance-window end)."""
+        changed = 0
+        for key in keys:
+            if self._apply_up(self.components[key], run_hook=True):
+                changed += 1
+        self._refresh_signals()
+        return changed
 
     def restore_component(self, key: str) -> None:
         """Force a component up immediately (used by supervisor hooks).
 
         Cancels its pending repair, marks it up, and schedules a fresh
-        failure clock if it is effectively up.
+        failure clock if it is effectively up.  Unlike :meth:`force_repair`
+        this does not re-run the ``on_repair`` hook (the caller *is* the
+        hook) and leaves signal refreshing to the enclosing transition.
         """
-        component = self.components[key]
-        if component.state is ComponentState.UP:
-            return
-        component.state = ComponentState.UP
-        component.bump()
-        if self.effectively_up(key):
-            self._schedule_failure(component)
-        self._reschedule_subtree(key)
+        self._apply_up(self.components[key], run_hook=False)
+
+    # -- group selectors ---------------------------------------------------------------
+
+    def resolve_group(self, selector: str) -> tuple[str, ...]:
+        """Expand a component/group selector to concrete component keys.
+
+        Grammar (used by scenario injections and hazard specs):
+
+        * an exact component key (``"host:H2"``) — itself;
+        * ``"<key>/*"`` — the element plus every transitive dependent
+          (``"rack:R1/*"`` is the rack and all hosts/VMs/processes on it);
+        * ``"role:<Name>"`` — every supervisor and process of the role
+          across all its instances (``"role:Database"``);
+        * ``"kind:<kind>"`` — every component of one
+          :class:`~repro.sim.entities.ComponentKind` (``"kind:host"``).
+        """
+        if selector in self.components:
+            return (selector,)
+        if selector.endswith("/*"):
+            root = selector[:-2]
+            if root in self.components:
+                return (root, *self._transitive_dependents(root))
+        prefix, _, name = selector.partition(":")
+        if prefix == "role" and name:
+            keys = tuple(
+                key
+                for key in self.components
+                if key.startswith(f"sup:{name}-")
+                or key.startswith(f"proc:{name}/")
+            )
+            if keys:
+                return keys
+        if prefix == "kind" and name:
+            try:
+                kind = ComponentKind(name)
+            except ValueError:
+                kind = None
+            if kind is not None:
+                keys = tuple(
+                    key
+                    for key, component in self.components.items()
+                    if component.kind is kind
+                )
+                if keys:
+                    return keys
+        raise SimulationError(
+            f"cannot resolve component or group {selector!r}"
+        )
 
     # -- run loop ---------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
@@ -32,7 +33,7 @@ from repro.sim.measures import ConfidenceInterval, batch_means_interval
 from repro.sim.rng import derive_seeds
 from repro.topology.deployment import DeploymentTopology
 
-__all__ = ["ReplicationSet", "run_replications"]
+__all__ = ["ReplicationSet", "map_jobs", "run_replications"]
 
 _SIGNAL_ATTRS = {
     "cp": "cp",
@@ -93,6 +94,39 @@ class ReplicationSet:
         )
 
 
+def map_jobs(
+    worker,
+    jobs: Sequence,
+    workers: int = 1,
+    executor: Executor | None = None,
+    span_name: str = "sim.replication",
+) -> tuple:
+    """Run ``worker`` over ``jobs`` and return results in index order.
+
+    The shared dispatch core of :func:`run_replications` and the fault
+    campaign runner (:mod:`repro.faults.campaign`): a supplied ``executor``
+    wins, ``workers <= 1`` (or a single job) runs inline with a per-job
+    ``obs`` span, anything else fans out to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are always
+    re-assembled in job order, so the output is independent of scheduling —
+    what keeps seeded runs bit-identical across worker counts.  ``worker``
+    must be module-level (picklable) for the pool path.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    jobs = list(jobs)
+    if executor is not None:
+        return tuple(executor.map(worker, jobs))
+    if workers == 1 or len(jobs) <= 1:
+        collected = []
+        for index, job in enumerate(jobs):
+            with obs.span(span_name, index=index):
+                collected.append(worker(job))
+        return tuple(collected)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return tuple(pool.map(worker, jobs))
+
+
 def _run_replication(job: tuple) -> SimulationResult:
     """One replication (module-level so it pickles into worker processes)."""
     spec, topology, hardware, software, scenario, config, seed = job
@@ -125,8 +159,6 @@ def run_replications(
         raise SimulationError(
             f"replications must be >= 1, got {replications}"
         )
-    if workers < 1:
-        raise SimulationError(f"workers must be >= 1, got {workers}")
     config = config or SimulationConfig()
     seeds = derive_seeds(config.seed, replications)
     jobs = [
@@ -143,16 +175,8 @@ def run_replications(
         workers=workers,
         horizon_hours=config.horizon_hours,
     ):
-        if executor is not None:
-            results = tuple(executor.map(_run_replication, jobs))
-        elif workers == 1 or replications == 1:
-            collected = []
-            for index, job in enumerate(jobs):
-                with obs.span("sim.replication", index=index):
-                    collected.append(_run_replication(job))
-            results = tuple(collected)
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = tuple(pool.map(_run_replication, jobs))
+        results = map_jobs(
+            _run_replication, jobs, workers=workers, executor=executor
+        )
     obs.count("sim.replications", replications)
     return ReplicationSet(results=results, seeds=seeds)

@@ -134,6 +134,10 @@ class ScenarioRunner:
 
         Repairs behave like completed restarts (supervisor hooks apply);
         components failed by injection stay down until explicitly repaired.
+        An injection target may name a group
+        (:meth:`~repro.sim.engine.AvailabilitySimulator.resolve_group`
+        grammar — e.g. ``"rack:R1/*"``, ``"role:Database"``); the whole
+        group then transitions at one instant.
         """
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon}")
@@ -144,14 +148,11 @@ class ScenarioRunner:
         self._snapshot(trace, 0.0)
         for injection in ordered:
             self._simulator.advance_time(injection.time)
-            if injection.component not in self._simulator.components:
-                raise SimulationError(
-                    f"unknown component {injection.component!r}"
-                )
+            keys = self._simulator.resolve_group(injection.component)
             if injection.kind == "fail":
-                self._simulator.force_fail(injection.component)
+                self._simulator.fail_group(keys)
             else:
-                self._simulator.force_repair(injection.component)
+                self._simulator.repair_group(keys)
             self._snapshot(trace, injection.time)
         self._simulator.advance_time(horizon)
         self._snapshot(trace, horizon)

@@ -63,6 +63,43 @@ class ValidationReport:
         return self.simulated.interval(plane).contains(analytic)
 
 
+def analytic_predictions(
+    spec: ControllerSpec,
+    topology_name: str,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    effective_correction: bool = True,
+) -> dict[str, float]:
+    """Closed-form cp/sdp/ldp/dp availabilities for one configuration.
+
+    The shared analytic side of :func:`validate_against_analytic` and the
+    fault-campaign cross-validation (:mod:`repro.faults.crossval`).
+    ``effective_correction`` applies the paper's section VI.A scenario-1
+    refinement (``A* = F/(F + R*)`` for auto-restarted processes) — see
+    :func:`validate_against_analytic` for why that is the right comparison
+    target at stressed parameters.
+    """
+    if effective_correction and scenario is RestartScenario.NOT_REQUIRED:
+        software = SoftwareParams.from_availabilities(
+            software.effective_availability(scenario),
+            software.a_unsupervised,
+            mtbf_hours=software.mtbf_hours,
+        )
+    sdp = shared_dp_availability(
+        spec, topology_name, hardware, software, scenario
+    )
+    ldp = local_dp_availability(spec, software, scenario)
+    return {
+        "cp": cp_availability(
+            spec, topology_name, hardware, software, scenario
+        ),
+        "sdp": sdp,
+        "ldp": ldp,
+        "dp": sdp * ldp,
+    }
+
+
 def validate_against_analytic(
     spec: ControllerSpec,
     topology: DeploymentTopology,
@@ -89,25 +126,16 @@ def validate_against_analytic(
     simulated = simulate_controller(
         spec, topology, hardware, software, scenario, config
     )
-    if effective_correction and scenario is RestartScenario.NOT_REQUIRED:
-        software = SoftwareParams.from_availabilities(
-            software.effective_availability(scenario),
-            software.a_unsupervised,
-            mtbf_hours=software.mtbf_hours,
-        )
+    analytic = analytic_predictions(
+        spec, topology_name, hardware, software, scenario,
+        effective_correction=effective_correction,
+    )
     return ValidationReport(
         topology=topology_name,
         scenario=scenario,
-        analytic_cp=cp_availability(
-            spec, topology_name, hardware, software, scenario
-        ),
-        analytic_sdp=shared_dp_availability(
-            spec, topology_name, hardware, software, scenario
-        ),
-        analytic_ldp=local_dp_availability(spec, software, scenario),
-        analytic_dp=shared_dp_availability(
-            spec, topology_name, hardware, software, scenario
-        )
-        * local_dp_availability(spec, software, scenario),
+        analytic_cp=analytic["cp"],
+        analytic_sdp=analytic["sdp"],
+        analytic_ldp=analytic["ldp"],
+        analytic_dp=analytic["dp"],
         simulated=simulated,
     )

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     ("outage_frequency.py", "highly-publicized extended"),
     ("design_search.py", "third rack"),
     ("automation_payoff.py", "minutes/year per host"),
+    ("fault_campaign.py", "independence assumption"),
 ]
 
 
@@ -40,6 +41,6 @@ class TestExamples:
 
     def test_all_examples_compile(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
-        assert len(scripts) >= 9
+        assert len(scripts) >= 10
         for script in scripts:
             py_compile.compile(str(script), doraise=True)

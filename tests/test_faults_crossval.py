@@ -1,0 +1,280 @@
+"""Campaign-versus-analytic cross-validation (:mod:`repro.faults.crossval`).
+
+The load-bearing invariant of the fault subsystem: a *degenerate* campaign
+(beta = 0, no maintenance, unlimited crews) is exactly the independent
+model, so its measured availabilities must reproduce the analytic
+prediction within Monte-Carlo error — asserted here for options 1S and 2L.
+On top of that, hazards must move availability the right way: beta > 0
+strictly lowers CP, one repair crew never beats unlimited crews, and
+deterministic maintenance windows are predicted exactly by the engine
+mixture.
+
+Statistical notes baked into the parameters below: at 4-6 replications the
+across-replication 95% CI is optimistic for heavy-tailed CP outages, so
+acceptance uses ``widen=1.5``; the chosen (option, horizon, replications,
+seed) combinations were verified to agree with margin, and a 24-replication
+run confirms there is no systematic sim-vs-analytic bias.  The beta
+contrast uses common cause over the Control *and* Database roles — process
+repairs are slow (manual restart), so the effect (~0.03-0.06 in A_CP)
+dwarfs replication noise for every seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CampaignError, ModelError
+from repro.faults import (
+    CampaignSpec,
+    CommonCauseSpec,
+    MaintenanceSpec,
+    analytic_for_campaign,
+    evaluate_campaign,
+    run_campaign,
+)
+from repro.models.engine import (
+    evaluate_topology,
+    evaluate_topology_weighted,
+)
+from repro.models.sw import plane_requirements
+from repro.controller.spec import Plane
+from repro.params.software import RestartScenario
+
+PLANES = ("cp", "sdp", "ldp", "dp")
+
+
+def _control_database_ccf(beta: float) -> tuple[CommonCauseSpec, ...]:
+    """Common cause over the roles with the slowest (manual) repairs."""
+    return (
+        CommonCauseSpec("role:Control", beta),
+        CommonCauseSpec("role:Database", beta),
+    )
+
+
+class TestDegenerateInvariant:
+    """beta=0 + unlimited crews + no maintenance == the independent model."""
+
+    @pytest.mark.slow
+    def test_option_1s(self):
+        spec = CampaignSpec(
+            option="1S", horizon_hours=6000.0, replications=5, seed=3,
+        )
+        crossval = evaluate_campaign(spec)
+        for plane in PLANES:
+            assert crossval.within_interval(plane, widen=1.5), (
+                plane, crossval.simulated(plane), crossval.analytic[plane],
+            )
+        # Degenerate: nothing was ever injected.
+        assert crossval.result.total_injections() == 0
+        assert crossval.result.total_queued == 0
+
+    @pytest.mark.slow
+    def test_option_2l(self):
+        spec = CampaignSpec(
+            option="2L", horizon_hours=4000.0, replications=4, seed=7,
+        )
+        crossval = evaluate_campaign(spec)
+        for plane in PLANES:
+            assert crossval.within_interval(plane, widen=1.5), (
+                plane, crossval.simulated(plane), crossval.analytic[plane],
+            )
+
+    @pytest.mark.slow
+    def test_explicit_beta_zero_hazard_matches_too(self):
+        """A written-out beta=0 hazard is the same degenerate campaign."""
+        base = CampaignSpec(
+            option="1S", horizon_hours=2500.0, replications=3, seed=3,
+        )
+        plain = run_campaign(base)
+        zeroed = run_campaign(
+            base.with_beta(0.0, "role:Control")
+        )
+        for plane in PLANES:
+            assert zeroed.availability(plane) == plain.availability(plane)
+
+
+class TestHazardDirections:
+    @pytest.mark.slow
+    def test_beta_strictly_lowers_cp(self):
+        base = CampaignSpec(
+            option="1S", horizon_hours=2500.0, replications=3, seed=1,
+        )
+        hazarded = evaluate_campaign(
+            CampaignSpec(
+                option="1S", horizon_hours=2500.0, replications=3, seed=1,
+                hazards=_control_database_ccf(0.5),
+            )
+        )
+        baseline = run_campaign(base)
+        assert hazarded.simulated("cp") < baseline.availability("cp")
+        # The analytic side deliberately ignores correlation, so the gap
+        # is negative: correlated failures hurt more than independence says.
+        assert hazarded.gap("cp") < 0.0
+        assert hazarded.result.total_injections("common_cause") > 0
+
+    @pytest.mark.slow
+    @settings(deadline=None, derandomize=True, max_examples=5)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        beta=st.floats(min_value=0.35, max_value=0.8),
+    )
+    def test_beta_monotonicity_over_seeds(self, seed, beta):
+        """For any seed, common cause on slow-repair roles lowers A_CP."""
+        base = CampaignSpec(
+            option="1S", horizon_hours=2500.0, replications=3, seed=seed,
+        )
+        baseline = run_campaign(base)
+        hazarded = run_campaign(
+            CampaignSpec(
+                option="1S", horizon_hours=2500.0, replications=3, seed=seed,
+                hazards=_control_database_ccf(beta),
+            )
+        )
+        assert hazarded.availability("cp") < baseline.availability("cp")
+
+    @pytest.mark.slow
+    def test_single_crew_never_beats_unlimited(self):
+        for seed in (1, 2, 3):
+            base = CampaignSpec(
+                option="1S", horizon_hours=2000.0, replications=2, seed=seed,
+            )
+            unlimited = run_campaign(base)
+            starved = run_campaign(
+                CampaignSpec(
+                    option="1S", horizon_hours=2000.0, replications=2,
+                    seed=seed, repair_crews=1,
+                )
+            )
+            for plane in PLANES:
+                assert (
+                    starved.availability(plane)
+                    <= unlimited.availability(plane)
+                ), (seed, plane)
+            assert starved.total_queued > 0
+            assert starved.max_queue_depth > 0
+            assert unlimited.total_queued == 0
+
+
+class TestMaintenanceAnalytic:
+    MAINTENANCE = MaintenanceSpec(
+        "host:H2", start_hours=100.0, period_hours=500.0, duration_hours=25.0,
+    )
+
+    def test_analytic_accounts_for_duty_cycle(self):
+        plain = analytic_for_campaign(CampaignSpec(option="1S"))
+        maintained = analytic_for_campaign(
+            CampaignSpec(option="1S", hazards=(self.MAINTENANCE,))
+        )
+        assert maintained["cp"] < plain["cp"]
+        assert maintained["sdp"] < plain["sdp"]
+        # Local DP rides on the off-rack compute node: untouched.
+        assert maintained["ldp"] == plain["ldp"]
+        assert maintained["dp"] == pytest.approx(
+            maintained["sdp"] * maintained["ldp"]
+        )
+
+    def test_stochastic_hazards_have_no_analytic_counterpart(self):
+        plain = analytic_for_campaign(CampaignSpec(option="1S"))
+        hazarded = analytic_for_campaign(
+            CampaignSpec(option="1S", hazards=_control_database_ccf(0.5))
+        )
+        assert hazarded == plain
+
+    def test_non_infrastructure_target_rejected(self):
+        spec = CampaignSpec(
+            option="1S",
+            hazards=(
+                MaintenanceSpec(
+                    "role:Config", start_hours=100.0,
+                    period_hours=500.0, duration_hours=25.0,
+                ),
+            ),
+        )
+        with pytest.raises(CampaignError, match="infrastructure"):
+            analytic_for_campaign(spec)
+
+    @pytest.mark.slow
+    def test_simulated_maintenance_matches_engine_mixture(self):
+        spec = CampaignSpec(
+            option="1S", horizon_hours=6000.0, replications=5, seed=3,
+            hazards=(self.MAINTENANCE,),
+        )
+        crossval = evaluate_campaign(spec)
+        assert crossval.result.total_injections("maintenance") > 0
+        for plane in PLANES:
+            assert crossval.within_interval(plane, widen=1.5), (
+                plane, crossval.simulated(plane), crossval.analytic[plane],
+            )
+
+
+class TestWeightedEngine:
+    def _requirements(self, spec, software):
+        return plane_requirements(
+            spec, Plane.CP, software, RestartScenario.REQUIRED
+        )
+
+    def test_mixture_equals_manual_combination(self, spec, small, software):
+        requirements = self._requirements(spec, software)
+        up = {"rack": 0.999, "host": 0.998, "vm": 0.998}
+        down = dict(up, H2=0.0)
+        weighted = evaluate_topology_weighted(
+            small, requirements, [(0.95, up), (0.05, down)]
+        )
+        manual = (
+            0.95 * evaluate_topology(small, requirements, up)
+            + 0.05 * evaluate_topology(small, requirements, down)
+        )
+        assert weighted == pytest.approx(manual, abs=1e-12)
+
+    def test_single_regime_is_plain_evaluation(self, spec, small, software):
+        requirements = self._requirements(spec, software)
+        availability = {"rack": 0.999, "host": 0.998, "vm": 0.998}
+        assert evaluate_topology_weighted(
+            small, requirements, [(1.0, availability)]
+        ) == evaluate_topology(small, requirements, availability)
+
+    def test_weights_must_sum_to_one(self, spec, small, software):
+        requirements = self._requirements(spec, software)
+        availability = {"rack": 0.999, "host": 0.998, "vm": 0.998}
+        with pytest.raises(ModelError):
+            evaluate_topology_weighted(
+                small, requirements, [(0.5, availability)]
+            )
+
+    def test_negative_weight_rejected(self, spec, small, software):
+        requirements = self._requirements(spec, software)
+        availability = {"rack": 0.999, "host": 0.998, "vm": 0.998}
+        with pytest.raises(ModelError):
+            evaluate_topology_weighted(
+                small,
+                requirements,
+                [(1.5, availability), (-0.5, availability)],
+            )
+
+
+class TestCrossValidationAccessors:
+    @pytest.mark.slow
+    def test_gap_and_ratio_are_consistent(self):
+        crossval = evaluate_campaign(
+            CampaignSpec(
+                option="1S", horizon_hours=1500.0, replications=2, seed=5,
+            )
+        )
+        for plane in PLANES:
+            simulated = crossval.simulated(plane)
+            analytic = crossval.analytic[plane]
+            assert crossval.gap(plane) == pytest.approx(simulated - analytic)
+            assert crossval.unavailability_ratio(plane) == pytest.approx(
+                (1.0 - simulated) / (1.0 - analytic)
+            )
+
+    @pytest.mark.slow
+    def test_reuses_precomputed_result(self):
+        spec = CampaignSpec(
+            option="1S", horizon_hours=1000.0, replications=2, seed=5,
+        )
+        result = run_campaign(spec)
+        crossval = evaluate_campaign(spec, result=result)
+        assert crossval.result is result

@@ -1,0 +1,226 @@
+"""Campaign reproducibility: worker counts, tracing, and serialization.
+
+A campaign is a pure function of its spec: identical spec + seed must be
+bit-identical across worker counts and with observability tracing on or
+off, the spec must round-trip losslessly through JSON (with a stable
+params hash), and traced runs must land the campaign's seed material in
+the run manifest.  Mirrors the discipline of ``test_obs_determinism.py``
+for the ``repro-avail faults`` path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CampaignError
+from repro.faults import (
+    CampaignSpec,
+    CommonCauseSpec,
+    MaintenanceSpec,
+    RackPowerSpec,
+    RepairCrewsSpec,
+    run_campaign,
+)
+from repro.obs import runtime as obs
+from repro.obs.manifest import RunManifest
+
+HAZARDS = (
+    CommonCauseSpec("role:Control", 0.4),
+    RackPowerSpec(mtbf_hours=3000.0),
+    MaintenanceSpec(
+        "host:H2", start_hours=100.0, period_hours=500.0, duration_hours=25.0,
+    ),
+)
+
+SPEC = CampaignSpec(
+    option="1S",
+    horizon_hours=1500.0,
+    replications=4,
+    seed=21,
+    hazards=HAZARDS,
+    repair_crews=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    obs.stop()
+    yield
+    obs.stop()
+
+
+def _fingerprint(result):
+    """Everything observable about a campaign, as comparable tuples."""
+    return (
+        tuple(
+            (r.cp, r.shared_dp, r.local_dp, r.dp)
+            for r in result.replications.results
+        ),
+        result.replications.seeds,
+        result.stats,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        restored = CampaignSpec.from_json(SPEC.to_json())
+        assert restored == SPEC
+        assert restored.params_hash() == SPEC.params_hash()
+
+    def test_hash_distinguishes_specs(self):
+        assert (
+            SPEC.with_beta(0.5).params_hash() != SPEC.params_hash()
+        )
+
+    def test_unknown_field_rejected(self):
+        record = SPEC.to_dict()
+        record["warp_factor"] = 9
+        with pytest.raises(CampaignError, match="unknown campaign field"):
+            CampaignSpec.from_dict(record)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            CampaignSpec.from_json("{nope")
+        with pytest.raises(CampaignError, match="must be an object"):
+            CampaignSpec.from_json("[1, 2]")
+
+    def test_with_beta_replaces_existing_hazards(self):
+        swept = SPEC.with_beta(0.9)
+        common = [
+            hazard for hazard in swept.hazards
+            if isinstance(hazard, CommonCauseSpec)
+        ]
+        assert [hazard.beta for hazard in common] == [0.9]
+        assert common[0].group == "role:Control"
+        # Non-common-cause hazards ride along untouched.
+        assert sum(
+            isinstance(hazard, MaintenanceSpec) for hazard in swept.hazards
+        ) == 1
+
+    def test_with_beta_adds_hazard_when_absent(self):
+        spec = CampaignSpec(option="1S").with_beta(0.3)
+        assert spec.hazards == (CommonCauseSpec("kind:vm", 0.3),)
+
+    def test_repair_crews_spec_serializes(self):
+        spec = CampaignSpec(
+            option="1S", hazards=(RepairCrewsSpec(3),)
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+
+class TestBitIdenticalCampaigns:
+    @pytest.mark.slow
+    def test_workers_do_not_change_results(self):
+        baseline = run_campaign(SPEC, workers=1)
+        pooled = run_campaign(SPEC, workers=4)
+        assert _fingerprint(pooled) == _fingerprint(baseline)
+
+    @pytest.mark.slow
+    def test_tracing_does_not_change_results(self):
+        baseline = run_campaign(SPEC)
+        with obs.session("determinism") as session:
+            traced = run_campaign(SPEC)
+        assert _fingerprint(traced) == _fingerprint(baseline)
+        assert "fault-campaign" in session.solver_path
+        assert session.annotations["seed.campaign_root"] == SPEC.seed
+        assert (
+            session.annotations["seed.campaign_replications"]
+            == SPEC.replications
+        )
+        assert (
+            session.annotations["seed.campaign_hash"] == SPEC.params_hash()
+        )
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["faults.injections.common_cause"] > 0
+        assert counters["faults.injections.maintenance"] > 0
+
+    @pytest.mark.slow
+    def test_manifest_round_trips_campaign_seed_material(self, tmp_path):
+        with obs.session("faults-manifest") as session:
+            run_campaign(SPEC)
+        manifest = session.build_manifest(arguments={"option": SPEC.option})
+        path = manifest.write(tmp_path / "campaign.json")
+        restored = RunManifest.load(path)
+        assert restored == manifest
+        assert restored.seed["campaign_root"] == SPEC.seed
+        assert restored.seed["campaign_replications"] == SPEC.replications
+        assert restored.seed["campaign_hash"] == SPEC.params_hash()
+        assert "fault-campaign" in restored.solver_path
+        assert "simulation" in restored.solver_path
+
+
+class TestCliFaults:
+    @pytest.mark.slow
+    def test_trace_writes_valid_manifest(self, capsys, tmp_path):
+        """Acceptance: ``repro-avail faults --trace out.json`` -> manifest."""
+        trace = tmp_path / "out.json"
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(SPEC.to_json(), encoding="utf-8")
+        assert main([
+            "faults", "--campaign", str(spec_path),
+            "--replications", "2", "--horizon", "800",
+            "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign vs analytic" in out
+        assert "injections:" in out
+        assert "wrote trace manifest" in out
+        manifest = RunManifest.load(trace)
+        assert manifest.command == "faults"
+        assert manifest.seed["campaign_root"] == SPEC.seed
+        assert manifest.seed["campaign_replications"] == 2
+        assert "fault-campaign" in manifest.solver_path
+        assert "simulation" in manifest.solver_path
+        assert any(
+            s["name"] == "faults.campaign" for s in manifest.spans
+        )
+        assert not obs.enabled()  # the CLI stopped its session
+
+    @pytest.mark.slow
+    def test_json_payload(self, capsys, tmp_path):
+        payload_path = tmp_path / "campaign_out.json"
+        assert main([
+            "faults", "--option", "1S", "--horizon", "800",
+            "--replications", "2", "--seed", "3",
+            "--beta", "0.4", "--beta-group", "role:Control",
+            "--json", str(payload_path),
+        ]) == 0
+        payload = json.loads(payload_path.read_text(encoding="utf-8"))
+        assert payload["spec"]["option"] == "1S"
+        assert payload["spec"]["hazards"] == [
+            {"kind": "common_cause", "group": "role:Control", "beta": 0.4}
+        ]
+        assert set(payload["planes"]) == {"cp", "sdp", "ldp", "dp"}
+        for plane in payload["planes"].values():
+            assert set(plane) >= {"simulated", "analytic", "gap"}
+        restored = CampaignSpec.from_dict(payload["spec"])
+        assert restored.params_hash() == payload["spec_hash"]
+
+    @pytest.mark.slow
+    def test_beta_sweep_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        assert main([
+            "faults", "--option", "1S", "--horizon", "600",
+            "--replications", "2", "--seed", "3",
+            "--sweep-beta", "0.0,0.5", "--beta-group", "role:Control",
+            "--csv", str(csv_path),
+        ]) == 0
+        assert "Common-cause beta sweep" in capsys.readouterr().out
+        lines = csv_path.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("beta,")
+        assert len(lines) == 3  # header + one row per beta
+
+    @pytest.mark.slow
+    def test_crews_flag_reaches_campaign(self, capsys, tmp_path):
+        payload_path = tmp_path / "crews.json"
+        assert main([
+            "faults", "--option", "1S", "--horizon", "800",
+            "--replications", "2", "--seed", "3", "--crews", "1",
+            "--json", str(payload_path),
+        ]) == 0
+        payload = json.loads(payload_path.read_text(encoding="utf-8"))
+        assert payload["spec"]["repair_crews"] == 1
+        assert payload["repair_queue"]["total_queued"] > 0

@@ -1,0 +1,424 @@
+"""Unit tests for the fault-injection hazard models (:mod:`repro.faults.hazards`).
+
+Everything here runs on tiny hand-built simulators with deterministic
+repair sampling (``lambda rng, name, mean: mean``) or on the small
+reference deployment, so the semantics — FIFO crews, beta-factor rate
+splitting, maintenance holds, group resolution — are checked exactly,
+without Monte-Carlo noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CampaignError, SimulationError
+from repro.faults.hazards import (
+    CommonCauseSpec,
+    MaintenanceSpec,
+    RackPowerSpec,
+    RepairCrews,
+    RepairCrewsSpec,
+    attach_hazards,
+    hazard_from_dict,
+    hazard_to_dict,
+)
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.sim.controller_sim import SimulationConfig, build_simulator
+from repro.sim.engine import AvailabilitySimulator
+from repro.sim.entities import Component, ComponentKind, ComponentState
+from repro.sim.scenario import Injection, ScenarioRunner
+
+S2 = RestartScenario.REQUIRED
+
+STRESSED_HW = HardwareParams(a_role=1.0, a_vm=0.998, a_host=0.998, a_rack=0.999)
+STRESSED_SW = SoftwareParams.from_availabilities(0.995, 0.95, mtbf_hours=100.0)
+
+
+def _config(seed: int = 7, horizon: float = 1500.0) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed,
+        horizon_hours=horizon,
+        batches=2,
+        rack_mtbf_hours=2000.0,
+        host_mtbf_hours=1000.0,
+        vm_mtbf_hours=500.0,
+    )
+
+
+def _small_simulator(spec, small, seed: int = 7) -> AvailabilitySimulator:
+    return build_simulator(
+        spec, small, STRESSED_HW, STRESSED_SW, S2, _config(seed)
+    )
+
+
+def _static_simulator(
+    keys: tuple[str, ...], controller=None
+) -> AvailabilitySimulator:
+    """A simulator whose components never fail stochastically.
+
+    Repairs take exactly ``repair_mean`` hours (deterministic sampler), so
+    repair completion times are exact arithmetic.
+    """
+    components = [
+        Component(
+            key=key,
+            kind=ComponentKind.HOST,
+            failure_rate=0.0,
+            repair_mean=1.0,
+        )
+        for key in keys
+    ]
+    return AvailabilitySimulator(
+        components,
+        seed=1,
+        repair_sampler=lambda rng, name, mean: mean,
+        repair_controller=controller,
+    )
+
+
+class TestSpecValidation:
+    def test_common_cause_beta_bounds(self):
+        CommonCauseSpec("kind:vm", 0.0)
+        CommonCauseSpec("kind:vm", 1.0)
+        with pytest.raises(CampaignError):
+            CommonCauseSpec("kind:vm", -0.1)
+        with pytest.raises(CampaignError):
+            CommonCauseSpec("kind:vm", 1.1)
+        with pytest.raises(CampaignError):
+            CommonCauseSpec("", 0.5)
+
+    def test_rack_power_mtbf_positive(self):
+        with pytest.raises(CampaignError):
+            RackPowerSpec(mtbf_hours=0.0)
+        with pytest.raises(CampaignError):
+            RackPowerSpec(mtbf_hours=-5.0)
+
+    def test_maintenance_window_geometry(self):
+        with pytest.raises(CampaignError):
+            MaintenanceSpec("host:H1", start_hours=-1.0,
+                            period_hours=10.0, duration_hours=1.0)
+        with pytest.raises(CampaignError):
+            MaintenanceSpec("host:H1", start_hours=0.0,
+                            period_hours=10.0, duration_hours=0.0)
+        # The period must exceed the duration, else the window never closes.
+        with pytest.raises(CampaignError):
+            MaintenanceSpec("host:H1", start_hours=0.0,
+                            period_hours=1.0, duration_hours=1.0)
+        with pytest.raises(CampaignError):
+            MaintenanceSpec("", start_hours=0.0,
+                            period_hours=10.0, duration_hours=1.0)
+        window = MaintenanceSpec("host:H1", start_hours=0.0,
+                                 period_hours=10.0, duration_hours=2.5)
+        assert window.duty_fraction == pytest.approx(0.25)
+
+    def test_repair_crews_at_least_one(self):
+        with pytest.raises(CampaignError):
+            RepairCrewsSpec(0)
+        with pytest.raises(CampaignError):
+            RepairCrews(0)
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            CommonCauseSpec("role:Database", 0.25),
+            RackPowerSpec(mtbf_hours=4000.0, racks=("rack:R1",)),
+            MaintenanceSpec("host:H2", start_hours=100.0,
+                            period_hours=500.0, duration_hours=25.0),
+            RepairCrewsSpec(2),
+        ],
+        ids=lambda spec: spec.kind,
+    )
+    def test_round_trip(self, spec):
+        record = hazard_to_dict(spec)
+        assert record["kind"] == spec.kind
+        assert hazard_from_dict(record) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CampaignError, match="unknown hazard kind"):
+            hazard_from_dict({"kind": "meteor_strike"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError, match="unknown field"):
+            hazard_from_dict(
+                {"kind": "common_cause", "group": "kind:vm",
+                 "beta": 0.1, "gamma": 0.2}
+            )
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(CampaignError, match="invalid"):
+            hazard_from_dict({"kind": "common_cause", "group": "kind:vm"})
+
+
+class TestResolveGroup:
+    def test_exact_key(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        assert simulator.resolve_group("host:H1") == ("host:H1",)
+
+    def test_subtree(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        keys = simulator.resolve_group("rack:R1/*")
+        assert keys[0] == "rack:R1"
+        assert "host:H1" in keys
+        # Everything except the off-rack vRouter compute node (local:*)
+        # sits on the single rack of the small deployment.
+        assert set(keys) == {
+            key for key in simulator.components
+            if not key.startswith("local:")
+        }
+
+    def test_role(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        keys = simulator.resolve_group("role:Control")
+        assert keys
+        assert all(
+            key.startswith("sup:Control-") or key.startswith("proc:Control/")
+            for key in keys
+        )
+
+    def test_kind(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        keys = simulator.resolve_group("kind:vm")
+        assert keys
+        assert all(
+            simulator.components[key].kind is ComponentKind.VM for key in keys
+        )
+
+    def test_unresolvable_selector(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        for selector in ("host:NOPE", "role:NoSuchRole", "kind:toaster", ""):
+            with pytest.raises(SimulationError):
+                simulator.resolve_group(selector)
+
+
+class TestScenarioGroupInjections:
+    def test_role_injection_drops_and_restores_cp(self, spec, small):
+        runner = ScenarioRunner.for_controller(spec, small, scenario=S2)
+        trace = runner.run(
+            [
+                Injection(5.0, "role:Control", "fail"),
+                Injection(10.0, "role:Control", "repair"),
+            ],
+            horizon=20.0,
+        )
+        assert trace.state_at("cp", 4.0)
+        assert not trace.state_at("cp", 7.0)
+        assert trace.state_at("cp", 12.0)
+
+    def test_subtree_injection_drops_everything(self, spec, small):
+        runner = ScenarioRunner.for_controller(spec, small, scenario=S2)
+        trace = runner.run(
+            [
+                Injection(5.0, "rack:R1/*", "fail"),
+                Injection(10.0, "rack:R1/*", "repair"),
+            ],
+            horizon=20.0,
+        )
+        # The local DP rides on the off-rack compute node, so only the
+        # controller-hosted planes go down with the rack.
+        for signal in ("cp", "sdp", "dp"):
+            assert not trace.state_at(signal, 7.0)
+            assert trace.state_at(signal, 12.0)
+        assert trace.state_at("ldp", 7.0)
+
+    def test_unknown_target_raises(self, spec, small):
+        runner = ScenarioRunner.for_controller(spec, small, scenario=S2)
+        with pytest.raises(SimulationError):
+            runner.run([Injection(1.0, "host:NOPE", "fail")], horizon=5.0)
+
+
+class TestRepairCrews:
+    def test_fifo_serialization(self):
+        controller = RepairCrews(1)
+        simulator = _static_simulator(("a", "b", "c"), controller)
+        for key in ("a", "b", "c"):
+            simulator.force_fail(key, repair=True)
+        assert controller.active_repairs == 1
+        assert controller.queue_depth == 2
+
+        observed: list[tuple[float, tuple[str, ...]]] = []
+
+        def probe() -> None:
+            up = tuple(
+                key for key in ("a", "b", "c")
+                if simulator.components[key].state is ComponentState.UP
+            )
+            observed.append((simulator.now, up))
+
+        for when in (0.5, 1.5, 2.5, 3.5):
+            simulator.schedule_action(when, probe)
+        simulator.run(5.0, batches=1)
+
+        # One crew, 1h deterministic repairs, FIFO: a at t=1, b at 2, c at 3.
+        assert observed == [
+            (0.5, ()),
+            (1.5, ("a",)),
+            (2.5, ("a", "b")),
+            (3.5, ("a", "b", "c")),
+        ]
+        assert controller.total_queued == 2
+        assert controller.max_queue_depth == 2
+        assert controller.queue_depth == 0
+        assert controller.active_repairs == 0
+
+    def test_forced_repair_drops_queue_entry(self):
+        controller = RepairCrews(1)
+        simulator = _static_simulator(("a", "b"), controller)
+        simulator.force_fail("a", repair=True)
+        simulator.force_fail("b", repair=True)
+        assert controller.queue_depth == 1
+        simulator.force_repair("b")  # repaired while still waiting
+        assert controller.queue_depth == 0
+        assert simulator.components["b"].state is ComponentState.UP
+
+    def test_begin_repair_requires_down_component(self):
+        simulator = _static_simulator(("a",))
+        with pytest.raises(SimulationError):
+            simulator.begin_repair("a")
+
+
+class TestCommonCause:
+    def test_beta_zero_is_bit_identical(self, spec, small):
+        from repro.sim.controller_sim import collect_result
+
+        horizon = 1500.0
+        baseline = _small_simulator(spec, small, seed=11)
+        baseline.run(horizon, batches=2)
+        plain = collect_result(baseline, horizon)
+
+        hazarded = _small_simulator(spec, small, seed=11)
+        hazard_set = attach_hazards(
+            hazarded, (CommonCauseSpec("kind:vm", beta=0.0),)
+        )
+        hazarded.run(horizon, batches=2)
+        traced = collect_result(hazarded, horizon)
+
+        assert (traced.cp, traced.shared_dp, traced.local_dp, traced.dp) == (
+            plain.cp, plain.shared_dp, plain.local_dp, plain.dp,
+        )
+        assert hazard_set.stats()["injections"]["common_cause"] == 0
+
+    def test_beta_one_moves_all_intensity_to_common_cause(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        keys = simulator.resolve_group("kind:vm")
+        original = [simulator.components[key].failure_rate for key in keys]
+        hazard_set = attach_hazards(
+            simulator, (CommonCauseSpec("kind:vm", beta=1.0),)
+        )
+        assert all(
+            simulator.components[key].failure_rate == 0.0 for key in keys
+        )
+        process = hazard_set.processes[0]
+        assert process._rate == pytest.approx(sum(original) / len(original))
+
+    def test_partial_beta_scales_member_rates(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        keys = simulator.resolve_group("kind:vm")
+        original = {
+            key: simulator.components[key].failure_rate for key in keys
+        }
+        attach_hazards(simulator, (CommonCauseSpec("kind:vm", beta=0.25),))
+        for key in keys:
+            assert simulator.components[key].failure_rate == pytest.approx(
+                0.75 * original[key]
+            )
+
+
+class TestMaintenance:
+    def test_windows_are_deterministic(self):
+        simulator = _static_simulator(("host:A",))
+        spec = MaintenanceSpec(
+            "host:A", start_hours=2.0, period_hours=5.0, duration_hours=1.0
+        )
+        hazard_set = attach_hazards(simulator, (spec,))
+
+        observed: list[tuple[float, bool]] = []
+
+        def probe() -> None:
+            observed.append(
+                (simulator.now, simulator.effectively_up("host:A"))
+            )
+
+        # Windows: [2, 3) and [7, 8); probes bracket both edges.
+        for when in (1.5, 2.5, 3.5, 6.5, 7.5, 8.5):
+            simulator.schedule_action(when, probe)
+        simulator.run(10.0, batches=1)
+
+        assert observed == [
+            (1.5, True), (2.5, False), (3.5, True),
+            (6.5, True), (7.5, False), (8.5, True),
+        ]
+        assert hazard_set.stats()["injections"]["maintenance"] == 2
+
+    def test_hold_cancels_pending_repair(self):
+        simulator = _static_simulator(("host:A",))
+        attach_hazards(
+            simulator,
+            (
+                MaintenanceSpec(
+                    "host:A", start_hours=0.5,
+                    period_hours=10.0, duration_hours=2.0,
+                ),
+            ),
+        )
+        # Stochastic-style failure at t=0 schedules a 1h repair (t=1), but
+        # the window opening at t=0.5 must pin the host down until t=2.5.
+        simulator.force_fail("host:A", repair=True)
+
+        observed: list[tuple[float, bool]] = []
+
+        def probe() -> None:
+            observed.append(
+                (simulator.now, simulator.effectively_up("host:A"))
+            )
+
+        for when in (1.5, 2.0, 3.0):
+            simulator.schedule_action(when, probe)
+        simulator.run(5.0, batches=1)
+
+        assert observed == [(1.5, False), (2.0, False), (3.0, True)]
+
+
+class TestAttachHazards:
+    def test_rack_power_rejects_non_rack_target(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        with pytest.raises(CampaignError, match="not a rack"):
+            attach_hazards(
+                simulator,
+                (RackPowerSpec(mtbf_hours=100.0, racks=("host:H1",)),),
+            )
+
+    def test_rack_power_defaults_to_all_racks(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        hazard_set = attach_hazards(
+            simulator, (RackPowerSpec(mtbf_hours=100.0),)
+        )
+        process = hazard_set.processes[0]
+        assert len(process._groups) == len(
+            simulator.resolve_group("kind:rack")
+        )
+
+    def test_crews_spec_installs_controller(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        hazard_set = attach_hazards(simulator, (RepairCrewsSpec(2),))
+        assert hazard_set.controller is simulator.repair_controller
+        assert hazard_set.controller.crews == 2
+
+    def test_explicit_crews_argument_wins(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        hazard_set = attach_hazards(
+            simulator, (RepairCrewsSpec(2),), crews=5
+        )
+        assert hazard_set.controller.crews == 5
+
+    def test_stats_without_controller(self, spec, small):
+        simulator = _small_simulator(spec, small)
+        hazard_set = attach_hazards(simulator, ())
+        stats = hazard_set.stats()
+        assert stats == {
+            "injections": {},
+            "repair_max_queue_depth": 0,
+            "repair_total_queued": 0,
+        }

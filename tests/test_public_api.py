@@ -34,6 +34,7 @@ class TestPublicApi:
             "repro.sim",
             "repro.analysis",
             "repro.reporting",
+            "repro.faults",
             "repro.cli",
         ],
     )
@@ -49,6 +50,7 @@ class TestPublicApi:
             "repro.markov",
             "repro.sim",
             "repro.analysis",
+            "repro.faults",
         ],
     )
     def test_subpackage_all_resolves(self, module):
