@@ -37,6 +37,7 @@ from repro.sim.controller_sim import (
     build_simulator,
     collect_result,
 )
+from repro.perf.parallel import broadcast_value, map_chunked
 from repro.sim.replicate import ReplicationSet, map_jobs
 from repro.sim.rng import derive_seeds
 from repro.topology.reference import reference_topology
@@ -204,6 +205,24 @@ def materialize(spec: CampaignSpec):
 def _run_campaign_replication(job: tuple) -> tuple[SimulationResult, dict]:
     """One campaign replication (module-level so it pickles into workers)."""
     spec, seed = job
+    return _run_one_replication(spec, seed)
+
+
+def _campaign_replication_from_broadcast(
+    seed: int,
+) -> tuple[SimulationResult, dict]:
+    """One replication reading the spec from the warm pool's broadcast.
+
+    On the warm-pool path the frozen :class:`CampaignSpec` is shipped once
+    per worker process (pool initializer) and each job carries its seed
+    only.
+    """
+    return _run_one_replication(broadcast_value(), seed)
+
+
+def _run_one_replication(
+    spec: CampaignSpec, seed: int
+) -> tuple[SimulationResult, dict]:
     controller, topology, hardware, software, scenario = materialize(spec)
     config = SimulationConfig(
         seed=seed,
@@ -223,6 +242,8 @@ def _run_campaign_replication(job: tuple) -> tuple[SimulationResult, dict]:
     result = collect_result(simulator, spec.horizon_hours)
     stats = hazard_set.stats()
     stats["events"] = simulator.events_processed
+    stats["events_purged"] = simulator.events_purged
+    stats["queue_compactions"] = simulator.queue_compactions
     return result, stats
 
 
@@ -293,13 +314,24 @@ def run_campaign(
         hazards=len(spec.hazards),
         workers=workers,
     ):
-        outcomes = map_jobs(
-            _run_campaign_replication,
-            [(spec, seed) for seed in seeds],
-            workers=workers,
-            executor=executor,
-            span_name="faults.replication",
-        )
+        if executor is None and workers > 1 and spec.replications > 1:
+            # Warm-pool path: the frozen spec broadcasts once per worker
+            # via the pool initializer; jobs carry only their seed and are
+            # chunked per worker.
+            outcomes = map_chunked(
+                _campaign_replication_from_broadcast,
+                list(seeds),
+                workers,
+                spec,
+            )
+        else:
+            outcomes = map_jobs(
+                _run_campaign_replication,
+                [(spec, seed) for seed in seeds],
+                workers=workers,
+                executor=executor,
+                span_name="faults.replication",
+            )
     results = tuple(result for result, _ in outcomes)
     stats = tuple(stat for _, stat in outcomes)
     if obs.enabled():

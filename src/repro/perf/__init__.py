@@ -8,8 +8,9 @@ the 10^4-10^6 model evaluations that availability confidence studies need:
   ``plane_availability_array``);
 * :mod:`repro.perf.parallel` — the chunked, ``SeedSequence.spawn``-seeded
   Monte-Carlo runner (:func:`monte_carlo_parallel`), bit-identical across
-  worker counts; the matching replication runner lives in
-  :mod:`repro.sim.replicate`;
+  worker counts, plus the warm process-pool registry
+  (:func:`get_warm_pool`) that replication dispatch reuses across calls;
+  the matching replication runner lives in :mod:`repro.sim.replicate`;
 * :mod:`repro.perf.cache` — transparent memoization of model evaluations
   keyed on the frozen parameter dataclasses.
 """
@@ -23,8 +24,13 @@ from repro.perf.cache import (
 from repro.perf.parallel import (
     ARRAY_MODELS,
     DEFAULT_CHUNK_SIZE,
+    MAX_WARM_POOLS,
     chunk_bounds,
+    get_warm_pool,
     monte_carlo_parallel,
+    shutdown_warm_pools,
+    split_chunks,
+    warm_pool_count,
 )
 from repro.perf.vectorized import (
     dp_availability_array,
@@ -43,8 +49,13 @@ from repro.perf.vectorized import (
 __all__ = [
     "ARRAY_MODELS",
     "DEFAULT_CHUNK_SIZE",
+    "MAX_WARM_POOLS",
     "chunk_bounds",
+    "get_warm_pool",
     "monte_carlo_parallel",
+    "shutdown_warm_pools",
+    "split_chunks",
+    "warm_pool_count",
     "memoize_model",
     "evaluate_topology_cached",
     "engine_cache_info",

@@ -258,14 +258,28 @@ def _attach_signals(
                 ]
                 plane_units[plane_name].append((unit.quorum, per_instance))
 
+    def plane_keys(plane_name: str) -> list[str]:
+        return [
+            key
+            for _, per_instance in plane_units[plane_name]
+            for member_keys in per_instance
+            for key in member_keys
+        ]
+
     def plane_up(plane_name: str):
         units = plane_units[plane_name]
 
+        # Hot path: runs after every quorum-relevant event.  Plain loops
+        # (no genexpr/``all`` frames) over the memoized effective states.
         def predicate(sim: AvailabilitySimulator) -> bool:
+            effectively_up = sim.effectively_up
             for quorum, per_instance in units:
                 satisfied = 0
                 for member_keys in per_instance:
-                    if all(sim.effectively_up(k) for k in member_keys):
+                    for key in member_keys:
+                        if not effectively_up(key):
+                            break
+                    else:
                         satisfied += 1
                         if satisfied >= quorum:
                             break
@@ -282,15 +296,28 @@ def _attach_signals(
             local_keys.extend(f"local:{m.name}" for m in unit.members)
 
     def ldp_up(sim: AvailabilitySimulator) -> bool:
-        return all(sim.effectively_up(k) for k in local_keys)
+        effectively_up = sim.effectively_up
+        for key in local_keys:
+            if not effectively_up(key):
+                return False
+        return True
 
     cp_predicate = plane_up("cp")
     sdp_predicate = plane_up("dp")
-    simulator.add_signal("cp", cp_predicate)
-    simulator.add_signal("sdp", sdp_predicate)
-    simulator.add_signal("ldp", ldp_up)
+    sdp_keys = plane_keys("dp")
+    simulator.add_signal("cp", cp_predicate, depends_on=plane_keys("cp"))
+    simulator.add_signal("sdp", sdp_predicate, depends_on=sdp_keys)
+    simulator.add_signal("ldp", ldp_up, depends_on=local_keys)
+    # DP = SDP AND LDP.  Registered last and declared over the union of
+    # their keys, so both input signals are already refreshed (or known
+    # unchanged) whenever this predicate runs — reading their states skips
+    # a full re-scan of the shared plane's quorum units.
+    sdp_signal = simulator.signal("sdp")
+    ldp_signal = simulator.signal("ldp")
     simulator.add_signal(
-        "dp", lambda sim: sdp_predicate(sim) and ldp_up(sim)
+        "dp",
+        lambda sim: sdp_signal.state and ldp_signal.state,
+        depends_on=sdp_keys + local_keys,
     )
 
 

@@ -18,6 +18,32 @@ Correctness notes (these are tested):
   when a supervisor completes its manual restart it restores all of its
   supervised processes (the paper's "the supervisor can then auto-restart
   those processes under its oversight").
+
+Hot-path design (the campaign benchmark drives these — see
+``benchmarks/bench_sim_engine.py``):
+
+* **Cached effective state.**  ``effectively_up`` used to re-walk the
+  dependency chain on every call, and the signal predicates call it for
+  every quorum member after every event — the single largest cost in the
+  seed profile.  It is now memoized per component; the *only* two sites
+  that flip intrinsic state (:meth:`_apply_down` / :meth:`_apply_up`)
+  invalidate exactly the flipped component plus its precomputed
+  transitive-dependents closure.  Each invalidation also accumulates a
+  dirty-signal bitmask (signals declare the component keys they read), so
+  :meth:`_refresh_signals` re-evaluates only the predicates a transition
+  could actually have changed (integration still advances on every
+  refresh, keeping float accumulation bit-identical to the seed engine).
+  Signal predicates must therefore be pure functions of component
+  effective states — which every predicate in this repository is.
+* **Build-time indexes.**  The dependents closure, the ``role:``/``kind:``
+  selector indexes, per-component RNG stream names, and the signal-by-name
+  map are all computed once at construction, so :meth:`resolve_group`,
+  :meth:`_reschedule_subtree`, :meth:`signal`, and the schedulers never
+  re-scan the component dict during a run.
+* **Stale-event accounting.**  Every epoch bump reports its newly-orphaned
+  scheduled events to the queue, which lazily compacts itself when corpses
+  dominate (:mod:`repro.sim.events`); the dispatched event stream is
+  bit-identical either way.
 """
 
 from __future__ import annotations
@@ -87,7 +113,7 @@ class AvailabilitySimulator:
                         f"{dependency!r}"
                     )
                 self.components[dependency].dependents.append(component.key)
-        self._queue = EventQueue()
+        self._queue = EventQueue(stale=self._event_is_stale)
         self._rng = RngStreams(seed)
         self._repair_policy = repair_policy or (lambda c: c.repair_mean)
         self._on_repair = on_repair
@@ -98,9 +124,86 @@ class AvailabilitySimulator:
         self._repair_sampler = repair_sampler
         self._repair_controller = repair_controller
         self._signals: list[tuple[BinarySignal, SignalPredicate]] = []
+        self._signals_by_name: dict[str, BinarySignal] = {}
         self._batch_records: dict[str, list[float]] = {}
         #: Events executed across every :meth:`run` of this simulator.
         self.events_processed = 0
+        # -- build-time indexes (the component set is frozen from here on) --
+        self._closure: dict[str, tuple[str, ...]] = {
+            key: self._walk_dependents(key) for key in self.components
+        }
+        self._role_index: dict[str, tuple[str, ...]] = {}
+        self._kind_index: dict[ComponentKind, tuple[str, ...]] = {}
+        self._build_selector_indexes()
+        self._fail_streams = {
+            key: f"fail:{key}" for key in self.components
+        }
+        self._repair_streams = {
+            key: f"repair:{key}" for key in self.components
+        }
+        # -- effective-state cache + scheduled-event accounting --
+        self._eff_cache: dict[str, bool] = {}
+        self._pending: dict[str, int] = {}
+        # -- signal dirty-tracking --
+        # Bit i marks signal i; a component key maps to the signals whose
+        # declared dependency set contains it.  Signals registered without
+        # a dependency declaration are conservatively dirty on every
+        # effective-state change.
+        self._key_signal_mask: dict[str, int] = {}
+        self._always_dirty_mask = 0
+        self._dirty_signals = 0
+
+    def _walk_dependents(self, key: str) -> tuple[str, ...]:
+        """Transitive dependents in the engine's canonical DFS order.
+
+        The order feeds group expansion and clock rescheduling, which in
+        turn fixes RNG stream creation order — it is part of the
+        bit-reproducibility contract and must not change.
+        """
+        seen: list[str] = []
+        stack = list(self.components[key].dependents)
+        while stack:
+            dependent = stack.pop()
+            if dependent not in seen:
+                seen.append(dependent)
+                stack.extend(self.components[dependent].dependents)
+        return tuple(seen)
+
+    def _build_selector_indexes(self) -> None:
+        """Index ``role:``/``kind:`` selector matches once, at build time.
+
+        A key matches ``role:<Name>`` when it starts with ``sup:<Name>-``
+        or ``proc:<Name>/``, so each key is indexed under every dash-
+        (respectively slash-) delimited prefix of its role segment —
+        exactly the names the seed implementation's per-query scan would
+        have matched.  Insertion order is preserved, so expanded groups
+        list components in registration order, as before.
+        """
+        roles: dict[str, list[str]] = {}
+        kinds: dict[ComponentKind, list[str]] = {}
+        for key, component in self.components.items():
+            kinds.setdefault(component.kind, []).append(key)
+            if key.startswith("sup:"):
+                rest = key[4:]
+                for i, ch in enumerate(rest):
+                    if ch == "-" and i:
+                        roles.setdefault(rest[:i], []).append(key)
+            elif key.startswith("proc:"):
+                rest = key[5:]
+                for i, ch in enumerate(rest):
+                    if ch == "/" and i:
+                        roles.setdefault(rest[:i], []).append(key)
+        self._role_index = {
+            name: tuple(keys) for name, keys in roles.items()
+        }
+        self._kind_index = {
+            kind: tuple(keys) for kind, keys in kinds.items()
+        }
+
+    def _event_is_stale(self, event: Event) -> bool:
+        """Queue-compaction predicate: the event's epoch has moved on."""
+        key = event.component
+        return key is not None and self.components[key].epoch != event.epoch
 
     # -- state queries -----------------------------------------------------------
 
@@ -122,55 +225,140 @@ class AvailabilitySimulator:
         return self.components[key].state is ComponentState.UP
 
     def effectively_up(self, key: str) -> bool:
-        """Intrinsically up and every dependency effectively up."""
+        """Intrinsically up and every dependency effectively up.
+
+        Memoized: transitions invalidate exactly the flipped component and
+        its dependents closure, so repeated queries between events are
+        dictionary hits.
+        """
+        cache = self._eff_cache
+        value = cache.get(key)
+        if value is not None:
+            return value
         component = self.components[key]
-        if component.state is not ComponentState.UP:
-            return False
-        return all(self.effectively_up(d) for d in component.dependencies)
+        if component.state is ComponentState.UP:
+            value = True
+            for dependency in component.dependencies:
+                if not self.effectively_up(dependency):
+                    value = False
+                    break
+        else:
+            value = False
+        cache[key] = value
+        return value
+
+    def _invalidate_effective(self, key: str) -> None:
+        """Drop cached effective states affected by ``key``'s transition.
+
+        Also accumulates the dirty-signal mask: a signal needs predicate
+        re-evaluation only if some key it declared a dependency on just had
+        its cached effective state invalidated.
+        """
+        cache = self._eff_cache
+        masks = self._key_signal_mask
+        dirty = self._always_dirty_mask | masks.get(key, 0)
+        cache.pop(key, None)
+        for dependent in self._closure[key]:
+            cache.pop(dependent, None)
+            dirty |= masks.get(dependent, 0)
+        self._dirty_signals |= dirty
 
     # -- signals ------------------------------------------------------------------
 
-    def add_signal(self, name: str, predicate: SignalPredicate) -> None:
+    def add_signal(
+        self,
+        name: str,
+        predicate: SignalPredicate,
+        depends_on: Sequence[str] | None = None,
+    ) -> None:
+        """Register a binary signal integrated over simulated time.
+
+        ``predicate`` must be a pure function of component *effective
+        states*: predicate re-evaluation is skipped while no effective
+        state has changed, so a predicate reading anything else would be
+        sampled at the wrong times.
+
+        ``depends_on`` optionally declares every component key the
+        predicate reads (a predicate reading *other signals' states* must
+        declare the union of those signals' keys and be registered after
+        them).  Declared signals re-evaluate only when a declared key's
+        effective state may have changed; undeclared signals conservatively
+        re-evaluate on every change.
+        """
+        if name in self._signals_by_name:
+            raise SimulationError(f"duplicate signal {name!r}")
+        bit = 1 << len(self._signals)
+        if depends_on is None:
+            self._always_dirty_mask |= bit
+        else:
+            masks = self._key_signal_mask
+            for key in depends_on:
+                if key not in self.components:
+                    raise SimulationError(
+                        f"signal {name!r} declares unknown dependency {key!r}"
+                    )
+                masks[key] = masks.get(key, 0) | bit
         signal = BinarySignal(name, predicate(self), start_time=self.now)
         self._signals.append((signal, predicate))
+        self._signals_by_name[name] = signal
         self._batch_records[name] = []
 
     def _refresh_signals(self) -> None:
+        # Integration always advances (the accumulation order is part of
+        # the bit-reproducibility contract), but each predicate only
+        # re-evaluates when a transition touched its declared dependencies
+        # — an unchanged signal re-asserts its current value.
+        now = self._queue.now
+        dirty = self._dirty_signals
+        if not dirty:
+            for signal, _ in self._signals:
+                signal.update(now, signal.state)
+            return
+        self._dirty_signals = 0
+        bit = 1
         for signal, predicate in self._signals:
-            signal.update(self.now, predicate(self))
+            if dirty & bit:
+                signal.update(now, predicate(self))
+            else:
+                signal.update(now, signal.state)
+            bit <<= 1
 
     # -- scheduling ----------------------------------------------------------------
 
     def _schedule_failure(self, component: Component) -> None:
         if component.failure_rate <= 0.0:
             return
+        key = component.key
         delay = self._rng.exponential(
-            f"fail:{component.key}", 1.0 / component.failure_rate
+            self._fail_streams[key], 1.0 / component.failure_rate
         )
         epoch = component.epoch
         self._queue.schedule(
             Event(
-                time=self.now + delay,
-                action=lambda: self._fail(component.key, epoch),
-                component=component.key,
+                time=self._queue.now + delay,
+                action=lambda: self._fail(key, epoch),
+                component=key,
                 epoch=epoch,
             )
         )
+        self._pending[key] = self._pending.get(key, 0) + 1
 
     def _schedule_repair(self, component: Component) -> None:
         mean = self._repair_policy(component)
+        key = component.key
         delay = self._repair_sampler(
-            self._rng, f"repair:{component.key}", mean
+            self._rng, self._repair_streams[key], mean
         )
         epoch = component.epoch
         self._queue.schedule(
             Event(
-                time=self.now + delay,
-                action=lambda: self._repair(component.key, epoch),
-                component=component.key,
+                time=self._queue.now + delay,
+                action=lambda: self._repair(key, epoch),
+                component=key,
                 epoch=epoch,
             )
         )
+        self._pending[key] = self._pending.get(key, 0) + 1
 
     def schedule_action(self, time: float, action: Callable[[], None]) -> None:
         """Schedule a non-component callback (hazard processes, maintenance).
@@ -189,15 +377,20 @@ class AvailabilitySimulator:
         """
         return self._rng.exponential(stream, mean)
 
+    def _bump(self, component: Component) -> None:
+        """Bump a component's epoch and report its orphaned events.
+
+        The single engine-side invalidation wrapper: pending scheduled
+        events for the component become stale (the queue may compact them
+        away), and the pending count resets for the new epoch.
+        """
+        component.bump()
+        count = self._pending.pop(component.key, None)
+        if count:
+            self._queue.note_stale(count)
+
     def _transitive_dependents(self, key: str) -> list[str]:
-        seen: list[str] = []
-        stack = list(self.components[key].dependents)
-        while stack:
-            dependent = stack.pop()
-            if dependent not in seen:
-                seen.append(dependent)
-                stack.extend(self.components[dependent].dependents)
-        return seen
+        return list(self._closure[key])
 
     def _reschedule_subtree(self, key: str) -> None:
         """Re-evaluate failure clocks for ``key``'s dependents.
@@ -207,10 +400,11 @@ class AvailabilitySimulator:
         memorylessness), those masked get none.  Pending repairs are left
         alone — repairs proceed regardless of masking.
         """
-        for dependent_key in self._transitive_dependents(key):
-            dependent = self.components[dependent_key]
+        components = self.components
+        for dependent_key in self._closure[key]:
+            dependent = components[dependent_key]
             if dependent.state is ComponentState.UP:
-                dependent.bump()
+                self._bump(dependent)
                 if self.effectively_up(dependent_key):
                     self._schedule_failure(dependent)
 
@@ -218,9 +412,9 @@ class AvailabilitySimulator:
     #
     # Every transition — stochastic clocks, scenario injections, hazard
     # engines, supervisor restores — funnels through _apply_down/_apply_up,
-    # the ONLY sites that flip component state and bump epochs.  Stale-event
-    # dropping therefore behaves identically no matter which layer caused
-    # the transition.
+    # the ONLY sites that flip component state, bump epochs, and invalidate
+    # the effective-state cache.  Stale-event dropping therefore behaves
+    # identically no matter which layer caused the transition.
 
     def _apply_down(
         self, component: Component, *, want_repair: bool, hold: bool
@@ -236,12 +430,13 @@ class AvailabilitySimulator:
         """
         if component.state is ComponentState.REPAIRING:
             if hold:
-                component.bump()  # cancels the pending repair event
+                self._bump(component)  # cancels the pending repair event
                 if self._repair_controller is not None:
                     self._repair_controller.release(self, component)
             return False
         component.state = ComponentState.REPAIRING
-        component.bump()
+        self._bump(component)
+        self._invalidate_effective(component.key)
         if want_repair and (
             self._repair_controller is None
             or self._repair_controller.request(self, component)
@@ -261,7 +456,8 @@ class AvailabilitySimulator:
         if component.state is ComponentState.UP:
             return False
         component.state = ComponentState.UP
-        component.bump()
+        self._bump(component)
+        self._invalidate_effective(component.key)
         if self._repair_controller is not None:
             self._repair_controller.release(self, component)
         if run_hook and self._on_repair is not None:
@@ -275,6 +471,9 @@ class AvailabilitySimulator:
         component = self.components[key]
         if component.epoch != epoch or component.state is not ComponentState.UP:
             return  # stale clock
+        pending = self._pending.get(key)
+        if pending:
+            self._pending[key] = pending - 1
         self._apply_down(component, want_repair=True, hold=False)
         self._refresh_signals()
 
@@ -285,6 +484,9 @@ class AvailabilitySimulator:
             or component.state is not ComponentState.REPAIRING
         ):
             return  # cancelled (e.g. supervisor restored the process)
+        pending = self._pending.get(key)
+        if pending:
+            self._pending[key] = pending - 1
         self._apply_up(component, run_hook=True)
         self._refresh_signals()
 
@@ -390,36 +592,44 @@ class AvailabilitySimulator:
           across all its instances (``"role:Database"``);
         * ``"kind:<kind>"`` — every component of one
           :class:`~repro.sim.entities.ComponentKind` (``"kind:host"``).
+
+        All lookups hit build-time indexes — no per-query component scans.
+        A *well-formed* selector that matches nothing (a role with no
+        components, a valid kind with no instances) raises a "matched no
+        components" error; a selector the grammar cannot interpret at all
+        raises "cannot resolve".
         """
         if selector in self.components:
             return (selector,)
         if selector.endswith("/*"):
             root = selector[:-2]
             if root in self.components:
-                return (root, *self._transitive_dependents(root))
+                return (root, *self._closure[root])
         prefix, _, name = selector.partition(":")
         if prefix == "role" and name:
-            keys = tuple(
-                key
-                for key in self.components
-                if key.startswith(f"sup:{name}-")
-                or key.startswith(f"proc:{name}/")
-            )
+            keys = self._role_index.get(name)
             if keys:
                 return keys
+            raise SimulationError(
+                f"selector {selector!r} matched no components: no supervisor "
+                f"or process of role {name!r} is registered"
+            )
         if prefix == "kind" and name:
             try:
                 kind = ComponentKind(name)
             except ValueError:
-                kind = None
-            if kind is not None:
-                keys = tuple(
-                    key
-                    for key, component in self.components.items()
-                    if component.kind is kind
-                )
-                if keys:
-                    return keys
+                raise SimulationError(
+                    f"cannot resolve component or group {selector!r}: "
+                    f"{name!r} is not a component kind (expected one of "
+                    f"{sorted(k.value for k in ComponentKind)})"
+                ) from None
+            keys = self._kind_index.get(kind)
+            if keys:
+                return keys
+            raise SimulationError(
+                f"selector {selector!r} matched no components: no "
+                f"{name!r} components are registered"
+            )
         raise SimulationError(
             f"cannot resolve component or group {selector!r}"
         )
@@ -450,23 +660,29 @@ class AvailabilitySimulator:
                 signal.name: (0.0, 0.0) for signal, _ in self._signals
             }
             boundary_index = 0
-            while self._queue and boundary_index < batches:
-                event = self._queue.pop()
+            queue = self._queue
+            events = 0
+            while queue and boundary_index < batches:
+                event = queue.pop()
+                time = event.time
                 while (
                     boundary_index < batches
-                    and event.time >= boundaries[boundary_index]
+                    and time >= boundaries[boundary_index]
                 ):
                     self._record_batch(boundaries[boundary_index], previous)
                     boundary_index += 1
-                if event.time >= horizon:
+                if time >= horizon:
                     break
                 event.action()
-                self.events_processed += 1
+                events += 1
+            self.events_processed += events
             while boundary_index < batches:
                 self._record_batch(boundaries[boundary_index], previous)
                 boundary_index += 1
         if obs.enabled():
             obs.count("sim.events", self.events_processed - events_before)
+            obs.gauge("sim.queue.stale_pending", self._queue.stale_hint)
+            obs.gauge("sim.queue.compactions", self._queue.compactions)
             for signal, _ in self._signals:
                 obs.count(
                     f"sim.outage_episodes.{signal.name}", signal.outage_count
@@ -488,15 +704,31 @@ class AvailabilitySimulator:
 
     # -- results -------------------------------------------------------------------------
 
+    @property
+    def events_purged(self) -> int:
+        """Stale events removed by queue compaction instead of dispatch.
+
+        Purged events never fire (their component's epoch moved on), so a
+        rising counter means masking/hazard churn is cancelling scheduled
+        clocks in bulk — work the engine now skips entirely.  Also exported
+        as the ``sim.queue.stale_purged_total`` gauge.
+        """
+        return self._queue.purged
+
+    @property
+    def queue_compactions(self) -> int:
+        """How many lazy heap compactions the event queue has run."""
+        return self._queue.compactions
+
     def availability(self, name: str) -> float:
         return self.signal(name).availability()
 
     def signal(self, name: str) -> BinarySignal:
         """Access a signal's full record (outage episodes, integrals)."""
-        for signal, _ in self._signals:
-            if signal.name == name:
-                return signal
-        raise SimulationError(f"unknown signal {name!r}")
+        try:
+            return self._signals_by_name[name]
+        except KeyError:
+            raise SimulationError(f"unknown signal {name!r}") from None
 
     def batch_availabilities(self, name: str) -> list[float]:
         if name not in self._batch_records:

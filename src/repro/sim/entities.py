@@ -28,7 +28,7 @@ class ComponentKind(enum.Enum):
     PROCESS = "process"
 
 
-@dataclass
+@dataclass(slots=True)
 class Component:
     """One failable element of the simulated deployment.
 

@@ -5,26 +5,42 @@ token-based cancellation: events carry the epoch of the component they were
 scheduled for, and the dispatcher drops events whose epoch has moved on
 (the standard trick for exponential clocks that pause under failure
 masking).
+
+Hot-path representation: heap entries are plain ``(time, sequence, event)``
+tuples — tuple comparison orders by time with the monotone sequence
+breaking ties FIFO before the (incomparable) event is ever reached — and
+:class:`Event` is a ``slots=True`` dataclass, so scheduling allocates no
+``__dict__`` and comparisons stay in C.
+
+Stale-entry compaction: epoch-cancelled events normally linger in the heap
+until they pop.  Workloads that cancel heavily (mass maintenance holds,
+common-cause group failures) can fill the heap with corpses, so the owner
+reports cancellations via :meth:`EventQueue.note_stale` and the queue
+lazily rebuilds itself — dropping entries the owner's ``stale`` predicate
+rejects — once corpses exceed a threshold fraction.  Compaction preserves
+live-event ordering exactly (entries keep their original sequence numbers)
+and never drops a live event, so the dispatched event stream is
+bit-identical with compaction on or off.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs import runtime as obs
+
+#: Compaction triggers only above this heap size (small heaps pop corpses
+#: quickly anyway; rebuilding them would cost more than it saves).
+COMPACT_MIN_SIZE = 64
+#: ... and only when more than this fraction of entries are known stale.
+COMPACT_STALE_FRACTION = 0.5
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
-
-
-@dataclass
+@dataclass(slots=True)
 class Event:
     """A scheduled callback with a staleness token.
 
@@ -43,16 +59,33 @@ class Event:
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic tie-breaking."""
+    """Time-ordered event queue with deterministic tie-breaking.
 
-    def __init__(self) -> None:
-        self._heap: list[_Entry] = []
+    ``stale`` is the owner's staleness predicate (``Event -> bool``), only
+    consulted during compaction; owners that never call :meth:`note_stale`
+    get the original always-keep behavior.
+    """
+
+    def __init__(self, stale: Callable[[Event], bool] | None = None) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        self._stale = stale
+        self._stale_hint = 0
+        #: Stale entries purged by compaction across this queue's lifetime.
+        self.purged = 0
+        #: How many lazy compactions have run.
+        self.compactions = 0
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def stale_hint(self) -> int:
+        """Entries the owner has reported as epoch-cancelled (may overcount
+        entries that already popped)."""
+        return self._stale_hint
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -62,16 +95,18 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event at {event.time} before now={self._now}"
             )
-        heapq.heappush(self._heap, _Entry(event.time, next(self._sequence), event))
+        heapq.heappush(
+            self._heap, (event.time, next(self._sequence), event)
+        )
 
     def pop(self) -> Event:
         if not self._heap:
             raise SimulationError("event queue is empty")
-        entry = heapq.heappop(self._heap)
-        if entry.time < self._now:
+        time, _, event = heapq.heappop(self._heap)
+        if time < self._now:
             raise SimulationError("event queue produced an out-of-order event")
-        self._now = entry.time
-        return entry.event
+        self._now = time
+        return event
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward without dispatching (end-of-horizon)."""
@@ -80,3 +115,46 @@ class EventQueue:
                 f"cannot advance clock backwards to {time} from {self._now}"
             )
         self._now = time
+
+    # -- stale-entry compaction ---------------------------------------------------
+
+    def note_stale(self, count: int = 1) -> None:
+        """Report ``count`` entries newly cancelled by an epoch bump.
+
+        The hint triggers a lazy compaction once known-stale entries exceed
+        :data:`COMPACT_STALE_FRACTION` of a heap larger than
+        :data:`COMPACT_MIN_SIZE`.  The hint is an upper bound — a reported
+        entry may pop (and be dropped by the dispatcher) before compaction
+        runs — which only ever makes compaction run early, never skip.
+        """
+        self._stale_hint += count
+        if (
+            len(self._heap) > COMPACT_MIN_SIZE
+            and self._stale_hint > COMPACT_STALE_FRACTION * len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop every entry the ``stale`` predicate rejects; re-heapify.
+
+        Entries keep their original ``(time, sequence)`` keys, so the
+        relative order of surviving events — including FIFO tie-breaking at
+        equal times — is untouched.  Returns how many entries were purged.
+        """
+        stale = self._stale
+        if stale is None:
+            self._stale_hint = 0
+            return 0
+        before = len(self._heap)
+        self._heap = [
+            entry for entry in self._heap if not stale(entry[2])
+        ]
+        heapq.heapify(self._heap)
+        purged = before - len(self._heap)
+        self.purged += purged
+        self.compactions += 1
+        self._stale_hint = 0
+        if obs.enabled():
+            obs.count("sim.queue.purged_events", purged)
+            obs.gauge("sim.queue.stale_purged_total", self.purged)
+        return purged

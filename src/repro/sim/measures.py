@@ -21,7 +21,20 @@ class BinarySignal:
     episodes* — maximal down intervals — enabling frequency/duration
     statistics that validate the cut-set outage calculus
     (:mod:`repro.analysis.frequency`).
+
+    Instances sit on the simulator's per-event path (every state-changing
+    event updates every signal), so the class is slotted.
     """
+
+    __slots__ = (
+        "name",
+        "_state",
+        "_last_change",
+        "_up_time",
+        "_total_time",
+        "_outage_started",
+        "_outage_durations",
+    )
 
     def __init__(self, name: str, initial: bool, start_time: float = 0.0):
         self.name = name
@@ -103,7 +116,7 @@ class BinarySignal:
         return self._up_time / self._total_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConfidenceInterval:
     """A symmetric normal-approximation confidence interval."""
 

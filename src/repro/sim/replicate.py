@@ -14,7 +14,7 @@ index order.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -22,6 +22,13 @@ from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
 from repro.obs import runtime as obs
 from repro.params.hardware import HardwareParams
+from repro.perf.parallel import (
+    broadcast_value,
+    evaluate_chunk,
+    get_warm_pool,
+    map_chunked,
+    split_chunks,
+)
 from repro.params.software import RestartScenario, SoftwareParams
 from repro.sim.controller_sim import (
     OutageStatistics,
@@ -106,11 +113,13 @@ def map_jobs(
     The shared dispatch core of :func:`run_replications` and the fault
     campaign runner (:mod:`repro.faults.campaign`): a supplied ``executor``
     wins, ``workers <= 1`` (or a single job) runs inline with a per-job
-    ``obs`` span, anything else fans out to a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are always
-    re-assembled in job order, so the output is independent of scheduling —
-    what keeps seeded runs bit-identical across worker counts.  ``worker``
-    must be module-level (picklable) for the pool path.
+    ``obs`` span, anything else fans out to a **warm** process pool
+    (:func:`repro.perf.parallel.get_warm_pool`) as contiguous per-worker
+    chunks — repeated dispatches reuse live worker processes instead of
+    paying pool start-up per call.  Results are always re-assembled in job
+    order, so the output is independent of scheduling — what keeps seeded
+    runs bit-identical across worker counts.  ``worker`` must be
+    module-level (picklable) for the pool path.
     """
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
@@ -123,13 +132,31 @@ def map_jobs(
             with obs.span(span_name, index=index):
                 collected.append(worker(job))
         return tuple(collected)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return tuple(pool.map(worker, jobs))
+    pool = get_warm_pool(workers)
+    payloads = [(worker, chunk) for chunk in split_chunks(jobs, workers)]
+    collected = []
+    for part in pool.map(evaluate_chunk, payloads):
+        collected.extend(part)
+    return tuple(collected)
 
 
 def _run_replication(job: tuple) -> SimulationResult:
     """One replication (module-level so it pickles into worker processes)."""
     spec, topology, hardware, software, scenario, config, seed = job
+    return simulate_controller(
+        spec, topology, hardware, software, scenario,
+        replace(config, seed=seed),
+    )
+
+
+def _replication_from_broadcast(seed: int) -> SimulationResult:
+    """One replication whose constant inputs arrive via the pool broadcast.
+
+    The warm-pool path ships ``(spec, topology, hardware, software,
+    scenario, config)`` once per worker process (pool initializer) instead
+    of once per replication; only the seed travels with the job.
+    """
+    spec, topology, hardware, software, scenario, config = broadcast_value()
     return simulate_controller(
         spec, topology, hardware, software, scenario,
         replace(config, seed=seed),
@@ -161,10 +188,6 @@ def run_replications(
         )
     config = config or SimulationConfig()
     seeds = derive_seeds(config.seed, replications)
-    jobs = [
-        (spec, topology, hardware, software, scenario, config, seed)
-        for seed in seeds
-    ]
     obs.note_solver("simulation")
     obs.annotate("topology", topology.name)
     obs.annotate("seed.sim_root", config.seed)
@@ -175,8 +198,22 @@ def run_replications(
         workers=workers,
         horizon_hours=config.horizon_hours,
     ):
-        results = map_jobs(
-            _run_replication, jobs, workers=workers, executor=executor
-        )
+        if executor is None and workers > 1 and replications > 1:
+            # Warm-pool path: broadcast the constant inputs once per
+            # worker, send one seed per job, chunk jobs per worker.
+            results = map_chunked(
+                _replication_from_broadcast,
+                list(seeds),
+                workers,
+                (spec, topology, hardware, software, scenario, config),
+            )
+        else:
+            jobs = [
+                (spec, topology, hardware, software, scenario, config, seed)
+                for seed in seeds
+            ]
+            results = map_jobs(
+                _run_replication, jobs, workers=workers, executor=executor
+            )
     obs.count("sim.replications", replications)
     return ReplicationSet(results=results, seeds=seeds)

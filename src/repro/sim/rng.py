@@ -1,9 +1,29 @@
-"""Reproducible random-number streams.
+"""Reproducible random-number streams with batched draws.
 
 Each simulated component draws from its own numpy Generator, spawned from a
 single root seed via ``SeedSequence``; runs are bit-reproducible for a given
 seed and component set, and independent across components regardless of the
 event interleaving.
+
+Exponential variates are the simulator's only hot-path draws, so they are
+**buffered**: each stream pre-draws a block of *standard* exponentials
+(mean 1.0) with one vectorized ``Generator.standard_exponential`` call and
+hands them out one by one, scaled by the requested mean at pop time.  Block
+draws consume the underlying bit stream exactly like repeated scalar draws,
+and IEEE multiplication is order-insensitive, so the buffered sequence is
+element-for-element identical to per-variate ``Generator.exponential``
+calls (``tests/test_sim_perf_engine.py`` proves this).  Scaling at pop time
+also keeps varying means correct: one stream may legitimately be asked for
+different means on successive draws (R vs R_S repair selection).  Blocks
+refill geometrically (doubling up to a cap) so short-lived streams waste
+few draws while hot streams amortize the numpy call overhead.
+
+A stream consumed through :meth:`RngStreams.exponential` must not *also* be
+consumed through the raw :meth:`RngStreams.stream` generator — buffering
+pre-draws from the generator, so interleaving raw draws would desynchronize
+the sequence.  Every stream in this repository uses exactly one of the two
+access paths (exponential clocks vs. the alternative repair-distribution
+samplers), which keeps runs pure functions of the root seed.
 
 :func:`derive_seeds` extends the same discipline across *runs*: independent
 replications (and parallel workers) get child seeds spawned from one root
@@ -17,6 +37,33 @@ import numpy as np
 
 from repro.errors import SimulationError
 
+#: First buffered block size per stream; refills double up to the cap.
+INITIAL_BLOCK = 8
+#: Largest buffered block; bounds per-stream memory at ~8 KiB of doubles.
+MAX_BLOCK = 1024
+
+
+class _BufferedStream:
+    """One named stream: a generator plus a block of standard exponentials."""
+
+    __slots__ = ("generator", "_buffer", "_index", "_block")
+
+    def __init__(self, generator: np.random.Generator):
+        self.generator = generator
+        self._buffer = generator.standard_exponential(INITIAL_BLOCK)
+        self._index = 0
+        self._block = INITIAL_BLOCK
+
+    def exponential(self, mean: float) -> float:
+        """The next exponential variate, scaled to ``mean``."""
+        index = self._index
+        if index >= len(self._buffer):
+            self._block = min(self._block * 2, MAX_BLOCK)
+            self._buffer = self.generator.standard_exponential(self._block)
+            index = 0
+        self._index = index + 1
+        return float(self._buffer[index] * mean)
+
 
 class RngStreams:
     """A family of named, independent random streams under one root seed."""
@@ -24,12 +71,15 @@ class RngStreams:
     def __init__(self, seed: int):
         self._root = np.random.SeedSequence(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        self._buffered: dict[str, _BufferedStream] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """The generator dedicated to ``name`` (created on first use).
 
         Streams are spawned in first-use order, so a run is reproducible as
-        long as components are registered in a deterministic order.
+        long as components are registered in a deterministic order.  Do not
+        mix raw draws from this generator with :meth:`exponential` on the
+        same name (see the module docstring).
         """
         if name not in self._streams:
             child = self._root.spawn(1)[0]
@@ -37,12 +87,20 @@ class RngStreams:
         return self._streams[name]
 
     def exponential(self, name: str, mean: float) -> float:
-        """One exponential variate with the given mean from ``name``'s stream."""
+        """One exponential variate with the given mean from ``name``'s stream.
+
+        Drawn from the stream's buffered block — element-for-element
+        identical to calling ``stream(name).exponential(mean)`` repeatedly.
+        """
         if mean <= 0:
             raise SimulationError(
                 f"exponential mean must be > 0, got {mean} for {name!r}"
             )
-        return float(self.stream(name).exponential(mean))
+        buffered = self._buffered.get(name)
+        if buffered is None:
+            buffered = _BufferedStream(self.stream(name))
+            self._buffered[name] = buffered
+        return buffered.exponential(mean)
 
 
 def derive_seeds(seed: int, count: int) -> tuple[int, ...]:

@@ -192,6 +192,23 @@ class TestResolveGroup:
             with pytest.raises(SimulationError):
                 simulator.resolve_group(selector)
 
+    def test_empty_match_and_unknown_selector_are_distinguished(
+        self, spec, small
+    ):
+        """A well-formed selector that matches nothing reads differently
+        from one the grammar cannot interpret at all."""
+        simulator = _small_simulator(spec, small)
+        with pytest.raises(SimulationError, match="matched no components"):
+            simulator.resolve_group("role:NoSuchRole")
+        with pytest.raises(
+            SimulationError, match="is not a component kind"
+        ):
+            simulator.resolve_group("kind:toaster")
+        with pytest.raises(
+            SimulationError, match="cannot resolve component or group"
+        ):
+            simulator.resolve_group("host:NOPE")
+
 
 class TestScenarioGroupInjections:
     def test_role_injection_drops_and_restores_cp(self, spec, small):
