@@ -6,7 +6,9 @@ against the throughput recorded *before* the hot-path overhaul (batched
 RNG, cached effective state, slotted tuple-entry event queue, stale-event
 compaction, warm-pool dispatch).  Also times the parallel path cold
 (first dispatch creates the pool) and warm (pool reused), checks
-bit-identity across worker counts, and writes a ``sim_engine`` section to
+bit-identity across worker counts, measures the streaming-telemetry tax
+(sequential campaign with the JSONL sink on vs off, < 5% required), and
+writes ``sim_engine`` + ``telemetry_overhead`` sections to
 ``BENCH_perf.json`` (other sections are preserved).  Runnable as a pytest
 benchmark *or* directly as a script — ``python
 benchmarks/bench_sim_engine.py --horizon 300 --replications 5 --workers 2
@@ -33,6 +35,7 @@ from repro.faults import (
     RackPowerSpec,
     run_campaign,
 )
+from repro.obs import telemetry
 from repro.perf.parallel import shutdown_warm_pools
 from repro.reporting.tables import format_table
 
@@ -133,7 +136,70 @@ def run_sim_engine_bench(
     }
 
 
-def _report(record: dict, out_path: Path) -> None:
+def run_telemetry_overhead_bench(
+    horizon: float = 4000.0,
+    replications: int = 8,
+    repeats: int = 3,
+    telemetry_out: Path | None = None,
+) -> dict:
+    """Measure the streaming-telemetry tax on the sequential campaign.
+
+    Runs the same workload with the JSONL telemetry sink off and on and
+    returns the ``telemetry_overhead`` BENCH_perf.json section.  The
+    instrumented run must stay bit-identical to the plain one — telemetry
+    is observational only.  The event file holds the last instrumented
+    repeat (earlier repeats are truncated away so event counts are
+    per-run).
+    """
+    spec = _spec(horizon, replications)
+    plain_s, plain = _best_of(
+        lambda: run_campaign(spec, workers=1), repeats
+    )
+
+    path = (
+        Path(telemetry_out)
+        if telemetry_out is not None
+        else REPO_ROOT / "telemetry_overhead.jsonl.tmp"
+    )
+    counts = {"events": 0}
+
+    def instrumented_run():
+        path.unlink(missing_ok=True)
+        sink = telemetry.JsonlSink(path)
+        telemetry.start([sink])
+        try:
+            return run_campaign(spec, workers=1)
+        finally:
+            telemetry.stop()
+            counts["events"] = sink.events_written
+
+    telemetry_s, instrumented = _best_of(instrumented_run, repeats)
+    if telemetry_out is None:
+        path.unlink(missing_ok=True)
+    if _fingerprint(instrumented) != _fingerprint(plain):
+        raise AssertionError(
+            "telemetry-on campaign results differ from telemetry-off"
+        )
+
+    return {
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count() or 1,
+        "horizon_hours": horizon,
+        "replications": replications,
+        "repeats": repeats,
+        "plain_s": plain_s,
+        "telemetry_s": telemetry_s,
+        "overhead_s": telemetry_s - plain_s,
+        "overhead_fraction": telemetry_s / plain_s - 1.0,
+        "events_emitted": counts["events"],
+        "telemetry_file": str(telemetry_out) if telemetry_out else None,
+        "bit_identical_with_telemetry": True,
+    }
+
+
+def _report(
+    record: dict, out_path: Path, telemetry_record: dict | None = None
+) -> None:
     rows = [
         (
             "sequential",
@@ -166,10 +232,20 @@ def _report(record: dict, out_path: Path) -> None:
             ),
         )
     )
+    if telemetry_record is not None:
+        print(
+            f"telemetry overhead: "
+            f"{telemetry_record['overhead_fraction'] * 100:+.2f}% "
+            f"({telemetry_record['telemetry_s'] * 1e3:.1f} ms vs "
+            f"{telemetry_record['plain_s'] * 1e3:.1f} ms, "
+            f"{telemetry_record['events_emitted']} events)"
+        )
     merged = {}
     if out_path.exists():
         merged = json.loads(out_path.read_text(encoding="utf-8"))
     merged["sim_engine"] = record
+    if telemetry_record is not None:
+        merged["telemetry_overhead"] = telemetry_record
     out_path.write_text(
         json.dumps(merged, indent=2) + "\n", encoding="utf-8"
     )
@@ -202,13 +278,31 @@ def _parallel_ok(record: dict) -> bool:
     return record["speedup_parallel_warm"] > 1.0
 
 
+def _telemetry_ok(record: dict) -> bool:
+    """Streaming telemetry must cost < 5% on the sequential campaign.
+
+    Gated like the other targets: single-core (or contended CI) boxes
+    pass vacuously, and a sub-100 ms absolute delta passes regardless of
+    the ratio — on smoke-sized workloads the ratio denominator is too
+    small for a percentage to be meaningful.
+    """
+    if record["cpus"] < 2:
+        return True
+    if record["overhead_s"] < 0.1:
+        return True
+    return record["overhead_fraction"] < 0.05
+
+
 def test_sim_engine():
     record = run_sim_engine_bench()
-    _report(record, DEFAULT_OUT)
+    telemetry_record = run_telemetry_overhead_bench()
+    _report(record, DEFAULT_OUT, telemetry_record)
     assert record["bit_identical_across_workers"]
     assert record["events"] > 0
     assert _throughput_ok(record)
     assert _parallel_ok(record)
+    assert telemetry_record["bit_identical_with_telemetry"]
+    assert _telemetry_ok(telemetry_record)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -218,6 +312,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="FILE.jsonl",
+        help="keep the instrumented run's telemetry stream at this path",
+    )
     parser.add_argument(
         "--min-events-per-sec",
         type=float,
@@ -236,10 +337,17 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         repeats=args.repeats,
     )
-    _report(record, args.out)
+    telemetry_record = run_telemetry_overhead_bench(
+        horizon=args.horizon,
+        replications=args.replications,
+        repeats=args.repeats,
+        telemetry_out=args.telemetry_out,
+    )
+    _report(record, args.out, telemetry_record)
     if args.check:
         assert _throughput_ok(record, args.min_events_per_sec)
         assert _parallel_ok(record)
+        assert _telemetry_ok(telemetry_record)
     return 0
 
 

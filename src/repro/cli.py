@@ -14,14 +14,19 @@ Subcommands mirror the paper's artifacts:
   common-cause fraction.
 * ``perf`` — time the vectorized/parallel evaluation engine against the
   sequential paths (``--workers``, ``--vectorize``).
-* ``obs`` — render a stored run manifest, or run a small instrumented
-  demo workload and print its trace summary.
+* ``obs`` — render a stored run manifest, run a small instrumented demo
+  workload and print its trace summary, or (``obs tail FILE.jsonl``)
+  pretty-print a recorded telemetry event stream.
 
 Every subcommand additionally accepts the global ``--trace FILE.json``
 flag (before or after the subcommand name): the whole invocation then runs
 under an observability session and writes its :class:`RunManifest` —
 parameters, seeds, solver path, per-phase timings, metrics, spans — to the
-file on exit.
+file on exit.  The ``simulate`` and ``faults`` subcommands also accept
+``--telemetry FILE.jsonl``: the run then streams progress/heartbeat and
+metric-snapshot events to a rotating JSONL sink (readable afterwards with
+``obs tail``) without perturbing results — telemetry-on runs stay
+bit-identical to telemetry-off runs.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.models.outage import fleet_outages_per_year, plane_outage_profile
 from repro.models.sw_options import PAPER_OPTIONS, evaluate_option, parse_option
 from repro.obs import RunManifest, render_manifest
 from repro.obs import runtime as obs_runtime
+from repro.obs import telemetry
 from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
 from repro.params.hardware import HardwareParams
 from repro.params.software import SoftwareParams
@@ -345,6 +351,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import CampaignSpec, evaluate_campaign
     from repro.reporting.csvout import write_csv
     from repro.reporting.faults import (
+        attribution_rows,
         crossval_payload,
         crossval_rows,
         sweep_payload,
@@ -420,6 +427,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"repairs queued: {result.total_queued}  "
             f"max queue depth: {result.max_queue_depth}"
         )
+        attr_headers, attr_rows = attribution_rows(
+            result, signal=args.attribution_signal, top=args.attribution_top
+        )
+        if attr_rows:
+            print()
+            print(
+                format_table(
+                    attr_headers,
+                    attr_rows,
+                    title=(
+                        f"{args.attribution_signal.upper()} downtime "
+                        "attribution (simulated hours per triggering "
+                        "component)"
+                    ),
+                )
+            )
         payload = crossval_payload(crossval)
 
     if args.json:
@@ -517,6 +540,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "tail":
+        if not args.file:
+            print("obs tail requires a telemetry file", file=sys.stderr)
+            return 2
+        counts: dict[str, int] = {}
+        for event in telemetry.read_events(args.file):
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+            print(telemetry.render_event(event))
+        total = sum(counts.values())
+        by_kind = "  ".join(
+            f"{kind}={counts[kind]}" for kind in sorted(counts)
+        )
+        print(f"\n{total} event(s)" + (f"  [{by_kind}]" if by_kind else ""))
+        return 0
     if args.manifest:
         manifest = RunManifest.load(args.manifest)
         print(render_manifest(manifest))
@@ -635,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--horizon", type=float, default=50_000.0)
     sub.add_argument("--batches", type=int, default=10)
     sub.add_argument("--seed", type=int, default=1)
+    sub.add_argument(
+        "--telemetry",
+        default=argparse.SUPPRESS,
+        metavar="FILE.jsonl",
+        help="stream progress/metric telemetry events to this JSONL file",
+    )
     sub.set_defaults(handler=_cmd_simulate)
 
     sub = subparsers.add_parser(
@@ -676,8 +720,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="B0,B1,...",
         help="run one campaign per comma-separated beta value",
     )
+    sub.add_argument(
+        "--attribution-signal",
+        choices=("cp", "sdp", "ldp", "dp"),
+        default="cp",
+        help="signal whose downtime attribution table to print",
+    )
+    sub.add_argument(
+        "--attribution-top",
+        type=int,
+        default=10,
+        help="show at most this many attribution rows",
+    )
     sub.add_argument("--json", default=None, help="also write results here")
     sub.add_argument("--csv", default=None, help="also write table rows here")
+    sub.add_argument(
+        "--telemetry",
+        default=argparse.SUPPRESS,
+        metavar="FILE.jsonl",
+        help="stream progress/metric telemetry events to this JSONL file",
+    )
     sub.set_defaults(handler=_cmd_faults)
 
     sub = subparsers.add_parser(
@@ -699,9 +761,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=_cmd_perf)
 
     sub = subparsers.add_parser(
-        "obs", help="render a run manifest or trace a demo workload"
+        "obs",
+        help=(
+            "render a run manifest, trace a demo workload, or tail a "
+            "telemetry file"
+        ),
     )
     _add_hardware_arguments(sub)
+    sub.add_argument(
+        "action",
+        nargs="?",
+        choices=("tail",),
+        default=None,
+        help="'tail' pretty-prints a recorded telemetry JSONL file",
+    )
+    sub.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        metavar="FILE.jsonl",
+        help="telemetry file for 'tail'",
+    )
     sub.add_argument(
         "--manifest",
         default=None,
@@ -727,7 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: argparse bookkeeping fields that are not run parameters.
-_NON_PARAMETER_FIELDS = frozenset({"handler", "trace", "manifest"})
+_NON_PARAMETER_FIELDS = frozenset(
+    {"handler", "trace", "manifest", "telemetry", "action", "file"}
+)
 
 
 def _manifest_arguments(args: argparse.Namespace) -> dict[str, object]:
@@ -749,16 +831,32 @@ def _seed_material(args: argparse.Namespace) -> dict[str, object]:
     }
 
 
+def _run_handler(args: argparse.Namespace) -> int:
+    """Run the subcommand handler, inside a telemetry session if asked."""
+    telemetry_path = getattr(args, "telemetry", None)
+    if not telemetry_path:
+        return args.handler(args)
+    telemetry.start([telemetry.JsonlSink(telemetry_path)])
+    try:
+        telemetry.emit("run.start", command=args.command)
+        status = args.handler(args)
+        telemetry.emit("run.end", command=args.command, status=status)
+    finally:
+        telemetry.stop()
+    print(f"wrote telemetry stream {telemetry_path}")
+    return status
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
     if not trace_path:
-        return args.handler(args)
+        return _run_handler(args)
     session = obs_runtime.start(command=args.command)
     try:
         with obs_runtime.span(f"cli.{args.command}"):
-            status = args.handler(args)
+            status = _run_handler(args)
     finally:
         obs_runtime.stop()
     manifest = session.build_manifest(

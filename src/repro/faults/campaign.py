@@ -28,6 +28,7 @@ from repro.controller.opencontrail import opencontrail_3x
 from repro.errors import CampaignError
 from repro.models.sw_options import parse_option
 from repro.obs import runtime as obs
+from repro.obs import telemetry
 from repro.obs.manifest import params_hash
 from repro.params.hardware import HardwareParams
 from repro.params.software import SoftwareParams
@@ -38,6 +39,7 @@ from repro.sim.controller_sim import (
     collect_result,
 )
 from repro.perf.parallel import broadcast_value, map_chunked
+from repro.sim.measures import SignalAttribution
 from repro.sim.replicate import ReplicationSet, map_jobs
 from repro.sim.rng import derive_seeds
 from repro.topology.reference import reference_topology
@@ -285,6 +287,19 @@ class CampaignResult:
         """Repair requests that waited for a crew, across replications."""
         return sum(stat.get("repair_total_queued", 0) for stat in self.stats)
 
+    def attribution(self, name: str) -> SignalAttribution:
+        """The signal's downtime attribution ledger, merged (concatenated)
+        across every replication — exactness of the per-cause sums is
+        preserved because merging never pre-sums episode durations.
+        """
+        return SignalAttribution.merge(
+            (
+                result.signal_attribution(name)
+                for result in self.replications.results
+            ),
+            name=name,
+        )
+
 
 def run_campaign(
     spec: CampaignSpec,
@@ -307,6 +322,16 @@ def run_campaign(
     obs.annotate("seed.campaign_root", spec.seed)
     obs.annotate("seed.campaign_replications", spec.replications)
     obs.annotate("seed.campaign_hash", spec.params_hash())
+    telemetry.emit(
+        "campaign.start",
+        option=spec.option,
+        topology=topology.name,
+        replications=spec.replications,
+        hazards=len(spec.hazards),
+        workers=workers,
+        horizon_hours=spec.horizon_hours,
+        spec_hash=spec.params_hash(),
+    )
     with obs.span(
         "faults.campaign",
         option=spec.option,
@@ -348,8 +373,21 @@ def run_campaign(
                 default=0,
             ),
         )
-    return CampaignResult(
+    campaign = CampaignResult(
         spec=spec,
         replications=ReplicationSet(results=results, seeds=seeds),
         stats=stats,
     )
+    if telemetry.enabled():
+        telemetry.emit(
+            "campaign.end",
+            option=spec.option,
+            replications=spec.replications,
+            availability={
+                name: campaign.availability(name)
+                for name in ("cp", "sdp", "ldp", "dp")
+            },
+            injections=campaign.total_injections(),
+            events=sum(stat.get("events", 0) for stat in stats),
+        )
+    return campaign

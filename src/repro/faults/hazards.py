@@ -315,7 +315,9 @@ class _CommonCause(_HazardProcess):
 
     def _fire(self) -> None:
         self._record()
-        self._simulator.fail_group(self._keys, repair=True)
+        self._simulator.fail_group(
+            self._keys, repair=True, source="common_cause"
+        )
         self._schedule()
 
 
@@ -353,7 +355,7 @@ class _RackPower(_HazardProcess):
 
     def _fire(self, stream: str, keys: tuple[str, ...]) -> None:
         self._record()
-        self._simulator.fail_group(keys, repair=True)
+        self._simulator.fail_group(keys, repair=True, source="rack_power")
         self._schedule(stream, keys)
 
 
@@ -370,7 +372,9 @@ class _Maintenance(_HazardProcess):
     def _open(self) -> None:
         self._record()
         window_start = self._simulator.now
-        self._simulator.fail_group(self._keys, repair=False, hold=True)
+        self._simulator.fail_group(
+            self._keys, repair=False, hold=True, source="maintenance"
+        )
         self._simulator.schedule_action(
             window_start + self.spec.duration_hours, self._close
         )

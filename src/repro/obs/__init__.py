@@ -1,6 +1,6 @@
-"""Observability layer: tracing, metrics, and run manifests.
+"""Observability layer: tracing, metrics, manifests, telemetry, forensics.
 
-Three pieces, built to be *zero-cost when disabled* and to never perturb
+Five pieces, built to be *zero-cost when disabled* and to never perturb
 results (instrumented runs are bit-identical to uninstrumented ones):
 
 * :mod:`repro.obs.trace` — span-based tracer (context manager + decorator,
@@ -8,12 +8,19 @@ results (instrumented runs are bit-identical to uninstrumented ones):
 * :mod:`repro.obs.metrics` — counters, gauges, and timing histograms;
 * :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON-round-tripping
   provenance record (params hash, topology, seed material, package version,
-  solver path, per-phase timings) of one run.
+  solver path, per-phase timings) of one run;
+* :mod:`repro.obs.telemetry` — streaming event bus with pluggable sinks
+  (rotating JSONL, in-process aggregation, Prometheus/OpenMetrics text
+  snapshots) carrying progress/heartbeat and metric-snapshot events;
+* :mod:`repro.obs.forensics` — cross-checks simulated per-outage
+  attribution ledgers against analytic Birnbaum / Fussell–Vesely
+  importance (imported lazily — ``from repro.obs import forensics`` — to
+  keep the base package free of :mod:`repro.sim` imports).
 
 Instrumented code goes through :mod:`repro.obs.runtime`, whose module-level
 helpers collapse to no-ops while no session is active; the CLI's global
-``--trace file.json`` flag and the ``repro-avail obs`` subcommand are the
-user-facing entry points.
+``--trace file.json`` flag, per-run ``--telemetry file.jsonl`` flags, and
+the ``repro-avail obs`` subcommand are the user-facing entry points.
 """
 
 from repro.obs.manifest import (
@@ -38,6 +45,18 @@ from repro.obs.runtime import (
     start,
     stop,
     traced,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    AggregatorSink,
+    JsonlSink,
+    NullSink,
+    PrometheusSink,
+    ProgressTracker,
+    TelemetryBus,
+    read_events,
+    render_event,
+    render_openmetrics,
 )
 from repro.obs.trace import Span, Tracer
 from repro.obs.export import render_manifest, summarize_spans
@@ -71,6 +90,17 @@ __all__ = [
     "observe",
     "note_solver",
     "annotate",
+    # telemetry
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryBus",
+    "NullSink",
+    "JsonlSink",
+    "AggregatorSink",
+    "PrometheusSink",
+    "ProgressTracker",
+    "read_events",
+    "render_event",
+    "render_openmetrics",
     # export
     "render_manifest",
     "summarize_spans",

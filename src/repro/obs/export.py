@@ -102,6 +102,8 @@ def render_manifest(manifest: RunManifest, top_spans: int = 12) -> str:
             (
                 f"n={summary['count']} total={summary['total']:.6f}s "
                 f"mean={summary['mean']:.6f}s"
+                if summary.get("count")
+                else "n=0"
             ),
         )
         for name, summary in histograms.items()

@@ -1,0 +1,234 @@
+"""Attribution forensics: simulated downtime ledgers vs analytic importance.
+
+The simulator's per-signal attribution ledgers (:mod:`repro.sim.measures`)
+say which component's transition opened each outage episode of a fault
+campaign.  If those ledgers are trustworthy, then on a *hazard-free*
+campaign the components charged with the most downtime should be the ones
+the analytic theory says matter most — exactly what Birnbaum importance
+(``dA_sys/dA_i``) weighted by component unavailability (the *criticality*
+``I_B(i) * q_i``, a component's expected contribution to system
+unavailability) ranks.  This module runs that cross-check:
+
+* :func:`infra_structure` — the infrastructure-level boolean structure of
+  a plane (rack/host/vm element keys in the simulator's naming; processes
+  treated as perfect), small enough for the exact ``2**n`` enumeration in
+  :meth:`~repro.core.structure.StructureFunction.availability`;
+* :func:`infra_importance` — exact Birnbaum / criticality /
+  Fussell–Vesely importance of every infrastructure element, through
+  :mod:`repro.core.importance`;
+* :func:`crosscheck_attribution` — compares the simulated per-component
+  downtime ranking of a campaign's ledger against the analytic
+  criticality ranking and reports every *confident* analytic ordering
+  (ratio above a margin) the simulation contradicts.
+
+Only infrastructure components are compared: process/supervisor downtime
+follows software parameters the infra structure deliberately excludes,
+and the margin keeps Monte-Carlo noise from flagging near-ties.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cutsets import minimal_cut_sets
+from repro.core.importance import birnbaum_importance, fussell_vesely
+from repro.core.structure import StructureFunction
+from repro.errors import ObservabilityError
+from repro.sim.measures import SignalAttribution
+
+__all__ = [
+    "AttributionCrosscheck",
+    "infra_structure",
+    "infra_probabilities",
+    "infra_importance",
+    "crosscheck_attribution",
+]
+
+#: Signal name -> the plane whose quorum structure backs it.  ``ldp`` is
+#: host-local (no shared infrastructure) and has no crosscheck target.
+_SIGNAL_PLANES = {"cp": "cp", "sdp": "dp", "dp": "dp"}
+
+_LEVEL_PREFIXES = ("rack:", "host:", "vm:")
+
+
+def infra_structure(controller, topology, signal: str = "cp") -> StructureFunction:
+    """The infrastructure-only boolean structure behind a plane signal.
+
+    Element names are the simulator's component keys (``rack:R1``,
+    ``host:H1``, ``vm:GCAD1``), so the structure's importance results join
+    directly against attribution-ledger keys.  A role instance counts as
+    up when its whole support chain (rack, host, VM) is up — processes are
+    taken perfect — and the plane is up when every quorum unit of every
+    cluster role is satisfied.
+    """
+    plane = _SIGNAL_PLANES.get(signal)
+    if plane is None:
+        raise ObservabilityError(
+            f"no infrastructure structure for signal {signal!r}; "
+            f"expected one of {sorted(_SIGNAL_PLANES)}"
+        )
+    units: list[tuple[int, list[tuple[str, str, str]]]] = []
+    names: list[str] = []
+    seen: set[str] = set()
+    for role in controller.cluster_roles:
+        chains: list[tuple[str, str, str]] = []
+        for instance in topology.instances_of(role.name):
+            rack, host, vm = topology.support_chain(instance)
+            chain = (f"rack:{rack}", f"host:{host}", f"vm:{vm}")
+            chains.append(chain)
+            for key in chain:
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        for unit in role.quorum_units(plane):
+            units.append((unit.quorum, chains))
+    if not units:
+        raise ObservabilityError(
+            f"controller has no quorum units on plane {plane!r}"
+        )
+
+    def fn(state: Mapping[str, bool]) -> bool:
+        for quorum, chains in units:
+            satisfied = 0
+            for chain in chains:
+                for key in chain:
+                    if not state[key]:
+                        break
+                else:
+                    satisfied += 1
+                    if satisfied >= quorum:
+                        break
+            if satisfied < quorum:
+                return False
+        return True
+
+    return StructureFunction(names, fn)
+
+
+def infra_probabilities(topology, hardware) -> dict[str, float]:
+    """Steady-state availability of every infrastructure element key."""
+    probabilities: dict[str, float] = {}
+    for rack in topology.racks:
+        probabilities[f"rack:{rack.name}"] = hardware.a_rack
+    for host in topology.hosts:
+        probabilities[f"host:{host.name}"] = hardware.a_host
+    for vm in topology.vms:
+        probabilities[f"vm:{vm.name}"] = hardware.a_vm
+    return probabilities
+
+
+def infra_importance(
+    controller, topology, hardware, signal: str = "cp", max_order: int = 3
+) -> dict[str, dict[str, float]]:
+    """Exact analytic importance of every infrastructure element.
+
+    Returns per-element ``birnbaum`` (``A(1_i) - A(0_i)``), ``criticality``
+    (Birnbaum weighted by the element's unavailability — its expected
+    share of system downtime), and ``fussell_vesely`` (cut-set share, from
+    minimal cut sets up to ``max_order``).
+    """
+    structure = infra_structure(controller, topology, signal)
+    probabilities = infra_probabilities(topology, hardware)
+    birnbaum = birnbaum_importance(structure, probabilities)
+    criticality = {
+        name: birnbaum[name] * (1.0 - probabilities[name])
+        for name in structure.names
+    }
+    cut_sets = minimal_cut_sets(structure, max_order=max_order)
+    unavailability = {
+        name: 1.0 - probabilities[name] for name in structure.names
+    }
+    fv = fussell_vesely(cut_sets, unavailability)
+    return {
+        "birnbaum": birnbaum,
+        "criticality": criticality,
+        "fussell_vesely": {
+            name: fv.get(name, 0.0) for name in structure.names
+        },
+    }
+
+
+@dataclass(frozen=True)
+class AttributionCrosscheck:
+    """Outcome of one simulated-vs-analytic attribution comparison."""
+
+    signal: str
+    #: Analytic importance tables (birnbaum/criticality/fussell_vesely).
+    importance: dict[str, dict[str, float]]
+    #: Simulated downtime seconds per infrastructure element.
+    simulated_seconds: dict[str, float]
+    #: Confident analytic orderings the simulation contradicts, as
+    #: ``(higher, lower)`` element pairs the ledger ranked the other way.
+    violations: tuple[tuple[str, str], ...]
+    #: The ratio margin above which an analytic ordering counts as
+    #: confident (near-ties are never checked).
+    min_ratio: float
+
+    @property
+    def agrees(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "signal": self.signal,
+            "agrees": self.agrees,
+            "min_ratio": self.min_ratio,
+            "violations": [list(pair) for pair in self.violations],
+            "importance": self.importance,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+
+def _infra_only(seconds: Mapping[str, float]) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in seconds.items()
+        if key.startswith(_LEVEL_PREFIXES)
+    }
+
+
+def crosscheck_attribution(
+    ledger: SignalAttribution,
+    controller,
+    topology,
+    hardware,
+    signal: str | None = None,
+    min_ratio: float = 2.0,
+) -> AttributionCrosscheck:
+    """Cross-check a hazard-free attribution ledger against the analytics.
+
+    For every pair of infrastructure elements whose analytic criticality
+    differs by at least ``min_ratio``, the simulated ledger must charge at
+    least as much downtime to the more critical element; pairs inside the
+    margin are Monte-Carlo near-ties and are not checked.  Elements the
+    structure does not contain (and non-infrastructure causes) are
+    ignored.  Meaningful only for hazard-free campaigns — hazards move
+    downtime in ways the independent-failure analytics cannot see.
+    """
+    name = signal or ledger.name or "cp"
+    importance = infra_importance(controller, topology, hardware, name)
+    criticality = importance["criticality"]
+    simulated = _infra_only(ledger.component_seconds())
+    violations: list[tuple[str, str]] = []
+    elements = sorted(
+        criticality, key=lambda key: criticality[key], reverse=True
+    )
+    for i, higher in enumerate(elements):
+        for lower in elements[i + 1:]:
+            if criticality[lower] > 0.0:
+                ratio = criticality[higher] / criticality[lower]
+            else:
+                ratio = math.inf if criticality[higher] > 0.0 else 1.0
+            if ratio < min_ratio:
+                continue  # near-tie: noise could flip it either way
+            if simulated.get(higher, 0.0) < simulated.get(lower, 0.0):
+                violations.append((higher, lower))
+    return AttributionCrosscheck(
+        signal=name,
+        importance=importance,
+        simulated_seconds=simulated,
+        violations=tuple(violations),
+        min_ratio=min_ratio,
+    )

@@ -19,9 +19,25 @@ disabled, registry), never in racing threads.
 from __future__ import annotations
 
 import math
-from typing import Any
+from bisect import bisect_right
+from typing import Any, Mapping
 
-__all__ = ["Counter", "Gauge", "TimingHistogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimingHistogram",
+    "MetricsRegistry",
+    "HISTOGRAM_BUCKET_BOUNDS",
+]
+
+#: Fixed exponential bucket upper bounds (seconds) shared by every
+#: :class:`TimingHistogram`.  Fixed bounds keep worker-side histograms
+#: mergeable bin-for-bin and map directly onto Prometheus ``le`` labels;
+#: the final implicit bucket is +Inf (overflow).
+HISTOGRAM_BUCKET_BOUNDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class Counter:
@@ -55,9 +71,15 @@ class Gauge:
 
 
 class TimingHistogram:
-    """Streaming summary statistics of observed durations."""
+    """Streaming summary statistics of observed durations.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Keeps count, sum, min, max, and fixed exponential bucket counts
+    (bounds in :data:`HISTOGRAM_BUCKET_BOUNDS` plus an overflow bucket).
+    An empty histogram summarizes as ``{"count": 0}`` — mean/min/max are
+    *absent*, never NaN, so JSON exports stay clean.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "bins")
 
     def __init__(self, name: str):
         self.name = name
@@ -65,6 +87,7 @@ class TimingHistogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self.bins = [0] * (len(HISTOGRAM_BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -74,21 +97,44 @@ class TimingHistogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.bins[bisect_right(HISTOGRAM_BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, Any]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+            return {"count": 0}
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.minimum,
             "max": self.maximum,
+            "bins": list(self.bins),
         }
+
+    def merge_summary(self, summary: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`summary` into this one."""
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary["total"])
+        if summary["min"] < self.minimum:
+            self.minimum = float(summary["min"])
+        if summary["max"] > self.maximum:
+            self.maximum = float(summary["max"])
+        bins = summary.get("bins")
+        if bins is not None:
+            if len(bins) != len(self.bins):
+                raise ValueError(
+                    f"histogram {self.name!r}: cannot merge {len(bins)} bins "
+                    f"into {len(self.bins)}"
+                )
+            for index, value in enumerate(bins):
+                self.bins[index] += int(value)
 
 
 class MetricsRegistry:
@@ -132,6 +178,21 @@ class MetricsRegistry:
                 for name in sorted(self.histograms)
             },
         }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Counters add, gauges are last-writer-wins (callers merge worker
+        snapshots in chunk-index order, so "last" is deterministic), and
+        histograms merge count/total/min/max and bucket bins elementwise.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).increment(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     def clear(self) -> None:
         self.counters.clear()

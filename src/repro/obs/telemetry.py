@@ -1,0 +1,405 @@
+"""Streaming telemetry: a bounded-overhead event bus with pluggable sinks.
+
+PR 2's observability layer speaks only *after* a run finishes (manifests,
+span profiles).  This module makes long campaigns observable *in flight*:
+instrumented layers call :func:`emit` with a structured event, and an
+active :class:`TelemetryBus` fans it out to whatever sinks were attached —
+
+* :class:`JsonlSink` — append-only JSON Lines file with size-based
+  rotation (``repro-avail obs tail <file>`` renders/filters it);
+* :class:`AggregatorSink` — in-process counts and last-event-by-kind, for
+  tests and embedding callers;
+* :class:`PrometheusSink` — rewrites an OpenMetrics/Prometheus text
+  exposition snapshot whenever a ``metrics`` event carries a registry
+  snapshot (point ``node_exporter``-style scrapers at the file).
+
+Every event carries ``schema`` (:data:`TELEMETRY_SCHEMA_VERSION`), a
+monotonic per-bus ``seq``, a wall-clock ``t``, and its ``kind``; the rest
+of the fields are event-specific (see ``docs/OBSERVABILITY.md``).
+
+The zero-cost-when-disabled discipline of :mod:`repro.obs.runtime` holds
+here too: with no bus active — the default — :func:`emit` is a single
+``None`` check, worker processes always start with telemetry disabled,
+and nothing in this module reads or perturbs random state, so runs are
+bit-identical with telemetry on or off (``tests/test_obs_determinism.py``
+enforces this).  Progress events from parallel dispatch are emitted by
+the *parent* out of worker-side data riding the existing
+``perf.parallel.map_chunked`` result channel — workers never write files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import HISTOGRAM_BUCKET_BOUNDS
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "NullSink",
+    "JsonlSink",
+    "AggregatorSink",
+    "PrometheusSink",
+    "TelemetryBus",
+    "ProgressTracker",
+    "render_openmetrics",
+    "read_events",
+    "render_event",
+    "start",
+    "stop",
+    "active",
+    "enabled",
+    "emit",
+]
+
+#: Version stamped into every event's ``schema`` field.  Bump when an
+#: existing field changes meaning; adding fields is not a bump.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class NullSink:
+    """Shared no-op sink (the disabled-mode placeholder)."""
+
+    __slots__ = ()
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_SINK = NullSink()
+
+
+class JsonlSink:
+    """Append-only JSON Lines sink with size-based rotation.
+
+    When appending a line would push the current file past ``max_bytes``,
+    the file is rotated shift-style (``file`` -> ``file.1`` -> ``file.2``
+    ... up to ``max_backups``, oldest dropped) and a fresh file started,
+    so a heartbeat-emitting overnight campaign cannot fill the disk.
+    ``max_bytes=None`` (the default) never rotates.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int | None = None,
+        max_backups: int = 3,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ObservabilityError(
+                f"JsonlSink max_bytes must be positive (got {max_bytes})"
+            )
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_backups = max(1, int(max_backups))
+        self.rotations = 0
+        self.events_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._bytes = self.path.stat().st_size if self.path.exists() else 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_backups}")
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_backups - 1, 0, -1):
+            backup = self.path.with_name(f"{self.path.name}.{index}")
+            if backup.exists():
+                os.replace(backup, self.path.with_name(
+                    f"{self.path.name}.{index + 1}"
+                ))
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        size = len(line.encode("utf-8")) + 1
+        if (
+            self.max_bytes is not None
+            and self._bytes
+            and self._bytes + size > self.max_bytes
+        ):
+            self._rotate()
+        self._handle.write(line + "\n")
+        self._bytes += size
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class AggregatorSink:
+    """In-process aggregation: event counts and last event per kind."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.last: dict[str, dict[str, Any]] = {}
+        self.total = 0
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        kind = str(event.get("kind", ""))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.last[kind] = dict(event)
+        self.total += 1
+
+    def close(self) -> None:
+        return None
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus exposition."""
+    cleaned = [
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    ]
+    text = "".join(cleaned) or "_"
+    return text if not text[0].isdigit() else "_" + text
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Counters become ``counter`` families with a ``_total`` suffix, gauges
+    become ``gauge`` families, and timing histograms become ``histogram``
+    families with cumulative ``_bucket{le="..."}`` series (bounds from
+    :data:`HISTOGRAM_BUCKET_BOUNDS` plus ``+Inf``), ``_sum`` and
+    ``_count`` — the standard exposition shape scrapers expect.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric} {_format_value(snapshot['counters'][name])}"
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        if value is None:
+            continue
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        metric = _metric_name(name) + "_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        count = int(summary.get("count", 0))
+        bins = summary.get("bins") or [0] * (
+            len(HISTOGRAM_BUCKET_BOUNDS) + 1
+        )
+        cumulative = 0
+        for bound, bucket in zip(HISTOGRAM_BUCKET_BOUNDS, bins):
+            cumulative += int(bucket)
+            lines.append(
+                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(
+            f"{metric}_sum {_format_value(summary.get('total', 0.0))}"
+        )
+        lines.append(f"{metric}_count {count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class PrometheusSink:
+    """Maintains an OpenMetrics text snapshot file of the latest metrics.
+
+    Listens for ``metrics`` events (emitted by instrumented layers with a
+    full registry ``snapshot`` field) and atomically rewrites ``path``
+    with the exposition text — the file-based pattern scrape agents poll.
+    All other event kinds are ignored.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.writes = 0
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        if event.get("kind") != "metrics":
+            return
+        snapshot = event.get("snapshot")
+        if not isinstance(snapshot, Mapping):
+            return
+        text = render_openmetrics(snapshot)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+        self.writes += 1
+
+    def close(self) -> None:
+        return None
+
+
+class TelemetryBus:
+    """Fan-out of structured events to the attached sinks."""
+
+    def __init__(self, sinks: Iterable[Any] = ()):
+        self.sinks: tuple[Any, ...] = tuple(sinks)
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        event = {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "seq": self._seq,
+            "t": time.time(),
+            "kind": kind,
+        }
+        event.update(fields)
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class ProgressTracker:
+    """Derives progress/heartbeat fields (rate, ETA) for ``progress`` events.
+
+    Parent-side only: dispatchers call :meth:`update` as each job/chunk
+    result arrives (with worker-side event counts riding the result
+    channel) and emit the returned fields.  ETA is a simple linear
+    extrapolation of the completion rate so far.
+    """
+
+    def __init__(self, total: int, unit: str = "replications"):
+        self.total = int(total)
+        self.unit = unit
+        self.completed = 0
+        self.events = 0
+        self._started = time.perf_counter()
+
+    def update(self, completed: int = 1, events: int = 0) -> dict[str, Any]:
+        self.completed += int(completed)
+        self.events += int(events)
+        elapsed = time.perf_counter() - self._started
+        fields: dict[str, Any] = {
+            "unit": self.unit,
+            "completed": self.completed,
+            "total": self.total,
+            "elapsed_s": elapsed,
+        }
+        if self.events:
+            fields["events"] = self.events
+            if elapsed > 0:
+                fields["events_per_second"] = self.events / elapsed
+        if self.completed and elapsed > 0:
+            rate = self.completed / elapsed
+            fields["rate_per_second"] = rate
+            remaining = max(self.total - self.completed, 0)
+            fields["eta_s"] = remaining / rate
+        return fields
+
+
+# -- JSONL reading (the `obs tail` side) ---------------------------------------
+
+
+def read_events(
+    path: str | Path,
+    kinds: Iterable[str] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield events from a telemetry JSONL file, optionally by kind.
+
+    Unparseable lines (e.g. a partial line at a rotation boundary or a
+    live writer's tail) are skipped, not fatal.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            if wanted is not None and event.get("kind") not in wanted:
+                continue
+            yield event
+
+
+def render_event(event: Mapping[str, Any]) -> str:
+    """One human-readable line per event (the ``obs tail`` format)."""
+    seq = event.get("seq", "-")
+    kind = event.get("kind", "?")
+    skip = {"schema", "seq", "t", "kind", "snapshot"}
+    parts = [
+        f"{key}={_render_field(event[key])}"
+        for key in sorted(event)
+        if key not in skip
+    ]
+    if "snapshot" in event:
+        parts.append("snapshot=<metrics>")
+    body = " ".join(parts)
+    return f"[{seq:>6}] {kind:<12} {body}".rstrip()
+
+
+def _render_field(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return str(value)
+
+
+# -- the global bus (zero-cost when disabled) ----------------------------------
+
+_bus: TelemetryBus | None = None
+
+
+def start(sinks: Iterable[Any]) -> TelemetryBus:
+    """Activate a bus over ``sinks``; raises if one is already active."""
+    global _bus
+    if _bus is not None:
+        raise ObservabilityError(
+            "a telemetry bus is already active; stop() it first"
+        )
+    _bus = TelemetryBus(sinks)
+    return _bus
+
+
+def stop() -> TelemetryBus | None:
+    """Deactivate, close sinks, return the bus (``None`` if inactive)."""
+    global _bus
+    finished, _bus = _bus, None
+    if finished is not None:
+        finished.close()
+    return finished
+
+
+def active() -> TelemetryBus | None:
+    """The current bus, or ``None``."""
+    return _bus
+
+
+def enabled() -> bool:
+    """True while a bus is active (events are flowing)."""
+    return _bus is not None
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Emit onto the active bus (single ``None`` check while disabled)."""
+    current = _bus
+    if current is not None:
+        current.emit(kind, **fields)

@@ -44,6 +44,7 @@ from repro.analysis.uncertainty import (
 from repro.errors import ParameterError
 from repro.models.hw_closed import hw_large, hw_medium, hw_small
 from repro.obs import runtime as obs
+from repro.obs import telemetry
 from repro.params.hardware import HardwareParams
 from repro.perf.vectorized import (
     hw_large_array,
@@ -59,7 +60,9 @@ __all__ = [
     "monte_carlo_parallel",
     "chunk_bounds",
     "broadcast_value",
+    "dispatch_chunks",
     "evaluate_chunk",
+    "evaluate_chunk_captured",
     "get_warm_pool",
     "map_chunked",
     "shutdown_warm_pools",
@@ -384,6 +387,90 @@ def evaluate_chunk(payload: tuple) -> list:
     return [worker(item) for item in items]
 
 
+def evaluate_chunk_captured(payload: tuple) -> tuple:
+    """Run one chunk under a worker-side metrics session, timed.
+
+    Pool workers carry a disabled obs runtime, so counters recorded inside
+    a chunk (simulator events, outage episodes) would silently vanish.
+    This wrapper brackets the chunk in its own session and ships the
+    registry snapshot — plus the chunk wall time — back through the result
+    channel, for the parent to merge in chunk-index order.  Warm pools
+    reuse worker processes, so the session is always closed (try/finally)
+    before the next chunk arrives.
+    """
+    worker, items, chunk_index = payload
+    # Fork-started workers inherit a *copy* of the parent's active session
+    # (its recordings are invisible to the parent); drop it so the chunk's
+    # metrics land in a registry of their own.
+    obs.stop()
+    session = obs.start(f"chunk:{chunk_index}")
+    try:
+        start = time.perf_counter()
+        results = [worker(item) for item in items]
+        seconds = time.perf_counter() - start
+        snapshot = session.metrics.snapshot()
+    finally:
+        obs.stop()
+    return chunk_index, results, snapshot, seconds
+
+
+def dispatch_chunks(pool, worker, items: Sequence, workers: int) -> tuple:
+    """Chunk ``items`` per worker, dispatch on ``pool``, flatten in order.
+
+    While the parent holds an obs session or a telemetry bus, chunks run
+    through :func:`evaluate_chunk_captured`: worker-side metric registries
+    merge into the parent session (counters add; gauges last-writer-wins
+    in chunk-index order; histogram bins element-wise) and a ``progress``
+    heartbeat plus a ``metrics`` snapshot event are emitted per completed
+    chunk.  With both disabled the plain payload shape runs — the
+    instrumentation costs nothing.
+    """
+    items = list(items)
+    chunks = split_chunks(items, workers)
+    session = obs.active()
+    if session is None and not telemetry.enabled():
+        collected: list = []
+        for part in pool.map(
+            evaluate_chunk, [(worker, chunk) for chunk in chunks]
+        ):
+            collected.extend(part)
+        return tuple(collected)
+    tracker = (
+        telemetry.ProgressTracker(len(items))
+        if telemetry.enabled()
+        else None
+    )
+    payloads = [
+        (worker, chunk, index) for index, chunk in enumerate(chunks)
+    ]
+    collected = []
+    for chunk_index, part, snapshot, seconds in pool.map(
+        evaluate_chunk_captured, payloads
+    ):
+        collected.extend(part)
+        if session is not None:
+            session.metrics.merge_snapshot(snapshot)
+            session.metrics.histogram("perf.chunk_seconds").observe(seconds)
+        if tracker is not None:
+            events = snapshot.get("counters", {}).get("sim.events", 0)
+            telemetry.emit(
+                "progress",
+                chunk=chunk_index,
+                **tracker.update(completed=len(part), events=int(events)),
+            )
+            # Merged parent-side view when a session exists, otherwise
+            # the worker chunk's own registry snapshot.
+            telemetry.emit(
+                "metrics",
+                snapshot=(
+                    session.metrics.snapshot()
+                    if session is not None
+                    else snapshot
+                ),
+            )
+    return tuple(collected)
+
+
 def map_chunked(worker, items: Sequence, workers: int, context) -> tuple:
     """Run ``worker`` over ``items`` on a warm pool with ``context`` broadcast.
 
@@ -393,17 +480,12 @@ def map_chunked(worker, items: Sequence, workers: int, context) -> tuple:
     dispatched as contiguous chunks (one per worker) and results flattened
     in chunk order, so the output order equals the input order for any
     worker count — the property seeded replications rely on for
-    bit-identical results.
+    bit-identical results.  See :func:`dispatch_chunks` for the worker-
+    metrics/telemetry behavior under an active session or bus.
     """
     pool = get_warm_pool(
         workers,
         initializer=_install_broadcast,
         initargs=(pickle.dumps(context),),
     )
-    payloads = [
-        (worker, chunk) for chunk in split_chunks(items, workers)
-    ]
-    collected: list = []
-    for part in pool.map(evaluate_chunk, payloads):
-        collected.extend(part)
-    return tuple(collected)
+    return dispatch_chunks(pool, worker, items, workers)

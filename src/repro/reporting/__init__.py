@@ -2,6 +2,7 @@
 
 from repro.reporting.tables import format_table
 from repro.reporting.csvout import write_csv
+from repro.reporting.faults import attribution_payload, attribution_rows
 from repro.reporting.manifest import (
     write_manifest_csv,
     write_manifest_json,
@@ -11,6 +12,8 @@ from repro.reporting.manifest import (
 __all__ = [
     "format_table",
     "write_csv",
+    "attribution_rows",
+    "attribution_payload",
     "write_manifest_json",
     "write_manifest_csv",
     "write_spans_csv",

@@ -14,12 +14,64 @@ from typing import Any, Sequence
 __all__ = [
     "crossval_rows",
     "crossval_payload",
+    "attribution_rows",
+    "attribution_payload",
     "sweep_rows",
     "sweep_payload",
     "write_campaign_json",
 ]
 
 _PLANES = ("cp", "sdp", "ldp", "dp")
+
+
+def attribution_rows(
+    campaign, signal: str = "cp", top: int | None = None
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """(headers, rows) for a signal's downtime attribution ledger.
+
+    One row per charged component, ordered by attributed downtime (ties by
+    name); ``top`` keeps only the heaviest ``top`` rows.  Shares are of the
+    signal's total outage time, which the ledger conserves exactly.  The
+    ledger's unit is the simulation clock's — hours for the controller
+    simulator.
+    """
+    ledger = campaign.attribution(signal)
+    headers = ("Component", "Downtime (h)", "Share", "Episodes")
+    seconds = ledger.component_seconds()
+    total = ledger.total_seconds()
+    ordered = sorted(seconds.items(), key=lambda item: (-item[1], item[0]))
+    if top is not None:
+        ordered = ordered[:top]
+    rows = []
+    for component, downtime in ordered:
+        rows.append(
+            (
+                component,
+                f"{downtime:.1f}",
+                f"{downtime / total:.1%}" if total > 0 else "0.0%",
+                str(len(ledger.components[component])),
+            )
+        )
+    return headers, rows
+
+
+def attribution_payload(campaign) -> dict[str, Any]:
+    """JSON-serializable per-plane downtime attribution ledgers."""
+    payload: dict[str, Any] = {}
+    for plane in _PLANES:
+        ledger = campaign.attribution(plane)
+        payload[plane] = {
+            "episodes": ledger.episode_count,
+            "open_episodes": ledger.open_episodes,
+            "total_seconds": ledger.total_seconds(),
+            "components": ledger.component_seconds(),
+            "sources": ledger.source_seconds(),
+            "depths": {
+                str(depth): count
+                for depth, count in sorted(ledger.depths.items())
+            },
+        }
+    return payload
 
 
 def crossval_rows(crossval) -> tuple[tuple[str, ...], list[tuple]]:
@@ -69,6 +121,7 @@ def crossval_payload(crossval) -> dict[str, Any]:
             "max_depth": result.max_queue_depth,
             "total_queued": result.total_queued,
         },
+        "attribution": attribution_payload(result),
     }
 
 

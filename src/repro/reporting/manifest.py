@@ -55,7 +55,8 @@ def _flat_rows(manifest: RunManifest) -> list[tuple[str, str, object]]:
     for name in sorted(histograms):
         summary = histograms[name]
         for stat in ("count", "total", "mean", "min", "max"):
-            rows.append(("histogram", f"{name}.{stat}", summary[stat]))
+            if stat in summary:  # empty histograms carry count only
+                rows.append(("histogram", f"{name}.{stat}", summary[stat]))
     return rows
 
 

@@ -17,7 +17,11 @@ from repro.sim.controller_sim import (
     SimulationResult,
     simulate_controller,
 )
-from repro.sim.measures import BinarySignal, batch_means_interval
+from repro.sim.measures import (
+    BinarySignal,
+    SignalAttribution,
+    batch_means_interval,
+)
 from repro.sim.scenario import Injection, ScenarioRunner, ScenarioTrace
 from repro.sim.validate import ValidationReport, validate_against_analytic
 from repro.sim.vrouter_connections import (
@@ -32,6 +36,7 @@ __all__ = [
     "OutageStatistics",
     "simulate_controller",
     "BinarySignal",
+    "SignalAttribution",
     "batch_means_interval",
     "Injection",
     "ScenarioRunner",

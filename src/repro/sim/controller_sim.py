@@ -25,7 +25,11 @@ from repro.params.hardware import HardwareParams
 from repro.params.software import RestartScenario, SoftwareParams
 from repro.sim.engine import AvailabilitySimulator
 from repro.sim.entities import Component, ComponentKind, ComponentState
-from repro.sim.measures import ConfidenceInterval, batch_means_interval
+from repro.sim.measures import (
+    ConfidenceInterval,
+    SignalAttribution,
+    batch_means_interval,
+)
 from repro.topology.deployment import DeploymentTopology
 from repro.units import mttr_from_availability
 
@@ -72,6 +76,9 @@ class SimulationResult:
     intervals: dict[str, ConfidenceInterval] = field(default_factory=dict)
     outages: dict[str, OutageStatistics] = field(default_factory=dict)
     horizon_hours: float = 0.0
+    #: Per-signal downtime attribution ledgers (component/hazard -> episode
+    #: durations); empty for results predating attribution.
+    attribution: dict[str, SignalAttribution] = field(default_factory=dict)
 
     def interval(self, name: str) -> ConfidenceInterval:
         try:
@@ -85,6 +92,14 @@ class SimulationResult:
         except KeyError:
             raise SimulationError(
                 f"no outage statistics for signal {name!r}"
+            ) from None
+
+    def signal_attribution(self, name: str) -> SignalAttribution:
+        try:
+            return self.attribution[name]
+        except KeyError:
+            raise SimulationError(
+                f"no attribution ledger for signal {name!r}"
             ) from None
 
 
@@ -332,6 +347,7 @@ def collect_result(
     """
     intervals = {}
     outages = {}
+    attribution = {}
     for name in ("cp", "sdp", "ldp", "dp"):
         batch_values = simulator.batch_availabilities(name)
         if len(batch_values) >= 2:
@@ -345,6 +361,7 @@ def collect_result(
                 sum(durations) / len(durations) if durations else 0.0
             ),
         )
+        attribution[name] = signal.attribution()
     return SimulationResult(
         cp=simulator.availability("cp"),
         shared_dp=simulator.availability("sdp"),
@@ -353,6 +370,7 @@ def collect_result(
         intervals=intervals,
         outages=outages,
         horizon_hours=horizon_hours,
+        attribution=attribution,
     )
 
 

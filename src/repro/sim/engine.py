@@ -152,6 +152,14 @@ class AvailabilitySimulator:
         self._key_signal_mask: dict[str, int] = {}
         self._always_dirty_mask = 0
         self._dirty_signals = 0
+        # -- outage attribution --
+        # Intrinsic down-flips since the last signal refresh, in transition
+        # order: (component key, hazard source).  When a refresh takes a
+        # signal up->down, the first edge that can reach the signal's
+        # declared dependency set is stamped as the episode's cause.
+        self._down_edges: list[tuple[str, str]] = []
+        self._signal_deps: list[frozenset[str] | None] = []
+        self._depth_cache: dict[str, dict[str, int]] = {}
 
     def _walk_dependents(self, key: str) -> tuple[str, ...]:
         """Transitive dependents in the engine's canonical DFS order.
@@ -300,6 +308,9 @@ class AvailabilitySimulator:
                 masks[key] = masks.get(key, 0) | bit
         signal = BinarySignal(name, predicate(self), start_time=self.now)
         self._signals.append((signal, predicate))
+        self._signal_deps.append(
+            frozenset(depends_on) if depends_on is not None else None
+        )
         self._signals_by_name[name] = signal
         self._batch_records[name] = []
 
@@ -313,15 +324,75 @@ class AvailabilitySimulator:
         if not dirty:
             for signal, _ in self._signals:
                 signal.update(now, signal.state)
+            if self._down_edges:
+                self._down_edges.clear()
             return
         self._dirty_signals = 0
+        edges = self._down_edges
         bit = 1
-        for signal, predicate in self._signals:
+        for index, (signal, predicate) in enumerate(self._signals):
             if dirty & bit:
-                signal.update(now, predicate(self))
+                was_up = signal.state
+                state = predicate(self)
+                signal.update(now, state)
+                if was_up and not state and edges:
+                    self._stamp_outage_cause(index, signal)
             else:
                 signal.update(now, signal.state)
             bit <<= 1
+        if edges:
+            edges.clear()
+
+    def _depth_map(self, origin: str) -> dict[str, int]:
+        """BFS depths of ``origin``'s dependents closure (origin itself 0).
+
+        Cached per key; only consulted when a signal outage opens, so the
+        cost is per-episode, not per-event.
+        """
+        depths = self._depth_cache.get(origin)
+        if depths is None:
+            depths = {origin: 0}
+            frontier = [origin]
+            depth = 0
+            components = self.components
+            while frontier:
+                depth += 1
+                next_frontier: list[str] = []
+                for key in frontier:
+                    for dependent in components[key].dependents:
+                        if dependent not in depths:
+                            depths[dependent] = depth
+                            next_frontier.append(dependent)
+                frontier = next_frontier
+            self._depth_cache[origin] = depths
+        return depths
+
+    def _stamp_outage_cause(self, index: int, signal: BinarySignal) -> None:
+        """Charge the episode that just opened to its triggering transition.
+
+        Scans the down-flips of the current transition (in order) for the
+        first whose dependents closure reaches the signal's declared
+        dependency set; the recorded depth is the shortest closure distance
+        from the flipped component to a declared key (0 = the signal reads
+        the flipped component itself).  Falls back to the first flip when
+        nothing is declared or reachable — better a coarse cause than none.
+        """
+        deps = self._signal_deps[index]
+        for key, source in self._down_edges:
+            if deps is None:
+                signal.attribute_open_outage(key, source, -1)
+                return
+            depths = self._depth_map(key)
+            best = -1
+            for declared in deps:
+                depth = depths.get(declared)
+                if depth is not None and (best < 0 or depth < best):
+                    best = depth
+            if best >= 0:
+                signal.attribute_open_outage(key, source, best)
+                return
+        key, source = self._down_edges[0]
+        signal.attribute_open_outage(key, source, -1)
 
     # -- scheduling ----------------------------------------------------------------
 
@@ -417,7 +488,12 @@ class AvailabilitySimulator:
     # identically no matter which layer caused the transition.
 
     def _apply_down(
-        self, component: Component, *, want_repair: bool, hold: bool
+        self,
+        component: Component,
+        *,
+        want_repair: bool,
+        hold: bool,
+        source: str = "stochastic",
     ) -> bool:
         """The single downward-transition (and epoch-bump) site.
 
@@ -426,7 +502,10 @@ class AvailabilitySimulator:
         (scenario/maintenance semantics).  ``hold`` additionally cancels a
         pending or queued repair when the component is *already* down, so a
         maintenance window can pin a stochastically-failed component down
-        for its full duration.  Returns whether the intrinsic state changed.
+        for its full duration.  ``source`` labels what caused the
+        transition (``"stochastic"``, ``"scenario"``, or a hazard name) for
+        the outage-attribution ledger.  Returns whether the intrinsic state
+        changed.
         """
         if component.state is ComponentState.REPAIRING:
             if hold:
@@ -437,6 +516,7 @@ class AvailabilitySimulator:
         component.state = ComponentState.REPAIRING
         self._bump(component)
         self._invalidate_effective(component.key)
+        self._down_edges.append((component.key, source))
         if want_repair and (
             self._repair_controller is None
             or self._repair_controller.request(self, component)
@@ -510,7 +590,12 @@ class AvailabilitySimulator:
         self._refresh_signals()
 
     def force_fail(
-        self, key: str, *, repair: bool = False, hold: bool = False
+        self,
+        key: str,
+        *,
+        repair: bool = False,
+        hold: bool = False,
+        source: str = "scenario",
     ) -> bool:
         """Fail a component immediately.
 
@@ -519,10 +604,11 @@ class AvailabilitySimulator:
         pass ``repair=True`` to route the outage through the normal repair
         machinery (including any capacity policy), and ``hold=True`` to
         also pin already-down components (cancelling their pending repair)
-        until an explicit :meth:`force_repair`.
+        until an explicit :meth:`force_repair`.  ``source`` labels the
+        cause in the outage-attribution ledger.
         """
         changed = self._apply_down(
-            self.components[key], want_repair=repair, hold=hold
+            self.components[key], want_repair=repair, hold=hold, source=source
         )
         self._refresh_signals()
         return changed
@@ -543,17 +629,20 @@ class AvailabilitySimulator:
         *,
         repair: bool = False,
         hold: bool = False,
+        source: str = "scenario",
     ) -> int:
         """Fail several components at one instant (correlated events).
 
         Signals refresh once, after the whole group transitioned, so a
         simultaneous multi-component event is observed as a single outage
-        edge.  Returns how many components actually changed state.
+        edge (attributed, via ``source``, to the first group member that
+        reaches the signal).  Returns how many components changed state.
         """
         changed = 0
         for key in keys:
             if self._apply_down(
-                self.components[key], want_repair=repair, hold=hold
+                self.components[key], want_repair=repair, hold=hold,
+                source=source,
             ):
                 changed += 1
         self._refresh_signals()

@@ -9,9 +9,103 @@ output is autocorrelated; i.i.d. formulas on raw samples would be wrong).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.errors import SimulationError
+
+#: Cause label for outage episodes no transition was recorded for (e.g. a
+#: signal that starts down before any component transition).
+UNATTRIBUTED = "unattributed"
+
+
+@dataclass(frozen=True, slots=True)
+class SignalAttribution:
+    """Per-signal downtime attribution ledger.
+
+    Maps each *cause* of the signal's outage episodes — the component key
+    whose transition opened the episode, and the hazard source behind that
+    transition — to the tuple of episode durations it is charged with.
+    Durations are kept as tuples (never pre-summed): ``math.fsum`` over a
+    multiset of floats is exactly rounded and therefore grouping-
+    independent, which is what lets the conservation invariant hold with
+    ``==`` — the per-component ledger sums *exactly* to the signal's total
+    outage seconds, and merging across replications (tuple concatenation)
+    preserves that exactness.
+    """
+
+    name: str
+    components: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    sources: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    #: episode counts by depth of the flipped key in the triggering
+    #: component's dependents closure (0 = the component itself).
+    depths: Mapping[int, int] = field(default_factory=dict)
+    open_episodes: int = 0
+
+    @property
+    def episode_count(self) -> int:
+        return sum(len(durations) for durations in self.components.values())
+
+    def component_seconds(self) -> dict[str, float]:
+        """Exact downtime seconds charged to each component."""
+        return {
+            key: math.fsum(durations)
+            for key, durations in self.components.items()
+        }
+
+    def source_seconds(self) -> dict[str, float]:
+        """Exact downtime seconds charged to each hazard source."""
+        return {
+            key: math.fsum(durations)
+            for key, durations in self.sources.items()
+        }
+
+    def total_seconds(self) -> float:
+        """Total attributed downtime (fsum over the full duration multiset)."""
+        return math.fsum(
+            duration
+            for durations in self.components.values()
+            for duration in durations
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (seconds per cause, episode counts)."""
+        return {
+            "episodes": self.episode_count,
+            "open_episodes": self.open_episodes,
+            "total_seconds": self.total_seconds(),
+            "components": self.component_seconds(),
+            "sources": self.source_seconds(),
+            "depths": {str(k): v for k, v in sorted(self.depths.items())},
+        }
+
+    @classmethod
+    def merge(
+        cls, ledgers: Iterable["SignalAttribution"], name: str | None = None
+    ) -> "SignalAttribution":
+        """Concatenate ledgers (e.g. across campaign replications)."""
+        components: dict[str, tuple[float, ...]] = {}
+        sources: dict[str, tuple[float, ...]] = {}
+        depths: dict[int, int] = {}
+        open_episodes = 0
+        merged_name = name
+        for ledger in ledgers:
+            if merged_name is None:
+                merged_name = ledger.name
+            for key, durations in ledger.components.items():
+                components[key] = components.get(key, ()) + tuple(durations)
+            for key, durations in ledger.sources.items():
+                sources[key] = sources.get(key, ()) + tuple(durations)
+            for depth, count in ledger.depths.items():
+                depths[depth] = depths.get(depth, 0) + count
+            open_episodes += ledger.open_episodes
+        return cls(
+            name=merged_name or "",
+            components=components,
+            sources=sources,
+            depths=depths,
+            open_episodes=open_episodes,
+        )
 
 
 class BinarySignal:
@@ -34,6 +128,8 @@ class BinarySignal:
         "_total_time",
         "_outage_started",
         "_outage_durations",
+        "_outage_causes",
+        "_open_cause",
     )
 
     def __init__(self, name: str, initial: bool, start_time: float = 0.0):
@@ -44,6 +140,10 @@ class BinarySignal:
         self._total_time = 0.0
         self._outage_started = None if self._state else start_time
         self._outage_durations: list[float] = []
+        # One cause per completed episode, aligned with _outage_durations:
+        # (component_key, hazard_source, closure_depth) or None.
+        self._outage_causes: list[tuple[str, str, int] | None] = []
+        self._open_cause: tuple[str, str, int] | None = None
 
     @property
     def state(self) -> bool:
@@ -62,10 +162,13 @@ class BinarySignal:
         state = bool(state)
         if self._state and not state:
             self._outage_started = time
+            self._open_cause = None
         elif not self._state and state:
             if self._outage_started is not None:
                 self._outage_durations.append(time - self._outage_started)
+                self._outage_causes.append(self._open_cause)
             self._outage_started = None
+            self._open_cause = None
         self._state = state
         self._last_change = time
 
@@ -94,6 +197,63 @@ class BinarySignal:
                 f"signal {self.name!r} observed no time; run the simulation"
             )
         return len(self._outage_durations) / self._total_time
+
+    def attribute_open_outage(
+        self, component: str, source: str, depth: int
+    ) -> None:
+        """Stamp the cause of the outage episode that just opened.
+
+        The engine calls this immediately after the up->down edge it
+        caused; only the first stamp per episode sticks (the triggering
+        transition, not later pile-on failures during the same outage).
+        No-op while the signal is up.
+        """
+        if self._outage_started is not None and self._open_cause is None:
+            self._open_cause = (component, source, depth)
+
+    def outage_seconds(self) -> float:
+        """Total outage time: completed episodes plus any open episode.
+
+        ``fsum`` over the episode-duration multiset — the exact quantity
+        the attribution ledger conserves.
+        """
+        durations = list(self._outage_durations)
+        if self._outage_started is not None:
+            durations.append(self._last_change - self._outage_started)
+        return math.fsum(durations)
+
+    def attribution(self) -> SignalAttribution:
+        """The per-cause downtime ledger observed so far.
+
+        Includes a trailing still-open episode (duration up to the last
+        integration point) so the ledger conserves :meth:`outage_seconds`
+        exactly; episodes with no recorded cause are charged to
+        :data:`UNATTRIBUTED`.
+        """
+        components: dict[str, tuple[float, ...]] = {}
+        sources: dict[str, tuple[float, ...]] = {}
+        depths: dict[int, int] = {}
+
+        def charge(cause: tuple[str, str, int] | None, duration: float):
+            component, source, depth = cause or (UNATTRIBUTED, UNATTRIBUTED, -1)
+            components[component] = components.get(component, ()) + (duration,)
+            sources[source] = sources.get(source, ()) + (duration,)
+            if depth >= 0:
+                depths[depth] = depths.get(depth, 0) + 1
+
+        for duration, cause in zip(self._outage_durations, self._outage_causes):
+            charge(cause, duration)
+        open_episodes = 0
+        if self._outage_started is not None:
+            open_episodes = 1
+            charge(self._open_cause, self._last_change - self._outage_started)
+        return SignalAttribution(
+            name=self.name,
+            components=components,
+            sources=sources,
+            depths=depths,
+            open_episodes=open_episodes,
+        )
 
     def finalize(self, time: float) -> None:
         """Close the integration window at the horizon."""

@@ -21,13 +21,13 @@ from typing import Sequence
 from repro.controller.spec import ControllerSpec
 from repro.errors import SimulationError
 from repro.obs import runtime as obs
+from repro.obs import telemetry
 from repro.params.hardware import HardwareParams
 from repro.perf.parallel import (
     broadcast_value,
-    evaluate_chunk,
+    dispatch_chunks,
     get_warm_pool,
     map_chunked,
-    split_chunks,
 )
 from repro.params.software import RestartScenario, SoftwareParams
 from repro.sim.controller_sim import (
@@ -127,17 +127,20 @@ def map_jobs(
     if executor is not None:
         return tuple(executor.map(worker, jobs))
     if workers == 1 or len(jobs) <= 1:
+        tracker = (
+            telemetry.ProgressTracker(len(jobs))
+            if telemetry.enabled()
+            else None
+        )
         collected = []
         for index, job in enumerate(jobs):
             with obs.span(span_name, index=index):
                 collected.append(worker(job))
+            if tracker is not None:
+                telemetry.emit("progress", job=index, **tracker.update())
         return tuple(collected)
     pool = get_warm_pool(workers)
-    payloads = [(worker, chunk) for chunk in split_chunks(jobs, workers)]
-    collected = []
-    for part in pool.map(evaluate_chunk, payloads):
-        collected.extend(part)
-    return tuple(collected)
+    return dispatch_chunks(pool, worker, jobs, workers)
 
 
 def _run_replication(job: tuple) -> SimulationResult:
@@ -192,6 +195,14 @@ def run_replications(
     obs.annotate("topology", topology.name)
     obs.annotate("seed.sim_root", config.seed)
     obs.annotate("seed.sim_replications", replications)
+    telemetry.emit(
+        "replications.start",
+        topology=topology.name,
+        replications=replications,
+        workers=workers,
+        horizon_hours=config.horizon_hours,
+        seed=config.seed,
+    )
     with obs.span(
         "sim.replicate",
         replications=replications,
@@ -216,4 +227,12 @@ def run_replications(
                 _run_replication, jobs, workers=workers, executor=executor
             )
     obs.count("sim.replications", replications)
-    return ReplicationSet(results=results, seeds=seeds)
+    merged = ReplicationSet(results=results, seeds=seeds)
+    telemetry.emit(
+        "replications.end",
+        replications=replications,
+        availability={
+            name: merged.availability(name) for name in _SIGNAL_ATTRS
+        },
+    )
+    return merged

@@ -1,0 +1,310 @@
+"""Per-outage attribution: exact conservation and forensic cross-checks.
+
+The attribution ledger (:class:`repro.sim.measures.SignalAttribution`)
+charges every outage episode of a signal to the component/hazard whose
+transition opened it.  Durations are kept as raw per-cause tuples and
+summed with ``math.fsum`` — an exactly-rounded sum, hence independent of
+grouping — so the ledger conserves each signal's total outage time with
+``==``, not approximately.  These tests enforce that invariant over
+arbitrary up/down sequences (hypothesis) and real fault campaigns, pin
+the beta=0 no-common-cause-attribution guarantee, and cross-check the
+hazard-free component ranking against analytic Birnbaum importance via
+:mod:`repro.obs.forensics`.
+"""
+
+from __future__ import annotations
+
+from math import fsum
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.faults import (
+    CampaignSpec,
+    CommonCauseSpec,
+    MaintenanceSpec,
+    RackPowerSpec,
+    run_campaign,
+)
+from repro.faults.campaign import materialize
+from repro.obs import forensics
+from repro.sim.measures import UNATTRIBUTED, BinarySignal, SignalAttribution
+
+PLANES = ("cp", "sdp", "ldp", "dp")
+
+_RESULT_ATTRS = {
+    "cp": "cp",
+    "sdp": "shared_dp",
+    "ldp": "local_dp",
+    "dp": "dp",
+}
+
+KNOWN_SOURCES = {
+    "stochastic",
+    "scenario",
+    "common_cause",
+    "rack_power",
+    "maintenance",
+    UNATTRIBUTED,
+}
+
+
+@st.composite
+def signal_histories(draw):
+    """An initial state plus arbitrary timed up/down transitions.
+
+    Durations are adversarial floats (including 0-length episodes); the
+    cause element stands in for the engine's stamping — ``None`` models a
+    down edge the engine could not attribute.
+    """
+    initial = draw(st.booleans())
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.booleans(),
+                st.sampled_from(
+                    ["rack:R1", "host:H1", "vm:V1", "proc:a", None]
+                ),
+            ),
+            max_size=80,
+        )
+    )
+    return initial, steps
+
+
+def _drive(initial, steps) -> BinarySignal:
+    signal = BinarySignal("cp", initial=initial)
+    now = 0.0
+    for dt, state, cause in steps:
+        now += dt
+        was_up = signal.state
+        signal.update(now, state)
+        if was_up and not state and cause is not None:
+            signal.attribute_open_outage(cause, "stochastic", 0)
+    return signal
+
+
+def _all_durations(ledger: SignalAttribution):
+    return [d for tup in ledger.components.values() for d in tup]
+
+
+class TestConservationProperty:
+    @given(signal_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_ledger_conserves_outage_time_exactly(self, history):
+        initial, steps = history
+        signal = _drive(initial, steps)
+        ledger = signal.attribution()
+        total = signal.outage_seconds()
+        # Exact equality (==), not approx: fsum over the episode-duration
+        # multiset is exactly rounded, so regrouping by cause loses nothing.
+        assert ledger.total_seconds() == total
+        assert fsum(_all_durations(ledger)) == total
+        assert fsum(d for t in ledger.sources.values() for d in t) == total
+        completed = signal.outage_count
+        assert ledger.episode_count == completed + ledger.open_episodes
+        assert ledger.open_episodes in (0, 1)
+
+    @given(signal_histories(), signal_histories())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_exact_tuple_concatenation(self, first, second):
+        a = _drive(*first).attribution()
+        b = _drive(*second).attribution()
+        merged = SignalAttribution.merge([a, b], name="cp")
+        assert merged.total_seconds() == fsum(
+            _all_durations(a) + _all_durations(b)
+        )
+        assert merged.episode_count == a.episode_count + b.episode_count
+        for key, durations in merged.components.items():
+            assert durations == a.components.get(key, ()) + (
+                b.components.get(key, ())
+            )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        beta=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        crews=st.sampled_from([None, 1]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_campaign_replication_ledgers_conserve(self, seed, beta, crews):
+        """Arbitrary fail/repair/hazard sequences via seeded campaigns."""
+        spec = CampaignSpec(
+            option="1S",
+            horizon_hours=400.0,
+            replications=1,
+            seed=seed,
+            batches=2,
+            hazards=(
+                CommonCauseSpec("role:Control", beta),
+                RackPowerSpec(mtbf_hours=1500.0),
+                MaintenanceSpec(
+                    "host:H2",
+                    start_hours=50.0,
+                    period_hours=200.0,
+                    duration_hours=10.0,
+                ),
+            ),
+            repair_crews=crews,
+        )
+        result = run_campaign(spec).replications.results[0]
+        for name in PLANES:
+            ledger = result.signal_attribution(name)
+            total = ledger.total_seconds()
+            assert fsum(_all_durations(ledger)) == total
+            assert fsum(d for t in ledger.sources.values() for d in t) == (
+                total
+            )
+            assert set(ledger.sources) <= KNOWN_SOURCES
+            # The ledger total is the signal's downtime integral.
+            availability = getattr(result, _RESULT_ATTRS[name])
+            assert total == pytest.approx(
+                (1.0 - availability) * spec.horizon_hours, abs=1e-6
+            )
+
+
+class TestCampaignAttribution:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(
+            CampaignSpec(
+                option="1S",
+                horizon_hours=1500.0,
+                replications=3,
+                seed=11,
+                batches=2,
+                hazards=(
+                    CommonCauseSpec("role:Control", 0.4),
+                    RackPowerSpec(mtbf_hours=1000.0),
+                    MaintenanceSpec(
+                        "host:H2",
+                        start_hours=100.0,
+                        period_hours=500.0,
+                        duration_hours=25.0,
+                    ),
+                ),
+                repair_crews=2,
+            )
+        )
+
+    def test_merged_ledger_conserves_exactly(self, campaign):
+        for name in PLANES:
+            merged = campaign.attribution(name)
+            assert merged.total_seconds() == fsum(_all_durations(merged))
+            per_rep = [
+                result.signal_attribution(name)
+                for result in campaign.replications.results
+            ]
+            assert merged.episode_count == sum(
+                ledger.episode_count for ledger in per_rep
+            )
+            assert merged.total_seconds() == fsum(
+                d for ledger in per_rep for d in _all_durations(ledger)
+            )
+
+    def test_hazard_sources_show_up_in_the_ledger(self, campaign):
+        sources = set()
+        for name in PLANES:
+            sources |= set(campaign.attribution(name).sources)
+        assert sources <= KNOWN_SOURCES
+        assert "stochastic" in sources
+        # The aggressive rack-power hazard must trigger at least one
+        # attributed outage somewhere across 3 x 1500 h.
+        assert "rack_power" in sources
+
+    def test_to_dict_round_trip_shape(self, campaign):
+        record = campaign.attribution("cp").to_dict()
+        assert record["episodes"] >= 1
+        assert record["total_seconds"] == pytest.approx(
+            fsum(record["components"].values())
+        )
+        assert all(isinstance(k, str) for k in record["depths"])
+
+    def test_beta_zero_attributes_nothing_to_common_cause(self):
+        campaign = run_campaign(
+            CampaignSpec(
+                option="1S",
+                horizon_hours=1500.0,
+                replications=2,
+                seed=11,
+            ).with_beta(0.0)
+        )
+        assert campaign.total_injections("common_cause") == 0
+        for name in PLANES:
+            ledger = campaign.attribution(name)
+            assert ledger.source_seconds().get("common_cause", 0.0) == 0.0
+
+
+class TestForensics:
+    @pytest.fixture(scope="class")
+    def materialized(self):
+        spec = CampaignSpec(option="1S", horizon_hours=6000.0,
+                            replications=3, seed=5, batches=2)
+        controller, topology, hardware, software, scenario = materialize(
+            spec
+        )
+        return spec, controller, topology, hardware
+
+    def test_infra_structure_shape(self, materialized):
+        _, controller, topology, hardware = materialized
+        structure = forensics.infra_structure(controller, topology, "cp")
+        assert "rack:R1" in structure.names
+        assert any(name.startswith("host:") for name in structure.names)
+        probabilities = forensics.infra_probabilities(topology, hardware)
+        assert set(probabilities) == set(structure.names)
+        availability = structure.availability(probabilities)
+        assert 0.0 < availability < 1.0
+        # All infra up => plane infra up; single rack down => plane down.
+        assert structure({n: True for n in structure.names})
+        assert not structure({n: n != "rack:R1" for n in structure.names})
+
+    def test_unknown_signal_is_an_error(self, materialized):
+        _, controller, topology, _ = materialized
+        with pytest.raises(ObservabilityError):
+            forensics.infra_structure(controller, topology, "ldp")
+
+    def test_importance_orders_rack_first(self, materialized):
+        _, controller, topology, hardware = materialized
+        importance = forensics.infra_importance(
+            controller, topology, hardware, "cp"
+        )
+        criticality = importance["criticality"]
+        rack = criticality["rack:R1"]
+        assert all(
+            rack > value
+            for name, value in criticality.items()
+            if name != "rack:R1"
+        )
+        fv = importance["fussell_vesely"]
+        assert fv["rack:R1"] == max(fv.values())
+
+    def test_hazard_free_ranking_agrees_with_birnbaum(self, materialized):
+        """Acceptance: simulated attribution matches analytic criticality.
+
+        On the Small reference topology the single rack dominates every
+        host/vm by orders of magnitude analytically; a hazard-free
+        campaign's CP ledger must reproduce that ordering.  min_ratio
+        keeps Monte-Carlo near-ties (host vs its own vm) out of scope.
+        """
+        spec, controller, topology, hardware = materialized
+        campaign = run_campaign(spec)
+        check = forensics.crosscheck_attribution(
+            campaign.attribution("cp"),
+            controller,
+            topology,
+            hardware,
+            signal="cp",
+            min_ratio=5.0,
+        )
+        assert check.agrees, check.violations
+        assert check.simulated_seconds.get("rack:R1", 0.0) > 0.0
+        record = check.to_dict()
+        assert record["agrees"] is True
+        assert record["violations"] == []

@@ -74,3 +74,59 @@ class TestCli:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliTelemetry:
+    def test_faults_telemetry_stream_and_tail(self, capsys, tmp_path):
+        stream = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--horizon", "500",
+                    "--replications", "2",
+                    "--telemetry", str(stream),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "downtime attribution" in out
+        assert f"wrote telemetry stream {stream}" in out
+        assert stream.exists()
+
+        assert main(["obs", "tail", str(stream)]) == 0
+        tail = capsys.readouterr().out
+        assert "run.start" in tail
+        assert "campaign.start" in tail
+        assert "progress" in tail
+        assert "campaign.end" in tail
+        assert "event(s)" in tail
+
+    def test_obs_tail_without_file_errors(self, capsys):
+        assert main(["obs", "tail"]) == 2
+        assert "requires a telemetry file" in capsys.readouterr().err
+
+    def test_faults_json_payload_includes_attribution(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "campaign.json"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--horizon", "500",
+                    "--replications", "2",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        attribution = payload["attribution"]
+        for plane in ("cp", "sdp", "ldp", "dp"):
+            record = attribution[plane]
+            assert record["total_seconds"] == pytest.approx(
+                sum(record["components"].values())
+            )

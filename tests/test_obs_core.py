@@ -138,9 +138,8 @@ class TestMetrics:
 
     def test_histogram_streaming_summary(self):
         histogram = TimingHistogram("chunk")
-        assert histogram.summary() == {
-            "count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-        }
+        # Zero-sample histograms render as absent stats, never NaN.
+        assert histogram.summary() == {"count": 0}
         for value in (0.2, 0.1, 0.4):
             histogram.observe(value)
         summary = histogram.summary()
@@ -148,6 +147,7 @@ class TestMetrics:
         assert summary["total"] == pytest.approx(0.7)
         assert summary["mean"] == pytest.approx(0.7 / 3)
         assert summary["min"] == 0.1 and summary["max"] == 0.4
+        assert sum(summary["bins"]) == 3
 
     def test_registry_create_on_demand_and_snapshot(self):
         registry = MetricsRegistry()

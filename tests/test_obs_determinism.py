@@ -16,6 +16,7 @@ from repro.models.engine import evaluate_topology
 from repro.models.hw_closed import hw_large, hw_small
 from repro.models.sw import plane_requirements
 from repro.obs import runtime as obs
+from repro.obs import telemetry
 from repro.obs.manifest import RunManifest
 from repro.params.software import RestartScenario
 from repro.perf import monte_carlo_parallel
@@ -30,8 +31,10 @@ S2 = RestartScenario.REQUIRED
 @pytest.fixture(autouse=True)
 def _no_leaked_session():
     obs.stop()
+    telemetry.stop()
     yield
     obs.stop()
+    telemetry.stop()
 
 
 def _availability(hardware) -> dict[str, float]:
@@ -103,6 +106,73 @@ class TestBitIdenticalResults:
         assert session.annotations["seed.sim_root"] == 17
         counters = session.metrics.snapshot()["counters"]
         assert counters["sim.replications"] == 2.0
+
+
+class TestTelemetryRoundTrip:
+    """The telemetry sink must never perturb results either.
+
+    Acceptance for the streaming pipeline: the same replication workload
+    run (a) without telemetry, (b) with a JSONL sink, and (c) with the
+    sink plus 4 pool workers yields ``==``-identical availabilities, and
+    the recorded stream round-trips through :func:`telemetry.read_events`.
+    """
+
+    def _run(self, spec, small, hardware, software, workers):
+        return run_replications(
+            spec, small, hardware, software, S2,
+            config=SimulationConfig(
+                seed=29,
+                horizon_hours=500.0,
+                batches=2,
+                rack_mtbf_hours=2000.0,
+                host_mtbf_hours=1000.0,
+                vm_mtbf_hours=500.0,
+            ),
+            replications=4,
+            workers=workers,
+        )
+
+    def test_sink_on_off_and_workers_bit_identical(
+        self, spec, small, stressed_hardware, stressed_software, tmp_path
+    ):
+        baseline = self._run(
+            spec, small, stressed_hardware, stressed_software, workers=1
+        )
+        stream = tmp_path / "telemetry.jsonl"
+        telemetry.start([telemetry.JsonlSink(stream)])
+        try:
+            recorded = self._run(
+                spec, small, stressed_hardware, stressed_software, workers=1
+            )
+            recorded_parallel = self._run(
+                spec, small, stressed_hardware, stressed_software, workers=4
+            )
+        finally:
+            telemetry.stop()
+        for name in ("cp", "sdp", "ldp", "dp"):
+            assert recorded.availability(name) == baseline.availability(name)
+            assert recorded_parallel.availability(name) == (
+                baseline.availability(name)
+            )
+
+        events = list(telemetry.read_events(stream))
+        assert events, "sink recorded nothing"
+        assert all(event["schema"] == 1 for event in events)
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+        kinds = {event["kind"] for event in events}
+        assert {"replications.start", "progress", "replications.end"} <= kinds
+        ends = [e for e in events if e["kind"] == "replications.end"]
+        assert ends[0]["availability"]["cp"] == baseline.availability("cp")
+        # Per-replication progress from both the inline and the pooled
+        # dispatch paths.
+        progress = [e for e in events if e["kind"] == "progress"]
+        assert [e["completed"] for e in progress[:4]] == [1, 2, 3, 4]
+        # The pooled run also streamed merged metric snapshots upward.
+        metrics = [e for e in events if e["kind"] == "metrics"]
+        assert metrics
+        counters = metrics[-1]["snapshot"]["counters"]
+        assert counters["sim.events"] > 0
 
 
 class TestSessionManifests:

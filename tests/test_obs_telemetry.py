@@ -1,0 +1,295 @@
+"""Unit tests for the streaming telemetry pipeline (:mod:`repro.obs.telemetry`).
+
+Covers the sink zoo (JSONL with rotation, in-process aggregation,
+Prometheus/OpenMetrics snapshots), the bus lifecycle, progress tracking,
+the ``obs tail`` read/render path, and the worker-snapshot merge rules of
+:meth:`repro.obs.metrics.MetricsRegistry.merge_snapshot` the parallel
+dispatcher relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import telemetry
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKET_BOUNDS,
+    MetricsRegistry,
+    TimingHistogram,
+)
+from repro.obs.telemetry import (
+    AggregatorSink,
+    JsonlSink,
+    NullSink,
+    PrometheusSink,
+    ProgressTracker,
+    TelemetryBus,
+    read_events,
+    render_event,
+    render_openmetrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_bus():
+    telemetry.stop()
+    yield
+    telemetry.stop()
+
+
+class TestJsonlSink:
+    def test_appends_compact_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"kind": "a", "seq": 0, "x": 1})
+        sink.emit({"kind": "b", "seq": 1})
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"kind": "a", "seq": 0, "x": 1}
+        assert sink.events_written == 2
+        assert sink.rotations == 0
+
+    def test_append_to_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        JsonlSink(path).emit({"seq": 0})
+        sink = JsonlSink(path)
+        sink.emit({"seq": 1})
+        sink.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_size_based_rotation_shifts_backups(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=64, max_backups=2)
+        for seq in range(30):
+            sink.emit({"kind": "heartbeat", "seq": seq})
+        sink.close()
+        assert sink.rotations > 0
+        assert path.with_name("events.jsonl.1").exists()
+        assert path.with_name("events.jsonl.2").exists()
+        # Backups are capped: nothing past .2 may exist.
+        assert not path.with_name("events.jsonl.3").exists()
+        # The live file stays within the size budget.
+        assert path.stat().st_size <= 64
+        # Every surviving line is still valid JSON.
+        for name in ("events.jsonl", "events.jsonl.1", "events.jsonl.2"):
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+
+    def test_rejects_non_positive_max_bytes(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
+
+
+class TestAggregatorSink:
+    def test_counts_and_last_by_kind(self):
+        sink = AggregatorSink()
+        sink.emit({"kind": "progress", "completed": 1})
+        sink.emit({"kind": "progress", "completed": 2})
+        sink.emit({"kind": "metrics"})
+        assert sink.total == 3
+        assert sink.counts == {"progress": 2, "metrics": 1}
+        assert sink.last["progress"]["completed"] == 2
+
+
+class TestOpenMetrics:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.events").increment(42)
+        registry.gauge("perf.workers").set(4)
+        histogram = registry.histogram("perf.chunk_seconds")
+        histogram.observe(0.002)
+        histogram.observe(0.3)
+        histogram.observe(120.0)  # overflow bucket
+        return registry.snapshot()
+
+    def test_exposition_shape(self):
+        text = render_openmetrics(self._snapshot())
+        assert "# TYPE sim_events_total counter" in text
+        assert "sim_events_total 42.0" in text
+        assert "# TYPE perf_workers gauge" in text
+        assert "perf_workers 4.0" in text
+        assert "# TYPE perf_chunk_seconds_seconds histogram" in text
+        assert 'perf_chunk_seconds_seconds_bucket{le="+Inf"} 3' in text
+        assert "perf_chunk_seconds_seconds_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_buckets_are_cumulative(self):
+        text = render_openmetrics(self._snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('perf_chunk_seconds_seconds_bucket{le="')
+        ]
+        assert len(counts) == len(HISTOGRAM_BUCKET_BOUNDS) + 1
+        assert counts == sorted(counts)
+        # 120 s observation lives only in +Inf: last finite bound < total.
+        assert counts[-2] == 2 and counts[-1] == 3
+
+    def test_none_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("unset")
+        text = render_openmetrics(registry.snapshot())
+        assert "unset" not in text
+
+    def test_prometheus_sink_reacts_only_to_metrics_events(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = PrometheusSink(path)
+        sink.emit({"kind": "progress", "completed": 1})
+        assert sink.writes == 0 and not path.exists()
+        sink.emit({"kind": "metrics", "snapshot": self._snapshot()})
+        assert sink.writes == 1
+        assert "sim_events_total 42.0" in path.read_text(encoding="utf-8")
+
+
+class TestBusLifecycle:
+    def test_events_carry_schema_and_sequence(self):
+        sink = AggregatorSink()
+        bus = TelemetryBus([sink])
+        first = bus.emit("a", x=1)
+        second = bus.emit("b")
+        assert first["schema"] == telemetry.TELEMETRY_SCHEMA_VERSION
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert first["kind"] == "a" and first["x"] == 1
+        assert "t" in first
+
+    def test_module_level_bus(self):
+        sink = AggregatorSink()
+        assert not telemetry.enabled()
+        telemetry.emit("dropped")  # no bus: a no-op, not an error
+        telemetry.start([sink])
+        assert telemetry.enabled()
+        with pytest.raises(ObservabilityError):
+            telemetry.start([sink])
+        telemetry.emit("kept", value=7)
+        assert telemetry.stop() is not None
+        assert not telemetry.enabled()
+        assert telemetry.stop() is None
+        assert sink.counts == {"kept": 1}
+        assert sink.last["kept"]["value"] == 7
+
+    def test_null_sink_swallows_everything(self):
+        sink = NullSink()
+        sink.emit({"kind": "anything"})
+        sink.close()
+
+
+class TestProgressTracker:
+    def test_rate_eta_and_event_throughput(self):
+        tracker = ProgressTracker(4, unit="chunks")
+        fields = tracker.update(completed=1, events=100)
+        assert fields["unit"] == "chunks"
+        assert (fields["completed"], fields["total"]) == (1, 4)
+        assert fields["events"] == 100
+        assert fields["events_per_second"] > 0
+        assert fields["rate_per_second"] > 0
+        assert fields["eta_s"] >= 0
+        fields = tracker.update(completed=3, events=300)
+        assert fields["completed"] == 4
+        assert fields["events"] == 400
+        assert fields["eta_s"] == 0
+
+
+class TestTailReadRender:
+    def test_read_events_filters_and_skips_junk(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            json.dumps({"kind": "a", "seq": 0}) + "\n"
+            + "not json\n"
+            + "[1, 2]\n"
+            + "\n"
+            + json.dumps({"kind": "b", "seq": 1}) + "\n",
+            encoding="utf-8",
+        )
+        assert [e["kind"] for e in read_events(path)] == ["a", "b"]
+        assert [e["seq"] for e in read_events(path, kinds=["b"])] == [1]
+
+    def test_render_event_format(self):
+        line = render_event(
+            {
+                "schema": 1,
+                "seq": 7,
+                "t": 123.0,
+                "kind": "progress",
+                "completed": 2,
+                "rate_per_second": 30.47711,
+                "snapshot": {"counters": {}},
+            }
+        )
+        assert line.startswith("[     7] progress")
+        assert "completed=2" in line
+        assert "rate_per_second=30.4771" in line  # floats at 6 sig figs
+        assert "snapshot=<metrics>" in line
+        # Header fields are not repeated in the key=value body.
+        assert "schema=1" not in line and "t=123" not in line
+
+
+class TestRegistryMerge:
+    """Parent-side merge of worker snapshots (the `map_chunked` contract)."""
+
+    def test_counters_add(self):
+        parent = MetricsRegistry()
+        parent.counter("sim.events").increment(10)
+        parent.merge_snapshot({"counters": {"sim.events": 5, "new": 2}})
+        assert parent.counters["sim.events"].value == 15
+        assert parent.counters["new"].value == 2
+
+    def test_gauges_last_writer_wins_in_merge_order(self):
+        parent = MetricsRegistry()
+        # Chunk-index order: the caller merges chunk 0 then chunk 1, so
+        # chunk 1's value must win; None (unset worker gauge) never
+        # clobbers a real value.
+        parent.merge_snapshot({"gauges": {"rate": 10.0}})
+        parent.merge_snapshot({"gauges": {"rate": 20.0}})
+        parent.merge_snapshot({"gauges": {"rate": None}})
+        assert parent.gauges["rate"].value == 20.0
+
+    def test_histogram_bins_merge_elementwise(self):
+        a, b = TimingHistogram("t"), TimingHistogram("t")
+        a.observe(0.002)
+        a.observe(5000.0)
+        b.observe(0.002)
+        b.observe(0.3)
+        merged = MetricsRegistry()
+        merged.merge_snapshot({"histograms": {"t": a.summary()}})
+        merged.merge_snapshot({"histograms": {"t": b.summary()}})
+        result = merged.histograms["t"]
+        assert result.count == 4
+        assert result.total == pytest.approx(5000.304)
+        assert result.minimum == 0.002
+        assert result.maximum == 5000.0
+        expected = [x + y for x, y in zip(a.bins, b.bins)]
+        assert result.bins == expected
+        assert sum(result.bins) == 4
+
+    def test_empty_histogram_summary_is_a_noop_merge(self):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(1.0)
+        registry.merge_snapshot({"histograms": {"t": {"count": 0}}})
+        assert registry.histograms["t"].count == 1
+
+    def test_bin_length_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(1.0)
+        with pytest.raises(ValueError):
+            registry.merge_snapshot(
+                {
+                    "histograms": {
+                        "t": {
+                            "count": 1,
+                            "total": 1.0,
+                            "min": 1.0,
+                            "max": 1.0,
+                            "bins": [1, 0],
+                        }
+                    }
+                }
+            )
+
+    def test_zero_sample_histogram_summary(self):
+        histogram = TimingHistogram("empty")
+        assert histogram.summary() == {"count": 0}
+        assert histogram.mean == 0.0

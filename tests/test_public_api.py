@@ -35,6 +35,9 @@ class TestPublicApi:
             "repro.analysis",
             "repro.reporting",
             "repro.faults",
+            "repro.obs",
+            "repro.obs.telemetry",
+            "repro.obs.forensics",
             "repro.cli",
         ],
     )
@@ -51,6 +54,9 @@ class TestPublicApi:
             "repro.sim",
             "repro.analysis",
             "repro.faults",
+            "repro.obs",
+            "repro.obs.telemetry",
+            "repro.obs.forensics",
         ],
     )
     def test_subpackage_all_resolves(self, module):
