@@ -391,7 +391,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         betas = [float(b) for b in args.sweep_beta.split(",") if b.strip()]
         crossvals = [
             evaluate_campaign(
-                spec.with_beta(beta, args.beta_group), workers=args.workers
+                spec.with_beta(beta, args.beta_group),
+                workers=args.workers,
+                batched=args.batched,
             )
             for beta in betas
         ]
@@ -408,7 +410,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
         payload = sweep_payload(crossvals, betas)
     else:
-        crossval = evaluate_campaign(spec, workers=args.workers)
+        crossval = evaluate_campaign(
+            spec, workers=args.workers, batched=args.batched
+        )
         headers, rows = crossval_rows(crossval)
         print(
             format_table(
@@ -697,6 +701,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--batches", type=int, default=4)
     sub.add_argument("--seed", type=int, default=None)
     sub.add_argument("--workers", type=int, default=1)
+    sub.add_argument(
+        "--batched",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "struct-of-arrays lockstep kernel: auto falls back to the "
+            "scalar engine when hazards/crews/scenario-2 need it, on "
+            "requires the kernel, off forces the scalar engine"
+        ),
+    )
     sub.add_argument(
         "--crews",
         type=int,

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.controller.opencontrail import opencontrail_3x
-from repro.errors import CampaignError
+from repro.errors import CampaignError, SimulationError
 from repro.models.sw_options import parse_option
 from repro.obs import runtime as obs
 from repro.obs import telemetry
@@ -39,6 +39,12 @@ from repro.sim.controller_sim import (
     collect_result,
 )
 from repro.perf.parallel import broadcast_value, map_chunked
+from repro.sim.batched import (
+    inexpressible_reason,
+    plan_batched,
+    run_batched,
+    validate_batched_mode,
+)
 from repro.sim.measures import SignalAttribution
 from repro.sim.replicate import ReplicationSet, map_jobs
 from repro.sim.rng import derive_seeds
@@ -305,6 +311,7 @@ def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     executor: Executor | None = None,
+    batched: str = "auto",
 ) -> CampaignResult:
     """Execute a campaign; bit-identical for any ``workers`` count.
 
@@ -314,8 +321,41 @@ def run_campaign(
     order.  Under an observability session the campaign annotates its seed
     material and spec hash (they land in the run manifest) and aggregates
     per-hazard injection counters and the peak repair-queue depth.
+
+    ``batched="auto"`` (default) routes hazard-free, crew-unlimited
+    scenario-1 campaigns through the struct-of-arrays lockstep kernel
+    (:mod:`repro.sim.batched`) when no explicit ``executor`` is given —
+    same numbers, one vectorized process instead of one event loop per
+    replication.  ``"on"`` requires the kernel and raises
+    :class:`~repro.errors.SimulationError` when the campaign needs scalar
+    features; ``"off"`` always uses the scalar engine.
     """
-    _, topology, *_ = materialize(spec)
+    validate_batched_mode(batched)
+    controller, topology, hardware, software, scenario = materialize(spec)
+    model = None
+    if batched != "off":
+        reason = inexpressible_reason(
+            scenario, spec.hazards, spec.repair_crews
+        )
+        if reason is None and executor is not None:
+            reason = "an explicit executor was supplied"
+        if reason is None:
+            model, reason = plan_batched(
+                controller, topology, hardware, software, scenario,
+                SimulationConfig(
+                    seed=spec.seed,
+                    horizon_hours=spec.horizon_hours,
+                    batches=spec.batches,
+                    rack_mtbf_hours=spec.rack_mtbf_hours,
+                    host_mtbf_hours=spec.host_mtbf_hours,
+                    vm_mtbf_hours=spec.vm_mtbf_hours,
+                ),
+            )
+        if batched == "on" and model is None:
+            raise SimulationError(
+                f"batched='on' but the campaign cannot run on the "
+                f"batched kernel: {reason}"
+            )
     seeds = derive_seeds(spec.seed, spec.replications)
     obs.note_solver("fault-campaign")
     obs.annotate("topology", topology.name)
@@ -339,7 +379,27 @@ def run_campaign(
         hazards=len(spec.hazards),
         workers=workers,
     ):
-        if executor is None and workers > 1 and spec.replications > 1:
+        if model is not None:
+            # Lockstep kernel path: no hazards run, so per-replication
+            # stats reduce to the live event count (the other counters
+            # are structurally zero without hazards or crew limits).
+            outcomes = [
+                (
+                    result,
+                    {
+                        "injections": {},
+                        "repair_max_queue_depth": 0,
+                        "repair_total_queued": 0,
+                        "events": count,
+                        "events_purged": 0,
+                        "queue_compactions": 0,
+                    },
+                )
+                for result, count in run_batched(
+                    model, list(seeds), spec.horizon_hours, spec.batches
+                )
+            ]
+        elif executor is None and workers > 1 and spec.replications > 1:
             # Warm-pool path: the frozen spec broadcasts once per worker
             # via the pool initializer; jobs carry only their seed and are
             # chunked per worker.

@@ -159,10 +159,11 @@ def evaluate_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     result: CampaignResult | None = None,
+    batched: str = "auto",
 ) -> CrossValidation:
     """Run (or reuse) a campaign and attach its analytic prediction."""
     if result is None:
-        result = run_campaign(spec, workers=workers)
+        result = run_campaign(spec, workers=workers, batched=batched)
     return CrossValidation(
         spec=spec,
         analytic=analytic_for_campaign(spec),

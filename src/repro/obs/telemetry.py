@@ -14,8 +14,10 @@ active :class:`TelemetryBus` fans it out to whatever sinks were attached —
   snapshot (point ``node_exporter``-style scrapers at the file).
 
 Every event carries ``schema`` (:data:`TELEMETRY_SCHEMA_VERSION`), a
-monotonic per-bus ``seq``, a wall-clock ``t``, and its ``kind``; the rest
-of the fields are event-specific (see ``docs/OBSERVABILITY.md``).
+monotonic per-bus ``seq``, a per-bus ``run`` id (derived from the file
+tail when appending, so restarted runs stay ordered), a wall-clock ``t``,
+and its ``kind``; the rest of the fields are event-specific (see
+``docs/OBSERVABILITY.md``).
 
 The zero-cost-when-disabled discipline of :mod:`repro.obs.runtime` holds
 here too: with no bus active — the default — :func:`emit` is a single
@@ -76,6 +78,40 @@ class NullSink:
 NULL_SINK = NullSink()
 
 
+def _read_last_run(path: Path) -> int | None:
+    """The ``run`` id of the last parseable event in ``path``'s tail.
+
+    Reads at most the final 64 KiB.  Returns ``None`` when the file does
+    not exist or holds no parseable event; events without a ``run`` field
+    (pre-``run`` streams) count as run ``0`` so appenders continue after
+    them.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(max(0, size - 65536))
+            tail = handle.read().decode("utf-8", errors="replace")
+    except OSError:
+        return None
+    last: int | None = None
+    for raw in tail.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        try:
+            last = int(event.get("run", 0))
+        except (TypeError, ValueError):
+            last = 0
+    return last
+
+
 class JsonlSink:
     """Append-only JSON Lines sink with size-based rotation.
 
@@ -84,6 +120,15 @@ class JsonlSink:
     ... up to ``max_backups``, oldest dropped) and a fresh file started,
     so a heartbeat-emitting overnight campaign cannot fill the disk.
     ``max_bytes=None`` (the default) never rotates.
+
+    An event larger than ``max_bytes`` on its own is never dropped and
+    never causes rotation churn: it is appended to the current file and
+    the file is rotated exactly once afterwards, leaving the live file
+    empty (within budget) for subsequent events.
+
+    ``last_run`` exposes the ``run`` id of the last event already in the
+    file (``None`` for a fresh file); :class:`TelemetryBus` uses it to
+    pick the next run id when appending to an existing stream.
     """
 
     def __init__(
@@ -102,6 +147,7 @@ class JsonlSink:
         self.rotations = 0
         self.events_written = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.last_run = _read_last_run(self.path)
         self._bytes = self.path.stat().st_size if self.path.exists() else 0
         self._handle = open(self.path, "a", encoding="utf-8")
 
@@ -124,8 +170,10 @@ class JsonlSink:
     def emit(self, event: Mapping[str, Any]) -> None:
         line = json.dumps(event, sort_keys=True, separators=(",", ":"))
         size = len(line.encode("utf-8")) + 1
+        oversized = self.max_bytes is not None and size > self.max_bytes
         if (
             self.max_bytes is not None
+            and not oversized
             and self._bytes
             and self._bytes + size > self.max_bytes
         ):
@@ -133,6 +181,13 @@ class JsonlSink:
         self._handle.write(line + "\n")
         self._bytes += size
         self.events_written += 1
+        if oversized:
+            # The event alone busts the budget: it was written above (never
+            # dropped) and one rotation retires it to a backup so the live
+            # file returns within budget.  Exactly one rotation per
+            # oversized event — no pre+post double rotation, no per-emit
+            # churn on the events that follow.
+            self._rotate()
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -248,16 +303,34 @@ class PrometheusSink:
 
 
 class TelemetryBus:
-    """Fan-out of structured events to the attached sinks."""
+    """Fan-out of structured events to the attached sinks.
 
-    def __init__(self, sinks: Iterable[Any] = ()):
+    Each bus stamps a ``run`` id into every event alongside the per-bus
+    monotonic ``seq``.  When ``run`` is not given it is derived from the
+    attached sinks: one past the highest ``last_run`` any file-backed sink
+    already holds (``0`` for fresh sinks).  Two start/stop cycles
+    appending to the same JSONL file therefore produce distinct run ids,
+    and ``(run, seq)`` totally orders the combined stream even though each
+    bus restarts ``seq`` at 0 — the contract :func:`read_events` sorts by.
+    """
+
+    def __init__(self, sinks: Iterable[Any] = (), run: int | None = None):
         self.sinks: tuple[Any, ...] = tuple(sinks)
+        if run is None:
+            previous = [
+                sink.last_run
+                for sink in self.sinks
+                if getattr(sink, "last_run", None) is not None
+            ]
+            run = max(previous) + 1 if previous else 0
+        self.run = int(run)
         self._seq = 0
 
     def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
         event = {
             "schema": TELEMETRY_SCHEMA_VERSION,
             "seq": self._seq,
+            "run": self.run,
             "t": time.time(),
             "kind": kind,
         }
@@ -313,16 +386,33 @@ class ProgressTracker:
 # -- JSONL reading (the `obs tail` side) ---------------------------------------
 
 
+def _event_order(event: Mapping[str, Any]) -> tuple[int, int]:
+    """``(run, seq)`` sort key; malformed/absent fields order as 0."""
+
+    def as_int(value: Any) -> int:
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            return 0
+
+    return as_int(event.get("run", 0)), as_int(event.get("seq", 0))
+
+
 def read_events(
     path: str | Path,
     kinds: Iterable[str] | None = None,
 ) -> Iterator[dict[str, Any]]:
     """Yield events from a telemetry JSONL file, optionally by kind.
 
-    Unparseable lines (e.g. a partial line at a rotation boundary or a
-    live writer's tail) are skipped, not fatal.
+    Events are ordered by ``(run, seq)`` (a stable sort over file order),
+    so a file holding several appended start/stop cycles — each of which
+    restarts ``seq`` at 0 under its own ``run`` id — reads back in a
+    single unambiguous sequence.  Unparseable lines (e.g. a partial line
+    at a rotation boundary or a live writer's tail) are skipped, not
+    fatal.
     """
     wanted = set(kinds) if kinds is not None else None
+    events: list[dict[str, Any]] = []
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -336,7 +426,9 @@ def read_events(
                 continue
             if wanted is not None and event.get("kind") not in wanted:
                 continue
-            yield event
+            events.append(event)
+    events.sort(key=_event_order)
+    return iter(events)
 
 
 def render_event(event: Mapping[str, Any]) -> str:

@@ -12,9 +12,16 @@ the 10^4-10^6 model evaluations that availability confidence studies need:
   (:func:`get_warm_pool`) that replication dispatch reuses across calls;
   the matching replication runner lives in :mod:`repro.sim.replicate`;
 * :mod:`repro.perf.cache` — transparent memoization of model evaluations
-  keyed on the frozen parameter dataclasses.
+  keyed on the frozen parameter dataclasses;
+* :mod:`repro.perf.batching` — memory-bounded chunk sizing for the
+  struct-of-arrays lockstep replication kernel (:mod:`repro.sim.batched`).
 """
 
+from repro.perf.batching import (
+    BYTES_PER_ROW_COMPONENT,
+    DEFAULT_BUDGET_BYTES,
+    replication_batch_size,
+)
 from repro.perf.cache import (
     clear_engine_cache,
     engine_cache_info,
@@ -47,6 +54,9 @@ from repro.perf.vectorized import (
 )
 
 __all__ = [
+    "BYTES_PER_ROW_COMPONENT",
+    "DEFAULT_BUDGET_BYTES",
+    "replication_batch_size",
     "ARRAY_MODELS",
     "DEFAULT_CHUNK_SIZE",
     "MAX_WARM_POOLS",

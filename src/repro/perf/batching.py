@@ -1,0 +1,43 @@
+"""Batch sizing for the struct-of-arrays replication kernel.
+
+The batched kernel (:mod:`repro.sim.batched`) holds per-replication clock
+matrices and RNG buffers for every replication it advances in lockstep;
+memory grows as ``replications * components``.  This module picks how many
+replications to advance per chunk so the arrays stay cache/memory friendly
+while keeping enough rows in flight to amortize the fixed per-round numpy
+dispatch cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: Approximate resident bytes per (replication row, component): the fail and
+#: repair clock columns (2 x 8 B), the two 64-deep standard-exponential
+#: buffers (2 x 64 x 8 B), buffer cursors, and intrinsic-state bookkeeping.
+BYTES_PER_ROW_COMPONENT = 1104
+
+#: Default memory budget for one kernel chunk (~96 MiB keeps the arrays
+#: comfortably in main memory on small CI runners).
+DEFAULT_BUDGET_BYTES = 96 * 2**20
+
+
+def replication_batch_size(
+    replications: int,
+    components: int,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+) -> int:
+    """Replication rows to advance per lockstep chunk.
+
+    Caps chunk memory at ``budget_bytes`` given the kernel's per-row cost
+    of ``components * BYTES_PER_ROW_COMPONENT`` bytes; never below 1 row
+    and never above ``replications``.
+    """
+    if replications < 1:
+        raise SimulationError(f"replications must be >= 1, got {replications}")
+    if components < 1:
+        raise SimulationError(f"components must be >= 1, got {components}")
+    if budget_bytes < 1:
+        raise SimulationError(f"budget_bytes must be >= 1, got {budget_bytes}")
+    rows = budget_bytes // (components * BYTES_PER_ROW_COMPONENT)
+    return int(min(replications, max(1, rows)))

@@ -11,6 +11,13 @@ Entry point: :func:`repro.sim.controller_sim.simulate_controller`, or the
 analytic-comparison harness :func:`repro.sim.validate.validate_against_analytic`.
 """
 
+from repro.sim.batched import (
+    BatchedModel,
+    inexpressible_reason,
+    plan_batched,
+    run_batched,
+    validate_batched_mode,
+)
 from repro.sim.controller_sim import (
     OutageStatistics,
     SimulationConfig,
@@ -21,6 +28,7 @@ from repro.sim.measures import (
     BinarySignal,
     SignalAttribution,
     batch_means_interval,
+    student_t_critical,
 )
 from repro.sim.scenario import Injection, ScenarioRunner, ScenarioTrace
 from repro.sim.validate import ValidationReport, validate_against_analytic
@@ -38,6 +46,12 @@ __all__ = [
     "BinarySignal",
     "SignalAttribution",
     "batch_means_interval",
+    "student_t_critical",
+    "BatchedModel",
+    "inexpressible_reason",
+    "plan_batched",
+    "run_batched",
+    "validate_batched_mode",
     "Injection",
     "ScenarioRunner",
     "ScenarioTrace",

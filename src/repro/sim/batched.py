@@ -1,0 +1,815 @@
+"""Mega-batch struct-of-arrays replication kernel.
+
+Advances **all replications of a campaign simultaneously**: instead of one
+Python event loop per replication, every per-component failure/repair clock
+lives in one ``replications x clocks`` numpy matrix, the next event of every
+replication is selected with a single vectorized ``argmin`` per round, and
+state flips, repair draws, subtree reschedules, signal integration, and
+batch-means accounting all happen as masked array updates.
+
+**Exact-equivalence contract.**  For every spec the kernel accepts
+(:func:`plan_batched` returns a model), the per-replication results are
+*bit-identical* to the scalar engine run with the same seeds:
+
+* Each replication ``r`` owns ``SeedSequence(seed_r)``; failure generators
+  are spawned up front for every positive-rate component in registration
+  order — exactly the spawn order the scalar engine's first-use stream
+  creation produces during initial clock scheduling — and repair generators
+  are spawned lazily at each component's first repair draw, which the
+  lockstep loop replays in the same chronological order.
+* Standard-exponential variates are buffered in fixed blocks and scaled by
+  the mean at consumption time; numpy block draws consume the bit stream
+  exactly like repeated scalar draws (see :mod:`repro.sim.rng`), so the
+  per-stream variate sequences match the scalar engine element for element.
+* Event times, signal integrals, batch values, outage durations, and
+  attribution ledgers are computed with the same IEEE-754 operations in the
+  same order as the scalar engine, so availabilities, episode counts, and
+  attribution totals match with ``==``, not ``approx``.
+
+The scalar engine additionally pops *stale* events (cancelled clocks whose
+epoch moved on); those pops never change state, draw randomness, or alter
+recorded values, so the kernel simply never materializes them.  Event
+*counts* therefore differ between the engines (the kernel counts live
+transitions only) — every measured quantity is unaffected.
+
+**Expressibility.**  The kernel handles the pure exponential fail/repair
+dynamics of :func:`repro.sim.controller_sim.build_simulator` under restart
+scenario 1 (supervisor NOT required): k-of-n quorum signals and
+dependency-closure masking over single-parent dependency chains.  Anything
+richer — scenario-2 supervisor restore hooks, hazard processes
+(maintenance windows, correlated bursts), limited repair crews, multi-parent
+dependencies — falls back to the scalar engine (see
+:func:`inexpressible_reason`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controller.spec import ControllerSpec
+from repro.errors import SimulationError
+from repro.obs import runtime as obs
+from repro.obs import telemetry
+from repro.params.hardware import HardwareParams
+from repro.params.software import RestartScenario, SoftwareParams
+from repro.perf.batching import replication_batch_size
+from repro.sim.controller_sim import (
+    OutageStatistics,
+    SimulationConfig,
+    SimulationResult,
+    build_simulator,
+    plane_signal_keys,
+    signal_plan,
+)
+from repro.sim.entities import ComponentKind
+from repro.sim.measures import batch_means_interval, build_attribution
+from repro.topology.deployment import DeploymentTopology
+
+__all__ = [
+    "BLOCK",
+    "SIGNALS",
+    "BatchedModel",
+    "inexpressible_reason",
+    "plan_batched",
+    "run_batched",
+    "validate_batched_mode",
+]
+
+#: Buffered standard-exponential block per (replication, component) stream.
+#: Block size never changes variate values (numpy block draws consume the
+#: bit stream like repeated scalar draws), so a fixed size is safe even
+#: though the scalar engine's buffers grow geometrically.
+BLOCK = 64
+
+#: Signal evaluation order — matches the scalar engine's registration order.
+SIGNALS = ("cp", "sdp", "ldp", "dp")
+
+_BATCHED_MODES = ("auto", "on", "off")
+
+
+def validate_batched_mode(batched: str) -> str:
+    """Check a ``batched=`` knob value, returning it for chaining."""
+    if batched not in _BATCHED_MODES:
+        raise SimulationError(
+            f"batched must be one of {_BATCHED_MODES}, got {batched!r}"
+        )
+    return batched
+
+
+def inexpressible_reason(
+    scenario: RestartScenario,
+    hazards: tuple = (),
+    repair_crews=None,
+) -> str | None:
+    """Why a workload cannot run on the batched kernel (``None`` if it can).
+
+    These are the *static* checks; :func:`plan_batched` additionally
+    verifies the dependency graph is a forest of single-parent chains.
+    """
+    if scenario is not RestartScenario.NOT_REQUIRED:
+        return (
+            "restart scenario 2 (supervisor required) uses on_repair "
+            "restore hooks the kernel does not model"
+        )
+    if hazards:
+        return f"{len(hazards)} hazard spec(s) attached (scheduled actions)"
+    if repair_crews is not None:
+        return "limited repair crews (FIFO capacity queueing)"
+    return None
+
+
+class BatchedModel:
+    """Frozen struct-of-arrays description of one expressible workload.
+
+    Built once per campaign from the same :func:`build_simulator` output the
+    scalar engine runs, then shared by every replication chunk.  All arrays
+    are indexed by the scalar engine's component *registration order*, which
+    is what fixes the RNG spawn order.
+    """
+
+    __slots__ = (
+        "keys",
+        "n_components",
+        "fail_rate",
+        "rate_pos",
+        "rate_pos_pad",
+        "fail_scale",
+        "repair_mean",
+        "is_auto",
+        "sup_idx",
+        "auto_mean",
+        "anc_pad",
+        "cand_idx",
+        "closure_fail_idx",
+        "local_idx",
+        "depth_sc",
+        # Flattened signal-evaluation layout: one gather over
+        # ``sig_flat`` + two reduceats evaluate every quorum unit of both
+        # planes (and the LDP AND-chain, encoded as a 1-instance unit with
+        # quorum 1) in a handful of vector ops per round.
+        "sig_flat",
+        "sig_inst_starts",
+        "sig_unit_starts",
+        "sig_quorums",
+        "sig_cp_count",
+        "sig_dp_count",
+        "sig_has_local",
+        "sig_cp_false",
+        "sig_dp_false",
+    )
+
+
+def plan_batched(
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+    hardware: HardwareParams,
+    software: SoftwareParams,
+    scenario: RestartScenario,
+    config: SimulationConfig,
+) -> tuple[BatchedModel | None, str | None]:
+    """``(model, None)`` when the workload is expressible, else ``(None, why)``.
+
+    Builds a probe simulator through the same constructor the scalar path
+    uses (cheap — no events run), so component registration order, rates,
+    repair means, and dependency closures are definitionally identical
+    between the two engines.
+    """
+    reason = inexpressible_reason(scenario)
+    if reason is not None:
+        return None, reason
+    probe = build_simulator(
+        spec, topology, hardware, software, scenario, config
+    )
+    components = list(probe.components.values())
+    for component in components:
+        if len(component.dependencies) > 1:
+            return None, (
+                f"component {component.key!r} has "
+                f"{len(component.dependencies)} dependencies "
+                f"(kernel masking assumes single-parent chains)"
+            )
+
+    model = BatchedModel()
+    keys = [component.key for component in components]
+    index = {key: i for i, key in enumerate(keys)}
+    n = len(keys)
+    model.keys = tuple(keys)
+    model.n_components = n
+    model.fail_rate = np.array(
+        [component.failure_rate for component in components]
+    )
+    model.rate_pos = model.fail_rate > 0.0
+    model.rate_pos_pad = np.concatenate([model.rate_pos, [False]])
+    # Scaled exactly as the scalar engine's 1.0 / failure_rate mean.
+    model.fail_scale = np.where(
+        model.rate_pos, 1.0 / np.where(model.rate_pos, model.fail_rate, 1.0),
+        0.0,
+    )
+    model.repair_mean = np.array(
+        [component.repair_mean for component in components]
+    )
+    model.is_auto = np.array(
+        [
+            component.kind is ComponentKind.PROCESS and component.auto_restart
+            for component in components
+        ]
+    )
+    model.sup_idx = np.array(
+        [
+            index[component.supervisor_key]
+            if component.supervisor_key is not None
+            else -1
+            for component in components
+        ]
+    )
+    model.auto_mean = software.auto_restart_hours
+
+    # Ancestor chains (self first): a component is effectively up iff every
+    # entry of its chain is intrinsically up.  Padded with the virtual
+    # always-up column ``n``; row ``n`` itself is all-pad, so one gather
+    # yields effective states with a trailing don't-care column that every
+    # consumer masks out anyway.
+    chains: list[list[int]] = []
+    for component in components:
+        chain = [index[component.key]]
+        current = component
+        while current.dependencies:
+            parent = index[current.dependencies[0]]
+            chain.append(parent)
+            current = components[parent]
+        chains.append(chain)
+    depth_max = max(len(chain) for chain in chains)
+    model.anc_pad = np.full((n + 1, depth_max), n, dtype=np.intp)
+    for i, chain in enumerate(chains):
+        model.anc_pad[i, : len(chain)] = chain
+
+    # Dependents closures in the engine's canonical order; ``cand_idx`` is
+    # [self] + closure (the failure-clock candidates after a repair of the
+    # row component), ``closure_fail_idx`` targets the fail columns to
+    # blanket-cancel on a failure (padded to the permanent-inf column 2n).
+    closures = [
+        [index[key] for key in probe._closure[component.key]]
+        for component in components
+    ]
+    k_max = max((len(c) for c in closures), default=0)
+    model.cand_idx = np.full((n, k_max + 1), n, dtype=np.intp)
+    model.closure_fail_idx = np.full((n, max(k_max, 1)), 2 * n, dtype=np.intp)
+    for i, closure in enumerate(closures):
+        model.cand_idx[i, 0] = i
+        if closure:
+            model.cand_idx[i, 1 : 1 + len(closure)] = closure
+            model.closure_fail_idx[i, : len(closure)] = closure
+
+    # Signal structure from the shared declarative plan, flattened for
+    # reduceat evaluation: members grouped unit -> instance -> member.
+    # ``sig_inst_starts`` delimits each instance's AND-segment inside the
+    # flat member gather; ``sig_unit_starts`` delimits each unit's run of
+    # instances for the satisfied-count sum.  The LDP AND-chain rides
+    # along as a trailing 1-instance unit with quorum 1.
+    plan = signal_plan(spec, topology)
+    plane_units = plan["plane_units"]
+    model.local_idx = np.array(
+        [index[key] for key in plan["local_keys"]], dtype=np.intp
+    )
+    flat: list[int] = []
+    inst_starts: list[int] = []
+    unit_starts: list[int] = []
+    quorums: list[int] = []
+    model.sig_cp_false = False
+    model.sig_dp_false = False
+    for plane_name, false_attr in (("cp", "sig_cp_false"), ("dp", "sig_dp_false")):
+        count = 0
+        for quorum, per_instance in plane_units[plane_name]:
+            if not per_instance:
+                # A unit with zero instances can never satisfy a positive
+                # quorum — the whole plane is constantly down.
+                setattr(model, false_attr, quorum > 0)
+                continue
+            unit_starts.append(len(inst_starts))
+            quorums.append(quorum)
+            for member_keys in per_instance:
+                inst_starts.append(len(flat))
+                flat.extend(index[key] for key in member_keys)
+            count += 1
+        if plane_name == "cp":
+            model.sig_cp_count = count
+        else:
+            model.sig_dp_count = count
+    model.sig_has_local = model.local_idx.size > 0
+    if model.sig_has_local:
+        unit_starts.append(len(inst_starts))
+        quorums.append(1)
+        inst_starts.append(len(flat))
+        flat.extend(int(i) for i in model.local_idx)
+    model.sig_flat = np.array(flat, dtype=np.intp)
+    model.sig_inst_starts = np.array(inst_starts, dtype=np.intp)
+    model.sig_unit_starts = np.array(unit_starts, dtype=np.intp)
+    model.sig_quorums = np.array(quorums, dtype=np.int64)
+
+    # Attribution depths: depth_sc[s, c] is the shortest dependents-closure
+    # distance from component c to signal s's declared dependency set (the
+    # scalar engine's `_depth_map` + `_stamp_outage_cause` rule), or -1
+    # when unreachable (the scalar fallback stamps the edge with depth -1).
+    dependents = [
+        [index[key] for key in component.dependents]
+        for component in components
+    ]
+    sdp_keys = plane_signal_keys(plan, "dp")
+    declared = (
+        [index[key] for key in plane_signal_keys(plan, "cp")],
+        [index[key] for key in sdp_keys],
+        list(model.local_idx),
+        [index[key] for key in sdp_keys] + list(model.local_idx),
+    )
+    model.depth_sc = np.full((len(SIGNALS), n), -1, dtype=np.int64)
+    for origin in range(n):
+        depths = {origin: 0}
+        frontier = [origin]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for dependent in dependents[node]:
+                    if dependent not in depths:
+                        depths[dependent] = depth
+                        next_frontier.append(dependent)
+            frontier = next_frontier
+        for s, decl in enumerate(declared):
+            best = -1
+            for key_idx in decl:
+                d = depths.get(key_idx)
+                if d is not None and (best < 0 or d < best):
+                    best = d
+            model.depth_sc[s, origin] = best
+
+    return model, None
+
+
+def _signal_states(
+    model: BatchedModel, eff: np.ndarray, sel: np.ndarray | None = None
+) -> np.ndarray:
+    """Evaluate the four plane signals for each row of ``eff``.
+
+    Mirrors the scalar predicates exactly: CP/SDP are AND-of-quorum-units
+    over per-instance member AND-chains, LDP is the host-role AND-chain,
+    DP = SDP AND LDP.  One flat gather plus two reduceats evaluates every
+    unit of both planes (and LDP) at once — the per-round hot path.  When
+    ``sel`` is given only those rows of ``eff`` are evaluated (a single
+    fused 2-D gather instead of a row copy followed by a column gather).
+    """
+    rows = eff.shape[0] if sel is None else sel.shape[0]
+    out = np.empty((rows, len(SIGNALS)), dtype=bool)
+    cp_count = model.sig_cp_count
+    dp_count = model.sig_dp_count
+    if model.sig_flat.size:
+        if sel is None:
+            values = eff[:, model.sig_flat]
+        else:
+            values = eff[sel[:, None], model.sig_flat]
+        instance_up = np.logical_and.reduceat(
+            values, model.sig_inst_starts, axis=1
+        )
+        satisfied = np.add.reduceat(
+            instance_up, model.sig_unit_starts, axis=1, dtype=np.int64
+        )
+        unit_ok = satisfied >= model.sig_quorums
+    else:  # no quorum units at all
+        unit_ok = np.ones((rows, 0), dtype=bool)
+    cp = unit_ok[:, :cp_count].all(axis=1)
+    sdp = unit_ok[:, cp_count : cp_count + dp_count].all(axis=1)
+    if model.sig_cp_false:
+        cp = np.zeros(rows, dtype=bool)
+    if model.sig_dp_false:
+        sdp = np.zeros(rows, dtype=bool)
+    if model.sig_has_local:
+        ldp = unit_ok[:, -1]
+    else:
+        ldp = np.ones(rows, dtype=bool)
+    out[:, 0] = cp
+    out[:, 1] = sdp
+    out[:, 2] = ldp
+    out[:, 3] = sdp & ldp
+    return out
+
+
+def _run_chunk(
+    model: BatchedModel,
+    seeds: list[int],
+    horizon: float,
+    batches: int,
+) -> list[tuple[SimulationResult, int]]:
+    """Advance one chunk of replications in lockstep to the horizon."""
+    n_rep = len(seeds)
+    n = model.n_components
+    n_sig = len(SIGNALS)
+    boundaries = [horizon * (i + 1) / batches for i in range(batches)]
+
+    # Clock matrix: columns [0, n) failure clocks, [n, 2n) repair clocks,
+    # column 2n permanently +inf (the blanket-cancel pad target).
+    times = np.full((n_rep, 2 * n + 1), np.inf)
+    # Intrinsic state; column n is a virtual always-up pad for ancestor
+    # gathers of chain-end components.
+    intr = np.ones((n_rep, n + 1), dtype=bool)
+
+    roots = [np.random.SeedSequence(int(seed)) for seed in seeds]
+    pos_idx = np.flatnonzero(model.rate_pos)
+    fail_gens: list[list] = [[None] * n for _ in range(n_rep)]
+    repair_gens: list[list] = [[None] * n for _ in range(n_rep)]
+    fail_buf = np.empty((n_rep, n, BLOCK))
+    repair_buf = np.empty((n_rep, n, BLOCK))
+    fail_pos = np.full((n_rep, n), BLOCK, dtype=np.int64)
+    repair_pos = np.full((n_rep, n), BLOCK, dtype=np.int64)
+
+    # Failure generators spawn up front in registration order — the scalar
+    # engine's initial-scheduling stream-creation order.
+    for r, root in enumerate(roots):
+        children = root.spawn(len(pos_idx))
+        for j, c in enumerate(pos_idx):
+            generator = np.random.default_rng(children[j])
+            fail_gens[r][c] = generator
+            fail_buf[r, c] = generator.standard_exponential(BLOCK)
+    fail_pos[:, pos_idx] = 1
+    times[:, pos_idx] = fail_buf[:, pos_idx, 0] * model.fail_scale[pos_idx]
+
+    fail_buf_flat = fail_buf.reshape(-1)
+    repair_buf_flat = repair_buf.reshape(-1)
+    fail_pos_flat = fail_pos.reshape(-1)
+    repair_pos_flat = repair_pos.reshape(-1)
+
+    def draw(rows, comps, buf_flat, pos_flat, gens, lazy: bool) -> np.ndarray:
+        """Pop one standard exponential per (row, component) pair.
+
+        Flat linear indexing into the ``(reps, comps, BLOCK)`` buffers —
+        one gather and one scatter per call instead of multi-axis fancy
+        indexing on the hot path.
+        """
+        linear = rows * n + comps
+        cursor = pos_flat[linear]
+        need = cursor >= BLOCK
+        if need.any():
+            for i in np.flatnonzero(need):
+                r = int(rows[i])
+                c = int(comps[i])
+                generator = gens[r][c]
+                if generator is None:
+                    if not lazy:  # pragma: no cover - defensive
+                        raise SimulationError(
+                            f"missing fail stream for component {c}"
+                        )
+                    generator = np.random.default_rng(roots[r].spawn(1)[0])
+                    gens[r][c] = generator
+                block_start = (r * n + c) * BLOCK
+                buf_flat[block_start : block_start + BLOCK] = (
+                    generator.standard_exponential(BLOCK)
+                )
+                pos_flat[r * n + c] = 0
+            cursor = pos_flat[linear]
+        values = buf_flat[linear * BLOCK + cursor]
+        pos_flat[linear] = cursor + 1
+        return values
+
+    # Integration state.
+    last = np.zeros(n_rep)
+    total = np.zeros(n_rep)
+    up = np.zeros((n_rep, n_sig))
+    prev_up = np.zeros((n_rep, n_sig))
+    prev_total = np.zeros(n_rep)
+    bidx = np.zeros(n_rep, dtype=np.int64)
+    next_boundary = np.full(n_rep, boundaries[0])
+    done = np.zeros(n_rep, dtype=bool)
+    events = np.zeros(n_rep, dtype=np.int64)
+
+    # Effective (intrinsic AND ancestors) state, maintained incrementally:
+    # an event on component ``c`` can only change the effective state of
+    # ``c`` and its dependents closure, so each round rewrites just those
+    # entries instead of re-gathering every ancestor chain.  Column ``n``
+    # is the all-pad don't-care column and stays True forever.
+    eff = np.ones((n_rep, n + 1), dtype=bool)
+    # Components with no dependents (the overwhelming majority: processes
+    # and scenario-1 supervisors) only ever update their own entry.
+    lone_mask = (model.cand_idx != n).sum(axis=1) == 1
+    sig_state = _signal_states(model, eff)
+    outage_start = np.full((n_rep, n_sig), np.nan)
+    outage_start[~sig_state] = 0.0  # a signal that starts down opens at t=0
+    open_cause: list[list] = [[None] * n_sig for _ in range(n_rep)]
+    durations: list[list[list[float]]] = [
+        [[] for _ in range(n_sig)] for _ in range(n_rep)
+    ]
+    causes: list[list[list]] = [
+        [[] for _ in range(n_sig)] for _ in range(n_rep)
+    ]
+    batch_vals: list[list[list[float]]] = [
+        [[] for _ in range(n_sig)] for _ in range(n_rep)
+    ]
+
+    def record_batch(r: int, boundary: float) -> None:
+        """The scalar engine's `_record_batch` for one replication."""
+        elapsed = boundary - last[r]
+        total[r] += elapsed
+        for s in range(n_sig):
+            if sig_state[r, s]:
+                up[r, s] += elapsed
+        last[r] = boundary
+        batch_total = total[r] - prev_total[r]
+        for s in range(n_sig):
+            if batch_total > 0:
+                batch_vals[r][s].append(
+                    float((up[r, s] - prev_up[r, s]) / batch_total)
+                )
+            prev_up[r, s] = up[r, s]
+        prev_total[r] = total[r]
+
+    sup_idx = model.sup_idx
+    depth_sc = model.depth_sc
+    keys = model.keys
+    anc_pad = model.anc_pad
+    row_range = np.arange(n_rep)
+    active = np.flatnonzero(~done)
+    while active.size:
+        all_live = active.size == n_rep
+        sub = times if all_live else times[active]
+        local_idx = sub.argmin(axis=1)
+        t = sub[row_range[: active.size], local_idx]
+
+        # Boundary crossings and horizon stops are rare per row — handle
+        # them in exact scalar order, per replication.
+        crossing = (t >= next_boundary[active]) | (t >= horizon)
+        crossing_any = bool(crossing.any())
+        if crossing_any:
+            for i in np.flatnonzero(crossing):
+                r = int(active[i])
+                time_r = float(t[i])
+                b = int(bidx[r])
+                while b < batches and time_r >= boundaries[b]:
+                    record_batch(r, boundaries[b])
+                    b += 1
+                if time_r >= horizon:
+                    # The scalar loop breaks before executing this event
+                    # and records every remaining boundary.
+                    while b < batches:
+                        record_batch(r, boundaries[b])
+                        b += 1
+                    done[r] = True
+                bidx[r] = b
+                next_boundary[r] = (
+                    boundaries[b] if b < batches else np.inf
+                )
+            exec_mask = ~done[active]
+            er = active[exec_mask]
+            eidx = local_idx[exec_mask]
+            et = t[exec_mask]
+        else:
+            er = active
+            eidx = local_idx
+            et = t
+
+        if er.size:
+            full = all_live and not crossing_any
+            is_fail = eidx < n
+            comp = np.where(is_fail, eidx, eidx - n)
+
+            # Expire the fired clocks and flip intrinsic state.
+            times[er, eidx] = np.inf
+            fail_sel = np.flatnonzero(is_fail)
+            repair_sel = np.flatnonzero(~is_fail)
+            fail_rows = er[fail_sel]
+            fail_comp = comp[fail_sel]
+            repair_rows = er[repair_sel]
+            repair_comp = comp[repair_sel]
+            intr[fail_rows, fail_comp] = False
+            intr[repair_rows, repair_comp] = True
+            if fail_rows.size:
+                # Blanket-cancel every failure clock in the dependents
+                # closure: while the component is down no closure member
+                # can hold one (the scalar engine's subtree reschedule).
+                times[
+                    fail_rows[:, None], model.closure_fail_idx[fail_comp]
+                ] = np.inf
+
+            # Incremental effective-state update: an event on ``c`` only
+            # touches ``c`` and its dependents closure.  Components with
+            # no dependents (almost every event) rewrite one entry from
+            # their own ancestor chain; the rare infra events rewrite the
+            # whole padded candidate block (pad writes land on the
+            # always-True column ``n``).
+            lone = lone_mask[comp]
+            lone_sel = np.flatnonzero(lone)
+            if lone_sel.size:
+                lrows = er[lone_sel]
+                lcomp = comp[lone_sel]
+                eff[lrows, lcomp] = intr[
+                    lrows[:, None], anc_pad[lcomp]
+                ].all(axis=1)
+            wide_sel = np.flatnonzero(~lone)
+            if wide_sel.size:
+                wrows = er[wide_sel]
+                cols = model.cand_idx[comp[wide_sel]]
+                eff[wrows[:, None], cols] = intr[
+                    wrows[:, None, None], anc_pad[cols]
+                ].all(axis=2)
+
+            # Repair draws for the rows that just failed: AUTO processes
+            # restart in R while their supervisor is effectively up, R_S
+            # otherwise; everything else uses its stored repair mean.
+            if fail_rows.size:
+                sup = sup_idx[fail_comp]
+                sup_col = np.where(sup < 0, n, sup)
+                sup_ok = (sup < 0) | eff[fail_rows, sup_col]
+                mean = np.where(
+                    model.is_auto[fail_comp] & sup_ok,
+                    model.auto_mean,
+                    model.repair_mean[fail_comp],
+                )
+                values = draw(
+                    fail_rows, fail_comp, repair_buf_flat, repair_pos_flat,
+                    repair_gens, lazy=True,
+                )
+                times[fail_rows, n + fail_comp] = (
+                    et[fail_sel] + values * mean
+                )
+
+            # Fresh failure clocks after a repair: the repaired component
+            # plus every transitive dependent that is now effectively up
+            # (and can fail at all) redraws its clock — memorylessness
+            # makes the resample exact.
+            if repair_rows.size:
+                cand = model.cand_idx[repair_comp]
+                eligible = (
+                    eff[repair_rows[:, None], cand]
+                    & model.rate_pos_pad[cand]
+                )
+                pair_row, pair_col = np.nonzero(eligible)
+                if pair_row.size:
+                    draw_rows = repair_rows[pair_row]
+                    draw_comp = cand[pair_row, pair_col]
+                    values = draw(
+                        draw_rows, draw_comp, fail_buf_flat, fail_pos_flat,
+                        fail_gens, lazy=False,
+                    )
+                    times[draw_rows, draw_comp] = (
+                        et[repair_sel][pair_row]
+                        + values * model.fail_scale[draw_comp]
+                    )
+
+            # Signal integration (the scalar `_refresh_signals`).  On the
+            # no-crossing all-live fast path every row executes, so the
+            # integration arrays update in place without fancy indexing
+            # and the previous state array is read without a copy.
+            new_sig = (
+                _signal_states(model, eff)
+                if full
+                else _signal_states(model, eff, er)
+            )
+            old_sig = sig_state if full else sig_state[er]
+            elapsed = et - last if full else et - last[er]
+            changed = old_sig != new_sig
+            if changed.any():
+                for i, s in zip(*np.nonzero(changed)):
+                    r = int(er[i])
+                    s = int(s)
+                    if old_sig[i, s]:
+                        # Up -> down: open an episode, charged to the
+                        # failing component at its closure depth.
+                        outage_start[r, s] = et[i]
+                        if is_fail[i]:
+                            c = int(comp[i])
+                            open_cause[r][s] = (
+                                keys[c], "stochastic", int(depth_sc[s, c])
+                            )
+                        else:  # pragma: no cover - repairs cannot mask
+                            open_cause[r][s] = None
+                    else:
+                        # Down -> up: close the episode.
+                        if not np.isnan(outage_start[r, s]):
+                            durations[r][s].append(
+                                float(et[i] - outage_start[r, s])
+                            )
+                            causes[r][s].append(open_cause[r][s])
+                        outage_start[r, s] = np.nan
+                        open_cause[r][s] = None
+            if full:
+                total += elapsed
+                up += np.where(old_sig, elapsed[:, None], 0.0)
+                last[:] = et
+                sig_state = new_sig
+                events += 1
+            else:
+                total[er] += elapsed
+                up[er] += np.where(old_sig, elapsed[:, None], 0.0)
+                last[er] = et
+                sig_state[er] = new_sig
+                events[er] += 1
+
+            # Rows whose final boundary was crossed by this event exit
+            # after executing it, like the scalar loop condition;  ``bidx``
+            # only moves inside the crossing handler, so there is nothing
+            # to check on rounds without one.
+            if crossing_any:
+                final = bidx[er] >= batches
+                if final.any():
+                    done[er[final]] = True
+
+        if crossing_any:
+            active = np.flatnonzero(~done)
+
+    # -- result assembly (the scalar `collect_result`) --------------------
+    out: list[tuple[SimulationResult, int]] = []
+    for r in range(n_rep):
+        intervals = {}
+        outages = {}
+        attribution = {}
+        availability = {}
+        total_r = float(total[r])
+        for s, name in enumerate(SIGNALS):
+            values = batch_vals[r][s]
+            if len(values) >= 2:
+                intervals[name] = batch_means_interval(values)
+            episode_durations = durations[r][s]
+            count = len(episode_durations)
+            outages[name] = OutageStatistics(
+                count=count,
+                frequency_per_hour=count / total_r,
+                mean_duration_hours=(
+                    sum(episode_durations) / count if count else 0.0
+                ),
+            )
+            open_duration = None
+            if not np.isnan(outage_start[r, s]):
+                open_duration = float(last[r] - outage_start[r, s])
+            attribution[name] = build_attribution(
+                name,
+                episode_durations,
+                causes[r][s],
+                open_cause=open_cause[r][s],
+                open_duration=open_duration,
+            )
+            availability[name] = float(up[r, s] / total[r])
+        out.append(
+            (
+                SimulationResult(
+                    cp=availability["cp"],
+                    shared_dp=availability["sdp"],
+                    local_dp=availability["ldp"],
+                    dp=availability["dp"],
+                    intervals=intervals,
+                    outages=outages,
+                    horizon_hours=horizon,
+                    attribution=attribution,
+                ),
+                int(events[r]),
+            )
+        )
+    return out
+
+
+def run_batched(
+    model: BatchedModel,
+    seeds: list[int],
+    horizon: float,
+    batches: int,
+) -> list[tuple[SimulationResult, int]]:
+    """Run one replication per seed on the batched kernel.
+
+    Returns ``(result, live_event_count)`` pairs in seed order.  Large seed
+    lists are split into memory-bounded chunks
+    (:func:`repro.perf.batching.replication_batch_size`); one ``progress``
+    telemetry event is emitted per chunk, mirroring the scalar dispatcher.
+    """
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be > 0, got {horizon}")
+    if batches < 1:
+        raise SimulationError(f"batches must be >= 1, got {batches}")
+    if not seeds:
+        return []
+    chunk_rows = replication_batch_size(len(seeds), model.n_components)
+    tracker = (
+        telemetry.ProgressTracker(len(seeds))
+        if telemetry.enabled()
+        else None
+    )
+    results: list[tuple[SimulationResult, int]] = []
+    for chunk_no, start in enumerate(range(0, len(seeds), chunk_rows)):
+        block = list(seeds[start : start + chunk_rows])
+        with obs.span(
+            "sim.batched.chunk",
+            replications=len(block),
+            components=model.n_components,
+            horizon=horizon,
+        ):
+            part = _run_chunk(model, block, horizon, batches)
+        results.extend(part)
+        if tracker is not None:
+            chunk_events = sum(count for _, count in part)
+            telemetry.emit(
+                "progress",
+                chunk=chunk_no,
+                **tracker.update(
+                    completed=len(block), events=int(chunk_events)
+                ),
+            )
+    if obs.enabled():
+        obs.count(
+            "sim.events", int(sum(count for _, count in results))
+        )
+    return results

@@ -255,12 +255,22 @@ def build_simulator(
     return simulator
 
 
-def _attach_signals(
-    simulator: AvailabilitySimulator,
-    spec: ControllerSpec,
-    topology: DeploymentTopology,
-) -> None:
-    plane_units: dict[str, list[tuple[int, list[str]]]] = {"cp": [], "dp": []}
+def signal_plan(
+    spec: ControllerSpec, topology: DeploymentTopology
+) -> dict[str, object]:
+    """Declarative structure behind the four plane signals.
+
+    Returns ``{"plane_units": {...}, "local_keys": [...]}`` where
+    ``plane_units`` maps ``"cp"``/``"dp"`` to ``(quorum, per_instance_key
+    lists)`` tuples and ``local_keys`` is the host-role AND-chain of the
+    LDP signal.  Shared by the scalar :func:`_attach_signals` and the
+    batched kernel's model builder (:mod:`repro.sim.batched`), so both
+    engines evaluate definitionally identical predicates.
+    """
+    plane_units: dict[str, list[tuple[int, list[list[str]]]]] = {
+        "cp": [],
+        "dp": [],
+    }
     for plane_name in ("cp", "dp"):
         for role in spec.cluster_roles:
             for unit in role.quorum_units(plane_name):
@@ -273,13 +283,36 @@ def _attach_signals(
                 ]
                 plane_units[plane_name].append((unit.quorum, per_instance))
 
+    local_keys: list[str] = []
+    host_role = spec.host_role
+    if host_role is not None:
+        for unit in host_role.quorum_units("dp"):
+            local_keys.extend(f"local:{m.name}" for m in unit.members)
+
+    return {"plane_units": plane_units, "local_keys": local_keys}
+
+
+def plane_signal_keys(plan: dict[str, object], plane_name: str) -> list[str]:
+    """Flat component-key list one plane's quorum units read."""
+    plane_units = plan["plane_units"]
+    return [
+        key
+        for _, per_instance in plane_units[plane_name]  # type: ignore[index]
+        for member_keys in per_instance
+        for key in member_keys
+    ]
+
+
+def _attach_signals(
+    simulator: AvailabilitySimulator,
+    spec: ControllerSpec,
+    topology: DeploymentTopology,
+) -> None:
+    plan = signal_plan(spec, topology)
+    plane_units = plan["plane_units"]
+
     def plane_keys(plane_name: str) -> list[str]:
-        return [
-            key
-            for _, per_instance in plane_units[plane_name]
-            for member_keys in per_instance
-            for key in member_keys
-        ]
+        return plane_signal_keys(plan, plane_name)
 
     def plane_up(plane_name: str):
         units = plane_units[plane_name]
@@ -304,11 +337,7 @@ def _attach_signals(
 
         return predicate
 
-    local_keys: list[str] = []
-    host_role = spec.host_role
-    if host_role is not None:
-        for unit in host_role.quorum_units("dp"):
-            local_keys.extend(f"local:{m.name}" for m in unit.members)
+    local_keys = plan["local_keys"]
 
     def ldp_up(sim: AvailabilitySimulator) -> bool:
         effectively_up = sim.effectively_up

@@ -10,13 +10,57 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from functools import lru_cache
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import SimulationError
 
 #: Cause label for outage episodes no transition was recorded for (e.g. a
 #: signal that starts down before any component transition).
 UNATTRIBUTED = "unattributed"
+
+
+def build_attribution(
+    name: str,
+    durations: Sequence[float],
+    causes: Sequence[tuple[str, str, int] | None],
+    open_cause: tuple[str, str, int] | None = None,
+    open_duration: float | None = None,
+) -> "SignalAttribution":
+    """Build a :class:`SignalAttribution` from episode durations and causes.
+
+    ``durations``/``causes`` are the completed episodes, aligned;
+    ``open_duration`` (when not ``None``) adds one still-open episode
+    charged to ``open_cause``.  Episodes with a ``None`` cause are charged
+    to :data:`UNATTRIBUTED`; depths are counted only when ``>= 0``.  Both
+    the scalar :meth:`BinarySignal.attribution` and the batched kernel's
+    result assembly route through this single charging rule, so their
+    ledgers are definitionally identical for identical episode streams.
+    """
+    components: dict[str, tuple[float, ...]] = {}
+    sources: dict[str, tuple[float, ...]] = {}
+    depths: dict[int, int] = {}
+
+    def charge(cause: tuple[str, str, int] | None, duration: float):
+        component, source, depth = cause or (UNATTRIBUTED, UNATTRIBUTED, -1)
+        components[component] = components.get(component, ()) + (duration,)
+        sources[source] = sources.get(source, ()) + (duration,)
+        if depth >= 0:
+            depths[depth] = depths.get(depth, 0) + 1
+
+    for duration, cause in zip(durations, causes):
+        charge(cause, duration)
+    open_episodes = 0
+    if open_duration is not None:
+        open_episodes = 1
+        charge(open_cause, open_duration)
+    return SignalAttribution(
+        name=name,
+        components=components,
+        sources=sources,
+        depths=depths,
+        open_episodes=open_episodes,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,29 +274,15 @@ class BinarySignal:
         exactly; episodes with no recorded cause are charged to
         :data:`UNATTRIBUTED`.
         """
-        components: dict[str, tuple[float, ...]] = {}
-        sources: dict[str, tuple[float, ...]] = {}
-        depths: dict[int, int] = {}
-
-        def charge(cause: tuple[str, str, int] | None, duration: float):
-            component, source, depth = cause or (UNATTRIBUTED, UNATTRIBUTED, -1)
-            components[component] = components.get(component, ()) + (duration,)
-            sources[source] = sources.get(source, ()) + (duration,)
-            if depth >= 0:
-                depths[depth] = depths.get(depth, 0) + 1
-
-        for duration, cause in zip(self._outage_durations, self._outage_causes):
-            charge(cause, duration)
-        open_episodes = 0
+        open_duration = None
         if self._outage_started is not None:
-            open_episodes = 1
-            charge(self._open_cause, self._last_change - self._outage_started)
-        return SignalAttribution(
-            name=self.name,
-            components=components,
-            sources=sources,
-            depths=depths,
-            open_episodes=open_episodes,
+            open_duration = self._last_change - self._outage_started
+        return build_attribution(
+            self.name,
+            self._outage_durations,
+            self._outage_causes,
+            open_cause=self._open_cause,
+            open_duration=open_duration,
         )
 
     def finalize(self, time: float) -> None:
@@ -296,13 +326,117 @@ class ConfidenceInterval:
         return self.low <= value <= self.high
 
 
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h
+
+
+def _betai(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _student_t_cdf(t: float, df: int) -> float:
+    """P(T <= t) for Student's t with ``df`` degrees of freedom."""
+    if t == 0.0:
+        return 0.5
+    x = df / (df + t * t)
+    tail = 0.5 * _betai(df / 2.0, 0.5, x)
+    return 1.0 - tail if t > 0 else tail
+
+
+@lru_cache(maxsize=None)
+def student_t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value, scipy-free.
+
+    The smallest ``t`` with ``P(|T| <= t) >= confidence`` for ``df``
+    degrees of freedom, found by bisecting the exact CDF (regularized
+    incomplete beta via a Lentz continued fraction).  Accurate to ~1e-10;
+    e.g. ``student_t_critical(1) == 12.7062...``,
+    ``student_t_critical(9) == 2.2622...``.
+    """
+    if df < 1:
+        raise SimulationError(
+            f"Student-t needs at least 1 degree of freedom, got {df}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    target = 0.5 + confidence / 2.0  # one-sided quantile of the two-sided CI
+    low, high = 0.0, 1.0
+    while _student_t_cdf(high, df) < target:
+        high *= 2.0
+        if high > 1e12:  # pragma: no cover - defensive
+            break
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if _student_t_cdf(mid, df) < target:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    return 0.5 * (low + high)
+
+
 def batch_means_interval(
-    batch_values: list[float], z: float = 1.96
+    batch_values: list[float],
+    z: float | None = None,
+    confidence: float = 0.95,
 ) -> ConfidenceInterval:
     """Batch-means confidence interval from per-batch availability means.
 
     Standard method for steady-state simulation output: split the horizon
-    into equal batches, treat batch means as approximately i.i.d. normal.
+    into equal batches, treat batch means as approximately i.i.d. samples
+    of the batch-mean distribution.  With ``k`` batches the variance is
+    estimated with ``k - 1`` degrees of freedom, so the default critical
+    value is Student-t with ``df = k - 1`` at ``confidence`` (a fixed
+    normal ``z`` badly undercovers at small ``k``; at ``k = 2`` the true
+    coverage of a ±1.96σ interval is ~70 %, not 95 %).  Pass an explicit
+    ``z`` to override the critical value (the legacy normal behavior).
     Requires at least 2 batches.
     """
     k = len(batch_values)
@@ -310,7 +444,8 @@ def batch_means_interval(
         raise SimulationError(
             f"batch-means needs at least 2 batches, got {k}"
         )
+    critical = z if z is not None else student_t_critical(k - 1, confidence)
     mean = sum(batch_values) / k
     variance = sum((v - mean) ** 2 for v in batch_values) / (k - 1)
-    half_width = z * math.sqrt(variance / k)
+    half_width = critical * math.sqrt(variance / k)
     return ConfidenceInterval(mean=mean, half_width=half_width, batches=k)

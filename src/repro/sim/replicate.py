@@ -30,6 +30,7 @@ from repro.perf.parallel import (
     map_chunked,
 )
 from repro.params.software import RestartScenario, SoftwareParams
+from repro.sim.batched import plan_batched, run_batched, validate_batched_mode
 from repro.sim.controller_sim import (
     OutageStatistics,
     SimulationConfig,
@@ -176,6 +177,7 @@ def run_replications(
     replications: int = 4,
     workers: int = 1,
     executor: Executor | None = None,
+    batched: str = "auto",
 ) -> ReplicationSet:
     """Run ``replications`` seeded copies of the controller simulation.
 
@@ -184,12 +186,36 @@ def run_replications(
     simulated time.  ``workers <= 1`` runs inline; otherwise replications
     are dispatched to a process pool (or the supplied ``executor``) and
     merged in index order, so the result is independent of scheduling.
+
+    ``batched`` selects the engine: ``"auto"`` (default) routes through the
+    struct-of-arrays lockstep kernel (:mod:`repro.sim.batched`) whenever
+    the workload is expressible and no explicit ``executor`` was supplied
+    — results are bit-identical to the scalar engine, so the knob never
+    changes numbers, only speed.  ``"on"`` requires the kernel (raises
+    :class:`~repro.errors.SimulationError` if the workload cannot run on
+    it), ``"off"`` forces the scalar per-replication engine.  The kernel
+    advances all replications in one process, so ``workers`` is ignored
+    while it is engaged.
     """
+    validate_batched_mode(batched)
     if replications < 1:
         raise SimulationError(
             f"replications must be >= 1, got {replications}"
         )
     config = config or SimulationConfig()
+    model = None
+    if batched != "off":
+        if executor is not None:
+            reason = "an explicit executor was supplied"
+        else:
+            model, reason = plan_batched(
+                spec, topology, hardware, software, scenario, config
+            )
+        if batched == "on" and model is None:
+            raise SimulationError(
+                f"batched='on' but the workload cannot run on the "
+                f"batched kernel: {reason}"
+            )
     seeds = derive_seeds(config.seed, replications)
     obs.note_solver("simulation")
     obs.annotate("topology", topology.name)
@@ -209,7 +235,17 @@ def run_replications(
         workers=workers,
         horizon_hours=config.horizon_hours,
     ):
-        if executor is None and workers > 1 and replications > 1:
+        if model is not None:
+            # Lockstep struct-of-arrays kernel: every replication advances
+            # in one process; per-replication results are bit-identical to
+            # the scalar engine with the same derived seeds.
+            results = tuple(
+                result
+                for result, _ in run_batched(
+                    model, list(seeds), config.horizon_hours, config.batches
+                )
+            )
+        elif executor is None and workers > 1 and replications > 1:
             # Warm-pool path: broadcast the constant inputs once per
             # worker, send one seed per job, chunk jobs per worker.
             results = map_chunked(

@@ -1,0 +1,120 @@
+"""Regenerate the scalar-vs-batched equivalence fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.regen_batched_fixtures
+
+The fixture pins the *exact* per-replication outputs (availabilities at
+full float precision, outage episode statistics, batch-means intervals,
+and the complete downtime-attribution ledgers) of one expressible campaign
+run on the **scalar** engine.  ``tests/test_sim_batched.py`` replays the
+same campaign on both engines (``batched="off"`` and ``batched="on"``) and
+requires bit-identical equality with the fixture (``==``, no tolerance):
+the struct-of-arrays kernel must reproduce the scalar engine's event
+stream draw for draw.  Regenerate (and commit the diff) only when a change
+is *supposed* to alter the event stream, and say why in the commit
+message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.faults import CampaignSpec, run_campaign
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+FIXTURE_NAME = "sim_batched_fixtures.json"
+
+#: The pinned expressible campaign: scenario 1, no hazards, unlimited
+#: crews — every feature the lockstep kernel models, long enough that each
+#: replication sees hundreds of failure/repair cycles and real outages on
+#: every signal.
+CAMPAIGN_SPEC = CampaignSpec(
+    option="1S",
+    horizon_hours=2_000.0,
+    replications=4,
+    seed=23,
+    batches=5,
+)
+
+
+def result_record(result) -> dict:
+    """Every measured quantity of one :class:`SimulationResult`."""
+    return {
+        "cp": result.cp,
+        "sdp": result.shared_dp,
+        "ldp": result.local_dp,
+        "dp": result.dp,
+        "intervals": {
+            name: {
+                "mean": interval.mean,
+                "half_width": interval.half_width,
+                "batches": interval.batches,
+            }
+            for name, interval in sorted(result.intervals.items())
+        },
+        "outages": {
+            name: {
+                "count": stats.count,
+                "frequency_per_hour": stats.frequency_per_hour,
+                "mean_duration_hours": stats.mean_duration_hours,
+            }
+            for name, stats in sorted(result.outages.items())
+        },
+        "attribution": {
+            name: ledger.to_dict()
+            for name, ledger in sorted(result.attribution.items())
+        },
+    }
+
+
+def run_fixture_campaign(batched: str = "off"):
+    """The pinned campaign workload (shared with the equivalence tests)."""
+    return run_campaign(CAMPAIGN_SPEC, batched=batched)
+
+
+def build_fixture() -> dict:
+    campaign = run_fixture_campaign(batched="off")
+    return {
+        "description": (
+            "Bit-exact scalar-engine outputs of the pinned expressible "
+            "campaign; test_sim_batched requires == equality from both "
+            "the scalar and the struct-of-arrays lockstep engines"
+        ),
+        "spec": CAMPAIGN_SPEC.to_dict(),
+        "seeds": list(campaign.replications.seeds),
+        "results": [
+            result_record(r) for r in campaign.replications.results
+        ],
+        "events": [stat["events"] for stat in campaign.stats],
+    }
+
+
+def regenerate(directory: Path = GOLDEN_DIR) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / FIXTURE_NAME
+    target.write_text(
+        json.dumps(build_fixture(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=GOLDEN_DIR,
+        help="directory to write the fixture into (default: tests/golden)",
+    )
+    args = parser.parse_args(argv)
+    print(f"wrote {regenerate(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,52 @@ class TestJsonlSink:
         with pytest.raises(ObservabilityError):
             JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
 
+    def test_oversized_event_written_and_rotated_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=32, max_backups=3)
+        big = {"kind": "huge", "seq": 0, "payload": "x" * 100}
+        sink.emit(big)
+        # The event was written (never dropped) and exactly one rotation
+        # retired it to a backup, leaving the live file within budget.
+        assert sink.rotations == 1
+        assert sink.events_written == 1
+        assert path.stat().st_size == 0
+        backup = path.with_name("events.jsonl.1")
+        assert json.loads(backup.read_text(encoding="utf-8")) == big
+        # Subsequent small events append normally without rotation churn.
+        sink.emit({"kind": "a", "seq": 1})
+        assert sink.rotations == 1
+        sink.close()
+        assert json.loads(path.read_text(encoding="utf-8"))["kind"] == "a"
+
+    def test_oversized_event_after_existing_content(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=64, max_backups=3)
+        sink.emit({"kind": "a", "seq": 0})
+        before = sink.rotations
+        sink.emit({"kind": "huge", "seq": 1, "payload": "y" * 200})
+        # One rotation total for the oversized emit — not a pre-rotation of
+        # the existing content plus a post-rotation of the big event.
+        assert sink.rotations == before + 1
+        sink.close()
+        lines = path.with_name("events.jsonl.1").read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["a", "huge"]
+
+    def test_max_backups_1_replaces_not_accumulates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=16, max_backups=1)
+        for seq in range(5):
+            sink.emit({"kind": "huge", "seq": seq, "pad": "z" * 40})
+        sink.close()
+        # Every emit was oversized: each was written then rotated out, and
+        # with max_backups=1 the single `.1` backup is replaced in place.
+        assert sink.events_written == 5
+        assert sink.rotations == 5
+        backup = path.with_name("events.jsonl.1")
+        assert json.loads(backup.read_text(encoding="utf-8"))["seq"] == 4
+        assert not path.with_name("events.jsonl.2").exists()
+        assert path.stat().st_size == 0
+
 
 class TestAggregatorSink:
     def test_counts_and_last_by_kind(self):
@@ -153,8 +199,56 @@ class TestBusLifecycle:
         second = bus.emit("b")
         assert first["schema"] == telemetry.TELEMETRY_SCHEMA_VERSION
         assert (first["seq"], second["seq"]) == (0, 1)
+        assert (first["run"], second["run"]) == (0, 0)
         assert first["kind"] == "a" and first["x"] == 1
         assert "t" in first
+
+    def test_two_append_cycles_get_distinct_runs(self, tmp_path):
+        """Two start/stop cycles into one file: run ids 0 then 1, and
+        ``read_events`` orders the combined stream by ``(run, seq)`` even
+        though each cycle restarts ``seq`` at 0."""
+        path = tmp_path / "stream.jsonl"
+        for cycle in range(2):
+            telemetry.start([JsonlSink(path)])
+            telemetry.emit("cycle.start", cycle=cycle)
+            telemetry.emit("cycle.end", cycle=cycle)
+            telemetry.stop()
+        events = list(read_events(path))
+        assert [e["run"] for e in events] == [0, 0, 1, 1]
+        assert [e["seq"] for e in events] == [0, 1, 0, 1]
+        assert [(e["run"], e["seq"]) for e in events] == sorted(
+            (e["run"], e["seq"]) for e in events
+        )
+        assert [e["cycle"] for e in events] == [0, 0, 1, 1]
+
+    def test_run_continues_past_runless_legacy_events(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            json.dumps({"kind": "legacy", "seq": 3}) + "\n", encoding="utf-8"
+        )
+        sink = JsonlSink(path)
+        assert sink.last_run == 0  # legacy events count as run 0
+        bus = TelemetryBus([sink])
+        assert bus.emit("fresh")["run"] == 1
+        bus.close()
+
+    def test_explicit_run_id_wins(self, tmp_path):
+        bus = TelemetryBus([AggregatorSink()], run=7)
+        assert bus.emit("a")["run"] == 7
+
+    def test_read_events_orders_interleaved_runs(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        rows = [
+            {"kind": "b", "run": 1, "seq": 0},
+            {"kind": "a", "run": 0, "seq": 1},
+            {"kind": "a", "run": 0, "seq": 0},
+            {"kind": "c", "run": 1, "seq": 1},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in rows), encoding="utf-8"
+        )
+        ordered = [(e["run"], e["seq"]) for e in read_events(path)]
+        assert ordered == [(0, 0), (0, 1), (1, 0), (1, 1)]
 
     def test_module_level_bus(self):
         sink = AggregatorSink()

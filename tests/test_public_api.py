@@ -32,6 +32,8 @@ class TestPublicApi:
             "repro.models",
             "repro.markov",
             "repro.sim",
+            "repro.sim.batched",
+            "repro.perf.batching",
             "repro.analysis",
             "repro.reporting",
             "repro.faults",
@@ -52,6 +54,7 @@ class TestPublicApi:
             "repro.controller",
             "repro.markov",
             "repro.sim",
+            "repro.sim.batched",
             "repro.analysis",
             "repro.faults",
             "repro.obs",
