@@ -1,0 +1,174 @@
+"""Network analysis throughput: cut-set compilation and placement search.
+
+Times (a) full per-switch control-path analyses — structure lowering,
+complete minimal cut/path enumeration, and the Shannon-factored exact
+evaluator — over the reference ring and fat-tree graphs, and (b) an
+exhaustive k=2 placement search over seven candidate sites on the backbone
+mesh, then appends a ``network`` section to ``BENCH_perf.json`` (other
+sections are preserved).  Runnable as a pytest benchmark *or* directly as
+a script — ``python benchmarks/bench_network.py --repeats 1 --check`` is
+the CI smoke invocation.
+
+Acceptance floors are deliberately an order of magnitude below the rates
+measured on a development laptop, and are waived entirely on single-core
+runners where timing is meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # script mode: make src/ importable without install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.network import analyze_switch, optimize_placement
+from repro.network.paths import _exact_unavailability_cached
+from repro.reporting.tables import format_table
+from repro.topology.network_reference import (
+    backbone_network,
+    fat_tree_pod,
+    ring_network,
+)
+
+BENCH_SEED = 20190324  # shared with bench_perf_engine.py
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Floors ~10x below a development-laptop measurement; see module docstring.
+ANALYSIS_FLOOR_PER_S = 0.5
+PLACEMENT_FLOOR_EVALS_PER_S = 3.0
+
+
+def _best_of(fn, repeats: int):
+    best_time, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best_time = min(best_time, time.perf_counter() - start)
+    return best_time, result
+
+
+def _run_analyses():
+    """Full-order analysis of every switch on the ring and fat-tree pod.
+
+    The exact-evaluator memo is cleared first so every repeat pays the
+    whole pipeline (prune, enumerate, factor), not a cache lookup.
+    """
+    _exact_unavailability_cached.cache_clear()
+    analyses = []
+    for graph in (ring_network(), fat_tree_pod()):
+        for switch in graph.switches:
+            analyses.append(analyze_switch(graph, switch))
+    return analyses
+
+
+def _run_placement():
+    """Exhaustive k=2 search over all 7 backbone attachment points."""
+    _exact_unavailability_cached.cache_clear()
+    graph = backbone_network()
+    candidates = tuple(
+        node.name for node in graph.nodes if node.kind in ("site", "router")
+    )
+    return optimize_placement(
+        graph, k=2, candidates=candidates, method="exact"
+    )
+
+
+def run_network_bench(repeats: int = 3) -> dict:
+    """Time both workloads and return the BENCH_perf.json section."""
+    analysis_s, analyses = _best_of(_run_analyses, repeats)
+    placement_s, placement = _best_of(_run_placement, repeats)
+    cut_sets = sum(len(a.cut_sets) for a in analyses)
+    return {
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count() or 1,
+        "repeats": repeats,
+        "analysis_switches": len(analyses),
+        "analysis_cut_sets": cut_sets,
+        "analysis_s": analysis_s,
+        "analyses_per_second": len(analyses) / analysis_s,
+        "placement_candidates": len(placement.candidates),
+        "placement_evaluations": placement.evaluations,
+        "placement_sites": list(placement.sites),
+        "placement_s": placement_s,
+        "placement_evaluations_per_second": (
+            placement.evaluations / placement_s
+        ),
+    }
+
+
+def _report(record: dict, out_path: Path) -> None:
+    rows = [
+        (
+            f"analyze {record['analysis_switches']} switches "
+            f"({record['analysis_cut_sets']} cut sets)",
+            f"{record['analysis_s'] * 1e3:.1f}",
+            f"{record['analyses_per_second']:.1f}/s",
+        ),
+        (
+            f"place k=2 over {record['placement_candidates']} candidates",
+            f"{record['placement_s'] * 1e3:.1f}",
+            f"{record['placement_evaluations_per_second']:.1f} evals/s",
+        ),
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("Workload", "Best (ms)", "Throughput"),
+            rows,
+            title="Network control-path analysis",
+        )
+    )
+    merged = {}
+    if out_path.exists():
+        merged = json.loads(out_path.read_text(encoding="utf-8"))
+    merged["network"] = record
+    out_path.write_text(
+        json.dumps(merged, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path}")
+
+
+def _floors_ok(record: dict) -> bool:
+    """Throughput floors, waived where timing cannot be meaningful."""
+    if record["cpus"] < 2:
+        return True
+    return (
+        record["analyses_per_second"] >= ANALYSIS_FLOOR_PER_S
+        and record["placement_evaluations_per_second"]
+        >= PLACEMENT_FLOOR_EVALS_PER_S
+    )
+
+
+def test_network_bench():
+    record = run_network_bench()
+    _report(record, DEFAULT_OUT)
+    assert record["analysis_cut_sets"] > 0
+    assert record["placement_evaluations"] == 21  # C(7, 2)
+    assert _floors_ok(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless both workloads meet their throughput floors",
+    )
+    args = parser.parse_args(argv)
+    record = run_network_bench(repeats=args.repeats)
+    _report(record, args.out)
+    if args.check:
+        assert _floors_ok(record)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,15 @@ from repro.models.design import (
     enumerate_designs,
     pareto_frontier,
 )
+from repro.network import (
+    NetworkGraph,
+    NetworkLink,
+    NetworkNode,
+    SharedRiskGroup,
+    analyze_switch,
+    optimize_placement,
+    per_switch_availability,
+)
 from repro.units import (
     availability_from_mtbf,
     downtime_minutes_per_year,
@@ -115,6 +124,14 @@ __all__ = [
     "enumerate_designs",
     "pareto_frontier",
     "cheapest_meeting",
+    # network
+    "NetworkGraph",
+    "NetworkNode",
+    "NetworkLink",
+    "SharedRiskGroup",
+    "analyze_switch",
+    "per_switch_availability",
+    "optimize_placement",
     # units
     "availability_from_mtbf",
     "downtime_minutes_per_year",

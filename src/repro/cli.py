@@ -12,6 +12,9 @@ Subcommands mirror the paper's artifacts:
   failures, maintenance windows, limited repair crews) and cross-validate
   it against the analytic prediction; ``--sweep-beta`` sweeps the
   common-cause fraction.
+* ``network`` — control-network graph analysis (:mod:`repro.network`):
+  ``evaluate`` prints per-switch control-path cut sets, bounds, and exact
+  availability; ``place`` runs the controller-placement search.
 * ``perf`` — time the vectorized/parallel evaluation engine against the
   sequential paths (``--workers``, ``--vectorize``).
 * ``obs`` — render a stored run manifest, run a small instrumented demo
@@ -22,7 +25,8 @@ Every subcommand additionally accepts the global ``--trace FILE.json``
 flag (before or after the subcommand name): the whole invocation then runs
 under an observability session and writes its :class:`RunManifest` —
 parameters, seeds, solver path, per-phase timings, metrics, spans — to the
-file on exit.  The ``simulate`` and ``faults`` subcommands also accept
+file on exit.  The ``simulate``, ``faults``, and ``network`` subcommands
+also accept
 ``--telemetry FILE.jsonl``: the run then streams progress/heartbeat and
 metric-snapshot events to a rotating JSONL sink (readable afterwards with
 ``obs tail``) without perturbing results — telemetry-on runs stay
@@ -458,6 +462,95 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.network import analyze_switch, optimize_placement
+    from repro.network.graph import NetworkGraph
+    from repro.reporting.network import (
+        evaluate_payload,
+        evaluate_rows,
+        placement_payload,
+        placement_rows,
+        write_network_json,
+    )
+    from repro.topology.network_reference import (
+        NETWORK_REFERENCE_BUILDERS,
+        reference_network,
+    )
+
+    if args.graph_file:
+        graph = NetworkGraph.from_json(
+            Path(args.graph_file).read_text(encoding="utf-8")
+        )
+    else:
+        if args.graph not in NETWORK_REFERENCE_BUILDERS:
+            print(
+                f"unknown reference graph {args.graph!r}; expected one of "
+                f"{sorted(NETWORK_REFERENCE_BUILDERS)}",
+                file=sys.stderr,
+            )
+            return 2
+        graph = reference_network(args.graph)
+    obs_runtime.annotate("topology", graph.name)
+    obs_runtime.annotate("graph_hash", graph.graph_hash())
+    sites = (
+        tuple(s.strip() for s in args.sites.split(",") if s.strip())
+        if args.sites
+        else None
+    )
+
+    if args.action == "evaluate":
+        analyses = [
+            analyze_switch(graph, switch, sites, max_order=args.max_order)
+            for switch in graph.switches
+        ]
+        headers, rows = evaluate_rows(analyses)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Control-path availability, graph {graph.name} "
+                    f"(cut order <= {args.max_order or 'full'})"
+                ),
+            )
+        )
+        payload = evaluate_payload(graph, analyses)
+    else:
+        result = optimize_placement(
+            graph,
+            k=args.k,
+            candidates=sites,
+            method=args.method,
+        )
+        headers, rows = placement_rows(result)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Placement {result.sites} on {graph.name} "
+                    f"(method={result.method}, k={result.k})"
+                ),
+            )
+        )
+        print(
+            f"\nfleet A_CP: {result.availability:.8f}  "
+            f"bound: {result.bound:.8f}  gap: {result.gap:.2e}  "
+            f"evaluations: {result.evaluations}"
+        )
+        payload = placement_payload(graph, result)
+
+    if args.json:
+        write_network_json(args.json, payload)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     import json
     import time
@@ -755,6 +848,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream progress/metric telemetry events to this JSONL file",
     )
     sub.set_defaults(handler=_cmd_faults)
+
+    sub = subparsers.add_parser(
+        "network",
+        help=(
+            "control-network graph analysis: per-switch control-path "
+            "availability and controller placement"
+        ),
+    )
+    sub.add_argument(
+        "action",
+        choices=("evaluate", "place"),
+        help=(
+            "'evaluate' prints per-switch cut sets/bounds/exact A_CP; "
+            "'place' searches controller placements"
+        ),
+    )
+    sub.add_argument(
+        "--graph",
+        default="ring",
+        help="reference graph name (line, ring, fat_tree, backbone)",
+    )
+    sub.add_argument(
+        "--graph-file",
+        default=None,
+        metavar="FILE.json",
+        help="load a NetworkGraph from this JSON file instead",
+    )
+    sub.add_argument(
+        "--sites",
+        default=None,
+        metavar="A,B,...",
+        help=(
+            "controller sites (evaluate) or candidate sites (place); "
+            "default: every site node"
+        ),
+    )
+    sub.add_argument(
+        "--max-order",
+        type=int,
+        default=None,
+        help="bound cut-set enumeration order (default: complete)",
+    )
+    sub.add_argument("--k", type=int, default=1, help="sites to place")
+    sub.add_argument(
+        "--method",
+        choices=("auto", "exact", "greedy"),
+        default="auto",
+        help="placement search method",
+    )
+    sub.add_argument("--json", default=None, help="also write results here")
+    sub.add_argument("--csv", default=None, help="also write table rows here")
+    sub.add_argument(
+        "--telemetry",
+        default=argparse.SUPPRESS,
+        metavar="FILE.jsonl",
+        help="stream placement/candidate telemetry events to this JSONL file",
+    )
+    sub.set_defaults(handler=_cmd_network)
 
     sub = subparsers.add_parser(
         "perf", help="time the vectorized/parallel evaluation engine"

@@ -61,6 +61,15 @@ class CampaignError(ReproError, ValueError):
     """
 
 
+class NetworkError(ReproError, ValueError):
+    """A control-network graph is malformed or was queried inconsistently.
+
+    Raised, for example, when a link references an unknown endpoint or
+    shared-risk group, when two graph elements share a name, or when a
+    path/placement query names a node the graph does not contain.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A numerical routine (CTMC solve, fixed point) failed to converge."""
 

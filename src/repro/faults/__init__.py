@@ -6,7 +6,7 @@ correlated failures, scheduled maintenance, and repair-crew contention:
 
 * :mod:`repro.faults.hazards` — composable hazard models (beta-factor
   common cause, rack power events, maintenance windows, limited repair
-  crews);
+  crews, link flaps, shared-risk-group failures);
 * :mod:`repro.faults.campaign` — declarative, JSON-serializable
   :class:`CampaignSpec` plus a replication runner that is bit-identical
   across worker counts;
@@ -25,10 +25,12 @@ from repro.faults.crossval import (
 from repro.faults.hazards import (
     CommonCauseSpec,
     HazardSet,
+    LinkFlapSpec,
     MaintenanceSpec,
     RackPowerSpec,
     RepairCrews,
     RepairCrewsSpec,
+    SrgFailureSpec,
     attach_hazards,
     hazard_from_dict,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "RackPowerSpec",
     "MaintenanceSpec",
     "RepairCrewsSpec",
+    "LinkFlapSpec",
+    "SrgFailureSpec",
     "RepairCrews",
     "HazardSet",
     "attach_hazards",

@@ -23,6 +23,16 @@ assumptions on top of the unmodified simulator:
   tie-breaking via the simulator's event ordering) and their repair time is
   sampled when a crew picks them up, so queueing delay *adds to* repair
   time.
+* :class:`LinkFlapSpec` — short fixed-duration outages (flaps) on each
+  member of a group, independently Poisson-arriving per member: the member
+  is held down for ``down_hours`` and then force-repaired, modeling port
+  resets / protection-switch glitches whose duration is deterministic
+  rather than exponential.  Built for :mod:`repro.network` link components
+  but valid for any group selector.
+* :class:`SrgFailureSpec` — a single Poisson process that fails *every*
+  member of a group at one instant (each repairs through the normal
+  machinery): the shared-risk-group conduit cut of the Nencioni backbone
+  study, and a generic correlated-failure hammer for any group.
 
 Specs are frozen, JSON-serializable value objects (``to_dict`` /
 :func:`hazard_from_dict`); the runtime side — :func:`attach_hazards` —
@@ -48,6 +58,8 @@ __all__ = [
     "RackPowerSpec",
     "MaintenanceSpec",
     "RepairCrewsSpec",
+    "LinkFlapSpec",
+    "SrgFailureSpec",
     "HazardSpec",
     "hazard_from_dict",
     "RepairCrews",
@@ -168,12 +180,91 @@ class RepairCrewsSpec:
             raise CampaignError(f"crews must be >= 1, got {self.crews}")
 
 
-HazardSpec = CommonCauseSpec | RackPowerSpec | MaintenanceSpec | RepairCrewsSpec
+@dataclass(frozen=True)
+class LinkFlapSpec:
+    """Deterministic-duration flaps on each member of a group.
+
+    Each member of ``group`` gets an independent Poisson arrival process
+    with mean inter-flap time ``mtbf_hours``; a flap holds the member down
+    (``hold`` semantics — a pending stochastic repair is cancelled) for
+    exactly ``down_hours``, then force-repairs it.  The next arrival is
+    drawn when the flap ends, so per-member flap windows never overlap and
+    the long-run flap duty fraction is ``down / (down + mtbf)``.
+
+    Named for :mod:`repro.network` link components (``group`` =
+    ``"kind:link"`` or an explicit link key) but valid for any selector in
+    the :meth:`~repro.sim.engine.AvailabilitySimulator.resolve_group`
+    grammar — a flapping VM is just a very fast maintenance window.
+    """
+
+    kind: ClassVar[str] = "link_flap"
+
+    group: str
+    mtbf_hours: float
+    down_hours: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise CampaignError("link-flap group selector must be non-empty")
+        if self.mtbf_hours <= 0.0:
+            raise CampaignError(
+                f"link-flap mtbf_hours must be > 0, got {self.mtbf_hours}"
+            )
+        if self.down_hours <= 0.0:
+            raise CampaignError(
+                f"link-flap down_hours must be > 0, got {self.down_hours}"
+            )
+
+    @property
+    def duty_fraction(self) -> float:
+        """Long-run fraction of time a member spends flapped down."""
+        return self.down_hours / (self.down_hours + self.mtbf_hours)
+
+
+@dataclass(frozen=True)
+class SrgFailureSpec:
+    """Correlated whole-group failures: one Poisson process fails all members.
+
+    The shared-risk-group event of the Nencioni backbone model — a conduit
+    cut takes every fiber in the duct at one instant; each member then
+    repairs through the normal machinery (competing for repair crews if
+    limited).  ``group`` accepts any selector, so ``"SRG-HAUL/*"`` (an SRG
+    component plus its dependent links) and ``"kind:host"`` are equally
+    valid targets.
+    """
+
+    kind: ClassVar[str] = "srg_failure"
+
+    group: str
+    mtbf_hours: float
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise CampaignError("srg-failure group selector must be non-empty")
+        if self.mtbf_hours <= 0.0:
+            raise CampaignError(
+                f"srg-failure mtbf_hours must be > 0, got {self.mtbf_hours}"
+            )
+
+
+HazardSpec = (
+    CommonCauseSpec
+    | RackPowerSpec
+    | MaintenanceSpec
+    | RepairCrewsSpec
+    | LinkFlapSpec
+    | SrgFailureSpec
+)
 
 _SPEC_TYPES: dict[str, type] = {
     spec_type.kind: spec_type
     for spec_type in (
-        CommonCauseSpec, RackPowerSpec, MaintenanceSpec, RepairCrewsSpec
+        CommonCauseSpec,
+        RackPowerSpec,
+        MaintenanceSpec,
+        RepairCrewsSpec,
+        LinkFlapSpec,
+        SrgFailureSpec,
     )
 }
 
@@ -386,10 +477,78 @@ class _Maintenance(_HazardProcess):
         self._simulator.repair_group(self._keys)
 
 
+class _LinkFlap(_HazardProcess):
+    def __init__(
+        self, simulator: AvailabilitySimulator, spec: LinkFlapSpec,
+        index: int,
+    ):
+        super().__init__(spec)
+        self._simulator = simulator
+        keys = simulator.resolve_group(spec.group)
+        self._streams = {
+            key: f"hazard:{index}:flap:{key}" for key in keys
+        }
+        for key in keys:
+            self._schedule(key)
+
+    def _schedule(self, key: str) -> None:
+        delay = self._simulator.draw_exponential(
+            self._streams[key], self.spec.mtbf_hours
+        )
+        self._simulator.schedule_action(
+            self._simulator.now + delay, lambda: self._fire(key)
+        )
+
+    def _fire(self, key: str) -> None:
+        self._record()
+        self._simulator.force_fail(
+            key, repair=False, hold=True, source="link_flap"
+        )
+        self._simulator.schedule_action(
+            self._simulator.now + self.spec.down_hours,
+            lambda: self._close(key),
+        )
+
+    def _close(self, key: str) -> None:
+        self._simulator.repair_group([key])
+        # Next arrival counts from the end of the flap, so windows on one
+        # member never overlap.
+        self._schedule(key)
+
+
+class _SrgFailure(_HazardProcess):
+    def __init__(
+        self, simulator: AvailabilitySimulator, spec: SrgFailureSpec,
+        index: int,
+    ):
+        super().__init__(spec)
+        self._simulator = simulator
+        self._keys = simulator.resolve_group(spec.group)
+        self._stream = f"hazard:{index}:srg:{spec.group}"
+        self._schedule()
+
+    def _schedule(self) -> None:
+        delay = self._simulator.draw_exponential(
+            self._stream, self.spec.mtbf_hours
+        )
+        self._simulator.schedule_action(
+            self._simulator.now + delay, self._fire
+        )
+
+    def _fire(self) -> None:
+        self._record()
+        self._simulator.fail_group(
+            self._keys, repair=True, source="srg_failure"
+        )
+        self._schedule()
+
+
 _PROCESS_TYPES: dict[str, type] = {
     CommonCauseSpec.kind: _CommonCause,
     RackPowerSpec.kind: _RackPower,
     MaintenanceSpec.kind: _Maintenance,
+    LinkFlapSpec.kind: _LinkFlap,
+    SrgFailureSpec.kind: _SrgFailure,
 }
 
 

@@ -1,0 +1,67 @@
+"""Control-network availability: graphs, cut sets, placement, campaigns.
+
+The paper analyzes the controller cluster in isolation; this package adds
+the switch-to-controller *network* around it (motivated by Nencioni et
+al., PAPERS.md): immutable availability-annotated graphs
+(:mod:`repro.network.graph`), per-switch control-path cut sets and exact
+evaluation (:mod:`repro.network.paths`), controller-placement search
+(:mod:`repro.network.placement`), and Monte-Carlo network campaigns with
+correlated-failure hazards (:mod:`repro.network.campaign`).  See
+``docs/NETWORK.md`` for the model and conventions.
+"""
+
+from repro.network.campaign import (
+    NetworkCampaignResult,
+    NetworkCampaignSpec,
+    NetworkRunResult,
+    analytic_per_switch,
+    build_network_simulator,
+    run_network_campaign,
+)
+from repro.network.graph import (
+    NODE_KINDS,
+    NetworkGraph,
+    NetworkLink,
+    NetworkNode,
+    SharedRiskGroup,
+)
+from repro.network.paths import (
+    ControlPathAnalysis,
+    analyze_switch,
+    control_path_cut_sets,
+    control_path_structure,
+    exact_control_path_unavailability,
+    fleet_availability,
+    path_set_lower_bound,
+    per_switch_availability,
+)
+from repro.network.placement import (
+    PlacementResult,
+    optimize_placement,
+    placement_value,
+)
+
+__all__ = [
+    "NODE_KINDS",
+    "NetworkNode",
+    "NetworkLink",
+    "SharedRiskGroup",
+    "NetworkGraph",
+    "ControlPathAnalysis",
+    "control_path_structure",
+    "control_path_cut_sets",
+    "path_set_lower_bound",
+    "exact_control_path_unavailability",
+    "analyze_switch",
+    "per_switch_availability",
+    "fleet_availability",
+    "PlacementResult",
+    "placement_value",
+    "optimize_placement",
+    "NetworkCampaignSpec",
+    "NetworkRunResult",
+    "NetworkCampaignResult",
+    "build_network_simulator",
+    "run_network_campaign",
+    "analytic_per_switch",
+]

@@ -1,0 +1,309 @@
+"""Immutable switch/link/controller-site control-network graphs.
+
+The paper models the controller cluster in isolation; Nencioni et al.
+(PAPERS.md) show the switch-to-controller *network* dominates availability
+in real deployments.  This module provides the graph those analyses run
+over: switches, routers, and controller sites as nodes, undirected links
+between them, and optional shared-risk groups (SRGs) — a conduit, duct, or
+power feed whose failure takes down every link routed through it, the
+correlated-failure mechanism of Nencioni's backbone study.
+
+Conventions match :mod:`repro.params.defaults`: every element carries a
+steady-state availability as a probability in ``[0, 1]`` (MTBF/MTTR pairs
+convert via :func:`repro.units.availability_from_mtbf`).  Graphs are frozen,
+hashable value objects with a deterministic canonical serialization; the
+graph hash flows through the same canonical-params path as run manifests
+(:func:`repro.obs.manifest.params_hash`), so "same hash" means "same
+analysis inputs, bit for bit".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import NetworkError
+from repro.obs.manifest import params_hash
+from repro.units import check_probability
+
+__all__ = [
+    "NODE_KINDS",
+    "NetworkNode",
+    "NetworkLink",
+    "SharedRiskGroup",
+    "NetworkGraph",
+]
+
+#: Valid node kinds: traffic-forwarding elements whose control path is being
+#: evaluated ("switch"), transit-only elements ("router"), and controller
+#: sites ("site").
+NODE_KINDS: tuple[str, ...] = ("switch", "router", "site")
+
+
+@dataclass(frozen=True)
+class NetworkNode:
+    """One network element: a switch, transit router, or controller site.
+
+    Attributes:
+        name: unique identity within the graph (shared namespace with links
+            and SRGs, so cut sets can mix element types without ambiguity).
+        kind: one of :data:`NODE_KINDS`.
+        availability: steady-state probability the element is up.
+    """
+
+    name: str
+    kind: str = "switch"
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("node name must be non-empty")
+        if self.kind not in NODE_KINDS:
+            raise NetworkError(
+                f"node {self.name!r} kind must be one of {NODE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        check_probability(self.availability, f"A({self.name})")
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """An undirected link between two nodes, optionally in a shared-risk group.
+
+    A link is usable only when the link itself, both endpoints, and its SRG
+    (if any) are all up.
+
+    Attributes:
+        name: unique identity within the graph.
+        a: first endpoint node name.
+        b: second endpoint node name.
+        availability: steady-state probability the link itself is up
+            (excluding endpoint and SRG state).
+        srg: name of the :class:`SharedRiskGroup` this link is routed
+            through, or ``None`` for an independently-failing link.
+    """
+
+    name: str
+    a: str
+    b: str
+    availability: float = 1.0
+    srg: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("link name must be non-empty")
+        if self.a == self.b:
+            raise NetworkError(f"link {self.name!r} is a self-loop on {self.a!r}")
+        check_probability(self.availability, f"A({self.name})")
+
+    def other(self, node: str) -> str:
+        """The endpoint opposite ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise NetworkError(f"link {self.name!r} does not touch node {node!r}")
+
+
+@dataclass(frozen=True)
+class SharedRiskGroup:
+    """A shared failure domain (conduit, duct, power feed) for links.
+
+    Every link with ``srg == name`` fails together when the group fails —
+    the correlated link-failure mechanism of the Nencioni backbone model.
+    """
+
+    name: str
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("shared-risk-group name must be non-empty")
+        check_probability(self.availability, f"A({self.name})")
+
+
+@dataclass(frozen=True)
+class NetworkGraph:
+    """A frozen control-network graph with canonical serialization.
+
+    Element names share one namespace (nodes, links, and SRGs may not
+    collide), so a cut set like ``{"L2", "R1"}`` is unambiguous.  Instances
+    are hashable and safe as ``functools.lru_cache`` keys, which is how the
+    exact per-switch evaluator in :mod:`repro.network.paths` memoizes.
+    """
+
+    name: str
+    nodes: tuple[NetworkNode, ...]
+    links: tuple[NetworkLink, ...]
+    srgs: tuple[SharedRiskGroup, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "srgs", tuple(self.srgs))
+        if not self.name:
+            raise NetworkError("graph name must be non-empty")
+        if not self.nodes:
+            raise NetworkError(f"graph {self.name!r} has no nodes")
+        names: set[str] = set()
+        for element in (*self.nodes, *self.links, *self.srgs):
+            if element.name in names:
+                raise NetworkError(
+                    f"graph {self.name!r} has duplicate element name "
+                    f"{element.name!r}"
+                )
+            names.add(element.name)
+        node_names = {node.name for node in self.nodes}
+        srg_names = {srg.name for srg in self.srgs}
+        for link in self.links:
+            for endpoint in (link.a, link.b):
+                if endpoint not in node_names:
+                    raise NetworkError(
+                        f"link {link.name!r} endpoint {endpoint!r} is not a "
+                        f"node of graph {self.name!r}"
+                    )
+            if link.srg is not None and link.srg not in srg_names:
+                raise NetworkError(
+                    f"link {link.name!r} references unknown shared-risk "
+                    f"group {link.srg!r}"
+                )
+
+    # -- accessors ------------------------------------------------------------
+
+    def node(self, name: str) -> NetworkNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise NetworkError(f"graph {self.name!r} has no node {name!r}")
+
+    def link(self, name: str) -> NetworkLink:
+        for link in self.links:
+            if link.name == name:
+                return link
+        raise NetworkError(f"graph {self.name!r} has no link {name!r}")
+
+    @property
+    def switches(self) -> tuple[str, ...]:
+        """Switch node names, in graph order."""
+        return tuple(n.name for n in self.nodes if n.kind == "switch")
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Controller-site node names, in graph order."""
+        return tuple(n.name for n in self.nodes if n.kind == "site")
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        """All element names — nodes, then links, then SRGs, in graph order."""
+        return (
+            *(n.name for n in self.nodes),
+            *(link.name for link in self.links),
+            *(srg.name for srg in self.srgs),
+        )
+
+    def adjacency(self) -> dict[str, tuple[NetworkLink, ...]]:
+        """Node name -> incident links, in graph order."""
+        incident: dict[str, list[NetworkLink]] = {n.name: [] for n in self.nodes}
+        for link in self.links:
+            incident[link.a].append(link)
+            incident[link.b].append(link)
+        return {name: tuple(links) for name, links in incident.items()}
+
+    def availability_map(self) -> dict[str, float]:
+        """Element name -> steady-state probability of being up."""
+        out: dict[str, float] = {}
+        for element in (*self.nodes, *self.links, *self.srgs):
+            out[element.name] = element.availability
+        return out
+
+    def unavailability_map(self) -> dict[str, float]:
+        """Element name -> steady-state probability of being down."""
+        return {
+            name: 1.0 - availability
+            for name, availability in self.availability_map().items()
+        }
+
+    def is_connected(self) -> bool:
+        """Whether every node is reachable from the first (links assumed up)."""
+        adjacency = self.adjacency()
+        seen = {self.nodes[0].name}
+        stack = [self.nodes[0].name]
+        while stack:
+            current = stack.pop()
+            for link in adjacency[current]:
+                neighbor = link.other(current)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(self.nodes)
+
+    # -- canonical serialization ----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-serializable record (element order preserved)."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "nodes": [
+                {"name": n.name, "kind": n.kind, "availability": n.availability}
+                for n in self.nodes
+            ],
+            "links": [
+                {
+                    "name": link.name,
+                    "a": link.a,
+                    "b": link.b,
+                    "availability": link.availability,
+                    "srg": link.srg,
+                }
+                for link in self.links
+            ],
+            "srgs": [
+                {"name": srg.name, "availability": srg.availability}
+                for srg in self.srgs
+            ],
+        }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "NetworkGraph":
+        data = dict(record)
+        unknown = set(data) - {"name", "nodes", "links", "srgs"}
+        if unknown:
+            raise NetworkError(
+                f"unknown network-graph field(s) {sorted(unknown)}"
+            )
+        try:
+            nodes = tuple(NetworkNode(**entry) for entry in data.get("nodes", ()))
+            links = tuple(NetworkLink(**entry) for entry in data.get("links", ()))
+            srgs = tuple(
+                SharedRiskGroup(**entry) for entry in data.get("srgs", ())
+            )
+            return cls(
+                name=data.get("name", ""), nodes=nodes, links=links, srgs=srgs
+            )
+        except TypeError as error:
+            raise NetworkError(f"invalid network-graph record: {error}") from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkGraph":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise NetworkError(f"invalid network-graph JSON: {error}") from None
+        if not isinstance(record, dict):
+            raise NetworkError("network-graph JSON must be an object")
+        return cls.from_dict(record)
+
+    def graph_hash(self) -> str:
+        """SHA-256 over the canonical serialization.
+
+        Uses the same canonical-params hashing as run manifests
+        (:func:`repro.obs.manifest.params_hash`): equal hashes mean every
+        analytic and simulated result derived from the graph is bit-identical
+        given equal seeds.
+        """
+        return params_hash(self.to_dict())

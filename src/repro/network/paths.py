@@ -1,0 +1,365 @@
+"""Per-switch control-path availability over a network graph.
+
+For one switch, the *control path* is up when some sequence of up links
+(each requiring both endpoints and its shared-risk group up) connects the
+switch to at least one up controller site.  This module lowers that
+predicate into a :class:`repro.core.structure.StructureFunction` over the
+graph's elements, so the whole existing cut-set toolchain applies
+unchanged: :func:`repro.core.cutsets.minimal_cut_sets` enumerates the
+node+link+SRG cut sets, :func:`~repro.core.cutsets.union_bound` gives the
+rare-event upper bound, and inclusion-exclusion or the Shannon-factored
+evaluator give exact ground truth.
+
+Bound semantics: with *complete* cut/path enumeration (``max_order=None``)
+the three numbers bracket exactly —
+
+    union_bound  >=  exact unavailability  >=  path-set lower bound
+
+With a bounded cut order the union bound becomes the standard rare-event
+*estimate* (truncation can undershoot), and the path-set lower bound is not
+computed at all (a truncated path list would make it invalid); the analysis
+records ``None`` instead.  The cross-validation suite asserts the bracket
+on fully-enumerated random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.cutsets import (
+    RankedCutSet,
+    minimal_cut_sets,
+    minimal_path_sets,
+    rank_cut_sets,
+    union_bound,
+)
+from repro.core.structure import StructureFunction, factored_unavailability
+from repro.errors import NetworkError
+from repro.models.engine import RoleRequirement, evaluate_topology_cached
+from repro.network.graph import NetworkGraph, NetworkLink
+from repro.topology.deployment import DeploymentTopology
+
+__all__ = [
+    "ControlPathAnalysis",
+    "control_path_structure",
+    "control_path_cut_sets",
+    "path_set_lower_bound",
+    "exact_control_path_unavailability",
+    "analyze_switch",
+    "per_switch_availability",
+    "fleet_availability",
+]
+
+
+def _check_sites(
+    graph: NetworkGraph, switch: str, sites: Iterable[str] | None
+) -> tuple[str, ...]:
+    node_names = {node.name for node in graph.nodes}
+    if switch not in node_names:
+        raise NetworkError(f"graph {graph.name!r} has no node {switch!r}")
+    resolved = tuple(sites) if sites is not None else graph.sites
+    if not resolved:
+        raise NetworkError(
+            f"graph {graph.name!r} has no controller sites; pass sites="
+        )
+    for site in resolved:
+        if site not in node_names:
+            raise NetworkError(f"graph {graph.name!r} has no node {site!r}")
+    if switch in resolved:
+        raise NetworkError(
+            f"switch {switch!r} cannot also be a controller site"
+        )
+    if len(set(resolved)) != len(resolved):
+        raise NetworkError("controller sites must be distinct")
+    return resolved
+
+
+def _prune(
+    graph: NetworkGraph, switch: str, sites: tuple[str, ...]
+) -> tuple[tuple[str, ...], tuple[NetworkLink, ...], tuple[str, ...]]:
+    """Keep only elements that can matter to switch -> site connectivity.
+
+    Restricts to the connected component containing the switch, then
+    iteratively peels degree-1 nodes that are neither the switch nor a
+    site (a spur tree can never carry a control path).  Irrelevant side
+    cycles may survive; they only cost enumeration time, never correctness.
+    """
+    adjacency = graph.adjacency()
+    seen = {switch}
+    stack = [switch]
+    while stack:
+        current = stack.pop()
+        for link in adjacency[current]:
+            neighbor = link.other(current)
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    keep_nodes = set(seen)
+    keep_links = {
+        link.name
+        for link in graph.links
+        if link.a in keep_nodes and link.b in keep_nodes
+    }
+    anchors = {switch, *(site for site in sites if site in keep_nodes)}
+    changed = True
+    while changed:
+        changed = False
+        for node in sorted(keep_nodes - anchors):
+            incident = [
+                link for link in adjacency[node] if link.name in keep_links
+            ]
+            if len(incident) <= 1:
+                keep_nodes.discard(node)
+                for link in incident:
+                    keep_links.discard(link.name)
+                changed = True
+    nodes = tuple(n.name for n in graph.nodes if n.name in keep_nodes)
+    links = tuple(link for link in graph.links if link.name in keep_links)
+    srgs = tuple(
+        srg.name
+        for srg in graph.srgs
+        if any(link.srg == srg.name for link in links)
+    )
+    return nodes, links, srgs
+
+
+def control_path_structure(
+    graph: NetworkGraph, switch: str, sites: Iterable[str] | None = None
+) -> StructureFunction:
+    """The switch's control-path predicate as a structure function.
+
+    Component names are the (pruned) graph element names — nodes, then
+    links, then SRGs, in graph order.  The function is true when the switch
+    is up and a path of usable links (link up, SRG up, both endpoints up)
+    reaches an up controller site.
+    """
+    resolved_sites = _check_sites(graph, switch, sites)
+    nodes, links, srgs = _prune(graph, switch, resolved_sites)
+    site_set = frozenset(site for site in resolved_sites if site in set(nodes))
+    incident: dict[str, list[NetworkLink]] = {name: [] for name in nodes}
+    for link in links:
+        incident[link.a].append(link)
+        incident[link.b].append(link)
+
+    def reaches_site(state: Mapping[str, bool]) -> bool:
+        if not state[switch]:
+            return False
+        if not site_set:
+            return False
+        seen = {switch}
+        stack = [switch]
+        while stack:
+            current = stack.pop()
+            if current in site_set:
+                return True
+            for link in incident[current]:
+                if not state[link.name]:
+                    continue
+                if link.srg is not None and not state[link.srg]:
+                    continue
+                neighbor = link.other(current)
+                if neighbor in seen or not state[neighbor]:
+                    continue
+                seen.add(neighbor)
+                stack.append(neighbor)
+        return False
+
+    names = (*nodes, *(link.name for link in links), *srgs)
+    return StructureFunction(names, reaches_site)
+
+
+def control_path_cut_sets(
+    graph: NetworkGraph,
+    switch: str,
+    sites: Iterable[str] | None = None,
+    max_order: int | None = None,
+) -> list[RankedCutSet]:
+    """Ranked minimal cut sets of one switch's control path.
+
+    Cut sets mix element types freely — ``{"S1"}`` (the switch itself),
+    ``{"L1", "L2"}`` (a link pair), ``{"SRG-A"}`` (one conduit severing
+    every path) — ranked most-probable first using the graph's per-element
+    unavailabilities.
+    """
+    structure = control_path_structure(graph, switch, sites)
+    cuts = minimal_cut_sets(structure, max_order=max_order)
+    return rank_cut_sets(cuts, graph.unavailability_map())
+
+
+def path_set_lower_bound(
+    structure: StructureFunction, availability: Mapping[str, float]
+) -> float:
+    """Lower bound on unavailability from *complete* minimal path sets.
+
+    ``A <= sum over minimal path sets of P(all members up)`` (union bound on
+    the up event), so ``U >= 1 - sum``.  Requires the full path-set list —
+    a truncated list would shrink the sum and overstate the bound.
+    """
+    paths = minimal_path_sets(structure)
+    total = 0.0
+    for path in paths:
+        term = 1.0
+        for name in path:
+            term *= availability[name]
+        total += term
+    return max(0.0, 1.0 - total)
+
+
+@lru_cache(maxsize=8192)
+def _exact_unavailability_cached(
+    graph: NetworkGraph, switch: str, sites: tuple[str, ...]
+) -> float:
+    structure = control_path_structure(graph, switch, sites)
+    return factored_unavailability(structure, graph.availability_map())
+
+
+def exact_control_path_unavailability(
+    graph: NetworkGraph, switch: str, sites: Iterable[str] | None = None
+) -> float:
+    """Exact unavailability of one switch's control path (memoized).
+
+    Uses Shannon factoring with coherence pruning
+    (:func:`repro.core.structure.factored_unavailability`), cached on the
+    frozen ``(graph, switch, sites)`` key — placement searches revisit the
+    same switch under many site subsets and hit this memo constantly.
+    """
+    resolved = _check_sites(graph, switch, sites)
+    return _exact_unavailability_cached(graph, switch, resolved)
+
+
+@dataclass(frozen=True)
+class ControlPathAnalysis:
+    """One switch's control-path availability picture.
+
+    Attributes:
+        switch: the switch analyzed.
+        sites: controller sites considered.
+        components: element names of the (pruned) structure function.
+        cut_sets: ranked minimal cut sets (complete iff ``max_order`` was
+            ``None``).
+        max_order: the cut-order bound used (``None`` = complete).
+        union_bound: sum of cut-set probabilities — an upper bound when
+            enumeration was complete, the rare-event estimate otherwise.
+        path_lower_bound: ``1 - sum(path availabilities)`` when enumeration
+            was complete, else ``None``.
+        unavailability: exact control-path unavailability.
+    """
+
+    switch: str
+    sites: tuple[str, ...]
+    components: tuple[str, ...]
+    cut_sets: tuple[RankedCutSet, ...]
+    max_order: int | None
+    union_bound: float
+    path_lower_bound: float | None
+    unavailability: float
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.unavailability
+
+    @property
+    def min_cut_order(self) -> int:
+        """Order of the smallest cut set (resilience depth of the path)."""
+        return min((cut.order for cut in self.cut_sets), default=0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "switch": self.switch,
+            "sites": list(self.sites),
+            "components": list(self.components),
+            "cut_sets": [
+                {
+                    "components": sorted(cut.components),
+                    "probability": cut.probability,
+                }
+                for cut in self.cut_sets
+            ],
+            "max_order": self.max_order,
+            "union_bound": self.union_bound,
+            "path_lower_bound": self.path_lower_bound,
+            "unavailability": self.unavailability,
+            "availability": self.availability,
+        }
+
+
+def analyze_switch(
+    graph: NetworkGraph,
+    switch: str,
+    sites: Iterable[str] | None = None,
+    max_order: int | None = None,
+) -> ControlPathAnalysis:
+    """Full control-path analysis of one switch.
+
+    ``sites`` defaults to every controller site in the graph.  With
+    ``max_order=None`` the cut/path enumeration is complete and the bracket
+    ``union_bound >= exact >= path_lower_bound`` is guaranteed; a bounded
+    order trades the path lower bound (recorded as ``None``) and the upper
+    bound guarantee for enumeration time on larger graphs.
+    """
+    resolved = _check_sites(graph, switch, sites)
+    structure = control_path_structure(graph, switch, resolved)
+    cuts = minimal_cut_sets(structure, max_order=max_order)
+    ranked = rank_cut_sets(cuts, graph.unavailability_map())
+    lower = (
+        path_set_lower_bound(structure, graph.availability_map())
+        if max_order is None
+        else None
+    )
+    exact = _exact_unavailability_cached(graph, switch, resolved)
+    return ControlPathAnalysis(
+        switch=switch,
+        sites=resolved,
+        components=structure.names,
+        cut_sets=tuple(ranked),
+        max_order=max_order,
+        union_bound=union_bound(ranked),
+        path_lower_bound=lower,
+        unavailability=exact,
+    )
+
+
+def per_switch_availability(
+    graph: NetworkGraph,
+    sites: Iterable[str] | None = None,
+    switches: Iterable[str] | None = None,
+    cluster_topology: DeploymentTopology | None = None,
+    cluster_requirements: Sequence[RoleRequirement] | None = None,
+    cluster_availability: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Exact control-path availability for each switch.
+
+    When the cluster arguments are given, each switch's network availability
+    is multiplied by the controller cluster's own availability evaluated
+    through the memoized exact engine
+    (:func:`repro.models.engine.evaluate_topology_cached`) — the end-to-end
+    ``A_CP`` a switch actually experiences is ``A_network * A_cluster``
+    under the independence assumption both layers already make.
+    """
+    resolved_switches = tuple(switches) if switches is not None else graph.switches
+    if not resolved_switches:
+        raise NetworkError(f"graph {graph.name!r} has no switches to evaluate")
+    cluster_factor = 1.0
+    if cluster_topology is not None:
+        if cluster_requirements is None or cluster_availability is None:
+            raise NetworkError(
+                "cluster_topology requires cluster_requirements and "
+                "cluster_availability"
+            )
+        cluster_factor = evaluate_topology_cached(
+            cluster_topology, tuple(cluster_requirements), cluster_availability
+        )
+    return {
+        switch: cluster_factor
+        * (1.0 - exact_control_path_unavailability(graph, switch, sites))
+        for switch in resolved_switches
+    }
+
+
+def fleet_availability(per_switch: Mapping[str, float]) -> float:
+    """Fleet-wide A_CP: the mean over switches (each switch weighted equally)."""
+    if not per_switch:
+        raise NetworkError("per-switch availability mapping is empty")
+    return sum(per_switch.values()) / len(per_switch)

@@ -1,0 +1,229 @@
+"""Controller-placement optimization over a network graph.
+
+Choose ``k`` controller sites maximizing fleet-wide control-path
+availability (the mean exact per-switch A_CP).  Small candidate pools are
+searched exhaustively; larger pools use the classic greedy ascent with a
+*bound report*: because adding a site can only add control paths, the
+objective is monotone in the site set, so the value with **every**
+candidate active is a certified upper bound on the best achievable with
+any ``k`` — the gap between the greedy value and that bound tells the
+caller how much could possibly be left on the table (the
+submodularity-style guarantee pattern, without needing submodularity for
+validity).
+
+Every candidate evaluation emits a ``placement.candidate`` telemetry event
+through :mod:`repro.obs.telemetry`, so a live stream shows the search as
+it runs; the events carry the same fields the returned
+:class:`PlacementResult` pins down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import NetworkError
+from repro.network.graph import NetworkGraph
+from repro.network.paths import (
+    exact_control_path_unavailability,
+    fleet_availability,
+)
+from repro.obs import telemetry
+
+__all__ = ["PlacementResult", "placement_value", "optimize_placement"]
+
+#: ``method="auto"`` uses exhaustive search up to this many candidate sites.
+EXACT_CANDIDATE_LIMIT = 6
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """The outcome of one placement search.
+
+    Attributes:
+        sites: the chosen site tuple (search order preserved for greedy,
+            graph order for exact).
+        availability: fleet-wide mean A_CP of the chosen placement.
+        per_switch: per-switch A_CP under the chosen placement, in graph
+            switch order.
+        method: ``"exact"`` or ``"greedy"`` (after ``"auto"`` resolution).
+        k: number of sites requested.
+        candidates: the candidate pool searched.
+        bound: certified upper bound on the optimal fleet A_CP — the chosen
+            value itself for exact search, the all-candidates value for
+            greedy (valid by monotonicity).
+        evaluations: how many site subsets were evaluated.
+    """
+
+    sites: tuple[str, ...]
+    availability: float
+    per_switch: tuple[tuple[str, float], ...]
+    method: str
+    k: int
+    candidates: tuple[str, ...]
+    bound: float
+    evaluations: int
+
+    @property
+    def gap(self) -> float:
+        """How far below the certified bound the chosen placement sits."""
+        return self.bound - self.availability
+
+    def per_switch_map(self) -> dict[str, float]:
+        return dict(self.per_switch)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sites": list(self.sites),
+            "availability": self.availability,
+            "per_switch": {switch: value for switch, value in self.per_switch},
+            "method": self.method,
+            "k": self.k,
+            "candidates": list(self.candidates),
+            "bound": self.bound,
+            "gap": self.gap,
+            "evaluations": self.evaluations,
+        }
+
+
+def placement_value(
+    graph: NetworkGraph,
+    sites: tuple[str, ...],
+    switches: tuple[str, ...],
+) -> tuple[float, dict[str, float]]:
+    """Fleet A_CP and per-switch A_CP of one candidate site set.
+
+    Exact per-switch evaluation through the memoized factored evaluator —
+    a search revisiting the same ``(switch, site subset)`` pair never
+    recomputes it.
+    """
+    per_switch = {
+        switch: 1.0 - exact_control_path_unavailability(graph, switch, sites)
+        for switch in switches
+    }
+    return fleet_availability(per_switch), per_switch
+
+
+def optimize_placement(
+    graph: NetworkGraph,
+    k: int,
+    candidates: Iterable[str] | None = None,
+    method: str = "auto",
+) -> PlacementResult:
+    """Choose ``k`` controller sites maximizing fleet-wide A_CP.
+
+    Args:
+        graph: the network graph; its switches are the fleet.
+        k: number of sites to place.
+        candidates: candidate site names; defaults to every ``"site"`` node.
+        method: ``"exact"`` (exhaustive over all k-subsets), ``"greedy"``
+            (k rounds of best marginal gain plus a monotonicity bound), or
+            ``"auto"`` (exact up to :data:`EXACT_CANDIDATE_LIMIT`
+            candidates, greedy beyond).
+
+    Ties (equal fleet A_CP) break deterministically toward the
+    lexicographically-smallest site tuple, so equal graph hashes yield
+    bit-identical placements.
+    """
+    pool = tuple(candidates) if candidates is not None else graph.sites
+    if not pool:
+        raise NetworkError(
+            f"graph {graph.name!r} has no candidate controller sites"
+        )
+    if len(set(pool)) != len(pool):
+        raise NetworkError("candidate sites must be distinct")
+    node_names = {node.name for node in graph.nodes}
+    for site in pool:
+        if site not in node_names:
+            raise NetworkError(f"graph {graph.name!r} has no node {site!r}")
+    if not 1 <= k <= len(pool):
+        raise NetworkError(
+            f"k must be in [1, {len(pool)}] for {len(pool)} candidates, "
+            f"got {k}"
+        )
+    switches = graph.switches
+    if not switches:
+        raise NetworkError(f"graph {graph.name!r} has no switches to serve")
+    if method not in ("auto", "exact", "greedy"):
+        raise NetworkError(
+            f"method must be 'auto', 'exact', or 'greedy', got {method!r}"
+        )
+    if method == "auto":
+        method = "exact" if len(pool) <= EXACT_CANDIDATE_LIMIT else "greedy"
+
+    telemetry.emit(
+        "placement.start",
+        graph=graph.name,
+        graph_hash=graph.graph_hash(),
+        k=k,
+        method=method,
+        candidates=len(pool),
+        switches=len(switches),
+    )
+    evaluations = 0
+
+    def evaluate(subset: tuple[str, ...]) -> tuple[float, dict[str, float]]:
+        nonlocal evaluations
+        value, per_switch = placement_value(graph, subset, switches)
+        evaluations += 1
+        telemetry.emit(
+            "placement.candidate",
+            sites=list(subset),
+            availability=value,
+        )
+        return value, per_switch
+
+    if method == "exact":
+        best: tuple[str, ...] | None = None
+        best_value = -1.0
+        best_per_switch: dict[str, float] = {}
+        for combo in itertools.combinations(sorted(pool), k):
+            value, per_switch = evaluate(combo)
+            if value > best_value or (value == best_value and combo < best):
+                best, best_value, best_per_switch = combo, value, per_switch
+        assert best is not None
+        bound = best_value
+        chosen, chosen_value, chosen_per_switch = best, best_value, best_per_switch
+    else:
+        bound, _ = evaluate(tuple(sorted(pool)))
+        chosen_list: list[str] = []
+        chosen_value = 0.0
+        chosen_per_switch = {}
+        for _ in range(k):
+            round_best: str | None = None
+            round_value = -1.0
+            round_per_switch: dict[str, float] = {}
+            for site in sorted(set(pool) - set(chosen_list)):
+                subset = tuple(sorted((*chosen_list, site)))
+                value, per_switch = evaluate(subset)
+                if value > round_value:
+                    round_best, round_value, round_per_switch = (
+                        site, value, per_switch,
+                    )
+            assert round_best is not None
+            chosen_list.append(round_best)
+            chosen_value, chosen_per_switch = round_value, round_per_switch
+        chosen = tuple(chosen_list)
+
+    result = PlacementResult(
+        sites=chosen,
+        availability=chosen_value,
+        per_switch=tuple(
+            (switch, chosen_per_switch[switch]) for switch in switches
+        ),
+        method=method,
+        k=k,
+        candidates=pool,
+        bound=bound,
+        evaluations=evaluations,
+    )
+    telemetry.emit(
+        "placement.end",
+        sites=list(result.sites),
+        availability=result.availability,
+        bound=result.bound,
+        gap=result.gap,
+        evaluations=result.evaluations,
+    )
+    return result

@@ -8,6 +8,13 @@ from repro.reporting.manifest import (
     write_manifest_json,
     write_spans_csv,
 )
+from repro.reporting.network import (
+    evaluate_payload,
+    evaluate_rows,
+    placement_payload,
+    placement_rows,
+    write_network_json,
+)
 
 __all__ = [
     "format_table",
@@ -17,4 +24,9 @@ __all__ = [
     "write_manifest_json",
     "write_manifest_csv",
     "write_spans_csv",
+    "evaluate_rows",
+    "evaluate_payload",
+    "placement_rows",
+    "placement_payload",
+    "write_network_json",
 ]

@@ -1,0 +1,90 @@
+"""JSON/CSV serialization of network evaluate/place results.
+
+Table/CSV row builders plus lossless JSON payloads for per-switch
+control-path analyses (:class:`~repro.network.paths.ControlPathAnalysis`)
+and placement searches (:class:`~repro.network.placement.PlacementResult`),
+consumed by the ``repro-avail network`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "evaluate_rows",
+    "evaluate_payload",
+    "placement_rows",
+    "placement_payload",
+    "write_network_json",
+]
+
+
+def _fmt_optional(value: float | None) -> str:
+    return f"{value:.3e}" if value is not None else "-"
+
+
+def evaluate_rows(analyses: Sequence) -> tuple[tuple[str, ...], list[tuple]]:
+    """(headers, rows) for per-switch control-path analyses."""
+    headers = (
+        "Switch",
+        "A_CP",
+        "Unavail (exact)",
+        "Union bound",
+        "Path LB",
+        "Cut sets",
+        "Min order",
+    )
+    rows = []
+    for analysis in analyses:
+        rows.append(
+            (
+                analysis.switch,
+                f"{analysis.availability:.6f}",
+                f"{analysis.unavailability:.3e}",
+                f"{analysis.union_bound:.3e}",
+                _fmt_optional(analysis.path_lower_bound),
+                str(len(analysis.cut_sets)),
+                str(analysis.min_cut_order),
+            )
+        )
+    return headers, rows
+
+
+def evaluate_payload(graph, analyses: Sequence) -> dict[str, Any]:
+    """A JSON-serializable record of a whole-graph evaluation."""
+    return {
+        "graph": graph.to_dict(),
+        "graph_hash": graph.graph_hash(),
+        "switches": [analysis.to_dict() for analysis in analyses],
+    }
+
+
+def placement_rows(result) -> tuple[tuple[str, ...], list[tuple]]:
+    """(headers, rows) for one placement search: per-switch A_CP."""
+    headers = ("Switch", "A_CP", "Unavailability")
+    rows = [
+        (switch, f"{value:.6f}", f"{1.0 - value:.3e}")
+        for switch, value in result.per_switch
+    ]
+    return headers, rows
+
+
+def placement_payload(graph, result) -> dict[str, Any]:
+    """A JSON-serializable record of one placement search."""
+    return {
+        "graph": graph.to_dict(),
+        "graph_hash": graph.graph_hash(),
+        "placement": result.to_dict(),
+    }
+
+
+def write_network_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a network payload as JSON (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return target

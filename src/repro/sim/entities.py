@@ -26,6 +26,12 @@ class ComponentKind(enum.Enum):
     VM = "vm"
     SUPERVISOR = "supervisor"
     PROCESS = "process"
+    # Control-network elements (see :mod:`repro.network`).
+    SWITCH = "switch"
+    ROUTER = "router"
+    SITE = "site"
+    LINK = "link"
+    SRG = "srg"
 
 
 @dataclass(slots=True)

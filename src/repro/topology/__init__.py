@@ -8,7 +8,10 @@ package provides:
 * :mod:`repro.topology.deployment` — the :class:`DeploymentTopology`
   placement model with validation and shared/private element analysis,
 * :mod:`repro.topology.reference` — builders for the Small/Medium/Large
-  reference topologies (and their 2N+1 generalizations).
+  reference topologies (and their 2N+1 generalizations),
+* :mod:`repro.topology.network_reference` — reference control-network
+  graphs (line, ring, fat-tree pod, backbone mesh) for
+  :mod:`repro.network`.
 """
 
 from repro.topology.elements import Host, Rack, RoleInstance, Vm
@@ -19,6 +22,27 @@ from repro.topology.reference import (
     small_topology,
 )
 
+_NETWORK_REFERENCE_NAMES = (
+    "line_network",
+    "ring_network",
+    "fat_tree_pod",
+    "backbone_network",
+    "NETWORK_REFERENCE_BUILDERS",
+    "reference_network",
+)
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.topology.network_reference depends on
+    # repro.network (for the graph types), which in turn reaches models and
+    # faults — importing it eagerly here would close an import cycle
+    # through models.engine.  PEP 562 defers the import to first use.
+    if name in _NETWORK_REFERENCE_NAMES:
+        from repro.topology import network_reference
+
+        return getattr(network_reference, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "Rack",
     "Host",
@@ -28,4 +52,5 @@ __all__ = [
     "small_topology",
     "medium_topology",
     "large_topology",
+    *_NETWORK_REFERENCE_NAMES,
 ]

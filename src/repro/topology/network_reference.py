@@ -1,0 +1,195 @@
+"""Reference control-network graphs.
+
+Four canonical graphs for the :mod:`repro.network` analyses, spanning the
+shapes the literature reasons about: a no-redundancy *line*, a
+single-redundant *ring*, a *fat-tree pod* whose controller uplinks share a
+conduit (a shared-risk group), and a Nencioni-style *backbone* mesh with
+two controller sites and SRG-correlated long-haul links.  Default element
+availabilities follow the :mod:`repro.params.defaults` convention
+(steady-state probabilities), at values typical for carrier-grade gear:
+switches 0.9999, routers/sites 0.99995, links 0.9995, conduits 0.9999.
+
+Builders are registered in :data:`NETWORK_REFERENCE_BUILDERS` and looked
+up by :func:`reference_network` — the CLI's ``--graph`` names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.network.graph import (
+    NetworkGraph,
+    NetworkLink,
+    NetworkNode,
+    SharedRiskGroup,
+)
+
+__all__ = [
+    "line_network",
+    "ring_network",
+    "fat_tree_pod",
+    "backbone_network",
+    "NETWORK_REFERENCE_BUILDERS",
+    "reference_network",
+]
+
+SWITCH_AVAILABILITY = 0.9999
+ROUTER_AVAILABILITY = 0.99995
+SITE_AVAILABILITY = 0.99995
+LINK_AVAILABILITY = 0.9995
+SRG_AVAILABILITY = 0.9999
+
+
+def _switch(name: str, availability: float = SWITCH_AVAILABILITY) -> NetworkNode:
+    return NetworkNode(name, kind="switch", availability=availability)
+
+
+def _router(name: str, availability: float = ROUTER_AVAILABILITY) -> NetworkNode:
+    return NetworkNode(name, kind="router", availability=availability)
+
+
+def _site(name: str, availability: float = SITE_AVAILABILITY) -> NetworkNode:
+    return NetworkNode(name, kind="site", availability=availability)
+
+
+def _link(
+    name: str,
+    a: str,
+    b: str,
+    availability: float = LINK_AVAILABILITY,
+    srg: str | None = None,
+) -> NetworkLink:
+    return NetworkLink(name, a, b, availability=availability, srg=srg)
+
+
+def line_network(switches: int = 4) -> NetworkGraph:
+    """A daisy chain: CTRL - S1 - S2 - ... - Sn.
+
+    No redundancy anywhere — every element on the chain is an order-1 cut
+    for the switches behind it, so per-switch availability degrades with
+    distance from the controller.  The smallest useful worst case.
+    """
+    if switches < 1:
+        raise TopologyError(f"line needs >= 1 switch, got {switches}")
+    nodes = [_site("CTRL")]
+    links = []
+    previous = "CTRL"
+    for i in range(1, switches + 1):
+        name = f"S{i}"
+        nodes.append(_switch(name))
+        links.append(_link(f"L{i}", previous, name))
+        previous = name
+    return NetworkGraph(
+        name=f"line-{switches}", nodes=tuple(nodes), links=tuple(links)
+    )
+
+
+def ring_network(switches: int = 6) -> NetworkGraph:
+    """A switch ring with the controller site dual-homed into it.
+
+    ``S1..Sn`` form a ring; CTRL attaches to S1 and S2.  Every switch has
+    two disjoint paths to the site, so all minimal cut sets have order >= 1
+    only through CTRL itself or double failures — the canonical
+    single-redundant metro topology.
+    """
+    if switches < 3:
+        raise TopologyError(f"ring needs >= 3 switches, got {switches}")
+    nodes = [_site("CTRL")] + [_switch(f"S{i}") for i in range(1, switches + 1)]
+    links = [
+        _link(f"L{i}", f"S{i}", f"S{i % switches + 1}")
+        for i in range(1, switches + 1)
+    ]
+    links.append(_link("LC1", "CTRL", "S1"))
+    links.append(_link("LC2", "CTRL", "S2"))
+    return NetworkGraph(
+        name=f"ring-{switches}", nodes=tuple(nodes), links=tuple(links)
+    )
+
+
+def fat_tree_pod() -> NetworkGraph:
+    """One fat-tree pod: edge switches, aggregation routers, one site.
+
+    Edge switches E1/E2 dual-home into aggregation routers A1/A2; the
+    controller site uplinks to both aggregations, but both uplinks run
+    through one conduit (``SRG-UPLINK``) — the classic hidden correlated
+    failure: the pod looks dual-homed yet one backhoe cut severs control.
+    """
+    nodes = (
+        _site("CTRL"),
+        _router("A1"),
+        _router("A2"),
+        _switch("E1"),
+        _switch("E2"),
+    )
+    srgs = (SharedRiskGroup("SRG-UPLINK", availability=SRG_AVAILABILITY),)
+    links = (
+        _link("LE11", "E1", "A1"),
+        _link("LE12", "E1", "A2"),
+        _link("LE21", "E2", "A1"),
+        _link("LE22", "E2", "A2"),
+        _link("LU1", "A1", "CTRL", srg="SRG-UPLINK"),
+        _link("LU2", "A2", "CTRL", srg="SRG-UPLINK"),
+    )
+    return NetworkGraph(
+        name="fat-tree-pod", nodes=nodes, links=links, srgs=srgs
+    )
+
+
+def backbone_network() -> NetworkGraph:
+    """A Nencioni-style national backbone with two controller sites.
+
+    Five backbone routers in a ring with one chord, three access switches
+    hanging off distinct routers, and controller sites at R1 and R4 (the
+    dual-controller deployment of the Nencioni availability study).  The
+    two long-haul links ``LB2``/``LB5`` share a conduit (``SRG-HAUL``),
+    modeling the real-world duct sharing that motivated their
+    correlated-failure extension.
+    """
+    nodes = (
+        _site("CTRL1"),
+        _site("CTRL2"),
+        _router("R1"),
+        _router("R2"),
+        _router("R3"),
+        _router("R4"),
+        _router("R5"),
+        _switch("SW1"),
+        _switch("SW2"),
+        _switch("SW3"),
+    )
+    srgs = (SharedRiskGroup("SRG-HAUL", availability=SRG_AVAILABILITY),)
+    links = (
+        _link("LB1", "R1", "R2"),
+        _link("LB2", "R2", "R3", srg="SRG-HAUL"),
+        _link("LB3", "R3", "R4"),
+        _link("LB4", "R4", "R5"),
+        _link("LB5", "R5", "R1", srg="SRG-HAUL"),
+        _link("LB6", "R2", "R4"),
+        _link("LA1", "SW1", "R2"),
+        _link("LA2", "SW2", "R3"),
+        _link("LA3", "SW3", "R5"),
+        _link("LC1", "CTRL1", "R1"),
+        _link("LC2", "CTRL2", "R4"),
+    )
+    return NetworkGraph(
+        name="backbone-mesh", nodes=nodes, links=links, srgs=srgs
+    )
+
+
+NETWORK_REFERENCE_BUILDERS = {
+    "line": line_network,
+    "ring": ring_network,
+    "fat_tree": fat_tree_pod,
+    "backbone": backbone_network,
+}
+
+
+def reference_network(name: str, **kwargs) -> NetworkGraph:
+    """Build a reference network graph by registry name."""
+    try:
+        builder = NETWORK_REFERENCE_BUILDERS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown reference network {name!r}; expected one of "
+            f"{sorted(NETWORK_REFERENCE_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

@@ -130,3 +130,131 @@ class TestCliTelemetry:
             assert record["total_seconds"] == pytest.approx(
                 sum(record["components"].values())
             )
+
+
+class TestCliNetwork:
+    def test_evaluate_reference_graph(self, capsys, tmp_path):
+        json_path = tmp_path / "eval.json"
+        csv_path = tmp_path / "eval.csv"
+        assert (
+            main(
+                [
+                    "network", "evaluate", "--graph", "ring",
+                    "--json", str(json_path), "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Control-path availability" in out
+        assert "Union bound" in out
+        for switch in ("S1", "S6"):
+            assert switch in out
+
+        import json
+
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["graph"]["name"] == "ring-6"
+        from repro.network import NetworkGraph
+
+        restored = NetworkGraph.from_dict(payload["graph"])
+        assert restored.graph_hash() == payload["graph_hash"]
+        records = {r["switch"]: r for r in payload["switches"]}
+        assert set(records) == set(restored.switches)
+        for record in records.values():
+            assert record["union_bound"] >= record["unavailability"] - 1e-12
+
+        lines = csv_path.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("Switch,")
+        assert len(lines) == 1 + len(records)
+
+    def test_evaluate_bounded_order_and_graph_file(self, capsys, tmp_path):
+        from repro.topology.network_reference import backbone_network
+
+        graph_path = tmp_path / "graph.json"
+        graph_path.write_text(
+            backbone_network().to_json(), encoding="utf-8"
+        )
+        assert (
+            main(
+                [
+                    "network", "evaluate",
+                    "--graph-file", str(graph_path),
+                    "--max-order", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backbone-mesh" in out
+        assert "cut order <= 2" in out
+        assert "-" in out  # bounded order: no path lower bound
+
+    def test_place_reports_bound_and_gap(self, capsys, tmp_path):
+        json_path = tmp_path / "place.json"
+        assert (
+            main(
+                [
+                    "network", "place", "--graph", "backbone",
+                    "--k", "2", "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet A_CP:" in out
+        assert "bound:" in out
+        assert "evaluations:" in out
+
+        import json
+
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        placement = payload["placement"]
+        assert placement["sites"] == ["CTRL1", "CTRL2"]
+        assert placement["method"] == "exact"
+        assert placement["bound"] >= placement["availability"]
+
+    def test_unknown_reference_graph_errors(self, capsys):
+        assert main(["network", "evaluate", "--graph", "moebius"]) == 2
+        assert "unknown reference graph" in capsys.readouterr().err
+
+    def test_trace_writes_network_manifest(self, capsys, tmp_path):
+        from repro.obs.manifest import RunManifest
+
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "network", "place", "--graph", "ring",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        assert "wrote trace manifest" in capsys.readouterr().out
+        manifest = RunManifest.load(trace)
+        assert manifest.command == "network"
+        assert manifest.topology == "ring-6"
+
+    def test_telemetry_stream_and_tail(self, capsys, tmp_path):
+        stream = tmp_path / "net.jsonl"
+        assert (
+            main(
+                [
+                    "network", "place", "--graph", "fat_tree",
+                    "--telemetry", str(stream),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote telemetry stream {stream}" in out
+        assert stream.exists()
+
+        assert main(["obs", "tail", str(stream)]) == 0
+        tail = capsys.readouterr().out
+        assert "run.start" in tail
+        assert "placement.start" in tail
+        assert "placement.candidate" in tail
+        assert "placement.end" in tail
+        assert "run.end" in tail

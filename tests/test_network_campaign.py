@@ -1,0 +1,231 @@
+"""Network campaigns versus the analytic evaluators, plus hazard behavior.
+
+The load-bearing invariant mirrors :mod:`tests.test_faults_crossval`: a
+*hazard-free* network campaign simulates exactly the independent on/off
+model the factored evaluator integrates, so each switch's measured
+availability must reproduce :func:`repro.network.campaign.analytic_per_switch`
+within Monte-Carlo error (``widen=1.5`` on the across-replication CI, same
+small-sample allowance as the controller suite).  On top of that, the two
+network hazard kinds must move availability the right way — link flaps and
+SRG failures strictly lower it — and their specs must round-trip through
+JSON and compose with the existing controller :class:`CampaignSpec`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CampaignError, NetworkError
+from repro.faults import (
+    CampaignSpec,
+    LinkFlapSpec,
+    SrgFailureSpec,
+    hazard_from_dict,
+    run_campaign,
+)
+from repro.faults.hazards import hazard_to_dict
+from repro.network import (
+    NetworkCampaignSpec,
+    NetworkGraph,
+    NetworkLink,
+    NetworkNode,
+    SharedRiskGroup,
+    analytic_per_switch,
+    build_network_simulator,
+    run_network_campaign,
+)
+from repro.topology.network_reference import fat_tree_pod, ring_network
+
+
+def stressed_graph() -> NetworkGraph:
+    """Small mesh with poor availabilities: plenty of events per hour."""
+    return NetworkGraph(
+        name="stressed",
+        nodes=(
+            NetworkNode("CTRL", kind="site", availability=0.995),
+            NetworkNode("R1", kind="router", availability=0.99),
+            NetworkNode("S1", availability=0.99),
+            NetworkNode("S2", availability=0.985),
+        ),
+        links=(
+            NetworkLink("LC", "CTRL", "R1", availability=0.98),
+            NetworkLink("L1", "R1", "S1", availability=0.975, srg="G1"),
+            NetworkLink("L2", "R1", "S2", availability=0.975, srg="G1"),
+            NetworkLink("L3", "S1", "S2", availability=0.97),
+        ),
+        srgs=(SharedRiskGroup("G1", availability=0.995),),
+    )
+
+
+class TestDegenerateInvariant:
+    """No hazards == the independent analytic model, within CI."""
+
+    @pytest.mark.slow
+    def test_stressed_mesh_matches_analytic(self):
+        spec = NetworkCampaignSpec(
+            graph=stressed_graph(),
+            horizon_hours=4_000.0,
+            replications=5,
+            seed=17,
+            node_mtbf_hours=300.0,
+            link_mtbf_hours=200.0,
+            srg_mtbf_hours=600.0,
+        )
+        campaign = run_network_campaign(spec)
+        assert campaign.total_injections() == 0
+        analytic = analytic_per_switch(spec)
+        for switch, predicted in analytic.items():
+            interval = campaign.interval(switch)
+            widened = interval.half_width * 1.5
+            assert abs(interval.mean - predicted) <= widened, (
+                switch, interval.mean, predicted, widened,
+            )
+
+    @pytest.mark.slow
+    def test_reference_ring_matches_analytic(self):
+        spec = NetworkCampaignSpec(
+            graph=ring_network(),
+            horizon_hours=3_000.0,
+            replications=4,
+            seed=29,
+            node_mtbf_hours=200.0,
+            link_mtbf_hours=150.0,
+        )
+        campaign = run_network_campaign(spec)
+        analytic = analytic_per_switch(spec)
+        for switch, predicted in analytic.items():
+            interval = campaign.interval(switch)
+            # Reference availabilities are high, so events are rare;
+            # accept the analytic value inside the widened interval.
+            assert abs(interval.mean - predicted) <= max(
+                interval.half_width * 1.5, 5e-4
+            )
+
+
+class TestHazardEffects:
+    HORIZON = 3_000.0
+
+    def _spec(self, hazards=()):
+        return NetworkCampaignSpec(
+            graph=fat_tree_pod(),
+            horizon_hours=self.HORIZON,
+            replications=3,
+            seed=41,
+            hazards=tuple(hazards),
+        )
+
+    @pytest.mark.slow
+    def test_link_flaps_strictly_lower_availability(self):
+        baseline = run_network_campaign(self._spec())
+        flapped = run_network_campaign(
+            self._spec([LinkFlapSpec("kind:link", mtbf_hours=200.0,
+                                     down_hours=1.0)])
+        )
+        assert flapped.total_injections("link_flap") > 0
+        for switch in fat_tree_pod().switches:
+            assert flapped.availability(switch) < (
+                baseline.availability(switch)
+            )
+
+    @pytest.mark.slow
+    def test_srg_failure_takes_down_grouped_links_together(self):
+        hit = run_network_campaign(
+            self._spec([SrgFailureSpec("SRG-UPLINK/*", mtbf_hours=500.0)])
+        )
+        baseline = run_network_campaign(self._spec())
+        assert hit.total_injections("srg_failure") > 0
+        # Both uplinks share the SRG, so every switch loses its control
+        # path during each SRG outage: fleet availability must drop.
+        assert hit.fleet_availability() < baseline.fleet_availability()
+        assert hit.all_switches_availability() < (
+            baseline.all_switches_availability()
+        )
+
+    @pytest.mark.slow
+    def test_hazard_campaign_is_deterministic(self):
+        spec = self._spec([
+            LinkFlapSpec("kind:link", mtbf_hours=250.0, down_hours=0.5),
+            SrgFailureSpec("SRG-UPLINK", mtbf_hours=700.0),
+        ])
+        first = run_network_campaign(spec)
+        second = run_network_campaign(
+            NetworkCampaignSpec.from_json(spec.to_json())
+        )
+        assert first.results == second.results
+        assert first.stats == second.stats
+
+
+class TestHazardSpecs:
+    def test_round_trip_through_dict_and_json(self):
+        for spec in (
+            LinkFlapSpec("kind:link", mtbf_hours=300.0, down_hours=0.25),
+            SrgFailureSpec("G1", mtbf_hours=1_000.0),
+        ):
+            record = hazard_to_dict(spec)
+            assert hazard_from_dict(record) == spec
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            LinkFlapSpec("", mtbf_hours=100.0)
+        with pytest.raises(CampaignError):
+            LinkFlapSpec("kind:link", mtbf_hours=0.0)
+        with pytest.raises(CampaignError):
+            LinkFlapSpec("kind:link", mtbf_hours=100.0, down_hours=0.0)
+        with pytest.raises(CampaignError):
+            SrgFailureSpec("G1", mtbf_hours=-1.0)
+
+    def test_duty_fraction(self):
+        spec = LinkFlapSpec("kind:link", mtbf_hours=99.9, down_hours=0.1)
+        assert spec.duty_fraction == pytest.approx(0.001)
+
+    @pytest.mark.slow
+    def test_link_flap_composes_with_controller_campaign(self):
+        """The new hazards are general: usable against any component group."""
+        spec = CampaignSpec(
+            option="1S",
+            horizon_hours=800.0,
+            replications=2,
+            seed=5,
+            hazards=(LinkFlapSpec("kind:vm", mtbf_hours=100.0,
+                                  down_hours=1.0),),
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        result = run_campaign(spec)
+        assert result.total_injections("link_flap") > 0
+
+
+class TestSpecValidation:
+    def test_bad_parameters_rejected(self):
+        graph = stressed_graph()
+        with pytest.raises(NetworkError, match="horizon_hours"):
+            NetworkCampaignSpec(graph=graph, horizon_hours=0.0)
+        with pytest.raises(NetworkError, match="replications"):
+            NetworkCampaignSpec(graph=graph, replications=0)
+        with pytest.raises(NetworkError, match="link_mtbf_hours"):
+            NetworkCampaignSpec(graph=graph, link_mtbf_hours=-5.0)
+        with pytest.raises(NetworkError, match="is not a node"):
+            NetworkCampaignSpec(graph=graph, sites=("ghost",))
+
+    def test_graph_without_sites_rejected(self):
+        graph = NetworkGraph(
+            name="no-sites",
+            nodes=(NetworkNode("S1"), NetworkNode("S2")),
+            links=(NetworkLink("L0", "S1", "S2"),),
+        )
+        with pytest.raises(NetworkError, match="no controller sites"):
+            NetworkCampaignSpec(graph=graph)
+
+    def test_unknown_field_rejected(self):
+        record = NetworkCampaignSpec(graph=stressed_graph()).to_dict()
+        record["warp_factor"] = 9
+        with pytest.raises(NetworkError, match="unknown network-campaign"):
+            NetworkCampaignSpec.from_dict(record)
+
+    def test_simulator_exposes_per_switch_signals(self):
+        spec = NetworkCampaignSpec(graph=stressed_graph())
+        simulator = build_network_simulator(spec, seed=1)
+        simulator.run(100.0)
+        for switch in spec.graph.switches:
+            value = simulator.availability(f"cp:{switch}")
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= simulator.availability("cp:all") <= 1.0

@@ -37,6 +37,12 @@ class TestPublicApi:
             "repro.analysis",
             "repro.reporting",
             "repro.faults",
+            "repro.network",
+            "repro.network.graph",
+            "repro.network.paths",
+            "repro.network.placement",
+            "repro.network.campaign",
+            "repro.topology.network_reference",
             "repro.obs",
             "repro.obs.telemetry",
             "repro.obs.forensics",
@@ -57,6 +63,7 @@ class TestPublicApi:
             "repro.sim.batched",
             "repro.analysis",
             "repro.faults",
+            "repro.network",
             "repro.obs",
             "repro.obs.telemetry",
             "repro.obs.forensics",
