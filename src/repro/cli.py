@@ -19,7 +19,14 @@ Subcommands mirror the paper's artifacts:
   sequential paths (``--workers``, ``--vectorize``).
 * ``obs`` — render a stored run manifest, run a small instrumented demo
   workload and print its trace summary, or (``obs tail FILE.jsonl``)
-  pretty-print a recorded telemetry event stream.
+  pretty-print a recorded telemetry event stream; ``obs tail --follow``
+  keeps streaming new events as they are appended (surviving rotation),
+  like ``tail -F``.
+* ``serve`` — run the availability service (:mod:`repro.serve`): analytic
+  queries with single-flight caching and micro-batching, campaign jobs on
+  the sharded queue, OpenMetrics on ``/metrics``.
+* ``query`` — send one JSON request to a running service and print the
+  response.
 
 Every subcommand additionally accepts the global ``--trace FILE.json``
 flag (before or after the subcommand name): the whole invocation then runs
@@ -642,10 +649,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print("obs tail requires a telemetry file", file=sys.stderr)
             return 2
         counts: dict[str, int] = {}
-        for event in telemetry.read_events(args.file):
-            kind = event.get("kind", "?")
-            counts[kind] = counts.get(kind, 0) + 1
-            print(telemetry.render_event(event))
+        if args.follow:
+            # Live mode: arrival order, surviving file rotation, until
+            # Ctrl-C (or --idle-timeout seconds without a new event).
+            try:
+                for event in telemetry.follow_events(
+                    args.file, idle_timeout=args.idle_timeout
+                ):
+                    kind = event.get("kind", "?")
+                    counts[kind] = counts.get(kind, 0) + 1
+                    print(telemetry.render_event(event), flush=True)
+            except KeyboardInterrupt:
+                pass
+        else:
+            for event in telemetry.read_events(args.file):
+                kind = event.get("kind", "?")
+                counts[kind] = counts.get(kind, 0) + 1
+                print(telemetry.render_event(event))
         total = sum(counts.values())
         by_kind = "  ".join(
             f"{kind}={counts[kind]}" for kind in sorted(counts)
@@ -687,6 +707,78 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             obs_runtime.stop()
     print(render_manifest(manifest))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import AdmissionPolicy, ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_entries=args.cache_entries,
+        shards=args.shards,
+        workers_per_job=args.workers,
+        admission=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_tenant_inflight=args.max_tenant_inflight,
+        ),
+    )
+
+    async def run() -> int:
+        app = ServeApp(config)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # platforms without signal support
+                pass
+        await app.start()
+        # The bench harness and smoke tests parse this line for the port.
+        print(f"serving on http://{config.host}:{app.port}", flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await app.stop()
+        print(
+            f"server shutdown clean after {app.requests_served} request(s)"
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import http.client
+    import json as json_module
+
+    try:
+        body = json_module.loads(args.body)
+    except json_module.JSONDecodeError as error:
+        print(f"query body is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    headers = {"Content-Type": "application/json"}
+    if args.tenant:
+        headers["X-Tenant"] = args.tenant
+    connection = http.client.HTTPConnection(
+        args.host, args.port, timeout=args.timeout
+    )
+    try:
+        connection.request(
+            "POST", args.path, body=json_module.dumps(body), headers=headers
+        )
+        response = connection.getresponse()
+        payload = response.read().decode("utf-8")
+    finally:
+        connection.close()
+    try:
+        print(json_module.dumps(json_module.loads(payload), indent=2))
+    except json_module.JSONDecodeError:
+        print(payload)
+    return 0 if 200 <= response.status < 300 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -955,7 +1047,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--samples", type=int, default=512)
     sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "with 'tail': keep streaming new events as they are appended "
+            "(tail -F semantics, surviving file rotation) until Ctrl-C"
+        ),
+    )
+    sub.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --follow: stop after this long without a new event",
+    )
     sub.set_defaults(handler=_cmd_obs)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the availability service: cached analytic queries, "
+            "micro-batching, campaign job queue, OpenMetrics"
+        ),
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=8323,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    sub.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="LRU bound on cached query results",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=2, help="campaign job queue shards"
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per campaign job",
+    )
+    sub.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=32,
+        help="shed job submissions beyond this many in flight (429)",
+    )
+    sub.add_argument(
+        "--max-tenant-inflight",
+        type=int,
+        default=8,
+        help="shed a tenant's submissions beyond this many in flight (429)",
+    )
+    sub.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE.jsonl",
+        help="stream serve.* lifecycle and metrics events to this JSONL file",
+    )
+    sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "query",
+        help="send one JSON request to a running availability service",
+    )
+    sub.add_argument(
+        "body",
+        help='JSON request body, e.g. \'{"kind": "option", "option": "2S"}\'',
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8323)
+    sub.add_argument(
+        "--path",
+        default="/v1/query",
+        help="endpoint path (default /v1/query; use /v1/jobs to submit)",
+    )
+    sub.add_argument("--tenant", default=None, help="X-Tenant header value")
+    sub.add_argument("--timeout", type=float, default=30.0)
+    sub.set_defaults(handler=_cmd_query)
 
     # The --trace flag is also accepted after the subcommand name
     # (``repro-avail perf --trace out.json``).  SUPPRESS keeps an omitted

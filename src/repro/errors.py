@@ -70,6 +70,20 @@ class NetworkError(ReproError, ValueError):
     """
 
 
+class ServeError(ReproError, RuntimeError):
+    """The availability service rejected or could not complete a request.
+
+    Carries the HTTP ``status`` the serving layer should answer with —
+    4xx for protocol violations and admission shedding, 5xx for internal
+    faults — so transport code can map library failures to responses
+    without string matching.
+    """
+
+    def __init__(self, message: str, status: int = 500):
+        super().__init__(message)
+        self.status = int(status)
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A numerical routine (CTMC solve, fixed point) failed to converge."""
 

@@ -103,6 +103,32 @@ class TimingHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the fixed bucket counts.
+
+        Linear interpolation inside the bucket containing the target rank
+        (the standard Prometheus ``histogram_quantile`` estimate), clamped
+        to the exactly-tracked ``[min, max]`` observed range so degenerate
+        single-bucket histograms never extrapolate.  An empty histogram
+        estimates ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for bound, bucket in zip(HISTOGRAM_BUCKET_BOUNDS, self.bins):
+            if bucket:
+                if cumulative + bucket >= rank:
+                    fraction = (rank - cumulative) / bucket
+                    value = lower + fraction * (bound - lower)
+                    return min(max(value, self.minimum), self.maximum)
+                cumulative += bucket
+            lower = bound
+        return self.maximum
+
     def summary(self) -> dict[str, Any]:
         if not self.count:
             return {"count": 0}

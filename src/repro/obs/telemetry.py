@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import HISTOGRAM_BUCKET_BOUNDS
@@ -50,6 +51,7 @@ __all__ = [
     "ProgressTracker",
     "render_openmetrics",
     "read_events",
+    "follow_events",
     "render_event",
     "start",
     "stop",
@@ -129,6 +131,12 @@ class JsonlSink:
     ``last_run`` exposes the ``run`` id of the last event already in the
     file (``None`` for a fresh file); :class:`TelemetryBus` uses it to
     pick the next run id when appending to an existing stream.
+
+    Writes are flushed every ``flush_every`` events (default every event)
+    so live followers — ``repro-avail obs tail --follow`` — see events as
+    they happen rather than when the stream closes; the event rate is
+    bounded by heartbeat/snapshot rate limiting, so per-line flushing is
+    not a hot path.  Raise ``flush_every`` for write-heavy custom streams.
     """
 
     def __init__(
@@ -136,11 +144,17 @@ class JsonlSink:
         path: str | Path,
         max_bytes: int | None = None,
         max_backups: int = 3,
+        flush_every: int = 1,
     ):
         if max_bytes is not None and max_bytes <= 0:
             raise ObservabilityError(
                 f"JsonlSink max_bytes must be positive (got {max_bytes})"
             )
+        if flush_every < 1:
+            raise ObservabilityError(
+                f"JsonlSink flush_every must be >= 1 (got {flush_every})"
+            )
+        self.flush_every = int(flush_every)
         self.path = Path(path)
         self.max_bytes = max_bytes
         self.max_backups = max(1, int(max_backups))
@@ -181,6 +195,8 @@ class JsonlSink:
         self._handle.write(line + "\n")
         self._bytes += size
         self.events_written += 1
+        if self.events_written % self.flush_every == 0:
+            self._handle.flush()
         if oversized:
             # The event alone busts the budget: it was written above (never
             # dropped) and one rotation retires it to a backup so the live
@@ -325,19 +341,25 @@ class TelemetryBus:
             run = max(previous) + 1 if previous else 0
         self.run = int(run)
         self._seq = 0
+        # Campaign jobs executed on a server's worker threads emit through
+        # the same bus as the serving loop; the lock keeps ``seq`` unique
+        # and sink writes whole.  Uncontended cost is negligible next to
+        # the JSON encode each emit already pays.
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
-        event = {
-            "schema": TELEMETRY_SCHEMA_VERSION,
-            "seq": self._seq,
-            "run": self.run,
-            "t": time.time(),
-            "kind": kind,
-        }
-        event.update(fields)
-        self._seq += 1
-        for sink in self.sinks:
-            sink.emit(event)
+        with self._lock:
+            event = {
+                "schema": TELEMETRY_SCHEMA_VERSION,
+                "seq": self._seq,
+                "run": self.run,
+                "t": time.time(),
+                "kind": kind,
+            }
+            event.update(fields)
+            self._seq += 1
+            for sink in self.sinks:
+                sink.emit(event)
         return event
 
     def close(self) -> None:
@@ -429,6 +451,96 @@ def read_events(
             events.append(event)
     events.sort(key=_event_order)
     return iter(events)
+
+
+def follow_events(
+    path: str | Path,
+    kinds: Iterable[str] | None = None,
+    poll_seconds: float = 0.2,
+    idle_timeout: float | None = None,
+    _sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[dict[str, Any]]:
+    """Yield events from a *live* telemetry JSONL file as they are written.
+
+    The ``tail -F`` counterpart of :func:`read_events`: existing events are
+    yielded first (in file order — a live stream cannot be re-sorted, but
+    each event's ``(run, seq)`` stamp still totally orders the combined
+    stream for consumers, the same contract appended start/stop cycles
+    rely on), then the follower polls every ``poll_seconds`` for appended
+    lines.  :class:`JsonlSink` shift-rotation is survived: when the path's
+    inode changes (or the file shrinks), the old handle is drained to its
+    end first — nothing written just before the rename is lost — and the
+    follower reopens at the start of the fresh file, whose bus continues
+    the rotated stream's run-id sequence.
+
+    ``idle_timeout`` bounds how long to wait with no new data before
+    returning (``None`` follows forever, until the consumer stops
+    iterating); a file that does not exist yet is waited for under the
+    same timeout.  Partial trailing lines (a writer mid-append) are
+    buffered, never dropped or mis-parsed.
+    """
+    if poll_seconds <= 0:
+        raise ObservabilityError(
+            f"poll_seconds must be > 0, got {poll_seconds}"
+        )
+    wanted = set(kinds) if kinds is not None else None
+    target = Path(path)
+    handle = None
+    buffer = b""
+    idle = 0.0
+    try:
+        while True:
+            if handle is None:
+                try:
+                    handle = open(target, "rb")
+                except OSError:
+                    handle = None
+            rotated = False
+            if handle is not None:
+                chunk = handle.read()
+                if chunk:
+                    buffer += chunk
+                try:
+                    stat = os.stat(target)
+                    current = os.fstat(handle.fileno())
+                    rotated = (
+                        stat.st_ino != current.st_ino
+                        or stat.st_size < handle.tell()
+                    )
+                except OSError:
+                    rotated = True
+                if rotated:
+                    # The old file is fully drained (read() above hit its
+                    # EOF); reopen the fresh file from the top next pass.
+                    handle.close()
+                    handle = None
+            progressed = False
+            lines = buffer.split(b"\n")
+            buffer = lines.pop()
+            for raw in lines:
+                text = raw.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    event = json.loads(text)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                progressed = True
+                if wanted is not None and event.get("kind") not in wanted:
+                    continue
+                yield event
+            if progressed or rotated:
+                idle = 0.0
+                continue
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
+            _sleep(poll_seconds)
+            idle += poll_seconds
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 def render_event(event: Mapping[str, Any]) -> str:

@@ -32,12 +32,15 @@ from repro.perf.parallel import (
     ARRAY_MODELS,
     DEFAULT_CHUNK_SIZE,
     MAX_WARM_POOLS,
+    PoolHandle,
+    acquire_warm_pool,
     chunk_bounds,
     get_warm_pool,
     monte_carlo_parallel,
     shutdown_warm_pools,
     split_chunks,
     warm_pool_count,
+    warm_pool_lease_count,
 )
 from repro.perf.vectorized import (
     dp_availability_array,
@@ -60,12 +63,15 @@ __all__ = [
     "ARRAY_MODELS",
     "DEFAULT_CHUNK_SIZE",
     "MAX_WARM_POOLS",
+    "PoolHandle",
+    "acquire_warm_pool",
     "chunk_bounds",
     "get_warm_pool",
     "monte_carlo_parallel",
     "shutdown_warm_pools",
     "split_chunks",
     "warm_pool_count",
+    "warm_pool_lease_count",
     "memoize_model",
     "evaluate_topology_cached",
     "engine_cache_info",

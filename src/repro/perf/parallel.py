@@ -57,6 +57,8 @@ __all__ = [
     "ARRAY_MODELS",
     "DEFAULT_CHUNK_SIZE",
     "MAX_WARM_POOLS",
+    "PoolHandle",
+    "acquire_warm_pool",
     "monte_carlo_parallel",
     "chunk_bounds",
     "broadcast_value",
@@ -68,6 +70,7 @@ __all__ = [
     "shutdown_warm_pools",
     "split_chunks",
     "warm_pool_count",
+    "warm_pool_lease_count",
 ]
 
 #: Scalar model -> vectorized counterpart used for whole-chunk evaluation.
@@ -267,13 +270,31 @@ def _mc_chunk_star(job: tuple) -> tuple[np.ndarray, float]:
 # worker processes.  Worker processes are fresh interpreters: they start
 # with observability *disabled*, which keeps pool-dispatched replications
 # trace-free exactly like the cold-pool path before them.
+#
+# Two lifecycles share the registry:
+#
+# * **Anonymous reuse** (:func:`get_warm_pool`) — the CLI path.  Each call
+#   refreshes the pool's LRU position; pools beyond :data:`MAX_WARM_POOLS`
+#   are evicted oldest-first.  Nothing pins a pool, so a sweep over many
+#   distinct broadcast specs churns through the cap as before.
+# * **Explicit leases** (:func:`acquire_warm_pool`) — the long-running
+#   server path.  A :class:`PoolHandle` pins its pool against LRU eviction
+#   until released, so a service's job pool cannot be shut down underneath
+#   it by unrelated dispatches.  Leases never change which pool a recipe
+#   maps to, so CLI callers and lease holders with equal recipes share one
+#   pool — the "one pool lifecycle for both" contract.
 
-#: Live warm pools are capped; the least-recently-used pool beyond the cap
-#: is shut down (each pool owns OS processes — an unbounded registry would
-#: leak them under e.g. a sweep over many distinct broadcast specs).
+#: Live warm pools are capped; the least-recently-used *unleased* pool
+#: beyond the cap is shut down (each pool owns OS processes — an unbounded
+#: registry would leak them under e.g. a sweep over many distinct broadcast
+#: specs).  Leased pools are never evicted, so the live count can exceed
+#: the cap while more than ``MAX_WARM_POOLS`` leases are outstanding.
 MAX_WARM_POOLS = 4
 
 _WARM_POOLS: OrderedDict[tuple, ProcessPoolExecutor] = OrderedDict()
+
+#: Outstanding lease counts by pool key (absent key == no leases).
+_POOL_LEASES: dict[tuple, int] = {}
 
 
 def _pool_unusable(pool: ProcessPoolExecutor) -> bool:
@@ -282,6 +303,39 @@ def _pool_unusable(pool: ProcessPoolExecutor) -> bool:
         getattr(pool, "_broken", False)
         or getattr(pool, "_shutdown_thread", False)
     )
+
+
+def _obtain_pool(key: tuple) -> ProcessPoolExecutor:
+    """The live pool for ``key``, creating/replacing and trimming the LRU."""
+    workers, initializer, initargs = key
+    pool = _WARM_POOLS.get(key)
+    if pool is not None:
+        if not _pool_unusable(pool):
+            _WARM_POOLS.move_to_end(key)
+            return pool
+        del _WARM_POOLS[key]
+        pool.shutdown(wait=False, cancel_futures=True)
+    pool = ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    )
+    _WARM_POOLS[key] = pool
+    _trim_pools()
+    if obs.enabled():
+        obs.gauge("perf.warm_pools.live", len(_WARM_POOLS))
+    return pool
+
+
+def _trim_pools() -> None:
+    """Evict least-recently-used unleased pools beyond the cap."""
+    if len(_WARM_POOLS) <= MAX_WARM_POOLS:
+        return
+    for key in list(_WARM_POOLS):
+        if len(_WARM_POOLS) <= MAX_WARM_POOLS:
+            return
+        if _POOL_LEASES.get(key, 0) > 0:
+            continue
+        evicted = _WARM_POOLS.pop(key)
+        evicted.shutdown(wait=False, cancel_futures=True)
 
 
 def get_warm_pool(
@@ -298,32 +352,96 @@ def get_warm_pool(
     campaign spec): send it once per worker instead of once per job.
     Broken or shut-down pools are replaced transparently; all pools are
     shut down at interpreter exit (or explicitly via
-    :func:`shutdown_warm_pools`).
+    :func:`shutdown_warm_pools`).  For a pool that must survive unrelated
+    dispatch churn (a long-running server), hold a lease via
+    :func:`acquire_warm_pool` instead.
+    """
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return _obtain_pool((workers, initializer, initargs))
+
+
+class PoolHandle:
+    """An explicit lease on one warm pool's lifecycle.
+
+    While any handle on a recipe is unreleased, the registry never
+    LRU-evicts that recipe's pool; :func:`shutdown_warm_pools` (and the
+    interpreter-exit hook) still closes it, and :attr:`executor`
+    transparently re-creates a pool that was shut down or broke while
+    leased.  Handles are context managers::
+
+        with acquire_warm_pool(workers=4) as handle:
+            handle.executor.map(...)
+
+    Releasing is idempotent; using :attr:`executor` after release raises
+    :class:`~repro.errors.ParameterError`.
+    """
+
+    __slots__ = ("_key", "_released")
+
+    def __init__(self, key: tuple):
+        self._key = key
+        self._released = False
+
+    @property
+    def workers(self) -> int:
+        return self._key[0]
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The leased pool (replaced transparently if broken/shut down)."""
+        if self._released:
+            raise ParameterError("pool handle has been released")
+        return _obtain_pool(self._key)
+
+    def release(self) -> None:
+        """Drop this lease; the pool becomes LRU-evictable again."""
+        if self._released:
+            return
+        self._released = True
+        remaining = _POOL_LEASES.get(self._key, 0) - 1
+        if remaining > 0:
+            _POOL_LEASES[self._key] = remaining
+        else:
+            _POOL_LEASES.pop(self._key, None)
+            _trim_pools()
+
+    def __enter__(self) -> "PoolHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def acquire_warm_pool(
+    workers: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> PoolHandle:
+    """Lease the warm pool for this recipe (see :class:`PoolHandle`).
+
+    The same registry backs :func:`get_warm_pool`, so a lease shares its
+    pool with anonymous callers of the same recipe — acquiring never forks
+    a second pool, it only pins the shared one.
     """
     if workers < 1:
         raise ParameterError(f"workers must be >= 1, got {workers}")
     key = (workers, initializer, initargs)
-    pool = _WARM_POOLS.get(key)
-    if pool is not None:
-        if not _pool_unusable(pool):
-            _WARM_POOLS.move_to_end(key)
-            return pool
-        del _WARM_POOLS[key]
-        pool.shutdown(wait=False, cancel_futures=True)
-    pool = ProcessPoolExecutor(
-        max_workers=workers, initializer=initializer, initargs=initargs
-    )
-    _WARM_POOLS[key] = pool
-    while len(_WARM_POOLS) > MAX_WARM_POOLS:
-        _, evicted = _WARM_POOLS.popitem(last=False)
-        evicted.shutdown(wait=False, cancel_futures=True)
-    if obs.enabled():
-        obs.gauge("perf.warm_pools.live", len(_WARM_POOLS))
-    return pool
+    _obtain_pool(key)
+    _POOL_LEASES[key] = _POOL_LEASES.get(key, 0) + 1
+    return PoolHandle(key)
 
 
 def shutdown_warm_pools(wait: bool = True) -> int:
-    """Shut down every cached pool; returns how many were live."""
+    """Shut down every cached pool; returns how many were live.
+
+    Outstanding leases survive a shutdown: their next ``executor`` access
+    re-creates the pool (a lease pins a *recipe*, not one executor object).
+    """
     count = len(_WARM_POOLS)
     while _WARM_POOLS:
         _, pool = _WARM_POOLS.popitem(last=False)
@@ -334,6 +452,11 @@ def shutdown_warm_pools(wait: bool = True) -> int:
 def warm_pool_count() -> int:
     """How many warm pools are currently cached (for tests/diagnostics)."""
     return len(_WARM_POOLS)
+
+
+def warm_pool_lease_count() -> int:
+    """How many pool recipes currently hold at least one lease."""
+    return len(_POOL_LEASES)
 
 
 atexit.register(shutdown_warm_pools)

@@ -1,0 +1,532 @@
+"""The availability service: routing, instrumentation, and lifecycle.
+
+:class:`ServeApp` wires the serving pieces together over one asyncio event
+loop:
+
+* **Queries** (``POST /v1/query``) answer the paper's analytic questions —
+  closed-form hardware availability (micro-batched through the vectorized
+  kernels), software-option evaluation, and control-network path analysis
+  — through the single-flight LRU cache, so identical concurrent requests
+  compute once and repeated requests are near-free.
+* **Jobs** (``POST /v1/jobs`` / ``GET /v1/jobs/<id>``) run Monte-Carlo
+  campaigns asynchronously on the sharded queue with admission control;
+  results are deterministic-identical to CLI runs of the same spec.
+* **Observability** (``GET /metrics``, ``GET /v1/stats``) exposes request
+  latency histograms, cache hit/miss/eviction counters, batch sizes, and
+  queue-depth gauges as OpenMetrics text and JSON; when a telemetry bus is
+  active the app also emits ``serve.*`` lifecycle events and periodic
+  ``metrics`` snapshots (which a
+  :class:`~repro.obs.telemetry.PrometheusSink` turns into a scrapeable
+  file).
+
+Everything is stdlib ``asyncio`` plus this package's own modules — no web
+framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError, ServeError
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import render_openmetrics
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WINDOW_SECONDS,
+    MicroBatcher,
+)
+from repro.serve.cache import (
+    DEFAULT_MAX_ENTRIES,
+    SingleFlightCache,
+    result_key,
+)
+from repro.serve.jobs import DEFAULT_SHARDS, JobQueue
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+)
+
+__all__ = ["ServeConfig", "ServeApp"]
+
+#: Emit a ``metrics`` telemetry snapshot every this many requests (when a
+#: telemetry bus is active), plus once at shutdown.
+METRICS_EVERY_REQUESTS = 100
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`ServeApp` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read ``app.port`` after start()
+    cache_entries: int = DEFAULT_MAX_ENTRIES
+    batch_window_seconds: float = DEFAULT_WINDOW_SECONDS
+    max_batch: int = DEFAULT_MAX_BATCH
+    shards: int = DEFAULT_SHARDS
+    workers_per_job: int = 1
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    max_body_bytes: int = MAX_BODY_BYTES
+
+
+def _probability(
+    payload: Mapping[str, Any], name: str, default: float | None = None
+) -> float:
+    try:
+        value = float(payload[name])
+    except KeyError:
+        if default is not None:
+            return default
+        raise ProtocolError(f"hw query is missing {name!r}") from None
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"hw query field {name!r} must be a number, "
+            f"got {payload[name]!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise ProtocolError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _hw_models() -> dict[str, Any]:
+    from repro.perf.vectorized import (
+        hw_large_array,
+        hw_medium_array,
+        hw_small_array,
+    )
+
+    return {
+        "small": hw_small_array,
+        "medium": hw_medium_array,
+        "large": hw_large_array,
+    }
+
+
+def _lower_hw(model_fn: Any, batch: list[dict[str, float]]) -> list[float]:
+    """One vectorized kernel call over a whole batch of hw queries.
+
+    The kernels are elementwise over their parameter arrays, so element
+    ``i`` of the result is bit-identical to evaluating request ``i`` alone
+    — the equivalence the micro-batch tests pin.
+    """
+    columns = {
+        name: np.array([item[name] for item in batch], dtype=np.float64)
+        for name in ("a_role", "a_vm", "a_host", "a_rack")
+    }
+    values = model_fn(
+        columns["a_role"],
+        columns["a_vm"],
+        columns["a_host"],
+        columns["a_rack"],
+    )
+    return [float(value) for value in np.atleast_1d(values)]
+
+
+def _resolve_graph(payload: Mapping[str, Any]) -> Any:
+    from repro.network.graph import NetworkGraph
+    from repro.topology.network_reference import reference_network
+
+    graph = payload.get("graph")
+    if isinstance(graph, str):
+        try:
+            return reference_network(graph)
+        except ReproError as error:
+            raise ProtocolError(
+                f"unknown reference network {graph!r}: {error}"
+            ) from None
+    if isinstance(graph, Mapping):
+        try:
+            return NetworkGraph.from_dict(graph)
+        except ReproError as error:
+            raise ProtocolError(f"invalid network graph: {error}") from None
+    raise ProtocolError(
+        "network query needs 'graph': a reference name or a graph object"
+    )
+
+
+def _analyze_network(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Blocking control-path analysis for one switch (runs on a thread)."""
+    from repro.network.paths import analyze_switch
+
+    graph = _resolve_graph(payload)
+    switch = payload.get("switch")
+    if not isinstance(switch, str) or not switch:
+        raise ProtocolError("network query needs 'switch': a switch name")
+    max_order = payload.get("max_order")
+    if max_order is not None and not isinstance(max_order, int):
+        raise ProtocolError(
+            f"max_order must be an integer, got {max_order!r}"
+        )
+    try:
+        analysis = analyze_switch(graph, switch, max_order=max_order)
+    except ReproError as error:
+        raise ProtocolError(f"network analysis failed: {error}") from None
+    return {
+        "switch": analysis.switch,
+        "sites": list(analysis.sites),
+        "availability": analysis.availability,
+        "unavailability": analysis.unavailability,
+        "union_bound": analysis.union_bound,
+        "max_order": analysis.max_order,
+        "cut_sets": len(analysis.cut_sets),
+    }
+
+
+def _evaluate_option(payload: Mapping[str, Any]) -> dict[str, Any]:
+    from dataclasses import replace
+
+    from repro.controller.opencontrail import opencontrail_3x
+    from repro.models.sw_options import evaluate_option
+    from repro.params.defaults import PAPER_HARDWARE, PAPER_SOFTWARE
+
+    option = payload.get("option")
+    if not isinstance(option, str) or not option:
+        raise ProtocolError("option query needs 'option': e.g. \"2S\"")
+    overrides = {
+        name: _probability(payload, name)
+        for name in ("a_role", "a_vm", "a_host", "a_rack")
+        if name in payload
+    }
+    hardware = (
+        replace(PAPER_HARDWARE, **overrides) if overrides else PAPER_HARDWARE
+    )
+    try:
+        result = evaluate_option(
+            opencontrail_3x(), option, hardware, PAPER_SOFTWARE
+        )
+    except ReproError as error:
+        raise ProtocolError(f"option evaluation failed: {error}") from None
+    return {
+        "option": result.option,
+        "cp": result.cp,
+        "shared_dp": result.shared_dp,
+        "local_dp": result.local_dp,
+        "dp": result.dp,
+        "cp_downtime_minutes": result.cp_downtime_minutes,
+        "dp_downtime_minutes": result.dp_downtime_minutes,
+    }
+
+
+class ServeApp:
+    """The availability service over one asyncio event loop."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.registry = MetricsRegistry()
+        self.cache = SingleFlightCache(max_entries=self.config.cache_entries)
+        self.admission = AdmissionController(self.config.admission)
+        self.jobs = JobQueue(
+            admission=self.admission,
+            shards=self.config.shards,
+            workers_per_job=self.config.workers_per_job,
+        )
+        self.batchers = {
+            name: MicroBatcher(
+                lambda batch, fn=model_fn: _lower_hw(fn, batch),
+                window_seconds=self.config.batch_window_seconds,
+                max_batch=self.config.max_batch,
+            )
+            for name, model_fn in _hw_models().items()
+        }
+        self.requests_served = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ServeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServeError("server is already running")
+        self.jobs.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        telemetry.emit(
+            "serve.start", host=self.config.host, port=self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self.batchers.values():
+            await batcher.drain()
+        await self.jobs.stop()
+        self._emit_metrics_event()
+        telemetry.emit("serve.stop", requests=self.requests_served)
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then shut down cleanly."""
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    )
+                except ProtocolError as error:
+                    response = Response.error(error.status, str(error))
+                    self._count_response(response.status)
+                    writer.write(response.encode(keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                response = await self.handle(request)
+                writer.write(response.encode(keep_alive=request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- routing --------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        """Route one request to a handler; exceptions become status codes."""
+        started = time.perf_counter()
+        try:
+            response = await self._dispatch(request)
+        except ServeError as error:
+            response = Response.error(error.status, str(error))
+        except ReproError as error:
+            response = Response.error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - the server must answer
+            response = Response.error(
+                500, f"internal error: {type(error).__name__}: {error}"
+            )
+        elapsed = time.perf_counter() - started
+        self.requests_served += 1
+        self.registry.histogram("serve.request_seconds").observe(elapsed)
+        self._count_response(response.status)
+        if (
+            telemetry.enabled()
+            and self.requests_served % METRICS_EVERY_REQUESTS == 0
+        ):
+            self._emit_metrics_event()
+        return response
+
+    async def _dispatch(self, request: Request) -> Response:
+        path = request.path
+        if path == "/healthz":
+            self._require_method(request, "GET")
+            return Response.json({"status": "ok"})
+        if path == "/metrics":
+            self._require_method(request, "GET")
+            return Response.text(render_openmetrics(self.metrics_snapshot()))
+        if path == "/v1/stats":
+            self._require_method(request, "GET")
+            return Response.json(self.stats())
+        if path == "/v1/query":
+            self._require_method(request, "POST")
+            return await self._handle_query(request)
+        if path == "/v1/jobs":
+            self._require_method(request, "POST")
+            return self._handle_job_submit(request)
+        if path.startswith("/v1/jobs/"):
+            self._require_method(request, "GET")
+            job = self.jobs.get(path.removeprefix("/v1/jobs/"))
+            return Response.json(job.status())
+        raise ServeError(f"no route for {path!r}", status=404)
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        if request.method != method:
+            raise ServeError(
+                f"{request.path} only supports {method}, "
+                f"got {request.method}",
+                status=405,
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    async def _handle_query(self, request: Request) -> Response:
+        payload = request.json_object()
+        kind = payload.get("kind")
+        if kind == "hw":
+            return await self._query_hw(payload)
+        if kind == "option":
+            return await self._query_cached(
+                "option", payload, lambda: asyncio.to_thread(
+                    _evaluate_option, payload
+                )
+            )
+        if kind == "network":
+            return await self._query_cached(
+                "network", payload, lambda: asyncio.to_thread(
+                    _analyze_network, payload
+                )
+            )
+        raise ProtocolError(
+            f"unknown query kind {kind!r} "
+            "(expected 'hw', 'option', or 'network')"
+        )
+
+    async def _query_hw(self, payload: Mapping[str, Any]) -> Response:
+        model = payload.get("model", "small")
+        batcher = self.batchers.get(model)
+        if batcher is None:
+            raise ProtocolError(
+                f"unknown hw model {model!r} "
+                f"(expected one of {sorted(self.batchers)})"
+            )
+        from repro.params.defaults import PAPER_HARDWARE
+
+        # Absent parameters fall back to the paper's values (the same
+        # override semantics as the option query); the cache key is built
+        # from the resolved params, so defaulted and explicit requests for
+        # the same numbers share one entry.
+        params = {
+            name: _probability(payload, name, getattr(PAPER_HARDWARE, name))
+            for name in ("a_role", "a_vm", "a_host", "a_rack")
+        }
+        key = result_key("hw", {"model": model, **params})
+        started = time.perf_counter()
+        value, outcome = await self.cache.get_with_outcome(
+            key, lambda: batcher.submit(params)
+        )
+        self._observe_query(started, outcome)
+        return Response.json(
+            {
+                "kind": "hw",
+                "model": model,
+                "availability": value,
+                "cache": outcome,
+            }
+        )
+
+    async def _query_cached(
+        self, kind: str, payload: Mapping[str, Any], compute: Any
+    ) -> Response:
+        body = {k: v for k, v in payload.items() if k != "kind"}
+        key = result_key(kind, body)
+        started = time.perf_counter()
+        value, outcome = await self.cache.get_with_outcome(key, compute)
+        self._observe_query(started, outcome)
+        return Response.json({"kind": kind, "cache": outcome, **value})
+
+    def _observe_query(self, started: float, outcome: str) -> None:
+        elapsed = time.perf_counter() - started
+        self.registry.histogram(
+            f"serve.query_seconds.{outcome}"
+        ).observe(elapsed)
+
+    # -- jobs -----------------------------------------------------------------
+
+    def _handle_job_submit(self, request: Request) -> Response:
+        payload = request.json_object()
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ProtocolError(
+                "job submission needs 'kind': "
+                "'campaign' or 'network_campaign'"
+            )
+        spec = payload.get("spec")
+        if not isinstance(spec, Mapping):
+            raise ProtocolError("job submission needs 'spec': a JSON object")
+        job = self.jobs.submit(kind, spec, request.tenant)
+        return Response.json(job.status(), status=202)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The registry snapshot overlaid with serve-layer instruments."""
+        counters: dict[str, float] = {}
+        counters.update(self.cache.counters())
+        counters.update(self.admission.counters())
+        counters.update(self.jobs.counters())
+        for batcher in self.batchers.values():
+            for name, value in batcher.counters().items():
+                counters[name] = counters.get(name, 0) + value
+        for name, value in counters.items():
+            counter = self.registry.counter(name)
+            if value > counter.value:
+                counter.increment(value - counter.value)
+        depths = self.jobs.queue_depths()
+        self.registry.gauge("serve.jobs.queue_depth").set(sum(depths))
+        for shard, depth in enumerate(depths):
+            self.registry.gauge(
+                f"serve.jobs.queue_depth.shard{shard}"
+            ).set(depth)
+        self.registry.gauge("serve.cache.entries").set(len(self.cache))
+        self.registry.gauge(
+            "serve.admission.inflight"
+        ).set(self.admission.total_inflight)
+        return self.registry.snapshot()
+
+    def stats(self) -> dict[str, Any]:
+        """JSON operational stats, including latency quantiles."""
+        self.metrics_snapshot()  # refresh overlaid counters and gauges
+
+        def latency(name: str) -> dict[str, Any]:
+            histogram = self.registry.histogram(name)
+            if not histogram.count:
+                return {"count": 0}
+            return {
+                "count": histogram.count,
+                "mean_seconds": histogram.mean,
+                "p50_seconds": histogram.quantile(0.50),
+                "p99_seconds": histogram.quantile(0.99),
+            }
+
+        return {
+            "requests": self.requests_served,
+            "cache": self.cache.counters() | {"entries": len(self.cache)},
+            "admission": self.admission.counters()
+            | {"inflight": self.admission.total_inflight},
+            "jobs": self.jobs.counters()
+            | {"queue_depths": self.jobs.queue_depths()},
+            "batch": {
+                name: batcher.counters()
+                for name, batcher in self.batchers.items()
+            },
+            "latency": {
+                "request": latency("serve.request_seconds"),
+                "query_hit": latency("serve.query_seconds.hit"),
+                "query_miss": latency("serve.query_seconds.miss"),
+                "query_coalesced": latency("serve.query_seconds.coalesced"),
+            },
+        }
+
+    def _count_response(self, status: int) -> None:
+        self.registry.counter(
+            f"serve.responses.{status // 100}xx"
+        ).increment()
+
+    def _emit_metrics_event(self) -> None:
+        if telemetry.enabled():
+            telemetry.emit("metrics", snapshot=self.metrics_snapshot())

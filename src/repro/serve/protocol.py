@@ -1,0 +1,238 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The serving layer speaks just enough HTTP/1.1 for availability queries and
+job control — request-line + headers + ``Content-Length`` bodies, JSON
+payloads, keep-alive by default — with hard limits on every dimension an
+untrusted client controls (line length, header count, body size).  Nothing
+here depends on third-party HTTP stacks; the parser reads whatever
+:func:`asyncio.start_server` hands it.
+
+Violations raise :class:`ProtocolError`, a :class:`~repro.errors.ServeError`
+carrying the 4xx status the connection handler answers with before closing
+— malformed traffic never reaches the query or job layers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ServeError
+
+__all__ = [
+    "MAX_REQUEST_LINE_BYTES",
+    "MAX_HEADER_COUNT",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "read_request",
+]
+
+#: Longest accepted request or header line (bytes, including CRLF).
+MAX_REQUEST_LINE_BYTES = 8192
+
+#: Most header lines accepted on one request.
+MAX_HEADER_COUNT = 64
+
+#: Default request-body cap (1 MiB) — campaign specs are a few KiB.
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for the statuses this service emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ServeError):
+    """A malformed or over-limit HTTP request (4xx, connection closed)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message, status=status)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    _json: Any = field(default=None, repr=False)
+    _json_parsed: bool = field(default=False, repr=False)
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default unless the client asked to close."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    @property
+    def tenant(self) -> str:
+        """The requesting tenant (``X-Tenant`` header, anonymous default)."""
+        return self.headers.get("x-tenant", "anonymous") or "anonymous"
+
+    def json(self) -> Any:
+        """The body parsed as JSON; :class:`ProtocolError` when it isn't."""
+        if not self._json_parsed:
+            if not self.body:
+                raise ProtocolError("request body must be JSON (got empty)")
+            try:
+                self._json = json.loads(self.body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ProtocolError(
+                    f"request body is not valid JSON: {error}"
+                ) from None
+            self._json_parsed = True
+        return self._json
+
+    def json_object(self) -> dict[str, Any]:
+        """The body as a JSON *object*; anything else is a 400."""
+        payload = self.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response, encodable for a keep-alive or closing exchange."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return cls(status=status, body=text.encode("utf-8"))
+
+    @classmethod
+    def error(cls, status: int, message: str, **fields: Any) -> "Response":
+        return cls.json({"error": message, **fields}, status=status)
+
+    @classmethod
+    def text(cls, body: str, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=body.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + self.body
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF/LF-terminated line within the line-length limit."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return b""  # clean EOF between requests
+        raise ProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"request line exceeds {MAX_REQUEST_LINE_BYTES} bytes",
+            status=413,
+        ) from None
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_REQUEST_LINE_BYTES} bytes",
+            status=413,
+        )
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Request | None:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean end-of-stream before any request byte (the
+    keep-alive peer hung up) and raises :class:`ProtocolError` on anything
+    malformed or over-limit.
+    """
+    raw = await _read_line(reader)
+    if not raw:
+        return None
+    parts = raw.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {raw[:80]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    method = method.upper()
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError(
+                f"more than {MAX_HEADER_COUNT} header lines", status=413
+            )
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(
+                f"invalid Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"invalid Content-Length {length}")
+        if length > max_body_bytes:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+                status=413,
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("connection closed mid-body") from None
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked transfer encoding is not supported")
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method,
+        target=target,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )

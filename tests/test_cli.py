@@ -258,3 +258,46 @@ class TestCliNetwork:
         assert "placement.candidate" in tail
         assert "placement.end" in tail
         assert "run.end" in tail
+
+
+class TestCliServe:
+    def test_obs_tail_follow_with_idle_timeout(self, capsys, tmp_path):
+        import json
+
+        stream = tmp_path / "live.jsonl"
+        events = [
+            {"run": 0, "seq": 0, "kind": "run.start"},
+            {"run": 0, "seq": 1, "kind": "heartbeat"},
+        ]
+        stream.write_text(
+            "".join(json.dumps(event) + "\n" for event in events),
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                [
+                    "obs", "tail", str(stream),
+                    "--follow", "--idle-timeout", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "run.start" in out
+        assert "heartbeat" in out
+        assert "2 event(s)" in out
+
+    def test_query_rejects_invalid_json_body(self, capsys):
+        assert main(["query", "{not json"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_help_lists_admission_flags(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--max-queue-depth" in out
+        assert "--max-tenant-inflight" in out
+        assert "--cache-entries" in out

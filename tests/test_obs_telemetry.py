@@ -83,6 +83,33 @@ class TestJsonlSink:
         with pytest.raises(ObservabilityError):
             JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
 
+    def test_events_visible_before_close(self, tmp_path):
+        """Live followers must see events while the stream is open."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        try:
+            sink.emit({"kind": "a", "seq": 0})
+            lines = path.read_text(encoding="utf-8").splitlines()
+            assert [json.loads(line) for line in lines] == [
+                {"kind": "a", "seq": 0}
+            ]
+        finally:
+            sink.close()
+
+    def test_flush_every_batches_flushes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=3)
+        try:
+            sink.emit({"seq": 0})
+            sink.emit({"seq": 1})
+            assert path.read_text(encoding="utf-8") == ""
+            sink.emit({"seq": 2})  # third event flushes the batch
+            assert len(path.read_text(encoding="utf-8").splitlines()) == 3
+        finally:
+            sink.close()
+        with pytest.raises(ObservabilityError):
+            JsonlSink(tmp_path / "y.jsonl", flush_every=0)
+
     def test_oversized_event_written_and_rotated_once(self, tmp_path):
         path = tmp_path / "events.jsonl"
         sink = JsonlSink(path, max_bytes=32, max_backups=3)
@@ -387,3 +414,189 @@ class TestRegistryMerge:
         histogram = TimingHistogram("empty")
         assert histogram.summary() == {"count": 0}
         assert histogram.mean == 0.0
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_estimates_zero(self):
+        assert TimingHistogram("t").quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        histogram = TimingHistogram("t")
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_single_observation_is_exact(self):
+        histogram = TimingHistogram("t")
+        histogram.observe(0.3)
+        # Interpolation inside the (0.25, 0.5] bucket clamps to the
+        # exactly-tracked max, so a degenerate histogram never extrapolates.
+        assert histogram.quantile(0.5) == 0.3
+        assert histogram.quantile(0.0) == 0.3
+        assert histogram.quantile(1.0) == 0.3
+
+    def test_estimates_land_in_the_right_bucket(self):
+        histogram = TimingHistogram("t")
+        for _ in range(50):
+            histogram.observe(0.003)
+        for _ in range(50):
+            histogram.observe(0.7)
+        p25 = histogram.quantile(0.25)
+        p75 = histogram.quantile(0.75)
+        assert 0.0025 <= p25 <= 0.005  # inside the 0.003 bucket
+        assert 0.5 <= p75 <= 1.0  # inside the 0.7 bucket
+
+    def test_quantiles_are_monotonic(self):
+        histogram = TimingHistogram("t")
+        for value in (0.001, 0.004, 0.02, 0.07, 0.3, 1.2, 4.0, 20.0, 70.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[0] >= histogram.minimum
+        assert quantiles[-1] <= histogram.maximum
+
+    def test_overflow_bucket_returns_max(self):
+        histogram = TimingHistogram("t")
+        histogram.observe(120.0)  # beyond the last finite bound
+        assert histogram.quantile(0.99) == 120.0
+
+
+def _append_events(path, events, mode="a"):
+    with open(path, mode, encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+class TestFollowEvents:
+    def test_yields_existing_then_times_out(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        _append_events(
+            path,
+            [
+                {"run": 0, "seq": 0, "kind": "a"},
+                {"run": 0, "seq": 1, "kind": "b"},
+            ],
+        )
+        events = list(telemetry.follow_events(path, idle_timeout=0))
+        assert [event["kind"] for event in events] == ["a", "b"]
+
+    def test_missing_file_times_out_cleanly(self, tmp_path):
+        events = list(
+            telemetry.follow_events(tmp_path / "never.jsonl", idle_timeout=0)
+        )
+        assert events == []
+
+    def test_picks_up_appended_events(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        _append_events(path, [{"run": 0, "seq": 0, "kind": "early"}])
+        appended = False
+
+        def fake_sleep(seconds):
+            nonlocal appended
+            if not appended:
+                _append_events(path, [{"run": 0, "seq": 1, "kind": "late"}])
+                appended = True
+
+        events = list(
+            telemetry.follow_events(
+                path,
+                poll_seconds=0.01,
+                idle_timeout=0.02,
+                _sleep=fake_sleep,
+            )
+        )
+        assert [event["kind"] for event in events] == ["early", "late"]
+
+    def test_survives_rotation_without_losing_tail(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        _append_events(
+            path,
+            [
+                {"run": 0, "seq": 0, "kind": "old-a"},
+                {"run": 0, "seq": 1, "kind": "old-b"},
+            ],
+        )
+        rotated = False
+
+        def fake_sleep(seconds):
+            nonlocal rotated
+            if not rotated:
+                # Shift rotation: the live file is renamed away and a fresh
+                # file (next run id) appears at the original path.
+                path.rename(tmp_path / "live.jsonl.1")
+                _append_events(
+                    path, [{"run": 1, "seq": 0, "kind": "new-a"}], mode="w"
+                )
+                rotated = True
+
+        events = list(
+            telemetry.follow_events(
+                path,
+                poll_seconds=0.01,
+                idle_timeout=0.02,
+                _sleep=fake_sleep,
+            )
+        )
+        assert [event["kind"] for event in events] == [
+            "old-a",
+            "old-b",
+            "new-a",
+        ]
+
+    def test_partial_trailing_line_is_buffered(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        whole = json.dumps({"run": 0, "seq": 0, "kind": "whole"})
+        partial = json.dumps({"run": 0, "seq": 1, "kind": "finished"})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(whole + "\n" + partial[:10])
+        completed = False
+
+        def fake_sleep(seconds):
+            nonlocal completed
+            if not completed:
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(partial[10:] + "\n")
+                completed = True
+
+        events = list(
+            telemetry.follow_events(
+                path,
+                poll_seconds=0.01,
+                idle_timeout=0.02,
+                _sleep=fake_sleep,
+            )
+        )
+        assert [event["kind"] for event in events] == ["whole", "finished"]
+
+    def test_kind_filter(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        _append_events(
+            path,
+            [
+                {"run": 0, "seq": 0, "kind": "keep"},
+                {"run": 0, "seq": 1, "kind": "drop"},
+                {"run": 0, "seq": 2, "kind": "keep"},
+            ],
+        )
+        events = list(
+            telemetry.follow_events(path, kinds={"keep"}, idle_timeout=0)
+        )
+        assert len(events) == 2
+
+    def test_nonpositive_poll_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            next(
+                telemetry.follow_events(
+                    tmp_path / "x.jsonl", poll_seconds=0.0
+                )
+            )
+
+    def test_junk_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write("[1, 2]\n")
+            handle.write(json.dumps({"run": 0, "seq": 0, "kind": "ok"}) + "\n")
+        events = list(telemetry.follow_events(path, idle_timeout=0))
+        assert [event["kind"] for event in events] == ["ok"]

@@ -46,6 +46,13 @@ class TestPublicApi:
             "repro.obs",
             "repro.obs.telemetry",
             "repro.obs.forensics",
+            "repro.serve",
+            "repro.serve.protocol",
+            "repro.serve.cache",
+            "repro.serve.batching",
+            "repro.serve.admission",
+            "repro.serve.jobs",
+            "repro.serve.app",
             "repro.cli",
         ],
     )
@@ -67,6 +74,12 @@ class TestPublicApi:
             "repro.obs",
             "repro.obs.telemetry",
             "repro.obs.forensics",
+            "repro.serve",
+            "repro.serve.protocol",
+            "repro.serve.cache",
+            "repro.serve.batching",
+            "repro.serve.admission",
+            "repro.serve.jobs",
         ],
     )
     def test_subpackage_all_resolves(self, module):

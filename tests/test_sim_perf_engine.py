@@ -19,12 +19,14 @@ from hypothesis import strategies as st
 from repro.errors import ParameterError, SimulationError
 from repro.perf.parallel import (
     MAX_WARM_POOLS,
+    acquire_warm_pool,
     broadcast_value,
     get_warm_pool,
     map_chunked,
     shutdown_warm_pools,
     split_chunks,
     warm_pool_count,
+    warm_pool_lease_count,
 )
 from repro.sim.engine import AvailabilitySimulator
 from repro.sim.entities import Component, ComponentKind, ComponentState
@@ -363,6 +365,69 @@ class TestWarmPools:
         results = map_chunked(_with_broadcast, items, workers=2, context="ctx")
         assert [item for item, _ in results] == items
         assert all(context == "ctx" for _, context in results)
+
+
+class TestPoolHandles:
+    def test_lease_shares_the_anonymous_pool(self):
+        handle = acquire_warm_pool(2)
+        try:
+            assert handle.executor is get_warm_pool(2)
+            assert warm_pool_lease_count() == 1
+        finally:
+            handle.release()
+        assert warm_pool_lease_count() == 0
+
+    def test_release_is_idempotent(self):
+        handle = acquire_warm_pool(2)
+        handle.release()
+        handle.release()
+        assert handle.released
+        assert warm_pool_lease_count() == 0
+
+    def test_released_handle_refuses_access(self):
+        handle = acquire_warm_pool(2)
+        handle.release()
+        with pytest.raises(ParameterError, match="released"):
+            handle.executor
+
+    def test_context_manager_releases(self):
+        with acquire_warm_pool(2) as handle:
+            assert not handle.released
+            assert warm_pool_lease_count() == 1
+        assert handle.released
+        assert warm_pool_lease_count() == 0
+
+    def test_leased_pool_is_pinned_against_eviction(self):
+        handle = acquire_warm_pool(1)
+        try:
+            pinned = handle.executor
+            for workers in range(2, MAX_WARM_POOLS + 4):
+                get_warm_pool(workers)
+            # The LRU trimmed unleased pools, never the leased one.
+            assert warm_pool_count() <= MAX_WARM_POOLS + 1
+            assert handle.executor is pinned
+        finally:
+            handle.release()
+
+    def test_shutdown_survivable_by_lease(self):
+        handle = acquire_warm_pool(2)
+        try:
+            before = handle.executor
+            shutdown_warm_pools()
+            # The registry dropped the pool; the lease re-obtains a fresh,
+            # usable one on next access instead of a shut-down executor.
+            after = handle.executor
+            assert after is not before
+            assert after.submit(_identity, 5).result() == 5
+        finally:
+            handle.release()
+
+    def test_lease_survives_worker_use(self):
+        with acquire_warm_pool(2) as handle:
+            results = [
+                handle.executor.submit(_identity, item) for item in range(5)
+            ]
+            assert [f.result() for f in results] == list(range(5))
 
 
 class TestSplitChunks:
