@@ -509,7 +509,13 @@ def _cmd_network(args: argparse.Namespace) -> int:
 
     if args.action == "evaluate":
         analyses = [
-            analyze_switch(graph, switch, sites, max_order=args.max_order)
+            analyze_switch(
+                graph,
+                switch,
+                sites,
+                max_order=args.max_order,
+                evaluator=args.evaluator,
+            )
             for switch in graph.switches
         ]
         headers, rows = evaluate_rows(analyses)
@@ -519,7 +525,9 @@ def _cmd_network(args: argparse.Namespace) -> int:
                 rows,
                 title=(
                     f"Control-path availability, graph {graph.name} "
-                    f"(cut order <= {args.max_order or 'full'})"
+                    f"(cut order <= {args.max_order or 'full'}, "
+                    f"evaluator "
+                    f"{analyses[0].evaluator if analyses else args.evaluator})"
                 ),
             )
         )
@@ -530,6 +538,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
             k=args.k,
             candidates=sites,
             method=args.method,
+            restarts=args.restarts,
+            seed=args.seed,
         )
         headers, rows = placement_rows(result)
         print(
@@ -959,7 +969,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--graph",
         default="ring",
-        help="reference graph name (line, ring, fat_tree, backbone)",
+        help=(
+            "reference graph name (line, ring, fat_tree, backbone, "
+            "two_tier)"
+        ),
     )
     sub.add_argument(
         "--graph-file",
@@ -982,12 +995,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound cut-set enumeration order (default: complete)",
     )
+    sub.add_argument(
+        "--evaluator",
+        choices=("auto", "sdp", "factored"),
+        default="auto",
+        help=(
+            "exact evaluator for 'evaluate': sum-of-disjoint-products "
+            "(default) or the Shannon-factored oracle"
+        ),
+    )
     sub.add_argument("--k", type=int, default=1, help="sites to place")
     sub.add_argument(
         "--method",
-        choices=("auto", "exact", "greedy"),
+        choices=("auto", "exact", "greedy", "local"),
         default="auto",
         help="placement search method",
+    )
+    sub.add_argument(
+        "--restarts",
+        type=int,
+        default=4,
+        help="random restarts for --method local",
+    )
+    sub.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed for --method local restarts",
     )
     sub.add_argument("--json", default=None, help="also write results here")
     sub.add_argument("--csv", default=None, help="also write table rows here")

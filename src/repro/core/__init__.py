@@ -6,6 +6,8 @@ This package implements the building blocks of the paper's analytic models:
 * :mod:`repro.core.blocks` — a reliability-block-diagram (RBD) algebra,
 * :mod:`repro.core.structure` — coherent structure functions,
 * :mod:`repro.core.cutsets` — minimal cut/path sets and exact probability,
+* :mod:`repro.core.sdp` — sum-of-disjoint-products exact evaluation that
+  scales past the state-enumeration evaluators,
 * :mod:`repro.core.importance` — component importance measures,
 * :mod:`repro.core.states` — the weighted state-enumeration (conditioning)
   engine that generalizes the paper's "condition on hosts/racks up" steps.
@@ -13,6 +15,13 @@ This package implements the building blocks of the paper's analytic models:
 
 from repro.core.kofn import a_m_of_n, a_m_of_n_array, kofn_unavailability
 from repro.core.blocks import Basic, Block, KOfN, Parallel, Series
+from repro.core.sdp import (
+    SdpExpression,
+    SdpTerm,
+    canonical_path_sets,
+    compile_sdp,
+    sdp_terms,
+)
 from repro.core.states import enumerate_up_down, weighted_condition
 
 __all__ = [
@@ -24,6 +33,11 @@ __all__ = [
     "Series",
     "Parallel",
     "KOfN",
+    "SdpTerm",
+    "SdpExpression",
+    "canonical_path_sets",
+    "compile_sdp",
+    "sdp_terms",
     "enumerate_up_down",
     "weighted_condition",
 ]

@@ -4,12 +4,20 @@ The paper analyzes the controller cluster in isolation; this package adds
 the switch-to-controller *network* around it (motivated by Nencioni et
 al., PAPERS.md): immutable availability-annotated graphs
 (:mod:`repro.network.graph`), per-switch control-path cut sets and exact
-evaluation (:mod:`repro.network.paths`), controller-placement search
-(:mod:`repro.network.placement`), and Monte-Carlo network campaigns with
-correlated-failure hazards (:mod:`repro.network.campaign`).  See
-``docs/NETWORK.md`` for the model and conventions.
+evaluation (:mod:`repro.network.paths`), batched (switch, site-set)
+sweeps over one SDP compile (:mod:`repro.network.batch`),
+controller-placement search (:mod:`repro.network.placement`), and
+Monte-Carlo network campaigns with correlated-failure hazards
+(:mod:`repro.network.campaign`).  See ``docs/NETWORK.md`` for the model
+and conventions.
 """
 
+from repro.network.batch import (
+    PairSweepPlan,
+    PairSweepResult,
+    compile_pair_sweep,
+    sweep_site_sets,
+)
 from repro.network.campaign import (
     NetworkCampaignResult,
     NetworkCampaignSpec,
@@ -55,6 +63,10 @@ __all__ = [
     "analyze_switch",
     "per_switch_availability",
     "fleet_availability",
+    "PairSweepPlan",
+    "PairSweepResult",
+    "compile_pair_sweep",
+    "sweep_site_sets",
     "PlacementResult",
     "placement_value",
     "optimize_placement",

@@ -6,20 +6,38 @@ switch to at least one up controller site.  This module lowers that
 predicate into a :class:`repro.core.structure.StructureFunction` over the
 graph's elements, so the whole existing cut-set toolchain applies
 unchanged: :func:`repro.core.cutsets.minimal_cut_sets` enumerates the
-node+link+SRG cut sets, :func:`~repro.core.cutsets.union_bound` gives the
-rare-event upper bound, and inclusion-exclusion or the Shannon-factored
-evaluator give exact ground truth.
+node+link+SRG cut sets and :func:`~repro.core.cutsets.union_bound` gives
+the rare-event upper bound.
 
-Bound semantics: with *complete* cut/path enumeration (``max_order=None``)
+Exact ground truth has two evaluators:
+
+* ``"sdp"`` (the default) — minimal path sets are enumerated *on the
+  graph* (depth-first simple paths switch -> site, each contributing its
+  nodes, links, and SRGs), compiled into a sum of disjoint products
+  (:mod:`repro.core.sdp`), and summed.  The path enumeration is
+  polynomial per path and the compile is probability-free, so exact
+  evaluation survives graphs far past the ~30-element wall where
+  state-space methods blow up.
+* ``"factored"`` — Shannon factoring with coherence pruning
+  (:func:`repro.core.structure.factored_unavailability`), the original
+  PR-7 evaluator, kept as the independent cross-check oracle on graphs
+  small enough to run it.
+
+Both are memoized on the frozen ``(graph, switch, sites)`` key, and the
+path-set enumeration is cached separately so the SDP compile and the
+path-set lower bound never re-enumerate.
+
+Bound semantics: with *complete* cut enumeration (``max_order=None``)
 the three numbers bracket exactly —
 
     union_bound  >=  exact unavailability  >=  path-set lower bound
 
 With a bounded cut order the union bound becomes the standard rare-event
 *estimate* (truncation can undershoot), and the path-set lower bound is not
-computed at all (a truncated path list would make it invalid); the analysis
-records ``None`` instead.  The cross-validation suite asserts the bracket
-on fully-enumerated random graphs.
+computed at all (the bounded-order analysis is the fast path; complete path
+enumeration stays available via :func:`control_path_path_sets`); the
+analysis records ``None`` instead.  The cross-validation suite asserts the
+bracket on fully-enumerated random graphs.
 """
 
 from __future__ import annotations
@@ -35,6 +53,7 @@ from repro.core.cutsets import (
     rank_cut_sets,
     union_bound,
 )
+from repro.core.sdp import SdpExpression, canonical_path_sets, compile_sdp
 from repro.core.structure import StructureFunction, factored_unavailability
 from repro.errors import NetworkError
 from repro.models.engine import RoleRequirement, evaluate_topology_cached
@@ -42,15 +61,22 @@ from repro.network.graph import NetworkGraph, NetworkLink
 from repro.topology.deployment import DeploymentTopology
 
 __all__ = [
+    "EXACT_EVALUATORS",
     "ControlPathAnalysis",
     "control_path_structure",
     "control_path_cut_sets",
+    "control_path_path_sets",
+    "control_path_sdp",
     "path_set_lower_bound",
     "exact_control_path_unavailability",
     "analyze_switch",
     "per_switch_availability",
     "fleet_availability",
 ]
+
+#: Exact-evaluator names accepted by :func:`exact_control_path_unavailability`
+#: and :func:`analyze_switch`; ``"auto"`` resolves to ``"sdp"``.
+EXACT_EVALUATORS: tuple[str, ...] = ("auto", "sdp", "factored")
 
 
 def _check_sites(
@@ -188,6 +214,88 @@ def control_path_cut_sets(
     return rank_cut_sets(cuts, graph.unavailability_map())
 
 
+@lru_cache(maxsize=8192)
+def _control_path_sets_cached(
+    graph: NetworkGraph, switch: str, sites: tuple[str, ...]
+) -> tuple[frozenset[str], ...]:
+    """Minimal path sets of one switch's control path, from the graph.
+
+    Depth-first enumeration of simple paths from the switch that terminate
+    at the first controller site reached (continuing past an up site could
+    only produce a superset).  Each path contributes its nodes, its links,
+    and the SRGs those links ride; :func:`repro.core.sdp.canonical_path_sets`
+    then drops the occasional superset (possible when SRGs collapse
+    distinct routes) and fixes the shortest-first order the SDP compile
+    expects.  Cached on the frozen ``(graph, switch, sites)`` key so the
+    SDP compile and the path-set lower bound share one enumeration.
+    """
+    nodes, links, _ = _prune(graph, switch, sites)
+    node_set = set(nodes)
+    site_set = {site for site in sites if site in node_set}
+    incident: dict[str, list[NetworkLink]] = {name: [] for name in nodes}
+    for link in links:
+        incident[link.a].append(link)
+        incident[link.b].append(link)
+    found: list[frozenset[str]] = []
+    elements: list[str] = [switch]
+    visited = {switch}
+
+    def walk(current: str) -> None:
+        for link in incident[current]:
+            neighbor = link.other(current)
+            if neighbor in visited:
+                continue
+            step = [link.name, neighbor]
+            if link.srg is not None:
+                step.append(link.srg)
+            if neighbor in site_set:
+                found.append(frozenset((*elements, *step)))
+                continue
+            visited.add(neighbor)
+            elements.extend(step)
+            walk(neighbor)
+            del elements[-len(step):]
+            visited.discard(neighbor)
+
+    if site_set:
+        walk(switch)
+    return canonical_path_sets(found)
+
+
+def control_path_path_sets(
+    graph: NetworkGraph, switch: str, sites: Iterable[str] | None = None
+) -> tuple[frozenset[str], ...]:
+    """Complete minimal path sets of one switch's control path (memoized).
+
+    Unlike the dual cut-set route
+    (:func:`repro.core.cutsets.minimal_path_sets`, exponential in the
+    element count), this enumerates simple switch -> site paths directly on
+    the graph, so it stays feasible on hundreds-of-element backbones.
+    """
+    resolved = _check_sites(graph, switch, sites)
+    return _control_path_sets_cached(graph, switch, resolved)
+
+
+@lru_cache(maxsize=8192)
+def _sdp_expression_cached(
+    graph: NetworkGraph, switch: str, sites: tuple[str, ...]
+) -> SdpExpression:
+    return compile_sdp(_control_path_sets_cached(graph, switch, sites))
+
+
+def control_path_sdp(
+    graph: NetworkGraph, switch: str, sites: Iterable[str] | None = None
+) -> SdpExpression:
+    """The switch's control path compiled to disjoint products (memoized).
+
+    The compiled expression is probability-free: it can be re-evaluated
+    under any per-element availability assignment, which is what the
+    batched sweeps in :mod:`repro.network.batch` build on.
+    """
+    resolved = _check_sites(graph, switch, sites)
+    return _sdp_expression_cached(graph, switch, resolved)
+
+
 def path_set_lower_bound(
     structure: StructureFunction, availability: Mapping[str, float]
 ) -> float:
@@ -195,9 +303,16 @@ def path_set_lower_bound(
 
     ``A <= sum over minimal path sets of P(all members up)`` (union bound on
     the up event), so ``U >= 1 - sum``.  Requires the full path-set list —
-    a truncated list would shrink the sum and overstate the bound.
+    a truncated list would shrink the sum and overstate the bound.  Works
+    on any structure function (via the exponential dual enumeration);
+    :func:`analyze_switch` uses the cached graph enumeration instead.
     """
-    paths = minimal_path_sets(structure)
+    return _paths_lower_bound(minimal_path_sets(structure), availability)
+
+
+def _paths_lower_bound(
+    paths: Sequence[frozenset[str]], availability: Mapping[str, float]
+) -> float:
     total = 0.0
     for path in paths:
         term = 1.0
@@ -207,26 +322,47 @@ def path_set_lower_bound(
     return max(0.0, 1.0 - total)
 
 
+def _resolve_evaluator(evaluator: str) -> str:
+    if evaluator not in EXACT_EVALUATORS:
+        raise NetworkError(
+            f"evaluator must be one of {EXACT_EVALUATORS}, got {evaluator!r}"
+        )
+    return "sdp" if evaluator == "auto" else evaluator
+
+
 @lru_cache(maxsize=8192)
 def _exact_unavailability_cached(
-    graph: NetworkGraph, switch: str, sites: tuple[str, ...]
+    graph: NetworkGraph,
+    switch: str,
+    sites: tuple[str, ...],
+    evaluator: str = "sdp",
 ) -> float:
-    structure = control_path_structure(graph, switch, sites)
-    return factored_unavailability(structure, graph.availability_map())
+    if evaluator == "factored":
+        structure = control_path_structure(graph, switch, sites)
+        return factored_unavailability(structure, graph.availability_map())
+    expression = _sdp_expression_cached(graph, switch, sites)
+    return expression.unavailability(graph.availability_map())
 
 
 def exact_control_path_unavailability(
-    graph: NetworkGraph, switch: str, sites: Iterable[str] | None = None
+    graph: NetworkGraph,
+    switch: str,
+    sites: Iterable[str] | None = None,
+    evaluator: str = "auto",
 ) -> float:
     """Exact unavailability of one switch's control path (memoized).
 
-    Uses Shannon factoring with coherence pruning
-    (:func:`repro.core.structure.factored_unavailability`), cached on the
-    frozen ``(graph, switch, sites)`` key — placement searches revisit the
-    same switch under many site subsets and hit this memo constantly.
+    ``evaluator="auto"`` (the default) resolves to the sum-of-disjoint-
+    products kernel; ``"factored"`` forces the Shannon-factored
+    state-space evaluator (the independent oracle — exponential past ~30
+    elements).  Both agree to float rounding and are cached on the frozen
+    ``(graph, switch, sites)`` key — placement searches revisit the same
+    switch under many site subsets and hit this memo constantly.
     """
     resolved = _check_sites(graph, switch, sites)
-    return _exact_unavailability_cached(graph, switch, resolved)
+    return _exact_unavailability_cached(
+        graph, switch, resolved, _resolve_evaluator(evaluator)
+    )
 
 
 @dataclass(frozen=True)
@@ -245,6 +381,8 @@ class ControlPathAnalysis:
         path_lower_bound: ``1 - sum(path availabilities)`` when enumeration
             was complete, else ``None``.
         unavailability: exact control-path unavailability.
+        evaluator: which exact evaluator produced ``unavailability``
+            (``"sdp"`` or ``"factored"``).
     """
 
     switch: str
@@ -255,6 +393,7 @@ class ControlPathAnalysis:
     union_bound: float
     path_lower_bound: float | None
     unavailability: float
+    evaluator: str = "sdp"
 
     @property
     def availability(self) -> float:
@@ -282,6 +421,7 @@ class ControlPathAnalysis:
             "path_lower_bound": self.path_lower_bound,
             "unavailability": self.unavailability,
             "availability": self.availability,
+            "evaluator": self.evaluator,
         }
 
 
@@ -290,25 +430,33 @@ def analyze_switch(
     switch: str,
     sites: Iterable[str] | None = None,
     max_order: int | None = None,
+    evaluator: str = "auto",
 ) -> ControlPathAnalysis:
     """Full control-path analysis of one switch.
 
     ``sites`` defaults to every controller site in the graph.  With
-    ``max_order=None`` the cut/path enumeration is complete and the bracket
+    ``max_order=None`` the cut enumeration is complete and the bracket
     ``union_bound >= exact >= path_lower_bound`` is guaranteed; a bounded
     order trades the path lower bound (recorded as ``None``) and the upper
-    bound guarantee for enumeration time on larger graphs.
+    bound guarantee for enumeration time on larger graphs.  The path lower
+    bound reuses the cached graph path enumeration the exact SDP evaluator
+    compiles from, so it costs one product per path, not a dual cut-set
+    search.
     """
     resolved = _check_sites(graph, switch, sites)
+    chosen = _resolve_evaluator(evaluator)
     structure = control_path_structure(graph, switch, resolved)
     cuts = minimal_cut_sets(structure, max_order=max_order)
     ranked = rank_cut_sets(cuts, graph.unavailability_map())
     lower = (
-        path_set_lower_bound(structure, graph.availability_map())
+        _paths_lower_bound(
+            _control_path_sets_cached(graph, switch, resolved),
+            graph.availability_map(),
+        )
         if max_order is None
         else None
     )
-    exact = _exact_unavailability_cached(graph, switch, resolved)
+    exact = _exact_unavailability_cached(graph, switch, resolved, chosen)
     return ControlPathAnalysis(
         switch=switch,
         sites=resolved,
@@ -318,6 +466,7 @@ def analyze_switch(
         union_bound=union_bound(ranked),
         path_lower_bound=lower,
         unavailability=exact,
+        evaluator=chosen,
     )
 
 
@@ -328,6 +477,7 @@ def per_switch_availability(
     cluster_topology: DeploymentTopology | None = None,
     cluster_requirements: Sequence[RoleRequirement] | None = None,
     cluster_availability: Mapping[str, float] | None = None,
+    evaluator: str = "auto",
 ) -> dict[str, float]:
     """Exact control-path availability for each switch.
 
@@ -353,7 +503,12 @@ def per_switch_availability(
         )
     return {
         switch: cluster_factor
-        * (1.0 - exact_control_path_unavailability(graph, switch, sites))
+        * (
+            1.0
+            - exact_control_path_unavailability(
+                graph, switch, sites, evaluator=evaluator
+            )
+        )
         for switch in resolved_switches
     }
 

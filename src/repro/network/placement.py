@@ -2,14 +2,22 @@
 
 Choose ``k`` controller sites maximizing fleet-wide control-path
 availability (the mean exact per-switch A_CP).  Small candidate pools are
-searched exhaustively; larger pools use the classic greedy ascent with a
-*bound report*: because adding a site can only add control paths, the
-objective is monotone in the site set, so the value with **every**
-candidate active is a certified upper bound on the best achievable with
-any ``k`` — the gap between the greedy value and that bound tells the
-caller how much could possibly be left on the table (the
-submodularity-style guarantee pattern, without needing submodularity for
-validity).
+searched exhaustively; larger pools use the classic greedy ascent, and
+pools where greedy's one-site-at-a-time myopia is a concern get
+``method="local"`` — swap-based hill climbing with seeded random restarts,
+evaluating each whole swap neighborhood as **one** batched array sweep
+(:mod:`repro.network.batch`) instead of one compile per subset.  Restart
+starting points derive from :func:`repro.sim.rng.derive_seeds`, so a fixed
+``seed`` reproduces the search bit-identically regardless of restart
+count or platform.
+
+Greedy and local search both carry a *bound report*: because adding a
+site can only add control paths, the objective is monotone in the site
+set, so the value with **every** candidate active is a certified upper
+bound on the best achievable with any ``k`` — the gap between the chosen
+value and that bound tells the caller how much could possibly be left on
+the table (the submodularity-style guarantee pattern, without needing
+submodularity for validity).
 
 Every candidate evaluation emits a ``placement.candidate`` telemetry event
 through :mod:`repro.obs.telemetry`, so a live stream shows the search as
@@ -23,18 +31,30 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.errors import NetworkError
+from repro.network.batch import compile_pair_sweep
 from repro.network.graph import NetworkGraph
 from repro.network.paths import (
     exact_control_path_unavailability,
     fleet_availability,
 )
 from repro.obs import telemetry
+from repro.sim.rng import derive_seeds
 
-__all__ = ["PlacementResult", "placement_value", "optimize_placement"]
+__all__ = [
+    "PlacementResult",
+    "placement_value",
+    "optimize_placement",
+    "PLACEMENT_METHODS",
+]
 
 #: ``method="auto"`` uses exhaustive search up to this many candidate sites.
 EXACT_CANDIDATE_LIMIT = 6
+
+#: Search methods :func:`optimize_placement` accepts.
+PLACEMENT_METHODS = ("auto", "exact", "greedy", "local")
 
 
 @dataclass(frozen=True)
@@ -47,13 +67,16 @@ class PlacementResult:
         availability: fleet-wide mean A_CP of the chosen placement.
         per_switch: per-switch A_CP under the chosen placement, in graph
             switch order.
-        method: ``"exact"`` or ``"greedy"`` (after ``"auto"`` resolution).
+        method: ``"exact"``, ``"greedy"``, or ``"local"`` (after ``"auto"``
+            resolution).
         k: number of sites requested.
         candidates: the candidate pool searched.
         bound: certified upper bound on the optimal fleet A_CP — the chosen
             value itself for exact search, the all-candidates value for
-            greedy (valid by monotonicity).
+            greedy and local search (valid by monotonicity).
         evaluations: how many site subsets were evaluated.
+        restarts: local-search restart count (``None`` for other methods).
+        seed: local-search root seed (``None`` for other methods).
     """
 
     sites: tuple[str, ...]
@@ -64,6 +87,8 @@ class PlacementResult:
     candidates: tuple[str, ...]
     bound: float
     evaluations: int
+    restarts: int | None = None
+    seed: int | None = None
 
     @property
     def gap(self) -> float:
@@ -84,6 +109,8 @@ class PlacementResult:
             "bound": self.bound,
             "gap": self.gap,
             "evaluations": self.evaluations,
+            "restarts": self.restarts,
+            "seed": self.seed,
         }
 
 
@@ -110,6 +137,8 @@ def optimize_placement(
     k: int,
     candidates: Iterable[str] | None = None,
     method: str = "auto",
+    restarts: int = 4,
+    seed: int = 0,
 ) -> PlacementResult:
     """Choose ``k`` controller sites maximizing fleet-wide A_CP.
 
@@ -118,9 +147,14 @@ def optimize_placement(
         k: number of sites to place.
         candidates: candidate site names; defaults to every ``"site"`` node.
         method: ``"exact"`` (exhaustive over all k-subsets), ``"greedy"``
-            (k rounds of best marginal gain plus a monotonicity bound), or
+            (k rounds of best marginal gain plus a monotonicity bound),
+            ``"local"`` (swap hill climbing with ``restarts`` seeded random
+            starts, neighborhoods evaluated as batched array sweeps), or
             ``"auto"`` (exact up to :data:`EXACT_CANDIDATE_LIMIT`
             candidates, greedy beyond).
+        restarts: local-search restart count (``method="local"`` only).
+        seed: local-search root seed; restart starting points derive from
+            it via :func:`repro.sim.rng.derive_seeds`.
 
     Ties (equal fleet A_CP) break deterministically toward the
     lexicographically-smallest site tuple, so equal graph hashes yield
@@ -145,10 +179,12 @@ def optimize_placement(
     switches = graph.switches
     if not switches:
         raise NetworkError(f"graph {graph.name!r} has no switches to serve")
-    if method not in ("auto", "exact", "greedy"):
+    if method not in PLACEMENT_METHODS:
         raise NetworkError(
-            f"method must be 'auto', 'exact', or 'greedy', got {method!r}"
+            f"method must be one of {PLACEMENT_METHODS}, got {method!r}"
         )
+    if method == "local" and restarts < 1:
+        raise NetworkError(f"restarts must be >= 1, got {restarts}")
     if method == "auto":
         method = "exact" if len(pool) <= EXACT_CANDIDATE_LIMIT else "greedy"
 
@@ -185,7 +221,7 @@ def optimize_placement(
         assert best is not None
         bound = best_value
         chosen, chosen_value, chosen_per_switch = best, best_value, best_per_switch
-    else:
+    elif method == "greedy":
         bound, _ = evaluate(tuple(sorted(pool)))
         chosen_list: list[str] = []
         chosen_value = 0.0
@@ -205,6 +241,71 @@ def optimize_placement(
             chosen_list.append(round_best)
             chosen_value, chosen_per_switch = round_value, round_per_switch
         chosen = tuple(chosen_list)
+    else:
+        plan = compile_pair_sweep(graph, switches=switches, candidates=pool)
+
+        def evaluate_batch(
+            subsets: tuple[tuple[str, ...], ...],
+        ) -> tuple[list[float], list[dict[str, float]]]:
+            nonlocal evaluations
+            sweep = plan.evaluate(subsets)
+            fleet = sweep.fleet()
+            evaluations += len(subsets)
+            for subset, value in zip(subsets, fleet):
+                telemetry.emit(
+                    "placement.candidate",
+                    sites=list(subset),
+                    availability=float(value),
+                )
+            return (
+                [float(value) for value in fleet],
+                [sweep.per_switch_map(row) for row in range(len(subsets))],
+            )
+
+        pool_sorted = tuple(sorted(pool))
+        (bound,), _ = evaluate_batch((pool_sorted,))
+        chosen = None
+        chosen_value = -1.0
+        chosen_per_switch = {}
+        for restart, child_seed in enumerate(derive_seeds(seed, restarts)):
+            rng = np.random.default_rng(child_seed)
+            picks = rng.choice(len(pool_sorted), size=k, replace=False)
+            current = tuple(sorted(pool_sorted[i] for i in sorted(picks)))
+            (value,), (per_switch,) = evaluate_batch((current,))
+            telemetry.emit(
+                "placement.restart",
+                index=restart,
+                start=list(current),
+                availability=value,
+            )
+            while True:
+                inside = set(current)
+                neighborhood = sorted(
+                    {
+                        tuple(sorted((inside - {out}) | {new}))
+                        for out in current
+                        for new in pool_sorted
+                        if new not in inside
+                    }
+                )
+                if not neighborhood:
+                    break
+                values, per_switches = evaluate_batch(tuple(neighborhood))
+                # The neighborhood is lexicographically sorted, so the
+                # first maximum is also the deterministic tie-break.
+                step = max(range(len(values)), key=lambda i: (values[i], -i))
+                if values[step] <= value:
+                    break
+                current, value, per_switch = (
+                    neighborhood[step], values[step], per_switches[step],
+                )
+            if value > chosen_value or (
+                value == chosen_value and current < chosen
+            ):
+                chosen, chosen_value, chosen_per_switch = (
+                    current, value, per_switch,
+                )
+        assert chosen is not None
 
     result = PlacementResult(
         sites=chosen,
@@ -217,6 +318,8 @@ def optimize_placement(
         candidates=pool,
         bound=bound,
         evaluations=evaluations,
+        restarts=restarts if method == "local" else None,
+        seed=seed if method == "local" else None,
     )
     telemetry.emit(
         "placement.end",

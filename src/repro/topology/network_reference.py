@@ -28,6 +28,7 @@ __all__ = [
     "ring_network",
     "fat_tree_pod",
     "backbone_network",
+    "two_tier_network",
     "NETWORK_REFERENCE_BUILDERS",
     "reference_network",
 ]
@@ -175,11 +176,82 @@ def backbone_network() -> NetworkGraph:
     )
 
 
+def two_tier_network(
+    regions: int = 6, switches_per_region: int = 1
+) -> NetworkGraph:
+    """A two-tier national topology: six-core ring + regional agg pairs.
+
+    Core routers ``C1..C6`` form a ring; controller sites ``CTRL-A`` /
+    ``CTRL-B`` attach to the diagonally-opposite cores ``C1`` / ``C4``.
+    Region ``r`` spans ring edge ``r``: its aggregation pair ``A{r}a`` /
+    ``A{r}b`` dual-homes into the edge's two core routers, and every
+    access switch dual-homes into the pair — so each region's switches are
+    also a *bypass* of that ring edge for everyone else's control paths.
+    Correlated failures ride two SRG kinds: the east and west halves of
+    the core ring each share a long-haul conduit, and each region's two
+    uplinks share a regional duct — the looks-redundant-but-isn't
+    structure of :func:`fat_tree_pod`, at backbone scale.
+
+    The default (6 regions x 1 switch) is the **~60-element reference
+    graph**: 26 nodes + 32 links + 8 SRGs = 66 elements.  Complete cut-set
+    enumeration (and path enumeration via the dual) is infeasible here —
+    the subset search is exponential in the ~50 elements that survive
+    pruning — and so is the Shannon-factored evaluator; the
+    sum-of-disjoint-products evaluator
+    (:func:`repro.network.paths.control_path_sdp`) is the intended exact
+    path.  The smallest instance (``regions=1``, 26 elements) stays inside
+    the factored evaluator's reach and pins SDP == factored in the test
+    wall.
+    """
+    if regions < 1:
+        raise TopologyError(f"two-tier needs >= 1 region, got {regions}")
+    if switches_per_region < 1:
+        raise TopologyError(
+            f"two-tier needs >= 1 switch per region, got {switches_per_region}"
+        )
+    cores = 6
+    nodes = [_site("CTRL-A"), _site("CTRL-B")]
+    nodes += [_router(f"C{i}") for i in range(1, cores + 1)]
+    srgs = [
+        SharedRiskGroup("SRG-EAST", availability=SRG_AVAILABILITY),
+        SharedRiskGroup("SRG-WEST", availability=SRG_AVAILABILITY),
+    ]
+    links = []
+    for i in range(1, cores + 1):
+        conduit = "SRG-EAST" if i <= cores // 2 else "SRG-WEST"
+        links.append(
+            _link(f"LB{i}", f"C{i}", f"C{i % cores + 1}", srg=conduit)
+        )
+    links.append(_link("LS1", "CTRL-A", "C1"))
+    links.append(_link("LS2", "CTRL-B", "C4"))
+    for r in range(1, regions + 1):
+        agg_a, agg_b = f"A{r}a", f"A{r}b"
+        core_a = f"C{(r - 1) % cores + 1}"
+        core_b = f"C{r % cores + 1}"
+        nodes.append(_router(agg_a))
+        nodes.append(_router(agg_b))
+        srgs.append(SharedRiskGroup(f"SRG-R{r}", availability=SRG_AVAILABILITY))
+        links.append(_link(f"LU{r}a", agg_a, core_a, srg=f"SRG-R{r}"))
+        links.append(_link(f"LU{r}b", agg_b, core_b, srg=f"SRG-R{r}"))
+        for i in range(1, switches_per_region + 1):
+            switch = f"S{r}{i}"
+            nodes.append(_switch(switch))
+            links.append(_link(f"LA{r}{i}a", switch, agg_a))
+            links.append(_link(f"LA{r}{i}b", switch, agg_b))
+    return NetworkGraph(
+        name=f"two-tier-{regions}x{switches_per_region}",
+        nodes=tuple(nodes),
+        links=tuple(links),
+        srgs=tuple(srgs),
+    )
+
+
 NETWORK_REFERENCE_BUILDERS = {
     "line": line_network,
     "ring": ring_network,
     "fat_tree": fat_tree_pod,
     "backbone": backbone_network,
+    "two_tier": two_tier_network,
 }
 
 

@@ -1,0 +1,202 @@
+"""Batched (switch, site-set) sweeps against per-pair scalar evaluation.
+
+One compiled :class:`~repro.network.batch.PairSweepPlan` must reproduce
+:func:`repro.network.paths.exact_control_path_unavailability` for every
+(switch, site subset) pair at 1e-12 — including subsets where a control
+path *transits* an unchosen candidate site, the case the virtual
+``ctrl@`` indicator elements exist for.  Also pins the availability
+override path, the fleet objective, and the input validation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    NetworkGraph,
+    NetworkLink,
+    NetworkNode,
+    compile_pair_sweep,
+    exact_control_path_unavailability,
+    sweep_site_sets,
+)
+from repro.network.batch import CTRL_PREFIX, indicator_path_sets
+from repro.topology.network_reference import (
+    backbone_network,
+    fat_tree_pod,
+    ring_network,
+)
+
+TOL = 1e-12
+
+
+def transit_chain() -> NetworkGraph:
+    """S - A - B: reaching candidate B requires transiting candidate A."""
+    return NetworkGraph(
+        name="transit-chain",
+        nodes=(
+            NetworkNode("A", kind="site", availability=0.9),
+            NetworkNode("B", kind="site", availability=0.8),
+            NetworkNode("S", availability=0.95),
+        ),
+        links=(
+            NetworkLink("LSA", "S", "A", availability=0.99),
+            NetworkLink("LAB", "A", "B", availability=0.98),
+        ),
+    )
+
+
+def all_site_subsets(pool):
+    return [
+        subset
+        for size in range(1, len(pool) + 1)
+        for subset in itertools.combinations(pool, size)
+    ]
+
+
+class TestAgreementWithScalarEvaluator:
+    @pytest.mark.parametrize(
+        "builder", [backbone_network, fat_tree_pod, ring_network]
+    )
+    def test_every_pair_matches_exact(self, builder):
+        graph = builder()
+        plan = compile_pair_sweep(graph)
+        subsets = all_site_subsets(plan.candidates)
+        result = plan.evaluate(subsets)
+        for row, sites in enumerate(subsets):
+            for column, switch in enumerate(plan.switches):
+                expected = 1.0 - exact_control_path_unavailability(
+                    graph, switch, sites
+                )
+                assert result.availability[row, column] == pytest.approx(
+                    expected, abs=TOL
+                ), (sites, switch)
+
+    def test_transit_through_unchosen_candidate(self):
+        graph = transit_chain()
+        plan = compile_pair_sweep(graph)
+        result = plan.evaluate([("A",), ("B",), ("A", "B")])
+        for row, sites in enumerate([("A",), ("B",), ("A", "B")]):
+            expected = 1.0 - exact_control_path_unavailability(
+                graph, "S", sites
+            )
+            assert result.availability[row, 0] == pytest.approx(
+                expected, abs=TOL
+            ), sites
+        # Choosing only B really does route through A's node.
+        only_a = result.availability[0, 0]
+        only_b = result.availability[1, 0]
+        assert only_b < only_a
+
+    def test_indicator_paths_carry_ctrl_elements(self):
+        graph = transit_chain()
+        paths = indicator_path_sets(graph, "S", ("A", "B"))
+        indicators = {
+            name
+            for path in paths
+            for name in path
+            if name.startswith(CTRL_PREFIX)
+        }
+        assert indicators == {"ctrl@A", "ctrl@B"}
+        # The B-terminating path transits A's node but not A's indicator.
+        to_b = [path for path in paths if "ctrl@B" in path]
+        assert to_b and all("A" in path for path in to_b)
+        assert all("ctrl@A" not in path for path in to_b)
+
+
+class TestAvailabilityOverride:
+    def test_override_matches_rebuilt_graph(self):
+        graph = backbone_network()
+        plan = compile_pair_sweep(graph)
+        subsets = [("CTRL1",), ("CTRL1", "CTRL2")]
+        overridden = plan.evaluate(
+            subsets, availability={"LB2": 0.7, "R3": 0.9}
+        )
+        rebuilt = NetworkGraph(
+            name=graph.name,
+            nodes=tuple(
+                node if node.name != "R3" else NetworkNode(
+                    "R3", kind=node.kind, availability=0.9
+                )
+                for node in graph.nodes
+            ),
+            links=tuple(
+                link if link.name != "LB2" else NetworkLink(
+                    "LB2", link.a, link.b, availability=0.7, srg=link.srg
+                )
+                for link in graph.links
+            ),
+            srgs=graph.srgs,
+        )
+        for row, sites in enumerate(subsets):
+            for column, switch in enumerate(plan.switches):
+                expected = 1.0 - exact_control_path_unavailability(
+                    rebuilt, switch, sites
+                )
+                assert overridden.availability[row, column] == (
+                    pytest.approx(expected, abs=TOL)
+                )
+
+    def test_unknown_override_element_rejected(self):
+        plan = compile_pair_sweep(backbone_network())
+        with pytest.raises(NetworkError, match="no element"):
+            plan.evaluate([("CTRL1",)], availability={"ghost": 0.5})
+
+
+class TestResultSurface:
+    def test_fleet_is_mean_over_switches(self):
+        plan = compile_pair_sweep(backbone_network())
+        result = plan.evaluate([("CTRL1", "CTRL2")])
+        assert result.fleet()[0] == pytest.approx(
+            float(result.availability[0].mean()), abs=TOL
+        )
+
+    def test_per_switch_map_and_to_dict(self):
+        plan = compile_pair_sweep(backbone_network())
+        result = plan.evaluate([("CTRL2",)])
+        mapped = result.per_switch_map(0)
+        assert set(mapped) == set(plan.switches)
+        payload = result.to_dict()
+        assert payload["switches"] == list(plan.switches)
+        assert payload["site_sets"] == [["CTRL2"]]
+        assert payload["fleet"][0] == pytest.approx(
+            result.fleet()[0], abs=TOL
+        )
+
+    def test_sweep_site_sets_defaults_pool_to_union(self):
+        graph = backbone_network()
+        result = sweep_site_sets(graph, [("CTRL2",), ("CTRL1", "CTRL2")])
+        assert result.site_sets == (("CTRL2",), ("CTRL1", "CTRL2"))
+        expected = 1.0 - exact_control_path_unavailability(
+            graph, "SW1", ("CTRL2",)
+        )
+        assert result.availability[0, 0] == pytest.approx(expected, abs=TOL)
+
+
+class TestValidation:
+    def test_unknown_site_in_subset_rejected(self):
+        plan = compile_pair_sweep(backbone_network())
+        with pytest.raises(NetworkError, match="not in the compiled"):
+            plan.evaluate([("R1",)])
+
+    def test_empty_and_duplicate_subsets_rejected(self):
+        plan = compile_pair_sweep(backbone_network())
+        with pytest.raises(NetworkError, match="non-empty"):
+            plan.evaluate([()])
+        with pytest.raises(NetworkError, match="duplicate"):
+            plan.evaluate([("CTRL1", "CTRL1")])
+        with pytest.raises(NetworkError, match="at least one site set"):
+            plan.evaluate([])
+
+    def test_switch_in_candidate_pool_rejected(self):
+        with pytest.raises(NetworkError, match="cannot also be"):
+            compile_pair_sweep(
+                backbone_network(), candidates=("CTRL1", "SW1")
+            )
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(NetworkError, match="no node"):
+            compile_pair_sweep(backbone_network(), candidates=("ghost",))

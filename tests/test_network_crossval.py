@@ -1,18 +1,24 @@
 """Cross-validation wall for the network control-path subsystem.
 
-Four independent evaluators exist for the same predicate — the Shannon
-factored evaluator, brute-force structure enumeration, inclusion-exclusion
-over the minimal cut sets, and the cut/path union bounds.  This suite
-generates random connected graphs (spanning tree plus chords, stressed
-element availabilities, optional shared-risk group) and requires:
+Five independent evaluators exist for the same predicate — the
+sum-of-disjoint-products kernel, the Shannon factored evaluator,
+brute-force structure enumeration, inclusion-exclusion over the minimal
+cut sets, and the cut/path union bounds.  This suite generates random
+connected graphs (spanning tree plus chords, stressed element
+availabilities, optional shared-risk group) and requires:
 
 * the bracket ``union_bound >= exact >= path_lower_bound`` on every fully
   enumerated graph;
-* 1e-12 agreement between factored evaluation and brute-force enumeration,
-  and 1e-9 agreement with cut-set inclusion-exclusion;
+* 1e-12 agreement between the SDP and factored evaluators, between
+  factored evaluation and brute-force enumeration, and 1e-9 agreement
+  with cut-set inclusion-exclusion;
+* the batched pair sweep reproducing the scalar evaluator on every
+  (switch, site subset) pair;
 * placement exactness — ``auto`` resolves to exhaustive search at <= 6
   candidates and matches an independent brute force (value and
-  tie-breaking), greedy never exceeds its certified monotonicity bound.
+  tie-breaking), greedy and local search never exceed their certified
+  monotonicity bounds, and local search is bit-identical for a fixed
+  seed.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.network import (
     NetworkNode,
     SharedRiskGroup,
     analyze_switch,
+    compile_pair_sweep,
     optimize_placement,
 )
 from repro.network.paths import (
@@ -128,6 +135,44 @@ class TestEvaluatorAgreement:
             graph.unavailability_map(),
         )
         assert via_cuts == pytest.approx(analysis.unavailability, abs=IE_TOL)
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_sdp_matches_factored_evaluator(self, graph):
+        switch = graph.switches[-1]
+        via_sdp = exact_control_path_unavailability(
+            graph, switch, evaluator="sdp"
+        )
+        via_factored = exact_control_path_unavailability(
+            graph, switch, evaluator="factored"
+        )
+        assert via_sdp == pytest.approx(via_factored, abs=TOL)
+        # The default exact number sits inside the analysis bracket.
+        analysis = analyze_switch(graph, switch)
+        assert analysis.evaluator == "sdp"
+        assert analysis.union_bound >= via_sdp - TOL
+        assert via_sdp >= analysis.path_lower_bound - TOL
+
+    @given(graph=connected_graphs(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_batched_sweep_matches_scalar_pairs(self, graph, data):
+        pool = graph.sites
+        assume(len(pool) >= 1)
+        plan = compile_pair_sweep(graph)
+        subsets = [
+            subset
+            for size in range(1, len(pool) + 1)
+            for subset in itertools.combinations(sorted(pool), size)
+        ]
+        result = plan.evaluate(subsets)
+        for row, sites in enumerate(subsets):
+            for column, switch in enumerate(plan.switches):
+                expected = 1.0 - exact_control_path_unavailability(
+                    graph, switch, sites
+                )
+                assert result.availability[row, column] == pytest.approx(
+                    expected, abs=TOL
+                ), (sites, switch)
 
     @given(graph=connected_graphs())
     @settings(max_examples=30, deadline=None)
@@ -232,6 +277,44 @@ class TestPlacementExactness:
         everything = optimize_placement(graph, k=len(pool), method="exact")
         assert everything.availability >= one.availability - TOL
 
+    @given(graph=connected_graphs(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_local_search_respects_bound_and_reaches_optimum(
+        self, graph, data
+    ):
+        assume(len(graph.sites) >= 1)
+        k = data.draw(
+            st.integers(min_value=1, max_value=len(graph.sites)), label="k"
+        )
+        local = optimize_placement(
+            graph, k=k, method="local", restarts=3, seed=19
+        )
+        assert local.method == "local"
+        assert local.restarts == 3 and local.seed == 19
+        assert local.availability <= local.bound + TOL
+        _, optimum = _brute_force(graph, k)
+        assert optimum <= local.bound + TOL
+        assert local.availability <= optimum + TOL
+        # On these tiny pools every restart climbs to the global optimum.
+        assert local.availability == pytest.approx(optimum, abs=TOL)
+
+    @given(graph=connected_graphs(), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_local_search_is_deterministic_for_fixed_seed(
+        self, graph, data
+    ):
+        assume(len(graph.sites) >= 1)
+        k = data.draw(
+            st.integers(min_value=1, max_value=len(graph.sites)), label="k"
+        )
+        first = optimize_placement(
+            graph, k=k, method="local", restarts=2, seed=7
+        )
+        second = optimize_placement(
+            graph, k=k, method="local", restarts=2, seed=7
+        )
+        assert first == second
+
     def test_invalid_method_and_k_rejected(self):
         graph = NetworkGraph(
             name="tiny",
@@ -244,3 +327,5 @@ class TestPlacementExactness:
             optimize_placement(graph, k=2)
         with pytest.raises(NetworkError, match="no node"):
             optimize_placement(graph, k=1, candidates=("ghost",))
+        with pytest.raises(NetworkError, match="restarts must be"):
+            optimize_placement(graph, k=1, method="local", restarts=0)

@@ -37,9 +37,11 @@ class TestPublicApi:
             "repro.analysis",
             "repro.reporting",
             "repro.faults",
+            "repro.core.sdp",
             "repro.network",
             "repro.network.graph",
             "repro.network.paths",
+            "repro.network.batch",
             "repro.network.placement",
             "repro.network.campaign",
             "repro.topology.network_reference",
@@ -70,7 +72,9 @@ class TestPublicApi:
             "repro.sim.batched",
             "repro.analysis",
             "repro.faults",
+            "repro.core.sdp",
             "repro.network",
+            "repro.network.batch",
             "repro.obs",
             "repro.obs.telemetry",
             "repro.obs.forensics",
