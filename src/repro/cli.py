@@ -659,7 +659,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print("obs tail requires a telemetry file", file=sys.stderr)
             return 2
         counts: dict[str, int] = {}
-        if args.follow:
+        if args.file.startswith(("http://", "https://")):
+            # SSE mode: connect to a running server's /v1/events (or a
+            # job's /v1/jobs/<id>/events) and stream until the server
+            # closes the stream, Ctrl-C, or --idle-timeout.
+            try:
+                for event in telemetry.follow_sse(
+                    args.file, idle_timeout=args.idle_timeout
+                ):
+                    kind = event.get("kind", "?")
+                    counts[kind] = counts.get(kind, 0) + 1
+                    print(telemetry.render_event(event), flush=True)
+            except KeyboardInterrupt:
+                pass
+        elif args.follow:
             # Live mode: arrival order, surviving file rotation, until
             # Ctrl-C (or --idle-timeout seconds without a new event).
             try:
@@ -725,6 +738,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import AdmissionPolicy, ServeApp, ServeConfig
 
+    if args.action == "loadtest":
+        return _cmd_serve_loadtest(args)
+
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -758,7 +774,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return asyncio.run(run())
+    # The SSE endpoints stream whatever telemetry bus is active; without
+    # --telemetry, run an empty-sink bus so /v1/events works out of the box
+    # (events fan out to connected clients and go nowhere else).
+    own_bus = not telemetry.enabled()
+    if own_bus:
+        telemetry.start([])
+    try:
+        return asyncio.run(run())
+    finally:
+        if own_bus:
+            telemetry.stop()
+
+
+def _cmd_serve_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadtest import LoadtestConfig, run_loadtest
+
+    config = LoadtestConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        rate=args.rate,
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    report = asyncio.run(run_loadtest(config))
+    summary = report.summary()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    failures = []
+    if report.transport_errors:
+        failures.append(f"{report.transport_errors} transport error(s)")
+    if report.server_errors:
+        failures.append(f"{report.server_errors} 5xx response(s)")
+    coverage = report.coverage()
+    if args.check_coverage:
+        if coverage is None:
+            failures.append("attribution coverage unavailable (no /v1/stats)")
+        elif abs(coverage - 1.0) > args.coverage_tolerance:
+            failures.append(
+                f"attribution coverage {coverage:.4f} outside "
+                f"1±{args.coverage_tolerance}"
+            )
+    if failures:
+        print("loadtest FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -1070,8 +1137,11 @@ def build_parser() -> argparse.ArgumentParser:
         "file",
         nargs="?",
         default=None,
-        metavar="FILE.jsonl",
-        help="telemetry file for 'tail'",
+        metavar="FILE.jsonl|URL",
+        help=(
+            "telemetry file for 'tail', or an http(s) SSE URL "
+            "(a server's /v1/events) to stream live"
+        ),
     )
     sub.add_argument(
         "--manifest",
@@ -1102,7 +1172,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help=(
             "run the availability service: cached analytic queries, "
-            "micro-batching, campaign job queue, OpenMetrics"
+            "micro-batching, campaign job queue, OpenMetrics, live SSE "
+            "('serve loadtest' drives a running server)"
+        ),
+    )
+    sub.add_argument(
+        "action",
+        nargs="?",
+        choices=("run", "loadtest"),
+        default="run",
+        help=(
+            "'run' (default) starts the server; 'loadtest' drives "
+            "open-loop multi-tenant traffic against a running one"
         ),
     )
     sub.add_argument("--host", default="127.0.0.1")
@@ -1144,6 +1225,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE.jsonl",
         help="stream serve.* lifecycle and metrics events to this JSONL file",
+    )
+    sub.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="with 'loadtest': number of requests in the plan",
+    )
+    sub.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="with 'loadtest': offered arrivals per second (open loop)",
+    )
+    sub.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="with 'loadtest': distinct tenant identities in the mix",
+    )
+    sub.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="with 'loadtest': seed for the deterministic request plan",
+    )
+    sub.add_argument(
+        "--json",
+        default=None,
+        help="with 'loadtest': also write the report here",
+    )
+    sub.add_argument(
+        "--check-coverage",
+        action="store_true",
+        help=(
+            "with 'loadtest': fail unless attribution segments sum to the "
+            "request-latency total within --coverage-tolerance"
+        ),
+    )
+    sub.add_argument(
+        "--coverage-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed |coverage - 1| for --check-coverage (default 0.05)",
     )
     sub.set_defaults(handler=_cmd_serve)
 

@@ -46,6 +46,7 @@ from repro.obs.runtime import (
     stop,
     traced,
 )
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     AggregatorSink,
@@ -54,17 +55,27 @@ from repro.obs.telemetry import (
     PrometheusSink,
     ProgressTracker,
     TelemetryBus,
+    follow_sse,
     read_events,
     render_event,
     render_openmetrics,
 )
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    current_trace,
+    trace_scope,
+)
 from repro.obs.export import render_manifest, summarize_spans
 
 __all__ = [
     # trace
     "Span",
     "Tracer",
+    "TraceContext",
+    "current_trace",
+    "trace_scope",
     # metrics
     "Counter",
     "Gauge",
@@ -98,9 +109,13 @@ __all__ = [
     "AggregatorSink",
     "PrometheusSink",
     "ProgressTracker",
+    "follow_sse",
     "read_events",
     "render_event",
     "render_openmetrics",
+    # slo
+    "SLOConfig",
+    "SLOTracker",
     # export
     "render_manifest",
     "summarize_spans",

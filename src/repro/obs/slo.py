@@ -1,0 +1,232 @@
+"""Rolling-window SLO tracking: availability, latency, error-budget burn.
+
+The serving layer's reliability is judged the way the paper judges
+controller deployments — against explicit objectives, not vibes.  An
+:class:`SLOTracker` holds two objectives over one sliding window:
+
+* **availability** — the fraction of requests answered without a server
+  error (5xx) must be at least ``availability_target``;
+* **latency** — at least ``latency_quantile_target`` of requests must
+  finish within ``latency_target_seconds`` (a percentile objective in the
+  Sakic & Kellerer sense: response time is a first-class reliability
+  measure next to uptime).
+
+Each objective's **error budget** for the window is ``1 - target``: the
+fraction of requests *allowed* to be bad.  The **burn rate** is the
+observed bad fraction divided by that budget — burn rate 1.0 consumes the
+budget exactly as fast as it accrues, 2.0 exhausts it in half a window,
+and anything sustained above 1.0 means the objective will be violated.
+``budget_remaining`` is ``1 - burn_rate`` (negative once the objective is
+already out of compliance over the window).
+
+The window is a ring of ``buckets`` fixed-width time buckets advanced
+lazily against an injectable monotonic clock, so recording is O(1), a
+snapshot is O(buckets), and the tests can drive hand-computed windows
+with a fake clock.  Totals cover at most ``window_seconds`` of history
+and at least ``window_seconds - window_seconds/buckets`` (the oldest
+bucket retires whole).
+
+:class:`repro.serve.app.ServeApp` records every request, exports the
+snapshot as gauges in ``/metrics`` and a ``slo`` section in ``/v1/stats``,
+and emits ``serve.slo.snapshot`` / ``serve.slo.breach`` /
+``serve.slo.recovered`` telemetry events.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_WINDOW_SECONDS",
+    "SLOConfig",
+    "SLOTracker",
+]
+
+#: Default sliding-window width (one hour of traffic).
+DEFAULT_WINDOW_SECONDS = 3600.0
+
+#: Default ring granularity: 60 buckets -> one-minute resolution.
+DEFAULT_BUCKETS = 60
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objectives one :class:`SLOTracker` enforces."""
+
+    name: str = "serve"
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    buckets: int = DEFAULT_BUCKETS
+    availability_target: float = 0.999
+    latency_target_seconds: float = 0.25
+    latency_quantile_target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ParameterError(
+                f"window_seconds must be > 0, got {self.window_seconds}"
+            )
+        if self.buckets < 1:
+            raise ParameterError(
+                f"buckets must be >= 1, got {self.buckets}"
+            )
+        for field_name in ("availability_target", "latency_quantile_target"):
+            value = getattr(self, field_name)
+            if not 0.0 < value < 1.0:
+                raise ParameterError(
+                    f"{field_name} must be in (0, 1), got {value}"
+                )
+        if self.latency_target_seconds <= 0:
+            raise ParameterError(
+                "latency_target_seconds must be > 0, got "
+                f"{self.latency_target_seconds}"
+            )
+
+
+class _RollingCounts:
+    """Good/bad counts over a ring of fixed-width time buckets."""
+
+    __slots__ = ("bucket_seconds", "_good", "_bad", "_position", "_count")
+
+    def __init__(self, window_seconds: float, buckets: int):
+        self.bucket_seconds = window_seconds / buckets
+        self._good = [0] * buckets
+        self._bad = [0] * buckets
+        # Absolute bucket index (now // bucket_seconds) the ring head is
+        # aligned to; advancing zeroes the buckets rotated past.
+        self._position: int | None = None
+        self._count = buckets
+
+    def _advance(self, now: float) -> int:
+        position = int(now // self.bucket_seconds)
+        if self._position is None:
+            self._position = position
+        elif position > self._position:
+            steps = min(position - self._position, self._count)
+            for step in range(1, steps + 1):
+                slot = (self._position + step) % self._count
+                self._good[slot] = 0
+                self._bad[slot] = 0
+            self._position = position
+        return self._position % self._count
+
+    def record(self, good: bool, now: float) -> None:
+        slot = self._advance(now)
+        if good:
+            self._good[slot] += 1
+        else:
+            self._bad[slot] += 1
+
+    def totals(self, now: float) -> tuple[int, int]:
+        self._advance(now)
+        return sum(self._good), sum(self._bad)
+
+
+class SLOTracker:
+    """Two rolling objectives (availability, latency) over one window."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._availability = _RollingCounts(
+            self.config.window_seconds, self.config.buckets
+        )
+        self._latency = _RollingCounts(
+            self.config.window_seconds, self.config.buckets
+        )
+        self.recorded = 0
+
+    def record(self, ok: bool, latency_seconds: float) -> None:
+        """Record one finished request.
+
+        ``ok`` is the availability verdict (no server error); the latency
+        verdict is derived from ``latency_seconds`` against the target.
+        """
+        now = self._clock()
+        self._availability.record(bool(ok), now)
+        self._latency.record(
+            latency_seconds <= self.config.latency_target_seconds, now
+        )
+        self.recorded += 1
+
+    @staticmethod
+    def _objective(
+        good: int, bad: int, target: float
+    ) -> dict[str, Any]:
+        total = good + bad
+        ratio = good / total if total else 1.0
+        budget = 1.0 - target
+        bad_fraction = bad / total if total else 0.0
+        burn_rate = bad_fraction / budget
+        return {
+            "target": target,
+            "good": good,
+            "bad": bad,
+            "ratio": ratio,
+            "burn_rate": burn_rate,
+            "budget_remaining": 1.0 - burn_rate,
+            "compliant": ratio >= target,
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON-serializable state of both objectives right now."""
+        now = self._clock()
+        availability = self._objective(
+            *self._availability.totals(now),
+            self.config.availability_target,
+        )
+        latency = self._objective(
+            *self._latency.totals(now),
+            self.config.latency_quantile_target,
+        )
+        latency["target_seconds"] = self.config.latency_target_seconds
+        return {
+            "name": self.config.name,
+            "window_seconds": self.config.window_seconds,
+            "recorded": self.recorded,
+            "availability": availability,
+            "latency": latency,
+        }
+
+    def compliance(self) -> dict[str, bool]:
+        """``{"availability": bool, "latency": bool}`` for the window."""
+        now = self._clock()
+        good_a, bad_a = self._availability.totals(now)
+        good_l, bad_l = self._latency.totals(now)
+
+        def ok(good: int, bad: int, target: float) -> bool:
+            total = good + bad
+            return total == 0 or good / total >= target
+
+        return {
+            "availability": ok(
+                good_a, bad_a, self.config.availability_target
+            ),
+            "latency": ok(
+                good_l, bad_l, self.config.latency_quantile_target
+            ),
+        }
+
+    def gauges(self, prefix: str = "serve.slo") -> dict[str, float]:
+        """Snapshot flattened to gauge values for a metrics registry."""
+        snapshot = self.snapshot()
+        values: dict[str, float] = {}
+        for objective in ("availability", "latency"):
+            record = snapshot[objective]
+            values[f"{prefix}.{objective}.ratio"] = record["ratio"]
+            values[f"{prefix}.{objective}.burn_rate"] = record["burn_rate"]
+            values[f"{prefix}.{objective}.budget_remaining"] = record[
+                "budget_remaining"
+            ]
+            values[f"{prefix}.{objective}.compliant"] = float(
+                record["compliant"]
+            )
+        return values

@@ -31,12 +31,15 @@ the *parent* out of worker-side data riding the existing
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
+from urllib.parse import urlsplit
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import HISTOGRAM_BUCKET_BOUNDS
@@ -52,7 +55,10 @@ __all__ = [
     "render_openmetrics",
     "read_events",
     "follow_events",
+    "follow_sse",
     "render_event",
+    "scope",
+    "scope_fields",
     "start",
     "stop",
     "active",
@@ -318,6 +324,37 @@ class PrometheusSink:
         return None
 
 
+#: Ambient fields merged into every event emitted within a
+#: :func:`scope` — how the serving layer stamps ``trace_id``/``job_id``
+#: onto events emitted deep inside campaign code without threading the ids
+#: through every call signature.  A :class:`~contextvars.ContextVar`, so
+#: scopes follow ``await`` chains and ``asyncio.to_thread`` hops.
+_SCOPE_FIELDS: ContextVar[tuple[tuple[str, Any], ...]] = ContextVar(
+    "telemetry_scope_fields", default=()
+)
+
+
+@contextlib.contextmanager
+def scope(**fields: Any) -> Iterator[None]:
+    """Merge ``fields`` into every event emitted within the body.
+
+    Scopes nest (inner values win on key collision) and explicit
+    ``emit(...)`` fields win over scoped ones.  The scope is ambient
+    context-local state: it costs one ContextVar set/reset regardless of
+    whether a bus is active, and nothing while no event is emitted.
+    """
+    token = _SCOPE_FIELDS.set(_SCOPE_FIELDS.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _SCOPE_FIELDS.reset(token)
+
+
+def scope_fields() -> dict[str, Any]:
+    """The ambient fields the current :func:`scope` stack would stamp."""
+    return dict(_SCOPE_FIELDS.get())
+
+
 class TelemetryBus:
     """Fan-out of structured events to the attached sinks.
 
@@ -348,6 +385,7 @@ class TelemetryBus:
         self._lock = threading.Lock()
 
     def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        scoped = _SCOPE_FIELDS.get()
         with self._lock:
             event = {
                 "schema": TELEMETRY_SCHEMA_VERSION,
@@ -356,11 +394,24 @@ class TelemetryBus:
                 "t": time.time(),
                 "kind": kind,
             }
+            for key, value in scoped:
+                event[key] = value
             event.update(fields)
             self._seq += 1
             for sink in self.sinks:
                 sink.emit(event)
         return event
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach ``sink`` to a live bus (e.g. an SSE fan-out hub)."""
+        with self._lock:
+            if sink not in self.sinks:
+                self.sinks = self.sinks + (sink,)
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach ``sink`` without closing it (no-op when absent)."""
+        with self._lock:
+            self.sinks = tuple(s for s in self.sinks if s is not sink)
 
     def close(self) -> None:
         for sink in self.sinks:
@@ -458,6 +509,8 @@ def follow_events(
     kinds: Iterable[str] | None = None,
     poll_seconds: float = 0.2,
     idle_timeout: float | None = None,
+    max_poll_seconds: float = 2.0,
+    backoff: float = 2.0,
     _sleep: Callable[[float], None] = time.sleep,
 ) -> Iterator[dict[str, Any]]:
     """Yield events from a *live* telemetry JSONL file as they are written.
@@ -466,12 +519,20 @@ def follow_events(
     yielded first (in file order — a live stream cannot be re-sorted, but
     each event's ``(run, seq)`` stamp still totally orders the combined
     stream for consumers, the same contract appended start/stop cycles
-    rely on), then the follower polls every ``poll_seconds`` for appended
-    lines.  :class:`JsonlSink` shift-rotation is survived: when the path's
+    rely on), then the follower polls for appended lines.
+    :class:`JsonlSink` shift-rotation is survived: when the path's
     inode changes (or the file shrinks), the old handle is drained to its
     end first — nothing written just before the rename is lost — and the
     follower reopens at the start of the fresh file, whose bus continues
     the rotated stream's run-id sequence.
+
+    Polling backs off exponentially while the file is quiet:
+    ``poll_seconds`` is the floor (the first idle wait, and the interval
+    restored the moment an event or a rotation is seen), each further idle
+    wait multiplies by ``backoff`` up to ``max_poll_seconds`` — a dormant
+    overnight stream costs a stat every couple of seconds instead of five
+    per second, while an active stream is still tailed at the floor
+    latency.  ``backoff=1.0`` restores fixed-interval polling.
 
     ``idle_timeout`` bounds how long to wait with no new data before
     returning (``None`` follows forever, until the consumer stops
@@ -483,11 +544,19 @@ def follow_events(
         raise ObservabilityError(
             f"poll_seconds must be > 0, got {poll_seconds}"
         )
+    if max_poll_seconds < poll_seconds:
+        raise ObservabilityError(
+            f"max_poll_seconds ({max_poll_seconds}) must be >= "
+            f"poll_seconds ({poll_seconds})"
+        )
+    if backoff < 1.0:
+        raise ObservabilityError(f"backoff must be >= 1.0, got {backoff}")
     wanted = set(kinds) if kinds is not None else None
     target = Path(path)
     handle = None
     buffer = b""
     idle = 0.0
+    delay = poll_seconds
     try:
         while True:
             if handle is None:
@@ -533,14 +602,101 @@ def follow_events(
                 yield event
             if progressed or rotated:
                 idle = 0.0
+                delay = poll_seconds
                 continue
             if idle_timeout is not None and idle >= idle_timeout:
                 return
-            _sleep(poll_seconds)
-            idle += poll_seconds
+            _sleep(delay)
+            idle += delay
+            delay = min(delay * backoff, max_poll_seconds)
     finally:
         if handle is not None:
             handle.close()
+
+
+def follow_sse(
+    url: str,
+    kinds: Iterable[str] | None = None,
+    idle_timeout: float | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield telemetry events from a live server-sent-events stream.
+
+    The HTTP counterpart of :func:`follow_events`: point it at a running
+    service's ``/v1/events`` firehose (or a ``/v1/jobs/<id>/events`` job
+    stream) and it yields the same schema-versioned event dicts a
+    :class:`JsonlSink` would record — each SSE frame's ``data:`` payload
+    *is* the JSONL line.  Comment frames (``: keepalive`` heartbeats) are
+    skipped.  Stdlib only (``http.client`` dechunks the stream).
+
+    ``idle_timeout`` bounds how long to block with no bytes from the
+    server before returning (the server's heartbeat interval counts as
+    activity); ``None`` follows until the server closes the stream.
+    """
+    import http.client
+
+    split = urlsplit(url)
+    if split.scheme not in ("http", "https"):
+        raise ObservabilityError(
+            f"follow_sse needs an http(s):// URL, got {url!r}"
+        )
+    if not split.hostname:
+        raise ObservabilityError(f"URL {url!r} has no host")
+    connection_type = (
+        http.client.HTTPSConnection
+        if split.scheme == "https"
+        else http.client.HTTPConnection
+    )
+    connection = connection_type(
+        split.hostname,
+        split.port or (443 if split.scheme == "https" else 80),
+        timeout=idle_timeout,
+    )
+    wanted = set(kinds) if kinds is not None else None
+    target = split.path or "/"
+    if split.query:
+        target += f"?{split.query}"
+    try:
+        connection.request(
+            "GET", target, headers={"Accept": "text/event-stream"}
+        )
+        response = connection.getresponse()
+        if response.status != 200:
+            body = response.read(4096).decode("utf-8", errors="replace")
+            raise ObservabilityError(
+                f"SSE stream {url!r} answered {response.status}: "
+                f"{body[:200]}"
+            )
+        data_lines: list[str] = []
+        while True:
+            try:
+                raw = response.readline()
+            except TimeoutError:
+                return
+            if not raw:
+                return  # server closed the stream
+            line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+            if not line:  # blank line terminates one SSE frame
+                if data_lines:
+                    text, data_lines = "\n".join(data_lines), []
+                    try:
+                        event = json.loads(text)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(event, dict):
+                        continue
+                    if wanted is not None and event.get("kind") not in wanted:
+                        continue
+                    yield event
+                continue
+            if line.startswith(":"):
+                continue  # heartbeat/comment
+            name, _, value = line.partition(":")
+            if value.startswith(" "):
+                value = value[1:]
+            if name == "data":
+                data_lines.append(value)
+    finally:
+        connection.close()
 
 
 def render_event(event: Mapping[str, Any]) -> str:

@@ -45,6 +45,7 @@ from repro.errors import ParameterError
 from repro.models.hw_closed import hw_large, hw_medium, hw_small
 from repro.obs import runtime as obs
 from repro.obs import telemetry
+from repro.obs.trace import Span, TraceContext, current_trace, trace_scope
 from repro.params.hardware import HardwareParams
 from repro.perf.vectorized import (
     hw_large_array,
@@ -56,6 +57,7 @@ from repro.units import check_positive
 __all__ = [
     "ARRAY_MODELS",
     "DEFAULT_CHUNK_SIZE",
+    "MAX_RIDEBACK_SPANS",
     "MAX_WARM_POOLS",
     "PoolHandle",
     "acquire_warm_pool",
@@ -510,31 +512,84 @@ def evaluate_chunk(payload: tuple) -> list:
     return [worker(item) for item in items]
 
 
+#: Most worker-side spans shipped back per chunk — a cap, not a promise:
+#: span ride-back is an observation channel, and an instrumentation-happy
+#: worker must not bloat the result pickle.
+MAX_RIDEBACK_SPANS = 64
+
+
 def evaluate_chunk_captured(payload: tuple) -> tuple:
     """Run one chunk under a worker-side metrics session, timed.
 
     Pool workers carry a disabled obs runtime, so counters recorded inside
     a chunk (simulator events, outage episodes) would silently vanish.
     This wrapper brackets the chunk in its own session and ships the
-    registry snapshot — plus the chunk wall time — back through the result
+    registry snapshot — plus the chunk wall time and the chunk's completed
+    spans (capped at :data:`MAX_RIDEBACK_SPANS`) — back through the result
     channel, for the parent to merge in chunk-index order.  Warm pools
     reuse worker processes, so the session is always closed (try/finally)
     before the next chunk arrives.
+
+    The optional fourth payload element is a serialized
+    :class:`~repro.obs.trace.TraceContext` (the request trace of the
+    dispatch), installed for the chunk's duration so worker-side code
+    observes the same distributed trace the parent does.  Purely
+    observational: results are bit-identical with or without it.
     """
-    worker, items, chunk_index = payload
+    worker, items, chunk_index = payload[0], payload[1], payload[2]
+    trace_record = payload[3] if len(payload) > 3 else None
+    trace = (
+        TraceContext.from_dict(trace_record)
+        if trace_record is not None
+        else None
+    )
     # Fork-started workers inherit a *copy* of the parent's active session
     # (its recordings are invisible to the parent); drop it so the chunk's
     # metrics land in a registry of their own.
     obs.stop()
     session = obs.start(f"chunk:{chunk_index}")
     try:
-        start = time.perf_counter()
-        results = [worker(item) for item in items]
-        seconds = time.perf_counter() - start
+        with trace_scope(trace):
+            start = time.perf_counter()
+            results = [worker(item) for item in items]
+            seconds = time.perf_counter() - start
         snapshot = session.metrics.snapshot()
+        spans = [
+            span.to_dict()
+            for span in session.tracer.spans[:MAX_RIDEBACK_SPANS]
+        ]
     finally:
         obs.stop()
-    return chunk_index, results, snapshot, seconds
+    return chunk_index, results, snapshot, seconds, spans
+
+
+def _merge_worker_spans(
+    session, chunk_index: int, spans: list[dict]
+) -> None:
+    """Fold one chunk's ride-back spans into the parent session's tracer.
+
+    Merged spans keep their worker-side nesting but sit one depth level
+    down (never at depth 0, so :meth:`~repro.obs.trace.Tracer.roots` —
+    the manifest's phase list — stays a parent-only view), carry a
+    ``chunk`` attribute, and fall back to a synthetic ``chunk:<i>`` parent
+    at what was the worker's top level.  ``pool.map`` yields chunks in
+    submission order, so the merge order is chunk-index order regardless
+    of which worker finished first — the same determinism contract as the
+    metric-snapshot merge.
+    """
+    for record in spans:
+        attrs = dict(record.get("attrs", {}))
+        attrs["chunk"] = chunk_index
+        session.tracer.spans.append(
+            Span(
+                name=record["name"],
+                start=record["start"],
+                duration=record["duration"],
+                depth=record["depth"] + 1,
+                parent=record["parent"] or f"chunk:{chunk_index}",
+                attrs=attrs,
+            )
+        )
 
 
 def dispatch_chunks(pool, worker, items: Sequence, workers: int) -> tuple:
@@ -543,10 +598,12 @@ def dispatch_chunks(pool, worker, items: Sequence, workers: int) -> tuple:
     While the parent holds an obs session or a telemetry bus, chunks run
     through :func:`evaluate_chunk_captured`: worker-side metric registries
     merge into the parent session (counters add; gauges last-writer-wins
-    in chunk-index order; histogram bins element-wise) and a ``progress``
-    heartbeat plus a ``metrics`` snapshot event are emitted per completed
-    chunk.  With both disabled the plain payload shape runs — the
-    instrumentation costs nothing.
+    in chunk-index order; histogram bins element-wise; worker spans fold
+    in one depth level down) and a ``progress`` heartbeat plus a
+    ``metrics`` snapshot event are emitted per completed chunk.  The
+    ambient :class:`~repro.obs.trace.TraceContext` (if any) rides to the
+    workers as a plain dict.  With session and bus both disabled the plain
+    payload shape runs — the instrumentation costs nothing.
     """
     items = list(items)
     chunks = split_chunks(items, workers)
@@ -563,17 +620,21 @@ def dispatch_chunks(pool, worker, items: Sequence, workers: int) -> tuple:
         if telemetry.enabled()
         else None
     )
+    context = current_trace()
+    trace_record = context.to_dict() if context is not None else None
     payloads = [
-        (worker, chunk, index) for index, chunk in enumerate(chunks)
+        (worker, chunk, index, trace_record)
+        for index, chunk in enumerate(chunks)
     ]
     collected = []
-    for chunk_index, part, snapshot, seconds in pool.map(
+    for chunk_index, part, snapshot, seconds, spans in pool.map(
         evaluate_chunk_captured, payloads
     ):
         collected.extend(part)
         if session is not None:
             session.metrics.merge_snapshot(snapshot)
             session.metrics.histogram("perf.chunk_seconds").observe(seconds)
+            _merge_worker_spans(session, chunk_index, spans)
         if tracker is not None:
             events = snapshot.get("counters", {}).get("sim.events", 0)
             telemetry.emit(

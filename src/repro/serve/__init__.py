@@ -4,7 +4,8 @@ A stdlib-only asyncio service that answers the paper's availability
 questions on demand instead of per CLI invocation:
 
 * :mod:`repro.serve.protocol` — minimal HTTP/1.1 framing with hard
-  request limits;
+  request limits (plus chunked :class:`StreamingResponse` for live
+  streams);
 * :mod:`repro.serve.cache` — single-flight, LRU-bounded result cache
   keyed on canonical parameter hashes (schema-versioned, so version
   bumps self-invalidate);
@@ -14,10 +15,17 @@ questions on demand instead of per CLI invocation:
   shed overload with 429s;
 * :mod:`repro.serve.jobs` — the sharded campaign job queue (submit,
   poll), deterministic-identical to CLI runs;
+* :mod:`repro.serve.tracing` — per-request trace contexts and latency
+  attribution segments;
+* :mod:`repro.serve.stream` — server-sent-events fan-out of the live
+  telemetry bus (``GET /v1/events``, ``GET /v1/jobs/<id>/events``);
+* :mod:`repro.serve.loadtest` — open-loop multi-tenant load generation
+  and the attribution-coverage check;
 * :mod:`repro.serve.app` — routing, instrumentation, and lifecycle.
 
-``repro-avail serve`` starts a server; ``repro-avail query`` is a tiny
-line client; ``docs/SERVE.md`` documents the HTTP API.
+``repro-avail serve`` starts a server (``repro-avail serve loadtest``
+drives one); ``repro-avail query`` is a tiny line client;
+``docs/SERVE.md`` documents the HTTP API.
 """
 
 from repro.serve.admission import (
@@ -33,12 +41,16 @@ from repro.serve.cache import (
     result_key,
 )
 from repro.serve.jobs import Job, JobQueue
+from repro.serve.loadtest import LoadtestConfig, LoadtestReport, run_loadtest
 from repro.serve.protocol import (
     ProtocolError,
     Request,
     Response,
+    StreamingResponse,
     read_request,
 )
+from repro.serve.stream import TelemetryHub, encode_sse_event
+from repro.serve.tracing import RequestTrace, current_request, request_scope
 
 __all__ = [
     "AdmissionController",
@@ -52,8 +64,17 @@ __all__ = [
     "result_key",
     "Job",
     "JobQueue",
+    "LoadtestConfig",
+    "LoadtestReport",
+    "run_loadtest",
     "ProtocolError",
     "Request",
+    "RequestTrace",
     "Response",
+    "StreamingResponse",
+    "TelemetryHub",
+    "current_request",
+    "encode_sse_event",
     "read_request",
+    "request_scope",
 ]

@@ -12,12 +12,26 @@ loop:
   campaigns asynchronously on the sharded queue with admission control;
   results are deterministic-identical to CLI runs of the same spec.
 * **Observability** (``GET /metrics``, ``GET /v1/stats``) exposes request
-  latency histograms, cache hit/miss/eviction counters, batch sizes, and
-  queue-depth gauges as OpenMetrics text and JSON; when a telemetry bus is
-  active the app also emits ``serve.*`` lifecycle events and periodic
-  ``metrics`` snapshots (which a
+  latency histograms, per-request latency-attribution segments
+  (queue-wait / cache / batch-assembly / kernel-compute / other), cache
+  hit/miss/eviction counters, batch sizes, queue-depth gauges, and the
+  rolling :class:`~repro.obs.slo.SLOTracker` state as OpenMetrics text and
+  JSON; when a telemetry bus is active the app also emits ``serve.*``
+  lifecycle events and periodic ``metrics`` snapshots (which a
   :class:`~repro.obs.telemetry.PrometheusSink` turns into a scrapeable
   file).
+* **Tracing** (every request) — a :class:`~repro.obs.trace.TraceContext`
+  per request (continuing an inbound W3C ``traceparent`` when present),
+  installed as a contextvar scope so the cache, batcher, and job queue
+  attribute latency to the right request without new call signatures.
+  Responses carry ``X-Trace-Id``; query responses embed a ``trace``
+  section.  Tracing never touches computed values — instrumented results
+  are bit-identical to uninstrumented ones.
+* **Streaming** (``GET /v1/events``, ``GET /v1/jobs/<id>/events``) —
+  server-sent events fanned out from the live telemetry bus through
+  :class:`~repro.serve.stream.TelemetryHub`; each frame's ``data:`` line
+  is byte-identical to the :class:`~repro.obs.telemetry.JsonlSink` line
+  for the same event, in the same ``(run, seq)`` order.
 
 Everything is stdlib ``asyncio`` plus this package's own modules — no web
 framework.
@@ -26,16 +40,19 @@ framework.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any, AsyncIterator, Mapping
 
 import numpy as np
 
 from repro.errors import ReproError, ServeError
 from repro.obs import telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.telemetry import render_openmetrics
+from repro.obs.trace import TraceContext
 from repro.serve.admission import AdmissionController, AdmissionPolicy
 from repro.serve.batching import (
     DEFAULT_MAX_BATCH,
@@ -49,11 +66,28 @@ from repro.serve.cache import (
 )
 from repro.serve.jobs import DEFAULT_SHARDS, JobQueue
 from repro.serve.protocol import (
+    LAST_CHUNK,
     MAX_BODY_BYTES,
     ProtocolError,
     Request,
     Response,
+    StreamingResponse,
+    encode_chunk,
     read_request,
+)
+from repro.serve.stream import (
+    DEFAULT_BUFFER_EVENTS,
+    DEFAULT_QUEUE_EVENTS,
+    STREAM_CLOSED,
+    Subscription,
+    TelemetryHub,
+    encode_sse_event,
+)
+from repro.serve.tracing import (
+    SEGMENT_NAMES,
+    RequestTrace,
+    current_request,
+    request_scope,
 )
 
 __all__ = ["ServeConfig", "ServeApp"]
@@ -61,6 +95,9 @@ __all__ = ["ServeConfig", "ServeApp"]
 #: Emit a ``metrics`` telemetry snapshot every this many requests (when a
 #: telemetry bus is active), plus once at shutdown.
 METRICS_EVERY_REQUESTS = 100
+
+#: Terminal job states (a job event stream ends after these).
+_TERMINAL_STATES = ("done", "failed")
 
 
 @dataclass(frozen=True)
@@ -76,6 +113,10 @@ class ServeConfig:
     workers_per_job: int = 1
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     max_body_bytes: int = MAX_BODY_BYTES
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    stream_buffer_events: int = DEFAULT_BUFFER_EVENTS
+    stream_queue_events: int = DEFAULT_QUEUE_EVENTS
+    stream_heartbeat_seconds: float = 15.0
 
 
 def _probability(
@@ -222,13 +263,24 @@ class ServeApp:
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.registry = MetricsRegistry()
-        self.cache = SingleFlightCache(max_entries=self.config.cache_entries)
+        self.cache = SingleFlightCache(
+            max_entries=self.config.cache_entries,
+            registry=self.registry,
+        )
         self.admission = AdmissionController(self.config.admission)
         self.jobs = JobQueue(
             admission=self.admission,
             shards=self.config.shards,
             workers_per_job=self.config.workers_per_job,
+            registry=self.registry,
         )
+        self.slo = SLOTracker(self.config.slo)
+        self._slo_compliant: dict[str, bool] = {
+            "availability": True,
+            "latency": True,
+        }
+        self._hub: TelemetryHub | None = None
+        self._hub_bus: telemetry.TelemetryBus | None = None
         self.batchers = {
             name: MicroBatcher(
                 lambda batch, fn=model_fn: _lower_hw(fn, batch),
@@ -256,6 +308,7 @@ class ServeApp:
         self._server = await asyncio.start_server(
             self._serve_connection, self.config.host, self.config.port
         )
+        self._ensure_hub()
         telemetry.emit(
             "serve.start", host=self.config.host, port=self.port
         )
@@ -270,6 +323,39 @@ class ServeApp:
         await self.jobs.stop()
         self._emit_metrics_event()
         telemetry.emit("serve.stop", requests=self.requests_served)
+        self._detach_hub()
+
+    def _ensure_hub(self) -> TelemetryHub | None:
+        """The SSE fan-out hub, attached to the *currently* active bus.
+
+        The hub follows the bus: when no bus is active there is nothing to
+        stream (``None``); when the active bus changed since the last
+        attachment (tests start and stop buses around a running app) the
+        old hub is closed and a fresh one attached.
+        """
+        bus = telemetry.active()
+        if bus is None:
+            self._detach_hub()
+            return None
+        if self._hub is None or self._hub_bus is not bus:
+            self._detach_hub()
+            hub = TelemetryHub(
+                loop=asyncio.get_running_loop(),
+                buffer_events=self.config.stream_buffer_events,
+                max_queue_events=self.config.stream_queue_events,
+            )
+            bus.add_sink(hub)
+            self._hub = hub
+            self._hub_bus = bus
+        return self._hub
+
+    def _detach_hub(self) -> None:
+        if self._hub is not None:
+            if self._hub_bus is not None:
+                self._hub_bus.remove_sink(self._hub)
+            self._hub.close()
+        self._hub = None
+        self._hub_bus = None
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Run until ``stop`` is set, then shut down cleanly."""
@@ -301,6 +387,9 @@ class ServeApp:
                 if request is None:
                     return
                 response = await self.handle(request)
+                if isinstance(response, StreamingResponse):
+                    await self._stream_response(reader, writer, response)
+                    return  # the stream consumed the connection
                 writer.write(response.encode(keep_alive=request.keep_alive))
                 await writer.drain()
                 if not request.keep_alive:
@@ -314,13 +403,76 @@ class ServeApp:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _stream_response(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        response: StreamingResponse,
+    ) -> None:
+        """Write a chunked stream until it ends or the client disconnects.
+
+        A concurrent ``read`` watches the socket: SSE clients send nothing
+        after the request, so any read completion (EOF on disconnect)
+        means the peer is gone and the generator is closed promptly — a
+        canceled stream must not hold its hub subscription.
+        """
+        generator = response.chunks
+        eof_watch = asyncio.create_task(reader.read(1))
+        try:
+            writer.write(response.encode_head())
+            await writer.drain()
+            while True:
+                next_chunk = asyncio.create_task(anext(generator))
+                done, _ = await asyncio.wait(
+                    {next_chunk, eof_watch},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if next_chunk not in done:
+                    next_chunk.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, StopAsyncIteration
+                    ):
+                        await next_chunk
+                    return  # client went away
+                try:
+                    chunk = next_chunk.result()
+                except StopAsyncIteration:
+                    writer.write(LAST_CHUNK)
+                    await writer.drain()
+                    return
+                writer.write(encode_chunk(chunk))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            eof_watch.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await eof_watch
+            await generator.aclose()
+
     # -- routing --------------------------------------------------------------
 
-    async def handle(self, request: Request) -> Response:
-        """Route one request to a handler; exceptions become status codes."""
+    async def handle(
+        self, request: Request
+    ) -> Response | StreamingResponse:
+        """Route one request to a handler; exceptions become status codes.
+
+        Every request runs inside a :func:`~repro.serve.tracing.
+        request_scope`: a new trace (or the continuation of an inbound
+        W3C ``traceparent``) whose latency-attribution segments are
+        recorded into the ``serve.segment_seconds.*`` histograms and whose
+        trace id is returned as ``X-Trace-Id``.
+        """
         started = time.perf_counter()
+        context = TraceContext.from_traceparent(
+            request.headers.get("traceparent")
+        )
+        if context is None:
+            context = TraceContext.new()
+        trace = RequestTrace(context=context, started=started)
         try:
-            response = await self._dispatch(request)
+            with request_scope(trace):
+                response = await self._dispatch(request)
         except ServeError as error:
             response = Response.error(error.status, str(error))
         except ReproError as error:
@@ -332,7 +484,14 @@ class ServeApp:
         elapsed = time.perf_counter() - started
         self.requests_served += 1
         self.registry.histogram("serve.request_seconds").observe(elapsed)
+        for name, seconds in trace.finalize(elapsed).items():
+            self.registry.histogram(
+                f"serve.segment_seconds.{name}"
+            ).observe(seconds)
+        self.slo.record(response.status < 500, elapsed)
+        self._check_slo()
         self._count_response(response.status)
+        response = self._with_trace_header(response, context)
         if (
             telemetry.enabled()
             and self.requests_served % METRICS_EVERY_REQUESTS == 0
@@ -340,7 +499,38 @@ class ServeApp:
             self._emit_metrics_event()
         return response
 
-    async def _dispatch(self, request: Request) -> Response:
+    @staticmethod
+    def _with_trace_header(
+        response: Response | StreamingResponse, context: TraceContext
+    ) -> Response | StreamingResponse:
+        headers = response.headers + (("X-Trace-Id", context.trace_id),)
+        if isinstance(response, StreamingResponse):
+            response.headers = headers
+            return response
+        return replace(response, headers=headers)
+
+    def _check_slo(self) -> None:
+        """Emit breach/recovered telemetry on SLO compliance transitions."""
+        if not telemetry.enabled():
+            return
+        compliance = self.slo.compliance()
+        for objective, compliant in compliance.items():
+            if compliant != self._slo_compliant[objective]:
+                kind = (
+                    "serve.slo.recovered"
+                    if compliant
+                    else "serve.slo.breach"
+                )
+                telemetry.emit(
+                    kind,
+                    objective=objective,
+                    slo=self.slo.snapshot()[objective],
+                )
+        self._slo_compliant = compliance
+
+    async def _dispatch(
+        self, request: Request
+    ) -> Response | StreamingResponse:
         path = request.path
         if path == "/healthz":
             self._require_method(request, "GET")
@@ -357,6 +547,13 @@ class ServeApp:
         if path == "/v1/jobs":
             self._require_method(request, "POST")
             return self._handle_job_submit(request)
+        if path == "/v1/events":
+            self._require_method(request, "GET")
+            return self._handle_firehose(request)
+        if path.startswith("/v1/jobs/") and path.endswith("/events"):
+            self._require_method(request, "GET")
+            job_id = path.removeprefix("/v1/jobs/").removesuffix("/events")
+            return self._handle_job_events(job_id)
         if path.startswith("/v1/jobs/"):
             self._require_method(request, "GET")
             job = self.jobs.get(path.removeprefix("/v1/jobs/"))
@@ -420,14 +617,13 @@ class ServeApp:
             key, lambda: batcher.submit(params)
         )
         self._observe_query(started, outcome)
-        return Response.json(
-            {
-                "kind": "hw",
-                "model": model,
-                "availability": value,
-                "cache": outcome,
-            }
-        )
+        record = {
+            "kind": "hw",
+            "model": model,
+            "availability": value,
+            "cache": outcome,
+        }
+        return Response.json(self._with_trace_payload(record))
 
     async def _query_cached(
         self, kind: str, payload: Mapping[str, Any], compute: Any
@@ -435,9 +631,33 @@ class ServeApp:
         body = {k: v for k, v in payload.items() if k != "kind"}
         key = result_key(kind, body)
         started = time.perf_counter()
-        value, outcome = await self.cache.get_with_outcome(key, compute)
+        value, outcome = await self.cache.get_with_outcome(
+            key, lambda: self._timed_compute(compute)
+        )
         self._observe_query(started, outcome)
-        return Response.json({"kind": kind, "cache": outcome, **value})
+        record = {"kind": kind, "cache": outcome, **value}
+        return Response.json(self._with_trace_payload(record))
+
+    @staticmethod
+    async def _timed_compute(compute: Any) -> Any:
+        """Run an un-batched computation, attributing it kernel time."""
+        trace = current_request()
+        if trace is None:
+            return await compute()
+        started = time.perf_counter()
+        try:
+            return await compute()
+        finally:
+            trace.add_segment(
+                "kernel_compute", time.perf_counter() - started
+            )
+
+    @staticmethod
+    def _with_trace_payload(record: dict[str, Any]) -> dict[str, Any]:
+        trace = current_request()
+        if trace is not None:
+            record["trace"] = trace.payload()
+        return record
 
     def _observe_query(self, started: float, outcome: str) -> None:
         elapsed = time.perf_counter() - started
@@ -461,12 +681,103 @@ class ServeApp:
         job = self.jobs.submit(kind, spec, request.tenant)
         return Response.json(job.status(), status=202)
 
+    # -- streaming ------------------------------------------------------------
+
+    def _require_hub(self) -> TelemetryHub:
+        hub = self._ensure_hub()
+        if hub is None:
+            raise ServeError(
+                "event streaming needs an active telemetry bus "
+                "(start the server with --telemetry or --stream)",
+                status=503,
+            )
+        return hub
+
+    def _handle_firehose(self, request: Request) -> StreamingResponse:
+        """``GET /v1/events`` — every bus event as it happens.
+
+        ``?kinds=a,b`` filters by event kind; ``?replay=1`` prepends the
+        hub's buffered history (the firehose defaults to live-only —
+        job streams, which need a complete record, always replay).
+        """
+        hub = self._require_hub()
+        kinds_param = request.query.get("kinds", "")
+        kinds = {k.strip() for k in kinds_param.split(",") if k.strip()}
+        replay = request.query.get("replay", "") in ("1", "true", "yes")
+        predicate = None
+        if kinds:
+            def predicate(event: Mapping[str, Any]) -> bool:
+                return str(event.get("kind", "")) in kinds
+        subscription = hub.subscribe(predicate=predicate, replay=replay)
+        return StreamingResponse(chunks=self._sse_chunks(subscription))
+
+    def _handle_job_events(self, job_id: str) -> StreamingResponse:
+        """``GET /v1/jobs/<id>/events`` — one job's stream, ending with it.
+
+        Replays the buffered events for the job (so connecting after
+        submission loses nothing the hub still holds), then follows live
+        until the job's ``serve.job.end`` event has been delivered.
+        """
+        job = self.jobs.get(job_id)  # 404 for unknown ids
+        hub = self._require_hub()
+
+        def belongs(event: Mapping[str, Any]) -> bool:
+            return event.get("job_id") == job_id
+
+        def is_end(event: Mapping[str, Any]) -> bool:
+            return event.get("kind") == "serve.job.end" and belongs(event)
+
+        subscription = hub.subscribe(predicate=belongs, replay=True)
+        # A terminal job emitted its end event before this subscription
+        # existed; if the ring no longer holds it, close after replay
+        # rather than waiting for an event that will never come.
+        follow = job.state not in _TERMINAL_STATES or any(
+            is_end(event) for event in subscription.replayed
+        )
+        return StreamingResponse(
+            chunks=self._sse_chunks(
+                subscription, end_when=is_end, follow=follow
+            )
+        )
+
+    async def _sse_chunks(
+        self,
+        subscription: Subscription,
+        end_when: Any = None,
+        follow: bool = True,
+    ) -> AsyncIterator[bytes]:
+        """Replayed then live SSE frames; heartbeats keep idle streams up."""
+        heartbeat = self.config.stream_heartbeat_seconds
+        try:
+            for event in subscription.replayed:
+                yield encode_sse_event(event)
+                if end_when is not None and end_when(event):
+                    return
+            if not follow:
+                return
+            while True:
+                item = await subscription.get(timeout=heartbeat)
+                if item is None:
+                    yield b": keepalive\n\n"
+                    continue
+                if item is STREAM_CLOSED:
+                    return
+                yield encode_sse_event(item)
+                if end_when is not None and end_when(item):
+                    return
+        finally:
+            subscription.unsubscribe()
+
     # -- observability --------------------------------------------------------
 
     def metrics_snapshot(self) -> dict[str, Any]:
-        """The registry snapshot overlaid with serve-layer instruments."""
+        """The registry snapshot overlaid with serve-layer instruments.
+
+        The cache counts directly on this registry, so only the layers
+        that still keep their own counters (admission, jobs, batchers)
+        are overlaid by delta here.
+        """
         counters: dict[str, float] = {}
-        counters.update(self.cache.counters())
         counters.update(self.admission.counters())
         counters.update(self.jobs.counters())
         for batcher in self.batchers.values():
@@ -486,6 +797,11 @@ class ServeApp:
         self.registry.gauge(
             "serve.admission.inflight"
         ).set(self.admission.total_inflight)
+        for name, value in self.slo.gauges().items():
+            self.registry.gauge(name).set(value)
+        self.registry.gauge("serve.stream.subscribers").set(
+            self._hub.subscriber_count if self._hub is not None else 0
+        )
         return self.registry.snapshot()
 
     def stats(self) -> dict[str, Any]:
@@ -495,9 +811,10 @@ class ServeApp:
         def latency(name: str) -> dict[str, Any]:
             histogram = self.registry.histogram(name)
             if not histogram.count:
-                return {"count": 0}
+                return {"count": 0, "total_seconds": 0.0}
             return {
                 "count": histogram.count,
+                "total_seconds": histogram.total,
                 "mean_seconds": histogram.mean,
                 "p50_seconds": histogram.quantile(0.50),
                 "p99_seconds": histogram.quantile(0.99),
@@ -520,6 +837,15 @@ class ServeApp:
                 "query_miss": latency("serve.query_seconds.miss"),
                 "query_coalesced": latency("serve.query_seconds.coalesced"),
             },
+            # Per-request attribution: each finished request's wall time is
+            # decomposed into these segments, so across any traffic mix the
+            # segment totals sum to the request-histogram total (the
+            # loadtest's coverage check).
+            "segments": {
+                name: latency(f"serve.segment_seconds.{name}")
+                for name in SEGMENT_NAMES
+            },
+            "slo": self.slo.snapshot(),
         }
 
     def _count_response(self, status: int) -> None:

@@ -16,14 +16,24 @@ The batcher is generic: it is constructed with a ``lower`` callable taking
 a list of payloads and returning a list of results of the same length.
 Failures of ``lower`` propagate to every request in the batch and are not
 retried.
+
+When a request trace (:func:`repro.serve.tracing.current_request`) is in
+scope at ``submit`` time it is captured alongside the payload — the flush
+runs from a ``call_later`` callback in a *different* context, so the
+ambient scope is gone by then — and at flush each waiter's trace is
+attributed ``batch_assembly`` (enqueue → flush start: time spent waiting
+for the window) and ``kernel_compute`` (the whole lowered call: every
+waiter paid for it in wall time, regardless of batch size).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Callable, Sequence
 
 from repro.errors import ParameterError, ServeError
+from repro.serve.tracing import RequestTrace, current_request
 
 __all__ = ["DEFAULT_WINDOW_SECONDS", "DEFAULT_MAX_BATCH", "MicroBatcher"]
 
@@ -60,7 +70,9 @@ class MicroBatcher:
         self._lower = lower
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
-        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._pending: list[
+            tuple[Any, asyncio.Future, RequestTrace | None, float]
+        ] = []
         self._flush_handle: asyncio.TimerHandle | None = None
         self.batches = 0
         self.requests = 0
@@ -70,7 +82,9 @@ class MicroBatcher:
         """Enqueue one payload and await its element of the batch result."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((payload, future))
+        self._pending.append(
+            (payload, future, current_request(), time.perf_counter())
+        )
         self.requests += 1
         if len(self._pending) >= self.max_batch:
             self._flush()
@@ -93,24 +107,30 @@ class MicroBatcher:
         self.batches += 1
         if len(batch) > self.largest_batch:
             self.largest_batch = len(batch)
-        payloads = [payload for payload, _ in batch]
+        payloads = [payload for payload, _, _, _ in batch]
+        flush_started = time.perf_counter()
         try:
             results = self._lower(payloads)
         except BaseException as error:  # propagate to every waiter
-            for _, future in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(error)
             return
+        kernel_seconds = time.perf_counter() - flush_started
         if len(results) != len(batch):
             mismatch = ServeError(
                 f"batch lowering returned {len(results)} results for "
                 f"{len(batch)} requests"
             )
-            for _, future in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(mismatch)
             return
-        for (_, future), result in zip(batch, results):
+        for (_, future, trace, enqueued), result in zip(batch, results):
+            if trace is not None:
+                trace.add_segment("batch_assembly", flush_started - enqueued)
+                trace.add_segment("kernel_compute", kernel_seconds)
+                trace.annotate(batch_size=len(batch))
             if not future.done():
                 future.set_result(result)
 

@@ -18,20 +18,28 @@ canonical parameters, so the service memoizes aggressively:
 * **LRU bound** — at most ``max_entries`` completed results are retained;
   the least-recently-used entry is evicted and counted.
 
-The cache keeps ``hits`` / ``misses`` / ``coalesced`` / ``evictions``
-counters that :class:`repro.serve.app.ServeApp` republishes through the
-metrics registry and the OpenMetrics endpoint.
+The ``hits`` / ``misses`` / ``coalesced`` / ``evictions`` counters live
+directly on a :class:`~repro.obs.metrics.MetricsRegistry` (the app passes
+its own, so ``/metrics`` sees them with no copying); the attribute and
+:meth:`~SingleFlightCache.counters` views are kept for callers and tests.
+When a request trace is in scope the cache also attributes its share of
+the request's latency: a hit's lookup, or a coalesced waiter's whole wait,
+lands in the ``cache`` segment, while a miss charges only the cache's own
+overhead (the computation it triggered accounts for itself).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from typing import Any, Awaitable, Callable, Mapping
 
 from repro.errors import ParameterError
 from repro.obs.manifest import SCHEMA_VERSION, package_version, params_hash
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION
+from repro.serve.tracing import current_request
 
 __all__ = [
     "CACHE_KEY_VERSIONS",
@@ -77,18 +85,45 @@ class SingleFlightCache:
     callables it is handed may themselves hop to threads or process pools.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        registry: MetricsRegistry | None = None,
+    ):
         if max_entries < 1:
             raise ParameterError(
                 f"cache max_entries must be >= 1, got {max_entries}"
             )
         self.max_entries = int(max_entries)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Materialize the counters at zero so /metrics shows them from the
+        # first scrape, not the first cache access.
+        for outcome in ("hits", "misses", "coalesced", "evictions"):
+            self.registry.counter(f"serve.cache.{outcome}")
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._inflight: dict[str, asyncio.Future] = {}
-        self.hits = 0
-        self.misses = 0
-        self.coalesced = 0
-        self.evictions = 0
+        # Which request trace is computing each in-flight key, so coalesced
+        # waiters can annotate who did the work for them.
+        self._inflight_owners: dict[str, str | None] = {}
+
+    def _count(self, outcome: str) -> None:
+        self.registry.counter(f"serve.cache.{outcome}").increment()
+
+    @property
+    def hits(self) -> int:
+        return int(self.registry.counter("serve.cache.hits").value)
+
+    @property
+    def misses(self) -> int:
+        return int(self.registry.counter("serve.cache.misses").value)
+
+    @property
+    def coalesced(self) -> int:
+        return int(self.registry.counter("serve.cache.coalesced").value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self.registry.counter("serve.cache.evictions").value)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -107,20 +142,37 @@ class SingleFlightCache:
         (this caller ran ``compute``), or ``"coalesced"`` (another caller
         was already computing the same key and the result was shared).
         """
+        trace = current_request()
+        started = time.perf_counter() if trace is not None else 0.0
         if key in self._entries:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._count("hits")
+            if trace is not None:
+                trace.add_segment("cache", time.perf_counter() - started)
+                trace.annotate(cache="hit")
             return self._entries[key], "hit"
 
         pending = self._inflight.get(key)
         if pending is not None:
-            self.coalesced += 1
-            return await asyncio.shield(pending), "coalesced"
+            self._count("coalesced")
+            owner = self._inflight_owners.get(key)
+            value = await asyncio.shield(pending)
+            if trace is not None:
+                # The whole wait rode on someone else's computation.
+                trace.add_segment("cache", time.perf_counter() - started)
+                trace.annotate(cache="coalesced")
+                if owner is not None:
+                    trace.annotate(computed_by=owner)
+            return value, "coalesced"
 
-        self.misses += 1
+        self._count("misses")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
+        self._inflight_owners[key] = (
+            trace.context.trace_id if trace is not None else None
+        )
         try:
+            compute_started = time.perf_counter()
             value = await compute()
         except BaseException as error:
             future.set_exception(error)
@@ -130,9 +182,15 @@ class SingleFlightCache:
         else:
             future.set_result(value)
             self._store(key, value)
+            if trace is not None:
+                # Charge only the cache's own overhead; the computation
+                # (batcher, kernel, thread hop) accounts for itself.
+                trace.add_segment("cache", compute_started - started)
+                trace.annotate(cache="miss")
             return value, "miss"
         finally:
             self._inflight.pop(key, None)
+            self._inflight_owners.pop(key, None)
 
     async def get(
         self,
@@ -148,7 +206,7 @@ class SingleFlightCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._count("evictions")
 
     def counters(self) -> dict[str, int]:
         """Current counter values, keyed for the metrics registry."""

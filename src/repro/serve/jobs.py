@@ -23,6 +23,15 @@ spec produces; ``tests/test_serve_jobs.py`` pins that equality.
 Workers execute jobs via :func:`asyncio.to_thread`, so the event loop
 keeps serving queries while campaigns run; the blocking campaign code may
 itself fan out over the warm process pool.
+
+**Tracing** — each job gets a :class:`~repro.obs.trace.TraceContext` that
+is a child of the submitting request's span (or a fresh root when none is
+in scope), and executes inside a :func:`repro.obs.telemetry.scope`
+carrying ``job_id`` / ``trace_id`` / ``span_id`` — contextvars survive the
+``asyncio.to_thread`` hop, so every ``progress`` and ``replications.*``
+event the campaign emits is stamped with the job that produced it.  That
+stamp is what lets ``GET /v1/jobs/<id>/events`` filter the firehose down
+to one job's stream.
 """
 
 from __future__ import annotations
@@ -34,6 +43,8 @@ from typing import Any, Mapping
 
 from repro.errors import ReproError, ServeError
 from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext, current_trace, trace_scope
 from repro.serve.admission import AdmissionController
 from repro.serve.protocol import ProtocolError
 
@@ -56,11 +67,19 @@ class Job:
     spec: Any
     workers: int
     state: str = "queued"  # queued -> running -> done | failed
+    trace: TraceContext | None = None
     submitted_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
     result: dict[str, Any] | None = None
     error: str | None = None
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Time spent queued before a shard worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
 
     def status(self) -> dict[str, Any]:
         """The JSON status record served to polling clients."""
@@ -72,6 +91,10 @@ class Job:
             "shard": self.shard,
             "state": self.state,
         }
+        if self.trace is not None:
+            record["trace_id"] = self.trace.trace_id
+        if self.started_at is not None:
+            record["queue_wait_seconds"] = self.queue_wait_seconds
         if self.started_at is not None and self.finished_at is not None:
             record["elapsed_seconds"] = self.finished_at - self.started_at
         if self.state == "done":
@@ -155,12 +178,14 @@ class JobQueue:
         admission: AdmissionController | None = None,
         shards: int = DEFAULT_SHARDS,
         workers_per_job: int = 1,
+        registry: MetricsRegistry | None = None,
     ):
         if shards < 1:
             raise ServeError(f"shards must be >= 1, got {shards}")
         self.admission = admission or AdmissionController()
         self.shards = int(shards)
         self.workers_per_job = int(workers_per_job)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._queues: list[asyncio.Queue[Job]] = [
             asyncio.Queue() for _ in range(self.shards)
         ]
@@ -219,6 +244,7 @@ class JobQueue:
         self.admission.admit(tenant)
         self._sequence += 1
         shard = int(spec_hash, 16) % self.shards
+        parent = current_trace()
         job = Job(
             id=f"job-{self._sequence:06d}-{spec_hash[:8]}",
             kind=kind,
@@ -227,6 +253,7 @@ class JobQueue:
             shard=shard,
             spec=spec,
             workers=self.workers_per_job,
+            trace=parent.child() if parent is not None else TraceContext.new(),
         )
         self._jobs[job.id] = job
         self._queues[shard].put_nowait(job)
@@ -237,6 +264,7 @@ class JobQueue:
             tenant=job.tenant,
             spec_hash=job.spec_hash,
             shard=job.shard,
+            trace_id=job.trace.trace_id,
         )
         return job
 
@@ -271,11 +299,31 @@ class JobQueue:
     async def _execute(self, job: Job) -> None:
         job.state = "running"
         job.started_at = time.monotonic()
+        self.registry.histogram("serve.jobs.queue_wait_seconds").observe(
+            job.queue_wait_seconds or 0.0
+        )
         runner = _RUNNERS[job.kind]
+        trace = job.trace
+        stamp: dict[str, Any] = {"job_id": job.id}
+        if trace is not None:
+            stamp["trace_id"] = trace.trace_id
+            stamp["span_id"] = trace.span_id
         try:
-            job.result = await asyncio.to_thread(
-                runner, job.spec, job.workers
-            )
+            # The scope (and trace) ride the contextvars snapshot into the
+            # worker thread: every event the campaign emits is stamped
+            # with this job's identity and trace.
+            with telemetry.scope(**stamp):
+                with trace_scope(trace):
+                    telemetry.emit(
+                        "serve.job.running",
+                        job_kind=job.kind,
+                        tenant=job.tenant,
+                        shard=job.shard,
+                        queue_wait_seconds=job.queue_wait_seconds,
+                    )
+                    job.result = await asyncio.to_thread(
+                        runner, job.spec, job.workers
+                    )
         except asyncio.CancelledError:
             job.state = "failed"
             job.error = "server shut down before the job finished"
@@ -290,11 +338,13 @@ class JobQueue:
         finally:
             job.finished_at = time.monotonic()
             self.admission.release(job.tenant)
-            telemetry.emit(
-                "serve.job.end",
-                job_id=job.id,
-                job_kind=job.kind,
-                tenant=job.tenant,
-                state=job.state,
-                elapsed_seconds=job.finished_at - job.started_at,
-            )
+            end_fields: dict[str, Any] = {
+                "job_id": job.id,
+                "job_kind": job.kind,
+                "tenant": job.tenant,
+                "state": job.state,
+                "elapsed_seconds": job.finished_at - job.started_at,
+            }
+            if trace is not None:
+                end_fields["trace_id"] = trace.trace_id
+            telemetry.emit("serve.job.end", **end_fields)

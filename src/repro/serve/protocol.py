@@ -7,6 +7,13 @@ untrusted client controls (line length, header count, body size).  Nothing
 here depends on third-party HTTP stacks; the parser reads whatever
 :func:`asyncio.start_server` hands it.
 
+Two response shapes exist: :class:`Response` (a complete body framed with
+``Content-Length``) and :class:`StreamingResponse` (a
+``Transfer-Encoding: chunked`` stream fed by an async generator — the
+carrier for the server-sent-events endpoints, where the body is unbounded
+and produced live).  :func:`encode_chunk` / :data:`LAST_CHUNK` implement
+the chunked framing itself.
+
 Violations raise :class:`ProtocolError`, a :class:`~repro.errors.ServeError`
 carrying the 4xx status the connection handler answers with before closing
 — malformed traffic never reaches the query or job layers.
@@ -17,7 +24,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, AsyncIterator
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.errors import ServeError
@@ -26,9 +33,12 @@ __all__ = [
     "MAX_REQUEST_LINE_BYTES",
     "MAX_HEADER_COUNT",
     "MAX_BODY_BYTES",
+    "LAST_CHUNK",
     "ProtocolError",
     "Request",
     "Response",
+    "StreamingResponse",
+    "encode_chunk",
     "read_request",
 ]
 
@@ -114,6 +124,7 @@ class Response:
     status: int
     body: bytes
     content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
 
     @classmethod
     def json(cls, payload: Any, status: int = 200) -> "Response":
@@ -134,14 +145,61 @@ class Response:
 
     def encode(self, keep_alive: bool = True) -> bytes:
         reason = _REASONS.get(self.status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers
+        )
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
-        return head.encode("ascii") + self.body
+        return head.encode("latin-1") + self.body
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame ``data`` as one HTTP/1.1 chunk (hex length, CRLF, payload)."""
+    return f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n"
+
+
+#: The zero-length chunk terminating a chunked response body.
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+@dataclass
+class StreamingResponse:
+    """A ``Transfer-Encoding: chunked`` response fed by an async generator.
+
+    ``chunks`` yields raw payload ``bytes`` (e.g. encoded SSE frames); the
+    connection handler frames each yield as one HTTP chunk and closes the
+    connection after the terminating chunk — streaming exchanges never
+    keep-alive (the stream *is* the rest of the connection).  The handler
+    closes the generator (``aclose``) on client disconnect, so ``chunks``
+    should release its resources in a ``finally``.
+    """
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "text/event-stream"
+    headers: tuple[tuple[str, str], ...] = ()
+
+    def encode_head(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers
+        )
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Cache-Control: no-store\r\n"
+            f"{extra}"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1")
 
 
 async def _read_line(reader: asyncio.StreamReader) -> bytes:

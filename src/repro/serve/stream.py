@@ -1,0 +1,232 @@
+"""Live telemetry fan-out for the server-sent-events endpoints.
+
+:class:`TelemetryHub` is a telemetry *sink* (attached to the active
+:class:`~repro.obs.telemetry.TelemetryBus` with ``add_sink``) that fans
+events out to in-process subscribers — one per open SSE connection.  The
+bus emits from whatever thread the instrumented code runs on (the event
+loop, job threads, warm-pool result merging), so the hub hops every event
+onto the serving loop with ``call_soon_threadsafe`` before touching any
+subscriber queue; subscribers are plain ``asyncio.Queue`` consumers that
+never need locks.
+
+Two delivery guarantees matter for the endpoints built on top:
+
+* **Ordering** — events reach every subscriber in bus order: ``emit`` is
+  called under the bus lock (one thread at a time) and
+  ``call_soon_threadsafe`` preserves call order, so the ``(run, seq)``
+  sequence a subscriber observes is exactly the JSONL sink's line order.
+* **Replay** — the hub keeps a bounded ring of recent events; subscribing
+  atomically snapshots the matching buffered history *and* registers for
+  live delivery under one lock, so a client that connects after a job
+  started sees every buffered event exactly once, with no gap and no
+  duplicate at the splice point.
+
+A slow client does not stall the bus: each subscription's queue is
+bounded, and on overflow the oldest queued event is dropped and counted
+(``Subscription.dropped``) — backpressure turns into measured loss, never
+into blocking the emitting thread.
+
+:func:`encode_sse_event` renders one event as a ``text/event-stream``
+frame whose ``data:`` line is byte-identical to the event's
+:class:`~repro.obs.telemetry.JsonlSink` line (same ``json.dumps``
+canonicalization), which is what lets the tests assert SSE streams and
+JSONL files carry the very same bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "DEFAULT_BUFFER_EVENTS",
+    "DEFAULT_QUEUE_EVENTS",
+    "STREAM_CLOSED",
+    "Subscription",
+    "TelemetryHub",
+    "encode_sse_event",
+]
+
+#: Default replay-ring capacity (recent events kept for late subscribers).
+DEFAULT_BUFFER_EVENTS = 4096
+
+#: Default per-subscription queue bound (events pending delivery to one
+#: SSE connection before the oldest is dropped).
+DEFAULT_QUEUE_EVENTS = 1024
+
+#: Sentinel pushed to every subscriber when the hub closes — ends live
+#: streams at server shutdown.
+STREAM_CLOSED = object()
+
+
+def encode_sse_event(event: Mapping[str, Any]) -> bytes:
+    """One telemetry event as a ``text/event-stream`` frame.
+
+    The ``data:`` line uses the exact canonical JSON encoding of
+    :class:`~repro.obs.telemetry.JsonlSink`, so an SSE stream is
+    byte-equivalent (modulo framing) to the JSONL record of the same run;
+    ``id:`` carries the ``(run, seq)`` total order and ``event:`` the
+    kind, for standard ``EventSource`` consumers.
+    """
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    frame = (
+        f"id: {event.get('run', 0)}-{event.get('seq', 0)}\n"
+        f"event: {event.get('kind', 'message')}\n"
+        f"data: {data}\n\n"
+    )
+    return frame.encode("utf-8")
+
+
+class Subscription:
+    """One subscriber's view of the hub: replayed history + a live queue."""
+
+    def __init__(
+        self,
+        hub: "TelemetryHub",
+        predicate: Callable[[Mapping[str, Any]], bool] | None,
+        replayed: list[dict[str, Any]],
+        max_queue: int,
+    ):
+        self._hub = hub
+        self._predicate = predicate
+        #: Buffered events that matched at subscribe time, oldest first.
+        self.replayed = replayed
+        self._queue: asyncio.Queue[Any] = asyncio.Queue()
+        self._max_queue = max_queue
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, event: Any) -> None:
+        """Enqueue one event (loop thread only; called by the hub)."""
+        if self.closed:
+            return
+        if event is not STREAM_CLOSED and self._predicate is not None:
+            if not self._predicate(event):
+                return
+        while self._queue.qsize() >= self._max_queue:
+            try:
+                stale = self._queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - size just checked
+                break
+            if stale is STREAM_CLOSED:
+                self._queue.put_nowait(stale)  # never drop the sentinel
+                break
+            self.dropped += 1
+        self._queue.put_nowait(event)
+
+    async def get(self, timeout: float | None = None) -> Any:
+        """Next live event, :data:`STREAM_CLOSED`, or ``None`` on timeout."""
+        if timeout is None:
+            return await self._queue.get()
+        try:
+            return await asyncio.wait_for(self._queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def unsubscribe(self) -> None:
+        """Detach from the hub (idempotent)."""
+        self.closed = True
+        self._hub._remove(self)
+
+
+class TelemetryHub:
+    """Bus sink fanning telemetry events out to SSE subscribers."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop | None = None,
+        buffer_events: int = DEFAULT_BUFFER_EVENTS,
+        max_queue_events: int = DEFAULT_QUEUE_EVENTS,
+    ):
+        self._loop = loop or asyncio.get_event_loop()
+        self._lock = threading.Lock()
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=buffer_events)
+        self._subscriptions: list[Subscription] = []
+        self._max_queue_events = max_queue_events
+        self._closed = False
+        self.events_seen = 0
+
+    # -- bus sink protocol ---------------------------------------------------
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Record and fan out one event (any thread; bus sink protocol)."""
+        record = dict(event)
+        with self._lock:
+            if self._closed:
+                return
+            self._buffer.append(record)
+            self.events_seen += 1
+            targets = tuple(self._subscriptions)
+        if targets:
+            self._loop.call_soon_threadsafe(self._fan_out, record, targets)
+
+    def close(self) -> None:
+        """End every live stream (bus sink protocol / server shutdown)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            targets = tuple(self._subscriptions)
+            self._subscriptions.clear()
+        for subscription in targets:
+            self._loop.call_soon_threadsafe(
+                subscription._offer, STREAM_CLOSED
+            )
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(
+        self,
+        predicate: Callable[[Mapping[str, Any]], bool] | None = None,
+        replay: bool = True,
+        max_queue_events: int | None = None,
+    ) -> Subscription:
+        """Register a subscriber; atomically splices replay and live flow.
+
+        The returned subscription's :attr:`~Subscription.replayed` list
+        holds the buffered events matching ``predicate`` (oldest first);
+        every event emitted after this call arrives on the live queue.
+        """
+        with self._lock:
+            replayed = [
+                dict(event)
+                for event in self._buffer
+                if replay and (predicate is None or predicate(event))
+            ]
+            subscription = Subscription(
+                hub=self,
+                predicate=predicate,
+                replayed=replayed,
+                max_queue=max_queue_events or self._max_queue_events,
+            )
+            if self._closed:
+                subscription.closed = True
+            else:
+                self._subscriptions.append(subscription)
+        return subscription
+
+    def _remove(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                pass
+
+    def _fan_out(
+        self, event: dict[str, Any], targets: tuple[Subscription, ...]
+    ) -> None:
+        for subscription in targets:
+            subscription._offer(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    def buffered(self) -> list[dict[str, Any]]:
+        """A copy of the replay ring (tests and diagnostics)."""
+        with self._lock:
+            return [dict(event) for event in self._buffer]

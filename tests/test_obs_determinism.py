@@ -175,6 +175,68 @@ class TestTelemetryRoundTrip:
         assert counters["sim.events"] > 0
 
 
+class TestTraceContextBitIdentity:
+    """Request tracing must never perturb results either.
+
+    The serving layer ships the active trace context into every warm-pool
+    worker payload and rides worker spans back on the result channel.
+    Trace ids come from ``os.urandom`` — never the seeded RNGs — so the
+    same campaign inside and outside a trace scope, at any worker count,
+    must produce ``==``-identical payloads.
+    """
+
+    SPEC = {
+        "option": "1S",
+        "horizon_hours": 300.0,
+        "replications": 4,
+        "seed": 11,
+    }
+
+    def _payload(self, workers: int, traced: bool) -> dict:
+        import json
+
+        from repro.faults.campaign import CampaignSpec
+        from repro.faults.crossval import evaluate_campaign
+        from repro.obs.trace import TraceContext, trace_scope
+        from repro.reporting.faults import crossval_payload
+
+        spec = CampaignSpec.from_dict(self.SPEC)
+        # batched="off" forces the scalar engine through the dispatch
+        # path tracing instruments.
+        if traced:
+            with trace_scope(TraceContext.new()):
+                crossval = evaluate_campaign(
+                    spec, workers=workers, batched="off"
+                )
+        else:
+            crossval = evaluate_campaign(spec, workers=workers, batched="off")
+        return json.loads(json.dumps(crossval_payload(crossval)))
+
+    def test_tracing_on_off_and_workers_bit_identical(self):
+        baseline = self._payload(workers=1, traced=False)
+        assert self._payload(workers=1, traced=True) == baseline
+        assert self._payload(workers=4, traced=False) == baseline
+        assert self._payload(workers=4, traced=True) == baseline
+
+    def test_worker_spans_ride_back_under_a_session(self):
+        from repro.faults.campaign import CampaignSpec, run_campaign
+        from repro.obs.trace import TraceContext, trace_scope
+
+        spec = CampaignSpec.from_dict(self.SPEC)
+        with obs.session("ride-back") as session:
+            with trace_scope(TraceContext.new()):
+                run_campaign(spec, workers=2, batched="off")
+        merged = [
+            span
+            for span in session.tracer.spans
+            if span.attrs.get("chunk") is not None
+        ]
+        assert merged, "no worker spans were merged back"
+        # Merged worker spans are children, never phase roots.
+        roots = {id(span) for span in session.tracer.roots()}
+        assert all(id(span) not in roots for span in merged)
+
+
 class TestSessionManifests:
     def test_instrumented_run_round_trips(self, hardware, tmp_path):
         with obs.session("round-trip") as session:

@@ -1,0 +1,191 @@
+"""Rolling-window SLO math (:mod:`repro.obs.slo`) against hand-computed windows.
+
+Burn rate, error budget, bucket retirement, and the gauge flattening the
+serving layer exports — all driven with an injectable fake clock so every
+expected number is computable by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.slo import (
+    DEFAULT_BUCKETS,
+    DEFAULT_WINDOW_SECONDS,
+    SLOConfig,
+    SLOTracker,
+)
+
+
+class Clock:
+    """A fake monotonic clock the tests advance by hand."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def tracker(clock: Clock, **overrides) -> SLOTracker:
+    defaults = dict(
+        window_seconds=60.0,
+        buckets=6,
+        availability_target=0.9,
+        latency_target_seconds=0.25,
+        latency_quantile_target=0.99,
+    )
+    defaults.update(overrides)
+    return SLOTracker(SLOConfig(**defaults), clock=clock)
+
+
+class TestConfigValidation:
+    def test_defaults_are_the_documented_window(self):
+        config = SLOConfig()
+        assert config.window_seconds == DEFAULT_WINDOW_SECONDS
+        assert config.buckets == DEFAULT_BUCKETS
+        assert config.availability_target == 0.999
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"window_seconds": 0.0},
+            {"window_seconds": -1.0},
+            {"buckets": 0},
+            {"availability_target": 0.0},
+            {"availability_target": 1.0},
+            {"latency_quantile_target": 1.5},
+            {"latency_target_seconds": 0.0},
+        ],
+    )
+    def test_invalid_values_raise(self, overrides):
+        with pytest.raises(ParameterError):
+            SLOConfig(**overrides)
+
+
+class TestBurnRateMath:
+    def test_empty_window_is_compliant_with_full_budget(self):
+        snapshot = tracker(Clock()).snapshot()
+        for objective in ("availability", "latency"):
+            record = snapshot[objective]
+            assert record["ratio"] == 1.0
+            assert record["burn_rate"] == 0.0
+            assert record["budget_remaining"] == 1.0
+            assert record["compliant"]
+
+    def test_burn_rate_one_consumes_budget_exactly(self):
+        # Target 0.9 -> budget 0.1.  18 good + 2 bad = bad fraction 0.1:
+        # burning the budget exactly as fast as it accrues.
+        slo = tracker(Clock())
+        for _ in range(18):
+            slo.record(True, 0.0)
+        for _ in range(2):
+            slo.record(False, 0.0)
+        availability = slo.snapshot()["availability"]
+        assert availability["good"] == 18
+        assert availability["bad"] == 2
+        assert availability["ratio"] == pytest.approx(0.9)
+        assert availability["burn_rate"] == pytest.approx(1.0)
+        assert availability["budget_remaining"] == pytest.approx(0.0)
+        assert availability["compliant"]  # ratio == target, on the line
+
+    def test_burn_rate_two_overdraws_the_budget(self):
+        # 16 good + 4 bad = bad fraction 0.2 against budget 0.1.
+        slo = tracker(Clock())
+        for _ in range(16):
+            slo.record(True, 0.0)
+        for _ in range(4):
+            slo.record(False, 0.0)
+        availability = slo.snapshot()["availability"]
+        assert availability["ratio"] == pytest.approx(0.8)
+        assert availability["burn_rate"] == pytest.approx(2.0)
+        assert availability["budget_remaining"] == pytest.approx(-1.0)
+        assert not availability["compliant"]
+        assert not slo.compliance()["availability"]
+
+    def test_latency_objective_judges_against_target_seconds(self):
+        # Quantile target 0.99 -> budget 0.01.  98 fast + 2 slow = bad
+        # fraction 0.02: burn rate 2, out of compliance.
+        slo = tracker(Clock())
+        for _ in range(98):
+            slo.record(True, 0.1)  # within the 250 ms target
+        for _ in range(2):
+            slo.record(True, 0.9)  # slow but successful
+        snapshot = slo.snapshot()
+        assert snapshot["availability"]["compliant"]  # all responses were 2xx
+        latency = snapshot["latency"]
+        assert latency["ratio"] == pytest.approx(0.98)
+        assert latency["burn_rate"] == pytest.approx(2.0)
+        assert not latency["compliant"]
+        assert latency["target_seconds"] == 0.25
+
+    def test_availability_and_latency_are_independent(self):
+        slo = tracker(Clock())
+        slo.record(False, 0.01)  # fast failure: bad availability, good latency
+        snapshot = slo.snapshot()
+        assert snapshot["availability"]["bad"] == 1
+        assert snapshot["latency"]["bad"] == 0
+        assert snapshot["recorded"] == 1
+
+
+class TestWindowRetirement:
+    """window=60s over 6 buckets -> 10 s resolution, oldest retires whole."""
+
+    def test_events_inside_the_window_are_retained(self):
+        clock = Clock(5.0)
+        slo = tracker(clock)
+        slo.record(False, 0.0)  # lands in bucket [0, 10)
+        clock.now = 59.0  # five bucket boundaries later, still in-window
+        availability = slo.snapshot()["availability"]
+        assert availability["bad"] == 1
+
+    def test_events_past_the_window_retire(self):
+        clock = Clock(5.0)
+        slo = tracker(clock)
+        slo.record(False, 0.0)
+        clock.now = 64.0  # the ring has fully rotated past bucket [0, 10)
+        availability = slo.snapshot()["availability"]
+        assert availability["bad"] == 0
+        assert availability["compliant"]  # an empty window is compliant
+        assert slo.recorded == 1  # the lifetime count is not windowed
+
+    def test_rolling_mix_keeps_only_recent_buckets(self):
+        clock = Clock(0.0)
+        slo = tracker(clock)
+        for second in range(12):  # one bad every 10 s: t=0..110
+            clock.now = second * 10.0
+            slo.record(False, 0.0)
+        # At t=110 the window [50, 110] holds buckets 5..11 minus the
+        # retired head: 6 live buckets of one bad each.
+        availability = slo.snapshot()["availability"]
+        assert availability["bad"] == 6
+
+    def test_long_idle_gap_clears_everything(self):
+        clock = Clock(0.0)
+        slo = tracker(clock)
+        for _ in range(50):
+            slo.record(False, 9.9)
+        clock.now = 100_000.0
+        snapshot = slo.snapshot()
+        assert snapshot["availability"]["bad"] == 0
+        assert snapshot["latency"]["bad"] == 0
+
+
+class TestGauges:
+    def test_gauges_flatten_both_objectives(self):
+        slo = tracker(Clock())
+        for _ in range(16):
+            slo.record(True, 0.0)
+        for _ in range(4):
+            slo.record(False, 0.0)
+        gauges = slo.gauges()
+        assert gauges["serve.slo.availability.ratio"] == pytest.approx(0.8)
+        assert gauges["serve.slo.availability.burn_rate"] == pytest.approx(2.0)
+        assert gauges["serve.slo.availability.compliant"] == 0.0
+        assert gauges["serve.slo.latency.compliant"] == 1.0
+        assert gauges["serve.slo.latency.budget_remaining"] == 1.0
+
+    def test_gauge_prefix_is_configurable(self):
+        gauges = tracker(Clock()).gauges(prefix="svc")
+        assert "svc.availability.ratio" in gauges

@@ -1,0 +1,449 @@
+"""Live SSE streaming: hub fan-out, framing, and the serve endpoints.
+
+Covers :mod:`repro.serve.stream` in isolation (replay splice, ordering,
+bounded-queue loss accounting, byte-level frame encoding) and the
+endpoints built on it — ``GET /v1/events`` and ``GET /v1/jobs/<id>/events``
+— including the acceptance bar: the SSE ``data:`` payload of a job's
+stream is byte-equivalent to the JSONL sink's record of the same events,
+in the same ``(run, seq)`` order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import JsonlSink
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.protocol import encode_chunk, LAST_CHUNK
+from repro.serve.stream import (
+    STREAM_CLOSED,
+    TelemetryHub,
+    encode_sse_event,
+)
+
+CAMPAIGN_SPEC = {
+    "option": "1S",
+    "horizon_hours": 300.0,
+    "replications": 2,
+    "seed": 7,
+}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_bus():
+    telemetry.stop()
+    yield
+    telemetry.stop()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSseEncoding:
+    def test_frame_layout(self):
+        frame = encode_sse_event(
+            {"schema": 1, "seq": 4, "run": 2, "kind": "progress", "t": 0.5}
+        ).decode("utf-8")
+        lines = frame.split("\n")
+        assert lines[0] == "id: 2-4"
+        assert lines[1] == "event: progress"
+        assert lines[2].startswith("data: ")
+        assert frame.endswith("\n\n")
+
+    def test_data_line_is_byte_equivalent_to_jsonl_sink(self, tmp_path):
+        """The SSE payload and the JSONL record are the same bytes."""
+        event = {
+            "schema": 1,
+            "seq": 0,
+            "run": 1,
+            "t": 1.25,
+            "kind": "serve.job.end",
+            "job_id": "j-1",
+            "unicode": "säge",
+        }
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(event)
+        sink.close()
+        jsonl_line = path.read_bytes().splitlines()[0]
+        frame = encode_sse_event(event)
+        data_lines = [
+            line
+            for line in frame.split(b"\n")
+            if line.startswith(b"data: ")
+        ]
+        assert data_lines == [b"data: " + jsonl_line]
+
+    def test_missing_fields_fall_back(self):
+        frame = encode_sse_event({}).decode("utf-8")
+        assert frame.startswith("id: 0-0\nevent: message\n")
+
+
+class TestTelemetryHub:
+    def test_replay_splice_has_no_gap_and_no_duplicate(self):
+        async def scenario():
+            hub = TelemetryHub(loop=asyncio.get_running_loop())
+            for seq in range(3):
+                hub.emit({"seq": seq, "kind": "early"})
+            subscription = hub.subscribe()
+            for seq in range(3, 6):
+                hub.emit({"seq": seq, "kind": "late"})
+            seen = [event["seq"] for event in subscription.replayed]
+            while len(seen) < 6:
+                event = await subscription.get(timeout=1.0)
+                assert event is not None, "live event never arrived"
+                seen.append(event["seq"])
+            return seen
+
+        assert run(scenario()) == [0, 1, 2, 3, 4, 5]
+
+    def test_predicate_filters_replay_and_live(self):
+        async def scenario():
+            hub = TelemetryHub(loop=asyncio.get_running_loop())
+            hub.emit({"seq": 0, "kind": "keep"})
+            hub.emit({"seq": 1, "kind": "drop"})
+            subscription = hub.subscribe(
+                predicate=lambda event: event["kind"] == "keep"
+            )
+            hub.emit({"seq": 2, "kind": "drop"})
+            hub.emit({"seq": 3, "kind": "keep"})
+            assert [e["seq"] for e in subscription.replayed] == [0]
+            event = await subscription.get(timeout=1.0)
+            return event["seq"]
+
+        assert run(scenario()) == 3
+
+    def test_replay_false_starts_live_only(self):
+        async def scenario():
+            hub = TelemetryHub(loop=asyncio.get_running_loop())
+            hub.emit({"seq": 0})
+            subscription = hub.subscribe(replay=False)
+            return subscription.replayed
+
+        assert run(scenario()) == []
+
+    def test_slow_subscriber_drops_oldest_not_the_sentinel(self):
+        async def scenario():
+            hub = TelemetryHub(
+                loop=asyncio.get_running_loop(), max_queue_events=3
+            )
+            subscription = hub.subscribe()
+            for seq in range(6):
+                hub.emit({"seq": seq})
+            hub.close()
+            # Let the call_soon_threadsafe callbacks run.
+            await asyncio.sleep(0)
+            received = []
+            while True:
+                item = await subscription.get(timeout=1.0)
+                if item is STREAM_CLOSED:
+                    break
+                received.append(item["seq"])
+            return received, subscription.dropped
+
+        received, dropped = run(scenario())
+        # Bounded queue of 3: the oldest live events were dropped (and
+        # counted), the newest survived, and the close sentinel arrived.
+        assert dropped == 4
+        assert received == [4, 5]
+
+    def test_unsubscribe_detaches(self):
+        async def scenario():
+            hub = TelemetryHub(loop=asyncio.get_running_loop())
+            subscription = hub.subscribe()
+            assert hub.subscriber_count == 1
+            subscription.unsubscribe()
+            subscription.unsubscribe()  # idempotent
+            return hub.subscriber_count
+
+        assert run(scenario()) == 0
+
+    def test_emit_from_foreign_thread_preserves_order(self):
+        async def scenario():
+            hub = TelemetryHub(loop=asyncio.get_running_loop())
+            subscription = hub.subscribe()
+
+            def blast():
+                for seq in range(50):
+                    hub.emit({"seq": seq})
+
+            await asyncio.to_thread(blast)
+            seen = []
+            while len(seen) < 50:
+                event = await subscription.get(timeout=1.0)
+                assert event is not None
+                seen.append(event["seq"])
+            return seen
+
+        assert run(scenario()) == list(range(50))
+
+
+async def _read_headers(reader) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _read_chunked(reader) -> bytes:
+    """Dechunk a Transfer-Encoding: chunked body until the last chunk."""
+    body = b""
+    while True:
+        size_line = await reader.readline()
+        size = int(size_line.strip(), 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF
+            return body
+        body += await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk CRLF
+
+
+def _parse_frames(body: bytes) -> list[dict]:
+    """SSE frames -> [{"id": ..., "event": ..., "data": bytes}]."""
+    frames = []
+    for block in body.split(b"\n\n"):
+        if not block.strip() or block.startswith(b":"):
+            continue  # keepalive comment
+        frame: dict = {}
+        for line in block.split(b"\n"):
+            name, _, value = line.partition(b": ")
+            frame[name.decode("ascii")] = value
+        frames.append(frame)
+    return frames
+
+
+class TestChunkedFraming:
+    def test_encode_chunk_roundtrip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_chunk(b"hello"))
+            reader.feed_data(encode_chunk(b" " * 300))  # multi-hex-digit size
+            reader.feed_data(LAST_CHUNK)
+            return await _read_chunked(reader)
+
+        assert run(scenario()) == b"hello" + b" " * 300
+
+
+class TestJobEventStream:
+    """`GET /v1/jobs/<id>/events` — the acceptance path end to end."""
+
+    def _submit_and_stream(self, tmp_path) -> tuple[bytes, list[str]]:
+        """Run a job, stream its events, return (SSE body, JSONL lines)."""
+        stream_path = tmp_path / "telemetry.jsonl"
+
+        async def scenario():
+            app = ServeApp(ServeConfig())
+            await app.start()
+            try:
+                payload = json.dumps(
+                    {"kind": "campaign", "spec": CAMPAIGN_SPEC}
+                ).encode()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(
+                    b"POST /v1/jobs HTTP/1.1\r\n"
+                    + f"Content-Length: {len(payload)}\r\n".encode()
+                    + b"Connection: close\r\n\r\n"
+                    + payload
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                status = int(raw.split(b" ", 2)[1])
+                assert status == 202, raw
+                job_id = json.loads(raw.partition(b"\r\n\r\n")[2])["id"]
+
+                # Stream while the job runs: replayed events splice into
+                # live ones and the stream ends itself at serve.job.end.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(
+                    f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n\r\n".encode()
+                )
+                await writer.drain()
+                status, headers = await _read_headers(reader)
+                assert status == 200
+                assert headers["content-type"] == "text/event-stream"
+                assert headers["transfer-encoding"] == "chunked"
+                body = await asyncio.wait_for(_read_chunked(reader), 120)
+                writer.close()
+                return job_id, body
+            finally:
+                await app.stop()
+
+        telemetry.start([JsonlSink(stream_path)])
+        try:
+            job_id, body = run(scenario())
+        finally:
+            telemetry.stop()
+        lines = [
+            line
+            for line in stream_path.read_bytes().splitlines()
+            if json.loads(line).get("job_id") == job_id
+        ]
+        return body, lines
+
+    def test_stream_is_byte_equivalent_to_jsonl_and_ordered(self, tmp_path):
+        body, jsonl_lines = self._submit_and_stream(tmp_path)
+        frames = _parse_frames(body)
+        assert frames, "stream carried no events"
+
+        # Every frame's data: payload is byte-identical to the JSONL
+        # sink's line for the same event, in the same order.
+        assert [frame["data"] for frame in frames] == jsonl_lines
+
+        # The (run, seq) ids are strictly increasing and the stream ends
+        # with the job's end event.
+        events = [json.loads(frame["data"]) for frame in frames]
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "serve.job.start"
+        assert kinds[-1] == "serve.job.end"
+        assert "serve.job.running" in kinds
+        assert all(event["job_id"] for event in events)
+        # id: header carries the (run, seq) order for EventSource clients.
+        assert frames[-1]["id"].decode() == (
+            f"{events[-1]['run']}-{events[-1]['seq']}"
+        )
+
+    def test_unknown_job_id_is_404(self):
+        async def scenario():
+            app = ServeApp(ServeConfig())
+            await app.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(
+                    b"GET /v1/jobs/nope/events HTTP/1.1\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return int(raw.split(b" ", 2)[1])
+            finally:
+                await app.stop()
+
+        telemetry.start([])
+        try:
+            assert run(scenario()) == 404
+        finally:
+            telemetry.stop()
+
+
+class TestFirehose:
+    def test_streaming_without_a_bus_is_503(self):
+        async def scenario():
+            app = ServeApp(ServeConfig())
+            await app.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(
+                    b"GET /v1/events HTTP/1.1\r\nConnection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return int(raw.split(b" ", 2)[1])
+            finally:
+                await app.stop()
+
+        assert run(scenario()) == 503
+
+    def test_kind_filter_and_replay(self):
+        """?kinds= filters; ?replay=1 prepends buffered history."""
+
+        async def scenario():
+            app = ServeApp(
+                ServeConfig(stream_heartbeat_seconds=0.05)
+            )
+            await app.start()
+            try:
+                telemetry.emit("serve.slo.breach", objective="availability")
+                telemetry.emit("progress", completed=1)
+                telemetry.emit("serve.slo.recovered", objective="availability")
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(
+                    b"GET /v1/events?kinds=serve.slo.breach,"
+                    b"serve.slo.recovered&replay=1 HTTP/1.1\r\n\r\n"
+                )
+                await writer.drain()
+                status, headers = await _read_headers(reader)
+                assert status == 200
+                # The firehose never terminates on its own: read chunks
+                # until both replayed frames arrived, then disconnect.
+                body = b""
+                while body.count(b"\ndata: ") < 2:
+                    size_line = await asyncio.wait_for(
+                        reader.readline(), 10
+                    )
+                    size = int(size_line.strip(), 16)
+                    body += await reader.readexactly(size)
+                    await reader.readexactly(2)
+                writer.close()
+                # The server notices the disconnect and unsubscribes.
+                for _ in range(100):
+                    if app._hub.subscriber_count == 0:
+                        break
+                    await asyncio.sleep(0.02)
+                return body, app._hub.subscriber_count
+            finally:
+                await app.stop()
+
+        telemetry.start([])
+        try:
+            body, subscribers = run(scenario())
+        finally:
+            telemetry.stop()
+        kinds = [
+            json.loads(frame["data"])["kind"]
+            for frame in _parse_frames(body)
+        ]
+        assert kinds == ["serve.slo.breach", "serve.slo.recovered"]
+        assert subscribers == 0
+
+    def test_idle_stream_sends_keepalives(self):
+        async def scenario():
+            app = ServeApp(ServeConfig(stream_heartbeat_seconds=0.05))
+            await app.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                writer.write(b"GET /v1/events HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                await _read_headers(reader)
+                size_line = await asyncio.wait_for(reader.readline(), 10)
+                size = int(size_line.strip(), 16)
+                chunk = await reader.readexactly(size)
+                writer.close()
+                return chunk
+            finally:
+                await app.stop()
+
+        telemetry.start([])
+        try:
+            chunk = run(scenario())
+        finally:
+            telemetry.stop()
+        assert chunk == b": keepalive\n\n"
